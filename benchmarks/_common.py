@@ -1,0 +1,45 @@
+"""Shared table-reporting helpers for the experiment benchmarks.
+
+Every experiment prints its table (the artifact being reproduced) and
+appends it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md
+can quote measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def report(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    notes: str = "",
+) -> str:
+    """Print the experiment table and persist it under results/."""
+    table = format_table(headers, rows)
+    body = f"== {experiment}: {title} ==\n{table}"
+    if notes:
+        body += f"\n{notes}"
+    print("\n" + body)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as fh:
+        fh.write(body + "\n")
+    return body

@@ -1,0 +1,145 @@
+"""E3 — Claim 2: the hypergeometric collision tail.
+
+Claim 2 bounds the total pairwise dart collisions:
+``Pr[sum X_ij >= n^2(d^2/l + C d)] <= n^2 exp(-C^2 d)``.
+We Monte-Carlo the dart-throwing, compare empirical exceedance rates to
+the analytic bound across a parameter sweep, and verify the resulting
+reliability margin (each sender keeps >= d/2 darts w.h.p.).
+"""
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import report
+
+from repro.analysis import (
+    collision_tail_bound,
+    expected_pairwise_collisions,
+    paper_collision_budget,
+    paper_tail_bound,
+)
+
+TRIALS = 600
+
+
+def _sample_total_collisions(n, d, ell, rng):
+    sets = [frozenset(rng.sample(range(ell), d)) for _ in range(n)]
+    return sum(
+        len(sets[i] & sets[j]) for i in range(n) for j in range(n) if i != j
+    )
+
+
+def _sample_per_party_hits(n, d, ell, rng):
+    sets = [frozenset(rng.sample(range(ell), d)) for _ in range(n)]
+    others = set().union(*sets[1:]) if n > 1 else set()
+    return len(sets[0] & others)
+
+
+def test_e3_total_collision_tail(benchmark):
+    """Empirical exceedance vs the Claim 2 bound, sweeping (n, d, l)."""
+    rows = []
+
+    def run():
+        rows.clear()
+        rng = random.Random(3)
+        for n, d, ell, c in (
+            (4, 8, 256, 0.20),
+            (4, 8, 256, 0.35),
+            (8, 8, 512, 0.20),
+            (8, 16, 2048, 0.15),
+            (16, 8, 1024, 0.20),
+            # rows where the analytic bound is non-trivially < 1:
+            (4, 32, 4096, 0.50),
+            (8, 32, 8192, 0.45),
+            (4, 64, 8192, 0.40),
+        ):
+            budget = paper_collision_budget(n, d, ell, c)
+            bound = paper_tail_bound(n, d, ell, c)
+            exceed = sum(
+                _sample_total_collisions(n, d, ell, rng) >= budget
+                for _ in range(TRIALS)
+            ) / TRIALS
+            mean = expected_pairwise_collisions(n, d, ell)
+            rows.append(
+                (n, d, ell, c, f"{mean:.1f}", f"{budget:.1f}",
+                 f"{exceed:.4f}", f"{min(bound, 1.0):.4f}",
+                 "OK" if exceed <= bound + 0.02 else "VIOLATED")
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e3_total_tail",
+        f"Claim 2 total-collision tail, {TRIALS} trials per row",
+        ["n", "d", "l", "C", "E[sum X_ij]", "budget", "empirical",
+         "bound n^2 e^{-C^2 d}", "verdict"],
+        rows,
+        notes="the empirical exceedance probability never exceeds the\n"
+              "analytic bound (which is loose, as union bounds are).",
+    )
+    assert all(row[-1] == "OK" for row in rows)
+
+
+def test_e3_per_party_reliability_margin(benchmark):
+    """Each sender keeps >= d/2 darts: the margin Reliability rests on."""
+    rows = []
+
+    def run():
+        rows.clear()
+        rng = random.Random(4)
+        for n, d, margin in ((4, 8, 4), (4, 8, 8), (8, 8, 8), (8, 16, 8), (16, 8, 8)):
+            ell = margin * (n - 1) * d
+            overflow = sum(
+                _sample_per_party_hits(n, d, ell, rng) >= d / 2
+                for _ in range(TRIALS)
+            ) / TRIALS
+            bound = collision_tail_bound(n, d, ell, budget=d / 2)
+            rows.append(
+                (n, d, ell, f"{(n - 1) * d * d / ell:.2f}",
+                 f"{overflow:.4f}", f"{min(bound, 1.0):.4f}",
+                 "OK" if overflow <= bound + 0.02 else "VIOLATED")
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e3_per_party",
+        f"Per-sender dart-loss probability, {TRIALS} trials per row",
+        ["n", "d", "l", "E[hits]", "empirical P[>=d/2 hit]",
+         "Chvatal bound", "verdict"],
+        rows,
+    )
+    assert all(row[-1] == "OK" for row in rows)
+
+
+def test_e3_paper_parameter_identity(benchmark):
+    """The proof's algebra: C=1/(4n^2), d=n^4 k, l=4 n^6 k gives budget
+    exactly d/2 and exponent exactly k/16."""
+    rows = []
+
+    def run():
+        rows.clear()
+        for n in (3, 4, 5, 8, 12):
+            kappa = 2 * n
+            d, ell = n**4 * kappa, 4 * n**6 * kappa
+            c = 1 / (4 * n**2)
+            budget = paper_collision_budget(n, d, ell, c)
+            rows.append(
+                (n, kappa, d, ell, f"{budget / d:.4f}",
+                 f"{c * c * d / kappa:.4f}")
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e3_identity",
+        "Paper parameter identities (budget/d == 1/2, C^2 d / kappa == 1/16)",
+        ["n", "kappa", "d", "l", "budget/d", "C^2*d/kappa"],
+        rows,
+    )
+    for row in rows:
+        assert row[4] == "0.5000"
+        assert row[5] == "0.0625"

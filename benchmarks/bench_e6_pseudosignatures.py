@@ -1,0 +1,169 @@
+"""E6 — Pseudosignatures and broadcast simulation (paper §4).
+
+Reproduces the section's quantitative story:
+
+- setup cost: constant rounds + 2 physical broadcasts (vs PW96's
+  Omega(n^2) for both);
+- transferability: honest signatures survive every hop; a partially
+  signing cheater rarely creates an accept->reject gap;
+- the application: Dolev–Strong over pseudosignatures simulates
+  broadcast on point-to-point channels for t < n/2.
+"""
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import report
+
+from repro.baselines import MaximalDisruption, run_pw96, worst_case_runs
+from repro.byzantine import SimulatedBroadcastChannel
+from repro.network import SilentAdversary
+from repro.pseudosig import PseudosignatureScheme, break_probability
+
+
+def test_e6_setup_cost_table(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        for n in (5, 9, 13, 21):
+            t = (n - 1) // 2
+            chan = SimulatedBroadcastChannel(n=n, t=t)
+            cost = chan.setup(random.Random(n))
+            pw_runs = worst_case_runs(n, t)
+            rows.append(
+                (n, t, cost.rounds, cost.broadcast_rounds,
+                 pw_runs * 4, pw_runs)
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e6_setup",
+        "Pseudosignature setup: ours (AnonChan+GGOR13) vs PW96 worst case",
+        ["n", "t", "our rounds", "our broadcasts",
+         "PW96 rounds", "PW96 broadcasts"],
+        rows,
+        notes="our setup is constant in n (26 rounds, 2 broadcasts);\n"
+              "PW96's worst case grows quadratically.",
+    )
+    ours = {r[0]: (r[2], r[3]) for r in rows}
+    assert len(set(ours.values())) == 1
+    assert all(r[3] == 2 for r in rows)
+    assert rows[-1][4] > rows[0][4] * 4
+
+
+def test_e6_transfer_degradation(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        rng = random.Random(0)
+        scheme = PseudosignatureScheme(n=7, signer=0, blocks=24, max_transfers=4)
+        for level in range(1, 5):
+            rows.append(
+                ("threshold", level, scheme.threshold(level), scheme.blocks)
+            )
+        honest = break_probability(scheme, 40, rng, skip_fraction=0.0)
+        half = break_probability(scheme, 40, rng, skip_fraction=0.5)
+        rows.append(("break rate (honest signer)", "-", f"{honest:.3f}", "-"))
+        rows.append(("break rate (50% partial signer)", "-", f"{half:.3f}", "-"))
+        return honest, half
+
+    honest, half = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e6_transfer",
+        "Verifier thresholds per transfer level, and break rates",
+        ["quantity", "level", "value", "of blocks"],
+        rows,
+        notes="thresholds decrease by delta per hop; anonymity of the key\n"
+              "setup keeps the cheating signer's break rate small.",
+    )
+    assert honest == 0.0
+    assert half <= 0.25
+
+
+def test_e6_anonymity_ablation(benchmark):
+    """Why the setup must be anonymous: break rates with and without."""
+    from repro.pseudosig import (
+        chain_broken,
+        targeted_partial_signature,
+        transfer_chain,
+    )
+
+    rows = []
+
+    def run():
+        rows.clear()
+        scheme = PseudosignatureScheme(n=7, signer=0, blocks=24, max_transfers=4)
+        trials = 30
+        # De-anonymized: the targeted attack, per trial.
+        rng = random.Random(0)
+        broken = 0
+        for _ in range(trials):
+            setup, views, ownership = scheme.deanonymized_setup(rng)
+            others = sorted(views)
+            sig = targeted_partial_signature(
+                scheme, setup, ownership, scheme.mac_field(5),
+                victim=others[1], victim_level=2,
+            )
+            steps = transfer_chain(scheme, views, sig, others[:2])
+            if chain_broken(steps):
+                broken += 1
+        rows.append(("de-anonymized setup + targeted attack",
+                     f"{broken / trials:.3f}"))
+        # Anonymous: the best the signer can do is guess.
+        rate = break_probability(scheme, trials, random.Random(1),
+                                 skip_fraction=0.2)
+        rows.append(("anonymous setup + blind attack", f"{rate:.3f}"))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e6_anonymity_ablation",
+        "Transferability break rate vs setup anonymity (30 trials each)",
+        ["configuration", "break rate"],
+        rows,
+        notes='§4: a cheating signer "does not know whose keys are whose in\n'
+              "any given block\" — remove that and the scheme breaks with\n"
+              "probability 1; keep it and the break rate collapses.",
+    )
+    assert float(rows[0][1]) == 1.0
+    assert float(rows[1][1]) <= 0.2
+
+
+def test_e6_simulated_broadcast_under_faults(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        n, t = 7, 3
+        chan = SimulatedBroadcastChannel(n=n, t=t)
+        chan.setup(random.Random(1))
+        for label, adversary, honest_set in (
+            ("no faults", None, range(n)),
+            ("t crashed", SilentAdversary({4, 5, 6}), range(4)),
+        ):
+            res = chan.broadcast(0, "v", adversary=adversary)
+            decisions = {res.outputs[p] for p in honest_set}
+            rows.append(
+                (label, res.metrics.rounds, res.metrics.broadcast_rounds,
+                 len(decisions), decisions == {"v"})
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e6_broadcast_sim",
+        "Dolev-Strong over pseudosignatures (n=7, t=3 < n/2)",
+        ["scenario", "rounds", "physical broadcasts", "distinct decisions",
+         "agreement+validity"],
+        rows,
+        notes="zero physical broadcasts in the main phase; agreement holds\n"
+              "with t parties crashed — resilience no unauthenticated\n"
+              "protocol can reach (t >= n/3 barrier [LSP82]).",
+    )
+    assert all(r[2] == 0 and r[3] == 1 and r[4] for r in rows)

@@ -1,0 +1,122 @@
+"""E8 — Reliability: this paper vs vABH03 (paper §1.2).
+
+vABH03's dart parameters guarantee Reliability with probability 1/2
+per run; fixing that by repetition makes the construction malleable
+(later repetitions reveal earlier outcomes, which the adversary can
+echo).  AnonChan's parameters make reliability 1 - negl in a single
+run, with non-malleability intact.
+"""
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import report
+
+from repro.baselines import (
+    collision_free_probability,
+    gj04_measure_reliability,
+    half_reliability_parameters,
+    measure_reliability,
+    run_with_repetition,
+)
+from repro.core import (
+    honest_input_multiset,
+    reliability_holds,
+    run_anonchan,
+    scaled_parameters,
+)
+from repro.vss import IdealVSS
+
+
+def test_e8_per_run_reliability(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        # vABH03 regime: one dart per message, birthday-bound slots.
+        for n in (4, 8, 12):
+            slots, copies = half_reliability_parameters(n)
+            r = measure_reliability(n, slots, copies, trials=500, seed=n)
+            rows.append(("vABH03-style", n, slots, copies, f"{r:.3f}"))
+        # GJ04: non-interactive, no collision handling at all (§1.2);
+        # reliability is whatever the birthday bound allows.
+        for n in (4, 8, 12):
+            slots = 4 * n
+            r = gj04_measure_reliability(n, slots, trials=500, seed=n)
+            predicted = collision_free_probability(n, slots)
+            rows.append(
+                ("GJ04-style", n, slots, 1, f"{r:.3f} (birthday {predicted:.3f})")
+            )
+        # Our regime: d darts, l = 8(n-1)d slots, measured on the real
+        # protocol (fewer trials; it is a full MPC execution).
+        for n in (4, 6):
+            params = scaled_parameters(n=n, d=8, num_checks=3, kappa=16)
+            vss = IdealVSS(params.field, params.n, params.t)
+            f = params.field
+            ok = 0
+            trials = 15
+            for trial in range(trials):
+                messages = {i: f(300 + i) for i in range(n)}
+                res = run_anonchan(params, vss, messages, seed=trial * 13)
+                x = honest_input_multiset(list(messages.values()))
+                if reliability_holds(x, res.outputs[0].output):
+                    ok += 1
+            rows.append(
+                ("AnonChan (this paper)", n, params.ell, params.d,
+                 f"{ok / trials:.3f}")
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e8_reliability",
+        "Per-run Reliability: vABH03 regime vs this paper",
+        ["protocol", "n", "slots/l", "copies/d", "reliability"],
+        rows,
+        notes="§1.2: vABH03 guarantees Reliability w.p. 1/2 only; a careful\n"
+              "choice of parameters (Claim 2) makes ours 1 - negl.",
+    )
+    vabh = [float(r[4]) for r in rows if r[0].startswith("vABH03")]
+    ours = [float(r[4]) for r in rows if r[0].startswith("AnonChan")]
+    gj04 = [float(r[4].split()[0]) for r in rows if r[0].startswith("GJ04")]
+    assert all(0.25 <= v <= 0.8 for v in vabh)
+    assert all(v == 1.0 for v in ours)
+    assert gj04[0] > gj04[-1]  # GJ04 reliability decays with n
+
+
+def test_e8_repetition_malleability(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        total_echoes = 0
+        reps_used = []
+        trials = 40
+        for seed in range(trials):
+            rng = random.Random(seed)
+            trace = run_with_repetition(
+                [11, 22, 33, 44, 55], slots=6, copies=1, rng=rng
+            )
+            total_echoes += trace.echoes
+            reps_used.append(trace.repetitions)
+        rows.append(
+            (trials, f"{sum(reps_used) / trials:.1f}", max(reps_used),
+             total_echoes)
+        )
+        return total_echoes
+
+    echoes = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e8_malleability",
+        "Repeat-until-delivered vABH03: the malleability cost",
+        ["trials", "avg repetitions", "max repetitions",
+         "adversarial echoes of revealed honest values"],
+        rows,
+        notes="every echo is an element of Y\\X *correlated with X* —\n"
+              "exactly the non-malleability violation §1.2 warns about.\n"
+              "AnonChan needs no repetition, so the attack surface is gone.",
+    )
+    assert echoes > 0

@@ -1,0 +1,93 @@
+"""E9 — Ablation: the receiver's random permutations g_i (paper §3).
+
+Figure 1, step 4 applies a secret random permutation ``g_i`` to every
+accepted vector.  The paper's parenthetical: without it, the non-zero
+entries of accepted *malicious* vectors sit exactly at the indices the
+adversary chose — violating Claim 2's hypothesis that every ``I_i`` is
+random.  We run the real protocol with a proper-but-targeted adversary
+(all darts at indices 0..d-1) twice: with honest ``g_i`` and with
+``g_i`` forced to the identity, and measure where the adversary's
+entries end up in the receiver's final vector.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import random
+
+from _common import report
+
+from repro.core import Permutation, run_anonchan, scaled_parameters
+from repro.core.adversaries import targeted_material
+from repro.vss import IdealVSS
+
+TRIALS = 12
+TARGET = 0x5151
+
+
+def _adversary_positions(params, vss, identity_g, seed):
+    """Run once; return the final-vector indices holding the adversary's
+    message."""
+    f = params.field
+    messages = {i: f(100 + i) for i in range(params.n)}
+    rng = random.Random(seed)
+    material = targeted_material(
+        params, f(TARGET), list(range(params.d)), rng
+    )
+    receiver_perms = (
+        [Permutation.identity(params.ell) for _ in range(params.n)]
+        if identity_g
+        else None
+    )
+    res = run_anonchan(
+        params, vss, messages, seed=seed,
+        corrupt_materials={3: material},
+        receiver_perms=receiver_perms,
+    )
+    vec = res.outputs[0].final_vector
+    return [k for k, (x, _a) in vec.entries.items() if x == TARGET]
+
+
+def test_e9_targeted_placement(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        params = scaled_parameters(n=4, d=6, num_checks=3, kappa=16)
+        vss = IdealVSS(params.field, params.n, params.t)
+        for identity_g, label in ((True, "without g_i (identity)"),
+                                  (False, "with g_i (protocol)")):
+            in_target_zone = 0
+            total = 0
+            for trial in range(TRIALS):
+                positions = _adversary_positions(
+                    params, vss, identity_g, seed=trial * 7 + 3
+                )
+                total += len(positions)
+                in_target_zone += sum(1 for k in positions if k < params.d)
+            frac = in_target_zone / total if total else 0.0
+            expected_random = params.d / params.ell
+            rows.append(
+                (label, total, in_target_zone, f"{frac:.3f}",
+                 f"{expected_random:.3f}")
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "e9_ablation",
+        "Adversary darts landing in its chosen zone [0, d)",
+        ["configuration", "surviving darts", "in chosen zone",
+         "fraction", "uniform baseline"],
+        rows,
+        notes="without g_i the adversary's entries sit exactly where it\n"
+              "put them (fraction 1.0), breaking Claim 2's randomness\n"
+              "hypothesis; with g_i the placement drops to the uniform\n"
+              "baseline d/l, as the proof requires.",
+    )
+    without = next(r for r in rows if r[0].startswith("without g_i"))
+    with_g = next(r for r in rows if r[0].startswith("with g_i"))
+    assert float(without[3]) == 1.0
+    assert float(with_g[3]) < 0.25

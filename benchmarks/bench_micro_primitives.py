@@ -1,0 +1,129 @@
+"""Eµ — Microbenchmarks of the substrate primitives.
+
+Field arithmetic, interpolation, Berlekamp–Welch decoding, VSS
+share/reconstruct throughput, and one end-to-end AnonChan execution.
+These are the knobs that set the wall-clock scale of every experiment.
+"""
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.fields import Polynomial, gf2k, interpolate_at
+from repro.sharing import ShamirScheme, berlekamp_welch
+from repro.vss import IdealVSS
+from repro.core import run_anonchan, scaled_parameters
+
+
+def test_micro_gf2k_mul(benchmark):
+    f = gf2k(16)
+    pairs = [(i * 997 % f.order, i * 131 % f.order) for i in range(1, 1001)]
+
+    def run():
+        mul = f.mul
+        acc = 0
+        for a, b in pairs:
+            acc ^= mul(a, b)
+        return acc
+
+    benchmark(run)
+
+
+def test_micro_gf2k_inv(benchmark):
+    f = gf2k(16)
+    values = [i * 31 % (f.order - 1) + 1 for i in range(1000)]
+
+    def run():
+        inv = f.inv
+        acc = 0
+        for v in values:
+            acc ^= inv(v)
+        return acc
+
+    benchmark(run)
+
+
+def test_micro_tableless_gf2_64_mul(benchmark):
+    f = gf2k(64)
+    a, b = 0x0123456789ABCDEF, 0xFEDCBA9876543210
+
+    def run():
+        x = a
+        for _ in range(100):
+            x = f.mul(x, b)
+        return x
+
+    benchmark(run)
+
+
+def test_micro_interpolation(benchmark):
+    f = gf2k(16)
+    rng = random.Random(0)
+    poly = Polynomial.random(f, 5, rng)
+    pts = [(f(i), poly(i)) for i in range(1, 7)]
+    benchmark(lambda: interpolate_at(f, pts, 0))
+
+
+def test_micro_berlekamp_welch(benchmark):
+    f = gf2k(16)
+    rng = random.Random(1)
+    poly = Polynomial.random(f, 3, rng)
+    pts = [(f(i), poly(i)) for i in range(1, 11)]
+    pts[2] = (pts[2][0], pts[2][1] + f(9))
+    pts[7] = (pts[7][0], pts[7][1] + f(5))
+
+    def run():
+        decoded, errors = berlekamp_welch(f, pts, degree=3)
+        assert len(errors) == 2
+        return decoded
+
+    benchmark(run)
+
+
+def test_micro_shamir_share(benchmark):
+    f = gf2k(16)
+    scheme = ShamirScheme(f, n=9, t=4)
+    rng = random.Random(2)
+    benchmark(lambda: scheme.share(f(123), rng))
+
+
+def test_micro_ideal_vss_batch_share(benchmark):
+    f = gf2k(16)
+    scheme = IdealVSS(f, n=7, t=3)
+    secrets = [f(i) for i in range(256)]
+
+    def run():
+        from repro.network import run_protocol
+
+        session = scheme.new_session(random.Random(0))
+
+        def party(pid, rng):
+            return (
+                yield from session.share_program(
+                    pid, 0, secrets if pid == 0 else None, rng,
+                    count=len(secrets),
+                )
+            )
+
+        return run_protocol(
+            {pid: party(pid, random.Random(pid)) for pid in range(7)}
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_micro_anonchan_end_to_end(benchmark):
+    params = scaled_parameters(n=4, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t)
+    f = params.field
+    messages = {i: f(100 + i) for i in range(4)}
+    seeds = iter(range(10_000))
+
+    def run():
+        res = run_anonchan(params, vss, messages, seed=next(seeds))
+        assert res.outputs[0].output is not None
+        return res
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

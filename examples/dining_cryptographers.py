@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The dining cryptographers, 2014 edition.
+
+Chaum's story: three cryptographers finish dinner and learn the bill
+has been paid.  They want to know whether one of *them* paid (rather
+than the NSA) without revealing who.  The classic DC-net answers this —
+until a disruptive participant XORs garbage into the channel and nobody
+can tell who did it.
+
+This example runs both:
+
+1. the original DC-net [Cha88] with a jammer — the message is destroyed
+   untraceably;
+2. the paper's AnonChan — the jammer's vector fails the cut-and-choose
+   sparseness proof, the jammer is *publicly disqualified*, and the
+   payer's message goes through, still anonymously.
+
+Run:  python examples/dining_cryptographers.py
+"""
+
+import random
+
+from repro.baselines import jamming_tamper, run_dcnet
+from repro.baselines.dcnet import dcnet_party_program
+from repro.core import run_anonchan, scaled_parameters
+from repro.core.adversaries import jamming_material
+from repro.fields import gf2k
+from repro.network import TamperingAdversary
+from repro.vss import IdealVSS
+
+I_PAID = 0x1CED  # the message the payer whispers into the channel
+
+
+def classic_dcnet_with_jammer() -> None:
+    print("== Act 1: the classic DC-net [Cha88] ==")
+    f = gf2k(16)
+    n, num_slots = 4, 8  # three cryptographers + one waiter relaying
+    payer, slot = 1, 3
+    rng = random.Random(99)
+
+    jammer_prog = dcnet_party_program(
+        3, n, f, num_slots, None, None, random.Random((5 << 10) | 3)
+    )
+    adversary = TamperingAdversary(
+        {3}, {3: jammer_prog}, jamming_tamper(f, num_slots, rng)
+    )
+    result = run_dcnet(
+        f, n, senders={payer: (f(I_PAID), slot)}, num_slots=num_slots,
+        seed=5, adversary=adversary,
+    )
+    slots = result.outputs[0].slots
+    got = slots[slot]
+    print(f"  slot {slot} reads {got.value:#x} "
+          f"(expected {I_PAID:#x}) -> message "
+          f"{'survived' if got.value == I_PAID else 'DESTROYED'}")
+    print("  ...and the transcript is a perfectly uniform mess: the jammer")
+    print("  cannot be identified.  Dinner ends in suspicion.\n")
+
+
+def anonchan_with_jammer() -> None:
+    print("== Act 2: the same dinner over AnonChan (this paper) ==")
+    params = scaled_parameters(n=4, d=8, num_checks=5, kappa=16)
+    vss = IdealVSS(params.field, params.n, params.t)
+    f = params.field
+
+    # Everyone sends; non-payers send the agreed "not me" value.
+    NOT_ME = 0x0FF
+    messages = {pid: f(NOT_ME) for pid in range(4)}
+    messages[1] = f(I_PAID)
+
+    rng = random.Random(123)
+    result = run_anonchan(
+        params, vss, messages, receiver=0, seed=7,
+        corrupt_materials={3: jamming_material(params, rng)},
+    )
+    out = result.outputs[0]
+    caught = sorted(set(range(params.n)) - out.passed)
+    print(f"  cut-and-choose disqualified: parties {caught}")
+    paid = out.output.get(I_PAID, 0)
+    print(f"  'I paid' received {paid} time(s); "
+          f"'not me' received {out.output.get(NOT_ME, 0)} time(s)")
+    print("  someone at the table paid — and nobody knows who.  QED.\n")
+
+
+if __name__ == "__main__":
+    classic_dcnet_with_jammer()
+    anonchan_with_jammer()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Section 4 end-to-end: broadcast without a broadcast channel.
+
+1. **Setup phase** (physical broadcast available): every party's
+   pseudosignature keys are established through the anonymous channel —
+   constant rounds, and with the GGOR13 VSS only *two* physical
+   broadcast rounds in total (PW96's setup needed Omega(n^2)).
+2. **Main phase** (point-to-point only): any party can now broadcast by
+   running Dolev–Strong authenticated agreement with pseudosignatures —
+   we run several broadcasts, including one with silently failing
+   parties, and verify agreement each time.
+
+Run:  python examples/pseudosig_broadcast.py
+"""
+
+import random
+
+from repro.byzantine import SimulatedBroadcastChannel
+from repro.network import SilentAdversary
+
+
+def main() -> None:
+    n, t = 7, 3  # t < n/2: beyond any unauthenticated protocol's reach
+    print(f"committee of n={n}, tolerating t={t} corruptions (t < n/2)\n")
+
+    channel = SimulatedBroadcastChannel(n=n, t=t)
+    cost = channel.setup(random.Random(4))
+    print("setup phase (uses the physical broadcast channel):")
+    print(f"  rounds:                  {cost.rounds} "
+          f"(constant; PW96 needs Omega(n^2))")
+    print(f"  physical broadcasts:     {cost.broadcast_rounds} "
+          f"(the paper's headline figure)")
+    print(f"  anonymous-channel calls: {cost.anonchan_invocations} "
+          f"(all in parallel)\n")
+
+    print("main phase (secure pairwise channels ONLY):")
+    for sender, value in ((0, "commit block #1"), (5, "leader=party-3")):
+        result = channel.broadcast(sender, value)
+        decisions = set(result.outputs.values())
+        print(f"  P{sender} broadcasts {value!r}: "
+              f"{len(result.outputs)} honest parties decided "
+              f"{decisions} in {result.metrics.rounds} rounds, "
+              f"physical broadcasts used: {result.metrics.broadcast_rounds}")
+        assert decisions == {value}
+
+    # Now with t parties crashing mid-protocol.
+    result = channel.broadcast(
+        1, "budget=42", adversary=SilentAdversary({4, 5, 6})
+    )
+    decisions = {result.outputs[p] for p in range(4)}
+    print(f"  P1 broadcasts 'budget=42' with parties 4,5,6 crashed: "
+          f"honest decisions {decisions}")
+    assert decisions == {"budget=42"}
+
+    print("\nagreement held every time; the physical broadcast channel was")
+    print("never touched after setup.")
+
+
+if __name__ == "__main__":
+    main()

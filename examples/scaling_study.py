@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scaling study: the paper's headline numbers as a function of n.
+
+Prints, for growing committees:
+
+- measured rounds (constant: r_VSS-share + 5) and physical-broadcast
+  rounds (constant: 2 with the GGOR13 VSS profile);
+- the analytic comparison against Zhang'11 and PW96 (who overtakes whom
+  and where);
+- measured wire traffic, the cost the paper explicitly trades for
+  speed.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analysis import comparison_table
+from repro.core import AnonymousChannel, scaled_parameters
+from repro.vss import RB89_COST
+
+
+def measured_section() -> None:
+    print("measured on the simulator (scaled parameters, GGOR13 profile):")
+    print(f"  {'n':>3} {'rounds':>7} {'broadcasts':>11} "
+          f"{'messages':>9} {'field elems':>12}")
+    for n in (3, 4, 5, 6):
+        params = scaled_parameters(n=n, d=6, num_checks=3, kappa=16, margin=6)
+        chan = AnonymousChannel(n=n, params=params)
+        report = chan.send({i: 100 + i for i in range(n)}, seed=n)
+        assert report.received(100) == 1  # sanity: delivery worked
+        print(f"  {n:>3} {report.rounds:>7} {report.broadcast_rounds:>11} "
+              f"{report.messages_sent:>9} {report.field_elements:>12}")
+    print("  -> rounds and broadcasts are flat in n; bandwidth is the")
+    print("     price (the paper: compilable away via [BFO12]).\n")
+
+
+def analytic_section() -> None:
+    print("analytic round comparison (RB89 VSS, 7 sharing rounds):")
+    print(f"  {'n':>3} {'ours':>6} {'Zhang11':>8} {'PW96':>6} {'vABH03*':>8}")
+    for n in (5, 9, 13, 21, 31, 51):
+        table = {e.protocol: e.rounds for e in comparison_table(n, RB89_COST)}
+        print(f"  {n:>3} {table['GGOR14 (this paper)']:>6} "
+              f"{table['Zhang11']:>8} {table['PW96']:>6} "
+              f"{table['vABH03']:>8}")
+    print("  (*vABH03 is constant-round but only 1/2-reliable per run)")
+    print("  -> PW96 grows quadratically; ours overtakes it from n~9 and")
+    print("     stays 20x below Zhang'11 at every n.")
+
+
+def main() -> None:
+    measured_section()
+    analytic_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: reference implementation of "Fast and Unconditionally Secure
+Anonymous Channel" (Garay, Givens, Ostrovsky, Raykov; PODC 2014).
+
+The package is layered bottom-up:
+
+- :mod:`repro.fields` -- finite fields GF(2^k) / GF(p), polynomials.
+- :mod:`repro.sharing` -- Shamir / bivariate sharing, Reed-Solomon
+  decoding, the Rabin-Ben-Or information checking protocol.
+- :mod:`repro.network` -- synchronous network simulator with private
+  channels, broadcast, and a rushing active adversary.
+- :mod:`repro.vss` -- linear verifiable secret sharing behind one
+  interface (perfect BGW, statistical RB89, ideal-functionality model).
+- :mod:`repro.core` -- the paper's contribution: protocol ``AnonChan``.
+- :mod:`repro.baselines` -- Chaum DC-nets, PW96 traps, Zhang'11 shuffle
+  model, vABH03 k-anonymous darts.
+- :mod:`repro.pseudosig` -- PW96 pseudosignatures over the channel.
+- :mod:`repro.byzantine` -- authenticated agreement (Dolev-Strong) that
+  simulates broadcast from pseudosignatures.
+- :mod:`repro.analysis` -- tail bounds, round-complexity calculators,
+  and error budgets reproducing the paper's quantitative claims.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,108 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+demo
+    Run one anonymous transmission (optionally with a jammer) and print
+    the receiver's multiset.
+schedule
+    Print the round-by-round schedule for a parameter set/VSS profile.
+rounds
+    Print the round-complexity comparison table (experiment E1).
+params
+    Show paper-exact vs scaled parameters for a given n.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import AnonymousChannel
+
+    chan = AnonymousChannel(n=args.n)
+    messages = {i: 100 + i for i in range(args.n)}
+    corrupt = chan.jamming_attack(args.n - 1, seed=7) if args.jam else None
+    report = chan.send(messages, seed=args.seed, corrupt_materials=corrupt)
+    print(f"n={args.n}, t={chan.params.t}, receiver=P0"
+          + (", jammer=P" + str(args.n - 1) if args.jam else ""))
+    print(f"rounds: {report.rounds}   broadcast rounds: {report.broadcast_rounds}")
+    if report.disqualified:
+        print(f"disqualified: {sorted(report.disqualified)}")
+    print("receiver's multiset Y:")
+    for value, count in sorted(report.delivered.items()):
+        print(f"  {value}  x{count}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core import scaled_parameters
+    from repro.core.trace import format_schedule
+    from repro.vss import PROFILES
+
+    profile = PROFILES[args.vss]
+    params = scaled_parameters(n=args.n)
+    print(format_schedule(params, profile.cost))
+    return 0
+
+
+def _cmd_rounds(args: argparse.Namespace) -> int:
+    from repro.analysis import comparison_table
+
+    print(f"{'n':>4}  {'protocol':<22} {'rounds':>7}  notes")
+    for n in (5, 9, 13, 21, 31):
+        for est in comparison_table(n):
+            print(f"{n:>4}  {est.protocol:<22} {est.rounds:>7}  {est.note}")
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    from repro.core import paper_parameters, scaled_parameters
+
+    paper = paper_parameters(args.n)
+    scaled = scaled_parameters(args.n)
+    print(f"{'':<14}{'paper-exact':>16} {'scaled':>10}")
+    for name in ("kappa", "d", "ell", "num_checks"):
+        print(f"{name:<14}{getattr(paper, name):>16,} "
+              f"{getattr(scaled, name):>10,}")
+    print(f"{'VSS sharings':<14}"
+          f"{paper.values_per_dealer * paper.n + paper.values_receiver:>16,} "
+          f"{scaled.values_per_dealer * scaled.n + scaled.values_receiver:>10,}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast and unconditionally secure anonymous channel "
+        "(PODC 2014) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="run one anonymous transmission")
+    p.add_argument("-n", type=int, default=5, help="number of parties")
+    p.add_argument("--jam", action="store_true", help="corrupt one party as a jammer")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_demo)
+
+    p = sub.add_parser("schedule", help="print the round schedule")
+    p.add_argument("-n", type=int, default=5)
+    p.add_argument("--vss", default="GGOR13",
+                   choices=["RB89", "Rab94", "GGOR13", "BGW-impl", "RB89-impl"])
+    p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser("rounds", help="round-complexity comparison (E1)")
+    p.set_defaults(fn=_cmd_rounds)
+
+    p = sub.add_parser("params", help="paper-exact vs scaled parameters")
+    p.add_argument("-n", type=int, default=5)
+    p.set_defaults(fn=_cmd_params)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

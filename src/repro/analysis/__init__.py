@@ -1,0 +1,55 @@
+"""Quantitative analysis reproducing the paper's bounds and comparisons."""
+
+from .hypergeometric import (
+    chvatal_tail_bound,
+    collision_tail_bound,
+    expected_pairwise_collisions,
+    hypergeometric_pmf,
+    hypergeometric_tail,
+    log_binomial,
+    paper_c_for_budget,
+    paper_collision_budget,
+    paper_tail_bound,
+)
+from .rounds import (
+    ANONCHAN_FIXED_OVERHEAD,
+    DFK06_BIT_DECOMPOSITION_ROUNDS,
+    RoundEstimate,
+    anonchan_rounds,
+    comparison_table,
+    pw96_rounds,
+    vabh03_rounds,
+    zhang11_rounds,
+)
+from .security import (
+    ErrorBudget,
+    empirical_distribution,
+    error_budget,
+    required_checks_for,
+    statistical_distance,
+)
+
+__all__ = [
+    "hypergeometric_pmf",
+    "hypergeometric_tail",
+    "chvatal_tail_bound",
+    "paper_tail_bound",
+    "paper_collision_budget",
+    "paper_c_for_budget",
+    "collision_tail_bound",
+    "expected_pairwise_collisions",
+    "log_binomial",
+    "RoundEstimate",
+    "anonchan_rounds",
+    "zhang11_rounds",
+    "pw96_rounds",
+    "vabh03_rounds",
+    "comparison_table",
+    "ANONCHAN_FIXED_OVERHEAD",
+    "DFK06_BIT_DECOMPOSITION_ROUNDS",
+    "ErrorBudget",
+    "error_budget",
+    "required_checks_for",
+    "statistical_distance",
+    "empirical_distribution",
+]

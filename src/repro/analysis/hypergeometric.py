@@ -1,0 +1,99 @@
+"""Hypergeometric tail bounds (Claim 2 of the paper).
+
+Claim 2: let ``I_1, ..., I_n`` be random size-``d`` subsets of ``[l]``
+and ``X_ij = |I_i ∩ I_j|``.  Then for any ``C >= 0``::
+
+    Pr[ sum_{i != j} X_ij >= n^2 (d^2/l + C d) ] <= n^2 exp(-C^2 d)
+
+The proof uses the Chvátal/Hoeffding/Skala tail of the hypergeometric
+distribution, ``Pr[X >= (p + C) d] <= exp(-2 C^2 d)`` (Hoeffding's
+form; the paper cites the weaker exponent ``C^2 d``, which we use for
+the reproduced bound), plus a union bound.  This module provides the
+exact pmf, both tails, and the paper's aggregate bound, all of which
+experiment E3 compares against Monte-Carlo estimates.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log_binomial(n: int, k: int) -> float:
+    """Natural log of C(n, k); ``-inf`` when out of range."""
+    if k < 0 or k > n or n < 0:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def hypergeometric_pmf(population: int, successes: int, draws: int, k: int) -> float:
+    """Pr[X = k] for X ~ Hypergeometric(population, successes, draws)."""
+    if k < max(0, draws + successes - population) or k > min(draws, successes):
+        return 0.0
+    log_p = (
+        log_binomial(successes, k)
+        + log_binomial(population - successes, draws - k)
+        - log_binomial(population, draws)
+    )
+    return math.exp(log_p)
+
+
+def hypergeometric_tail(population: int, successes: int, draws: int, k: int) -> float:
+    """Pr[X >= k], computed exactly by summing the pmf."""
+    upper = min(draws, successes)
+    if k <= max(0, draws + successes - population):
+        return 1.0
+    return sum(
+        hypergeometric_pmf(population, successes, draws, i)
+        for i in range(k, upper + 1)
+    )
+
+
+def chvatal_tail_bound(population: int, successes: int, draws: int, k: int) -> float:
+    """Chvátal/Hoeffding upper bound on ``Pr[X >= k]``.
+
+    With ``p = successes/population`` and ``k = (p + C) * draws``:
+    ``Pr[X >= k] <= exp(-2 C^2 draws)`` (Hoeffding 1963 / Chvátal 1979;
+    see also Skala 2013).
+    """
+    p = successes / population
+    c = k / draws - p
+    if c <= 0:
+        return 1.0
+    return math.exp(-2 * c * c * draws)
+
+
+def paper_tail_bound(n: int, d: int, ell: int, c: float) -> float:
+    """The aggregate bound of Claim 2: ``n^2 exp(-C^2 d)``."""
+    if c < 0:
+        raise ValueError("C must be non-negative")
+    return min(1.0, n * n * math.exp(-c * c * d))
+
+
+def paper_collision_budget(n: int, d: int, ell: int, c: float) -> float:
+    """The collision budget of Claim 2: ``n^2 (d^2/l + C d)``."""
+    return n * n * (d * d / ell + c * d)
+
+
+def paper_c_for_budget(n: int, d: int, ell: int, budget: float) -> float:
+    """Invert the budget: the C making ``n^2 (d^2/l + C d) = budget``."""
+    return (budget / (n * n) - d * d / ell) / d
+
+
+def collision_tail_bound(n: int, d: int, ell: int, budget: float) -> float:
+    """Bound on Pr[one sender's darts suffer >= ``budget`` collisions].
+
+    One sender's ``d`` darts intersect the union of the other senders'
+    darts (at most ``(n-1) d`` marked cells); the intersection is
+    stochastically dominated by ``Hypergeometric(l, (n-1) d, d)``, whose
+    tail is bounded à la Chvátal.
+    """
+    marked = min((n - 1) * d, ell)
+    k = math.ceil(budget)
+    return chvatal_tail_bound(ell, marked, d, k)
+
+
+def expected_pairwise_collisions(n: int, d: int, ell: int) -> float:
+    """E[sum_{i != j} X_ij] = n (n-1) d^2 / l (ordered pairs)."""
+    return n * (n - 1) * d * d / ell

@@ -1,0 +1,123 @@
+"""Round-complexity models of every protocol the paper compares (E1/E2).
+
+All figures are as the paper states them (Sections 1.1, 1.2):
+
+- **This paper (AnonChan)**: round complexity "essentially equal to
+  r_VSS-share".  Our implementation is exactly
+  ``r_VSS-share + 5`` (challenge opening, two cut-and-choose opening
+  steps, receiver-permutation opening, private transfer to P*) and
+  adds **zero** broadcast rounds beyond the VSS's.
+- **Zhang'11**: ``r_VSS-share + r_comp + r_eq + r_mult``; with the
+  constant-round realizations the paper cites, comparison and equality
+  testing need bit decomposition — 114 rounds with [DFK+06] — plus the
+  multiplication sub-protocol.
+- **PW96**: fault localization eliminates a single corrupt player or a
+  corrupt pair per failed run; the adversary can force
+  ``Omega(n^2)`` sequential runs (footnote 1; reducible to
+  ``Omega(n)`` with player elimination [HMP00]).
+- **vABH03**: constant rounds per attempt, but Reliability only 1/2
+  per attempt; ``k`` attempts give reliability ``1 - 2^-k`` at the cost
+  of malleability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vss.base import VSSCost
+from repro.vss.costs import RB89_COST
+
+#: Rounds for bit decomposition in [DFK+06], as cited by the paper §1.2.
+DFK06_BIT_DECOMPOSITION_ROUNDS = 114
+#: Constant-round multiplication (Beaver-style with shared randomness);
+#: modeled as a small constant on top of one reconstruction.
+MULTIPLICATION_ROUNDS = 3
+#: AnonChan's fixed overhead beyond the VSS sharing phase (measured on
+#: this implementation: open r, cut-and-choose stage 1, stage 2, open g,
+#: private transfer to the receiver).
+ANONCHAN_FIXED_OVERHEAD = 5
+
+
+@dataclass(frozen=True)
+class RoundEstimate:
+    """Rounds and broadcast rounds of one anonymous-channel protocol."""
+
+    protocol: str
+    rounds: int
+    broadcast_rounds: int
+    note: str = ""
+
+
+def anonchan_rounds(vss: VSSCost = RB89_COST) -> RoundEstimate:
+    """This paper: one VSS share phase + a 5-round fixed tail."""
+    return RoundEstimate(
+        protocol="GGOR14 (this paper)",
+        rounds=vss.share_rounds + ANONCHAN_FIXED_OVERHEAD,
+        broadcast_rounds=vss.share_broadcast_rounds,
+        note="r_VSS-share + 5; broadcast-round-preserving reduction",
+    )
+
+
+def zhang11_rounds(vss: VSSCost = RB89_COST) -> RoundEstimate:
+    """Zhang'11 obfuscated shuffle: VSS + comparison + equality + mult.
+
+    Comparison and equality testing both require bit decomposition of
+    shared values (114 rounds each with [DFK+06]).
+    """
+    r_comp = DFK06_BIT_DECOMPOSITION_ROUNDS
+    r_eq = DFK06_BIT_DECOMPOSITION_ROUNDS
+    r_mult = MULTIPLICATION_ROUNDS
+    return RoundEstimate(
+        protocol="Zhang11",
+        rounds=vss.share_rounds + r_comp + r_eq + r_mult,
+        broadcast_rounds=vss.share_broadcast_rounds,
+        note="r_VSS + r_comp + r_eq + r_mult; bit decomposition dominates",
+    )
+
+
+def pw96_rounds(n: int, t: int | None = None, rounds_per_run: int = 4) -> RoundEstimate:
+    """PW96 trap protocol: worst-case Omega(n^2) sequential runs.
+
+    Each failed run publicly identifies one corrupt player or one pair
+    containing a corrupt player; with an honest majority there are
+    ``Omega(n^2)`` pairs with a corrupt member, each of which the
+    adversary can burn one run on (paper, footnote 1).
+    """
+    if t is None:
+        t = (n - 1) // 2
+    worst_runs = max(t * (n - t), 1)  # pairs (corrupt, honest) the adversary can spend
+    return RoundEstimate(
+        protocol="PW96",
+        rounds=worst_runs * rounds_per_run,
+        broadcast_rounds=worst_runs,
+        note="fault localization: one eliminated pair per failed run",
+    )
+
+
+def vabh03_rounds(target_reliability: float = 0.5) -> RoundEstimate:
+    """vABH03 k-anonymous darts: constant rounds, reliability 1/2 per run.
+
+    Reaching reliability ``1 - eps`` needs ``log2(1/eps)`` repetitions
+    — and repetitions let the adversary inject fresh values each time
+    (malleability), which is the paper's §1.2 criticism.
+    """
+    import math
+
+    eps = 1 - target_reliability
+    runs = max(1, math.ceil(math.log2(1 / eps))) if eps < 0.5 else 1
+    return RoundEstimate(
+        protocol="vABH03",
+        rounds=runs * 3,
+        broadcast_rounds=runs,
+        note=f"{runs} repetition(s); each run is reliable w.p. 1/2",
+    )
+
+
+def comparison_table(n: int, vss: VSSCost = RB89_COST) -> list[RoundEstimate]:
+    """The paper's §1.1/§1.2 comparison, for ``n`` parties (E1)."""
+    return [
+        anonchan_rounds(vss),
+        zhang11_rounds(vss),
+        pw96_rounds(n),
+        vabh03_rounds(),
+    ]

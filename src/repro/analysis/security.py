@@ -1,0 +1,106 @@
+"""Error budgets for Theorem 1 — where the ``2^-Omega(kappa)`` goes.
+
+Each security property of the anonymous channel fails with probability
+bounded by a sum of identifiable terms; this module makes the budget
+explicit so experiments can compare measured failure rates against each
+term (E4, E5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import AnonChanParams
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Per-property failure-probability bounds for one parameter set."""
+
+    #: An improper vector survives cut-and-choose (Claim 1).
+    cheater_survival: float
+    #: Some honest sender loses >= d/2 darts to collisions (Claim 2).
+    collision_overflow: float
+    #: Two honest tags collide (tags are uniform non-zero kappa-bit).
+    tag_collision: float
+    #: The underlying VSS fails (commitment/privacy), per the theorem's
+    #: hypothesis on the VSS scheme.
+    vss_failure: float
+
+    @property
+    def reliability(self) -> float:
+        """Reliability fails only via collisions, tags, VSS, or a cheater
+        jamming through (all four terms)."""
+        return min(
+            1.0,
+            self.cheater_survival
+            + self.collision_overflow
+            + self.tag_collision
+            + self.vss_failure,
+        )
+
+    @property
+    def non_malleability(self) -> float:
+        """Non-malleability fails via a surviving improper vector or VSS."""
+        return min(1.0, self.cheater_survival + self.vss_failure)
+
+    @property
+    def anonymity(self) -> float:
+        """Anonymity fails only if the VSS privacy fails."""
+        return min(1.0, self.vss_failure)
+
+
+def error_budget(
+    params: AnonChanParams, vss_failure: float = 0.0
+) -> ErrorBudget:
+    """Compute the budget for a parameter set.
+
+    ``vss_failure`` is the failure bound of the plugged-in VSS (0 for
+    the ideal-functionality backend; ``2^-Omega(kappa)`` for real
+    statistical schemes).
+    """
+    from .hypergeometric import collision_tail_bound
+
+    t = params.t
+    cheater = min(1.0, t * 2.0 ** (-params.num_checks))
+    collision = min(
+        1.0,
+        params.n
+        * collision_tail_bound(
+            n=params.n, d=params.d, ell=params.ell, budget=params.d / 2
+        ),
+    )
+    tags = min(1.0, params.n**2 / (2**params.kappa - 1))
+    return ErrorBudget(
+        cheater_survival=cheater,
+        collision_overflow=collision,
+        tag_collision=tags,
+        vss_failure=vss_failure,
+    )
+
+
+def required_checks_for(target_exponent: int, t: int) -> int:
+    """Challenge bits needed so ``t * 2^-checks <= 2^-target_exponent``."""
+    return target_exponent + max(0, math.ceil(math.log2(max(t, 1))))
+
+
+def statistical_distance(p: dict, q: dict) -> float:
+    """Total variation distance between two finite distributions.
+
+    Used by the anonymity/privacy experiments to compare receiver-view
+    statistics across different sender-message assignments.
+    """
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def empirical_distribution(samples: list) -> dict:
+    """Normalized histogram of hashable samples."""
+    from collections import Counter
+
+    counts = Counter(samples)
+    total = len(samples)
+    if total == 0:
+        return {}
+    return {k: v / total for k, v in counts.items()}

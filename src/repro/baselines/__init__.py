@@ -1,0 +1,78 @@
+"""Baseline anonymous-channel constructions the paper compares against."""
+
+from .dcnet import DCNetResult, dcnet_party_program, jamming_tamper, run_dcnet
+from .gj04 import (
+    GJ04RepetitionTrace,
+    GJ04Run,
+    collision_free_probability,
+    run_gj04_once,
+)
+from .gj04 import measure_reliability as gj04_measure_reliability
+from .gj04 import run_with_repetition as gj04_run_with_repetition
+from .pw96_channel import (
+    PersistentJammer,
+    PW96ChannelTrace,
+    run_pw96_channel,
+)
+from .pw96 import (
+    DisruptionStrategy,
+    MaximalDisruption,
+    NoDisruption,
+    PW96Trace,
+    all_pairs_with_corrupt,
+    run_pw96,
+    worst_case_runs,
+)
+from .traps import TrapDCNet, TrapRoundResult, trap_catch_probability
+from .vabh03 import (
+    RepetitionTrace,
+    VABH03Run,
+    half_reliability_parameters,
+    measure_reliability,
+    run_vabh03_once,
+    run_with_repetition,
+)
+from .zhang11 import (
+    ShuffleTrace,
+    batcher_network,
+    sorting_network_size,
+    zhang11_round_count,
+    zhang11_shuffle,
+)
+
+__all__ = [
+    "run_dcnet",
+    "dcnet_party_program",
+    "jamming_tamper",
+    "DCNetResult",
+    "run_pw96",
+    "run_gj04_once",
+    "gj04_measure_reliability",
+    "gj04_run_with_repetition",
+    "collision_free_probability",
+    "GJ04Run",
+    "GJ04RepetitionTrace",
+    "TrapDCNet",
+    "TrapRoundResult",
+    "trap_catch_probability",
+    "run_pw96_channel",
+    "PW96ChannelTrace",
+    "PersistentJammer",
+    "worst_case_runs",
+    "all_pairs_with_corrupt",
+    "PW96Trace",
+    "DisruptionStrategy",
+    "MaximalDisruption",
+    "NoDisruption",
+    "run_vabh03_once",
+    "measure_reliability",
+    "half_reliability_parameters",
+    "run_with_repetition",
+    "VABH03Run",
+    "RepetitionTrace",
+    "zhang11_shuffle",
+    "zhang11_round_count",
+    "batcher_network",
+    "sorting_network_size",
+    "ShuffleTrace",
+]

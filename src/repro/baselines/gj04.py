@@ -1,0 +1,138 @@
+"""GJ04 ("Dining Cryptographers Revisited") baseline model (paper §1.2).
+
+Golle–Juels build a computationally secure DC-net from bilinear maps:
+after key establishment, senders publish in a **single broadcast
+round** ("non-interactivity"), with cheaters detected w.h.p.  The
+paper's two §1.2 criticisms, which this model reproduces:
+
+1. **Collisions are not considered** — even all-honest executions lose
+   messages when two senders pick the same slot (and there is no
+   in-protocol redundancy), so per-run reliability decays with n.
+2. **Repetition is malleable** — the suggested fix, re-running until
+   delivery, reveals outcomes between runs, letting the adversary
+   inject *spurious values dependent on honest messages* — "in
+   addition to being unreliable the construction becomes malleable."
+
+The bilinear-map pairing layer itself is out of scope (it is a
+computational-setting tool orthogonal to every claim compared here);
+the model keeps GJ04's *structure*: one broadcast per attempt, sound
+cheater detection, no collision handling.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+#: The protocol's selling point, quoted by the paper.
+BROADCAST_ROUNDS_PER_ATTEMPT = 1
+
+
+@dataclass
+class GJ04Run:
+    """One non-interactive publication round."""
+
+    sent: Counter
+    delivered: Counter
+    broadcast_rounds: int = BROADCAST_ROUNDS_PER_ATTEMPT
+
+    def reliable(self) -> bool:
+        return all(self.delivered[m] >= c for m, c in self.sent.items())
+
+
+def run_gj04_once(
+    messages: list[int],
+    slots: int,
+    rng: random.Random,
+    injected: list[int] | None = None,
+) -> GJ04Run:
+    """One GJ04-style round: each message lands in one random slot.
+
+    A slot with more than one occupant is garbage — GJ04 provides no
+    redundancy or collision recovery.
+    """
+    if slots < 1:
+        raise ValueError("need at least one slot")
+    everyone = list(messages) + list(injected or [])
+    placement = [(rng.randrange(slots), m) for m in everyone]
+    hits = Counter(slot for slot, _ in placement)
+    delivered: Counter = Counter()
+    for slot, m in placement:
+        if hits[slot] == 1:
+            delivered[m] += 1
+    return GJ04Run(sent=Counter(messages), delivered=delivered)
+
+
+def collision_free_probability(n: int, slots: int) -> float:
+    """Probability an all-honest run delivers everything (birthday)."""
+    p = 1.0
+    for i in range(n):
+        p *= (slots - i) / slots
+    return max(p, 0.0)
+
+
+def measure_reliability(
+    n: int, slots: int, trials: int, seed: int = 0
+) -> float:
+    """Fraction of all-honest runs delivering every message."""
+    rng = random.Random(seed)
+    ok = 0
+    for _ in range(trials):
+        if run_gj04_once(list(range(1, n + 1)), slots, rng).reliable():
+            ok += 1
+    return ok / trials
+
+
+@dataclass
+class GJ04RepetitionTrace:
+    """Repeat-until-delivered with an outcome-echoing adversary."""
+
+    attempts: int
+    broadcast_rounds: int
+    delivered: Counter
+    echoes: int
+
+    def malleable(self) -> bool:
+        return self.echoes > 0
+
+
+def run_with_repetition(
+    messages: list[int],
+    slots: int,
+    rng: random.Random,
+    max_attempts: int = 64,
+) -> GJ04RepetitionTrace:
+    """The paper's criticism made concrete: spurious dependent values.
+
+    After each public attempt, the adversary injects a copy of a
+    previously revealed honest value into the next attempt.
+    """
+    pending = Counter(messages)
+    delivered_total: Counter = Counter()
+    revealed: list[int] = []
+    echoes = 0
+    attempts = 0
+    while pending and attempts < max_attempts:
+        attempts += 1
+        injected = [rng.choice(revealed)] if revealed else []
+        run = run_gj04_once(
+            list(pending.elements()), slots, rng, injected=injected
+        )
+        for value, count in run.delivered.items():
+            take = min(count, pending[value])
+            if take:
+                pending[value] -= take
+                delivered_total[value] += take
+                revealed.extend([value] * take)
+                count -= take
+            if count > 0 and value in injected:
+                delivered_total[value] += count
+                echoes += count
+        pending = +pending
+    return GJ04RepetitionTrace(
+        attempts=attempts,
+        broadcast_rounds=attempts * BROADCAST_ROUNDS_PER_ATTEMPT,
+        delivered=delivered_total,
+        echoes=echoes,
+    )

@@ -1,0 +1,155 @@
+"""A runnable PW96-style channel: trap rounds + fault localization loop.
+
+Combines the executable trap mechanics (:mod:`repro.baselines.traps`)
+with the pair-burning elimination game (:mod:`repro.baselines.pw96`)
+into an end-to-end anonymous channel in the PW96 style: repeat trap-
+protected DC-net rounds; every sprung trap publicly burns the localized
+pair (or eliminates both players, with the [HMP00] option); the run
+ends when a round delivers all pending messages undisturbed.
+
+This is the baseline the paper's round comparison is about: measured
+round counts under a persistent jammer exhibit the `$\\Omega(n^2)$`
+worst case concretely (experiment E1's PW96 row, now executable).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.fields import Field
+
+from .traps import TrapDCNet
+
+
+@dataclass
+class PW96ChannelTrace:
+    """Outcome of one full repeat-until-delivered execution."""
+
+    rounds: int
+    investigations: int
+    delivered: Counter
+    burned_pairs: list[frozenset[int]] = field(default_factory=list)
+    eliminated_players: list[int] = field(default_factory=list)
+    gave_up: bool = False
+
+
+class PersistentJammer:
+    """Adversary strategy: jam every round while it can do so deniably.
+
+    A corrupt party jams only while it still has an unburned pair with
+    some active partner (otherwise the next localization identifies it
+    outright) — the pair-burning schedule from the paper's footnote 1.
+    """
+
+    def pick_jammer(
+        self,
+        corrupt_active: set[int],
+        all_active: set[int],
+        burned: set[frozenset[int]],
+    ) -> tuple[int, frozenset[int]] | None:
+        """Return (jammer, pair to lie about) or None to stop jamming."""
+        for c in sorted(corrupt_active):
+            for other in sorted(all_active):
+                pair = frozenset({c, other})
+                if other != c and pair not in burned:
+                    return c, pair
+        return None
+
+
+def run_pw96_channel(
+    field_: Field,
+    n: int,
+    corrupt: set[int],
+    messages: dict[int, int],
+    rng: random.Random,
+    num_slots: int | None = None,
+    traps_per_round: int | None = None,
+    player_elimination: bool = False,
+    max_rounds: int = 10_000,
+) -> PW96ChannelTrace:
+    """Run the channel to delivery under a persistent jammer.
+
+    ``messages`` maps senders to non-zero values.  Each round uses
+    fresh pads, random slot choices, and ``traps_per_round`` hidden
+    traps; a sprung trap's investigation burns the localized pair
+    (or removes both players entirely with ``player_elimination``).
+    """
+    if num_slots is None:
+        num_slots = max(4 * n, 8)
+    if traps_per_round is None:
+        traps_per_round = max(n // 2, 1)
+    jammer_strategy = PersistentJammer()
+    pending = dict(messages)
+    delivered: Counter = Counter()
+    burned: set[frozenset[int]] = set()
+    trace = PW96ChannelTrace(rounds=0, investigations=0, delivered=delivered)
+    active = set(range(n))
+    corrupt_active = set(corrupt) & active
+
+    while pending and trace.rounds < max_rounds:
+        trace.rounds += 1
+        net = TrapDCNet(field_, n, num_slots, rng)
+        slot_pool = list(range(num_slots))
+        rng.shuffle(slot_pool)
+        # Trap owners: rotate among active parties; message senders pick
+        # their own random slots from the remaining pool.
+        trap_owners = sorted(active)[:traps_per_round]
+        traps = {
+            owner: (slot_pool.pop(), 1 + rng.randrange(field_.order - 1))
+            for owner in trap_owners
+        }
+        round_msgs = {}
+        for sender, value in pending.items():
+            if sender in active and slot_pool:
+                round_msgs[sender] = (slot_pool.pop(), value)
+
+        choice = jammer_strategy.pick_jammer(corrupt_active, active, burned)
+        disruption = {}
+        lie_pairs: set[frozenset[int]] = set()
+        if choice is not None:
+            jammer, lie_pair = choice
+            disruption[jammer] = {
+                slot: 1 + rng.randrange(field_.order - 1)
+                for slot in range(num_slots)
+            }
+            lie_pairs = {lie_pair}
+
+        result = net.run_round(
+            round_msgs, traps, disruption, lie_pairs=lie_pairs
+        )
+
+        if result.sprung_traps:
+            # One public investigation per failed run (the PW96 game's
+            # unit of progress); further sprung traps in the same round
+            # yield the same localization and are skipped.
+            trace.investigations += 1
+            kind, who = result.localized[0]
+            if who:
+                if kind == "pair":
+                    if who not in burned:
+                        burned.add(who)
+                        trace.burned_pairs.append(who)
+                    if player_elimination:
+                        for pid in who:
+                            active.discard(pid)
+                            corrupt_active.discard(pid)
+                            trace.eliminated_players.append(pid)
+                else:  # single
+                    for pid in who:
+                        active.discard(pid)
+                        corrupt_active.discard(pid)
+                        trace.eliminated_players.append(pid)
+            continue  # the round's data is discarded after investigation
+
+        # Undisturbed round: collect whatever survived slot collisions.
+        got = Counter(result.delivered)
+        for sender, (slot, value) in list(round_msgs.items()):
+            if got[value] > 0:
+                got[value] -= 1
+                delivered[value] += 1
+                del pending[sender]
+
+    trace.gave_up = bool(pending)
+    return trace

@@ -1,0 +1,156 @@
+"""vABH03 k-anonymous dart throwing (the paper's closest relative).
+
+von Ahn, Bortz and Hopper [vABH03] also follow the dart-throwing
+method, but their parameter regime guarantees Reliability (their
+"Robustness") with probability **1/2 only** — a message survives iff at
+least one of its copies lands in a slot nobody else touched.  Achieving
+``(1 - eps)``-reliability by plain repetition is what the paper's §1.2
+criticizes: each repetition reveals the previous outcome, letting the
+adversary inject fresh, outcome-dependent values — *malleability*.
+
+This module reproduces both behaviours at the dart-throwing level:
+:func:`run_vabh03_once` measures per-run reliability for their style of
+parameters, and :func:`run_with_repetition` exhibits the malleability
+of the repeat-until-delivered fix (an adversary whose injections echo
+previously revealed honest values).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass
+class VABH03Run:
+    """One run: who sent what, what the receiver decoded."""
+
+    sent: Counter
+    delivered: Counter
+
+    def reliable(self) -> bool:
+        """All honest messages delivered?"""
+        return all(self.delivered[m] >= c for m, c in self.sent.items())
+
+
+def run_vabh03_once(
+    messages: list[int],
+    slots: int,
+    copies: int,
+    rng: random.Random,
+    injected: list[int] | None = None,
+) -> VABH03Run:
+    """One dart-throwing round in the vABH03 style.
+
+    Each message lands ``copies`` darts in a vector of ``slots``; a slot
+    hit by more than one dart is garbage (collision); a message is
+    decoded iff at least one of its darts is alone in its slot.
+    ``injected`` models adversarial messages thrown the same way.
+    """
+    if copies < 1 or slots < 1:
+        raise ValueError("need at least one copy and one slot")
+    all_messages = list(messages) + list(injected or [])
+    placements: list[tuple[int, int]] = []  # (slot, message index)
+    for idx, _message in enumerate(all_messages):
+        for slot in rng.choices(range(slots), k=copies):
+            placements.append((slot, idx))
+    hits = Counter(slot for slot, _ in placements)
+    delivered: Counter = Counter()
+    decoded_indices = set()
+    for slot, idx in placements:
+        if hits[slot] == 1 and idx not in decoded_indices:
+            decoded_indices.add(idx)
+            delivered[all_messages[idx]] += 1
+    return VABH03Run(sent=Counter(messages), delivered=delivered)
+
+
+def half_reliability_parameters(n: int) -> tuple[int, int]:
+    """(slots, copies) giving per-run reliability near 1/2.
+
+    With one copy per message and ``slots = ceil(n / (2 ln 2))`` the
+    probability that *all* n messages land alone decays to about 1/2
+    for moderate n — the regime the paper attributes to [vABH03].
+    """
+    import math
+
+    slots = max(n, math.ceil(n * n / (2 * math.log(2))))
+    return slots, 1
+
+
+def measure_reliability(
+    n: int, slots: int, copies: int, trials: int, seed: int = 0
+) -> float:
+    """Fraction of runs in which every honest message is delivered."""
+    rng = random.Random(seed)
+    ok = 0
+    for _ in range(trials):
+        run = run_vabh03_once(list(range(1, n + 1)), slots, copies, rng)
+        if run.reliable():
+            ok += 1
+    return ok / trials
+
+
+@dataclass
+class RepetitionTrace:
+    """Repeat-until-delivered execution with an adaptive injector."""
+
+    repetitions: int
+    delivered: Counter
+    injected_values: list[int]
+    echoes: int  # injections equal to a previously revealed honest value
+
+    def malleable(self) -> bool:
+        """Did the adversary successfully echo revealed honest values?"""
+        return self.echoes > 0
+
+
+def run_with_repetition(
+    messages: list[int],
+    slots: int,
+    copies: int,
+    rng: random.Random,
+    max_repetitions: int = 64,
+) -> RepetitionTrace:
+    """Repeat until all messages delivered; adversary echoes revelations.
+
+    After each failed repetition the outcome is public (that is how the
+    senders know to retry); the modeled adversary injects, into every
+    later repetition, a copy of some honest value revealed earlier —
+    the paper's malleability objection made concrete: the final output
+    multiset ``Y`` contains adversarial values *correlated with X*.
+    """
+    pending = Counter(messages)
+    delivered_total: Counter = Counter()
+    revealed: list[int] = []
+    injected_values: list[int] = []
+    echoes = 0
+    reps = 0
+    while pending and reps < max_repetitions:
+        reps += 1
+        injected = []
+        if revealed:
+            echo = rng.choice(revealed)
+            injected.append(echo)
+            injected_values.append(echo)
+        run = run_vabh03_once(
+            list(pending.elements()), slots, copies, rng, injected=injected
+        )
+        for value, count in run.delivered.items():
+            if pending[value] > 0:
+                taken = min(count, pending[value])
+                pending[value] -= taken
+                delivered_total[value] += taken
+                revealed.extend([value] * taken)
+                count -= taken
+            if count > 0 and value in injected:
+                delivered_total[value] += count
+                if value in revealed:
+                    echoes += count
+        pending = +pending  # drop zero entries
+    return RepetitionTrace(
+        repetitions=reps,
+        delivered=delivered_total,
+        injected_values=injected_values,
+        echoes=echoes,
+    )

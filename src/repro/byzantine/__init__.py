@@ -1,0 +1,25 @@
+"""Byzantine agreement: the paper's Section 4 application layer."""
+
+from .broadcast_sim import SetupCost, SimulatedBroadcastChannel
+from .dolev_strong import (
+    DEFAULT_VALUE,
+    IdealSignatures,
+    PseudosignatureAdapter,
+    SignatureScheme,
+    dolev_strong_program,
+    run_dolev_strong,
+)
+from .phase_king import phase_king_program, run_phase_king
+
+__all__ = [
+    "run_dolev_strong",
+    "dolev_strong_program",
+    "SignatureScheme",
+    "IdealSignatures",
+    "PseudosignatureAdapter",
+    "DEFAULT_VALUE",
+    "run_phase_king",
+    "phase_king_program",
+    "SimulatedBroadcastChannel",
+    "SetupCost",
+]

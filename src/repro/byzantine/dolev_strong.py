@@ -1,0 +1,288 @@
+"""Dolev–Strong authenticated broadcast [DS83].
+
+This is the protocol the paper's Section 4 plugs pseudosignatures into:
+after a setup phase with a physical broadcast channel, the parties can
+*simulate* broadcast over point-to-point links only, for any ``t``
+covered by the signature scheme (``t < n/2`` with our
+pseudosignature setup), using only the secure pairwise channels.
+
+Protocol (sender ``s``, ``t + 1`` rounds, point-to-point only):
+
+- Round 1: ``s`` signs its value and sends it to everyone.
+- Round ``r``: a party that newly *extracted* a value carried by a
+  chain of ``r - 1`` valid signatures from distinct parties (the
+  sender's first) appends its own signature and relays to everyone.
+- After round ``t + 1``: output the single extracted value, or the
+  default if zero or several values were extracted.
+
+A chain with ``r`` signatures was transferred ``r`` times, which is why
+``O(t)``-transferability of pseudosignatures suffices (paper §4).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Hashable
+
+from repro.network import (
+    ExecutionResult,
+    Program,
+    RoundOutput,
+    run_protocol,
+)
+
+#: Output when the sender equivocated or stayed silent.
+DEFAULT_VALUE = 0
+
+
+class SignatureScheme(ABC):
+    """What Dolev–Strong needs from signatures.
+
+    ``level`` is the position in the transfer chain at which the
+    verifier checks — plain (ideal) signatures ignore it; pseudosignature
+    verification degrades with it.
+    """
+
+    @abstractmethod
+    def sign(self, signer: int, message: Hashable) -> Any: ...
+
+    @abstractmethod
+    def verify(
+        self, signer: int, message: Hashable, signature: Any,
+        verifier: int, level: int,
+    ) -> bool: ...
+
+
+class IdealSignatures(SignatureScheme):
+    """Unforgeable registry-backed signatures (baseline substrate).
+
+    Only messages actually signed through :meth:`sign` verify; the
+    adversaries modeled here never forge (which is exactly the guarantee
+    real pseudosignatures provide up to ``2^-Omega(kappa)``).
+    """
+
+    def __init__(self):
+        self._signed: set[tuple[int, Hashable]] = set()
+
+    def sign(self, signer: int, message: Hashable) -> Any:
+        self._signed.add((signer, message))
+        return ("sig", signer, message)
+
+    def verify(self, signer, message, signature, verifier, level) -> bool:
+        return (
+            isinstance(signature, tuple)
+            and len(signature) == 3
+            and signature[0] == "sig"
+            and signature[1] == signer
+            and signature[2] == message
+            and (signer, message) in self._signed
+        )
+
+
+class PseudosignatureAdapter(SignatureScheme):
+    """Back Dolev–Strong with per-party PW96 pseudosignature setups.
+
+    Each party owns one pseudosignature instance (it is the signer);
+    every other party holds verification keys from the (ideal or real)
+    anonymous-channel setup.  Values are hashed into the MAC field.
+    """
+
+    def __init__(self, n: int, blocks: int, max_transfers: int, rng: random.Random):
+        from repro.pseudosig import PseudosignatureScheme
+
+        self.n = n
+        self.schemes = {}
+        self.signer_setups = {}
+        self.verifier_views = {}
+        for pid in range(n):
+            scheme = PseudosignatureScheme(
+                n=n, signer=pid, blocks=blocks, max_transfers=max_transfers
+            )
+            setup, views = scheme.ideal_setup(rng)
+            self.schemes[pid] = scheme
+            self.signer_setups[pid] = setup
+            self.verifier_views[pid] = views
+
+    @classmethod
+    def from_real_setups(
+        cls,
+        n: int,
+        blocks: int,
+        max_transfers: int,
+        params,
+        vss,
+        mac_field=None,
+        seed: int = 0,
+    ) -> "PseudosignatureAdapter":
+        """Build the adapter with *real* AnonChan-based key setups.
+
+        Runs ``n * blocks`` complete anonymous-channel executions (one
+        per signer per block) — the full §4 pipeline with no ideal
+        shortcut.  Expensive; intended for small end-to-end
+        demonstrations.
+        """
+        from repro.fields import gf2k
+        from repro.pseudosig import PseudosignatureScheme, setup_with_anonchan
+
+        if mac_field is None:
+            mac_field = gf2k(16)
+        adapter = cls.__new__(cls)
+        adapter.n = n
+        adapter.schemes = {}
+        adapter.signer_setups = {}
+        adapter.verifier_views = {}
+        for pid in range(n):
+            scheme = PseudosignatureScheme(
+                n=n,
+                signer=pid,
+                blocks=blocks,
+                max_transfers=max_transfers,
+                mac_field=mac_field,
+            )
+            setup, views, _metrics = setup_with_anonchan(
+                scheme, params, vss, seed=(seed << 4) | pid
+            )
+            adapter.schemes[pid] = scheme
+            adapter.signer_setups[pid] = setup
+            adapter.verifier_views[pid] = views
+        return adapter
+
+    def _encode(self, message: Hashable):
+        """Deterministic (process-independent) hash into the MAC field."""
+        import zlib
+
+        field = self.schemes[0].mac_field
+        digest = zlib.crc32(repr(message).encode())
+        return field(digest & (field.order - 1))
+
+    def sign(self, signer: int, message: Hashable) -> Any:
+        scheme = self.schemes[signer]
+        return scheme.sign(self.signer_setups[signer], self._encode(message))
+
+    def verify(self, signer, message, signature, verifier, level) -> bool:
+        scheme = self.schemes.get(signer)
+        if scheme is None:
+            return False
+        if verifier == signer:
+            return True  # a party vouches for its own signatures
+        views = self.verifier_views[signer]
+        if verifier not in views:
+            return False
+        if getattr(signature, "message", None) != self._encode(message):
+            return False
+        level = min(max(level, 1), scheme.max_transfers)
+        return scheme.verify(views[verifier], signature, level)
+
+
+def dolev_strong_program(
+    pid: int,
+    n: int,
+    t: int,
+    sender: int,
+    value: Hashable | None,
+    signatures: SignatureScheme,
+) -> Program:
+    """One party's Dolev–Strong code (point-to-point only)."""
+    others = [j for j in range(n) if j != pid]
+    extracted: set[Hashable] = set()
+    my_signed: set[Hashable] = set()
+    outbox: list[tuple[Hashable, list[tuple[int, Any]]]] = []
+
+    if pid == sender:
+        if value is None:
+            raise ValueError("the sender needs an input value")
+        extracted.add(value)
+        my_signed.add(value)
+        outbox.append((value, [(sender, signatures.sign(sender, value))]))
+
+    for round_index in range(1, t + 2):
+        if outbox:
+            payload = list(outbox)
+            outbox = []
+            inbox = yield RoundOutput(private={j: payload for j in others})
+        else:
+            inbox = yield RoundOutput.silent()
+
+        for _src, payload in inbox.private.items():
+            if not isinstance(payload, list):
+                continue
+            for item in payload:
+                chain = _valid_chain(
+                    item, sender, signatures, verifier=pid,
+                    min_length=round_index, own_signed=my_signed,
+                )
+                if chain is None:
+                    continue
+                val, sigs = chain
+                if val in extracted:
+                    continue
+                extracted.add(val)
+                if len(extracted) <= 2 and pid != sender:
+                    # Relay with our signature appended (relaying more
+                    # than two values is pointless: everyone already
+                    # knows the sender equivocated).
+                    signed_by = {s for s, _ in sigs}
+                    if pid not in signed_by:
+                        my_signed.add(val)
+                        outbox.append(
+                            (val, sigs + [(pid, signatures.sign(pid, val))])
+                        )
+
+    if len(extracted) == 1:
+        return next(iter(extracted))
+    return DEFAULT_VALUE
+
+
+def _valid_chain(
+    item: Any,
+    sender: int,
+    signatures: SignatureScheme,
+    verifier: int,
+    min_length: int,
+    own_signed: set[Hashable],
+) -> tuple[Hashable, list[tuple[int, Any]]] | None:
+    """Validate a relayed (value, signature chain) message.
+
+    A chain claiming the verifier's *own* signature on a value it never
+    signed is a forgery attempt and is rejected outright.
+    """
+    if not (isinstance(item, tuple) and len(item) == 2):
+        return None
+    value, sigs = item
+    if not isinstance(sigs, list) or len(sigs) < min_length:
+        return None
+    try:
+        signers = [s for s, _ in sigs]
+    except (TypeError, ValueError):
+        return None
+    if len(set(signers)) != len(signers) or signers[0] != sender:
+        return None
+    for level, (signer_pid, sig) in enumerate(sigs, start=1):
+        if signer_pid == verifier:
+            if value not in own_signed:
+                return None
+            continue  # our own signature on a value we did sign
+        if not signatures.verify(signer_pid, value, sig, verifier, level):
+            return None
+    return value, list(sigs)
+
+
+def run_dolev_strong(
+    n: int,
+    t: int,
+    sender: int,
+    value: Hashable,
+    signatures: SignatureScheme | None = None,
+    adversary=None,
+) -> ExecutionResult:
+    """Run one broadcast; honest parties' outputs are their decisions."""
+    if signatures is None:
+        signatures = IdealSignatures()
+    programs = {
+        pid: dolev_strong_program(
+            pid, n, t, sender, value if pid == sender else None, signatures
+        )
+        for pid in range(n)
+    }
+    return run_protocol(programs, adversary=adversary)

@@ -1,0 +1,63 @@
+"""Unauthenticated Byzantine consensus baseline (phase-king).
+
+The paper's motivation for pseudosignatures: without authentication,
+broadcast/consensus cannot be simulated at all once ``t >= n/3``
+[LSP82], and practical unauthenticated protocols give up even more.
+We implement the textbook two-round phase-king algorithm (Attiya–Welch,
+Algorithm 15), which is correct for ``t < n/4`` — chosen for its exact,
+well-documented specification.  Contrasting its resilience with
+Dolev–Strong over pseudosignatures (``t < n/2`` after a constant-round
+setup) is experiment E6's point.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.network import ExecutionResult, Program, RoundOutput, run_protocol
+
+DEFAULT = 0
+
+
+def phase_king_program(pid: int, n: int, t: int, value: int) -> Program:
+    """Binary consensus; ``t + 1`` phases of two rounds each."""
+    if 4 * t >= n:
+        raise ValueError(f"phase-king requires t < n/4, got n={n}, t={t}")
+    pref = value
+    others = [j for j in range(n) if j != pid]
+    for phase in range(1, t + 2):
+        # Round 1: universal exchange.
+        inbox = yield RoundOutput(private={j: pref for j in others})
+        votes = [pref] + [
+            v if isinstance(v, int) else DEFAULT
+            for v in (inbox.private.get(j, DEFAULT) for j in others)
+        ]
+        counts: dict[int, int] = {}
+        for v in votes:
+            counts[v] = counts.get(v, 0) + 1
+        maj = max(sorted(counts), key=lambda v: counts[v])
+        mult = counts[maj]
+
+        # Round 2: the phase king circulates its majority.
+        king = phase - 1  # party ids 0..t serve as kings
+        if pid == king:
+            inbox = yield RoundOutput(private={j: maj for j in others})
+            king_maj = maj
+        else:
+            inbox = yield RoundOutput.silent()
+            received = inbox.private.get(king, DEFAULT)
+            king_maj = received if isinstance(received, int) else DEFAULT
+
+        pref = maj if mult > n // 2 + t else king_maj
+    return pref
+
+
+def run_phase_king(
+    n: int, t: int, values: dict[int, int], adversary=None
+) -> ExecutionResult:
+    """Run one consensus instance over point-to-point channels only."""
+    programs = {
+        pid: phase_king_program(pid, n, t, values.get(pid, DEFAULT))
+        for pid in range(n)
+    }
+    return run_protocol(programs, adversary=adversary)

@@ -1,0 +1,62 @@
+"""The paper's contribution: protocol AnonChan and its building blocks."""
+
+from .anonchan import AnonChan, AnonChanOutput, run_anonchan
+from .channel import AnonymousChannel, TransmissionReport
+from .parallel_channels import run_parallel_channels
+from .cutandchoose import (
+    challenge_bits,
+    stage1_offsets,
+    stage2_passes,
+    stage2_plan_bit0,
+    stage2_plan_bit1,
+    validate_index_list_opening,
+    validate_permutation_opening,
+)
+from .darts import Permutation, SparseVector, fresh_tag, make_dart_vector
+from .layout import DealerLayout, ProverMaterial, ReceiverLayout, honest_material
+from .params import (
+    AnonChanParams,
+    paper_parameters,
+    reliability_failure_bound,
+    scaled_parameters,
+)
+from .receiver import (
+    extract_output,
+    honest_input_multiset,
+    non_malleability_shape_holds,
+    reliability_holds,
+    vector_from_opened,
+)
+
+__all__ = [
+    "AnonChan",
+    "AnonChanOutput",
+    "run_anonchan",
+    "AnonymousChannel",
+    "TransmissionReport",
+    "run_parallel_channels",
+    "AnonChanParams",
+    "paper_parameters",
+    "scaled_parameters",
+    "reliability_failure_bound",
+    "Permutation",
+    "SparseVector",
+    "make_dart_vector",
+    "fresh_tag",
+    "DealerLayout",
+    "ReceiverLayout",
+    "ProverMaterial",
+    "honest_material",
+    "challenge_bits",
+    "stage1_offsets",
+    "stage2_plan_bit0",
+    "stage2_plan_bit1",
+    "stage2_passes",
+    "validate_permutation_opening",
+    "validate_index_list_opening",
+    "extract_output",
+    "vector_from_opened",
+    "honest_input_multiset",
+    "reliability_holds",
+    "non_malleability_shape_holds",
+]

@@ -1,0 +1,223 @@
+"""AnonChan-level attack strategies.
+
+The interesting attacks against AnonChan are *input-stage* attacks: a
+corrupted prover commits to malformed step-1 material and hopes to
+survive the cut-and-choose proof.  Each builder below returns a
+:class:`~repro.core.layout.ProverMaterial` realizing one strategy;
+:func:`~repro.core.anonchan.run_anonchan` plugs them into otherwise
+protocol-following corrupted parties.
+
+Strategy catalogue (experiment E4/E5):
+
+- :func:`guessing_cheater_material` — the *optimal* cheater against the
+  proof: commits an improper ``v`` and, for each check ``j``, guesses
+  the challenge bit, preparing ``w_j`` to pass that branch only.  It
+  survives iff every guess is right: probability exactly
+  ``2^-num_checks`` (Claim 1's bound, tight).
+- :func:`jamming_material` — a dense random vector (the classic DC-net
+  jammer): destroys all honest messages *if* it enters the sum.
+- :func:`targeted_material` — a *proper* vector at adversary-chosen
+  indices: passes the proof by design; with the receiver permutations
+  ``g_i`` its placement is re-randomized (E9 shows what breaks
+  without them).
+- :func:`zero_material` — the all-zero vector: passes the proof (both
+  branches open only zeros) and contributes nothing; included to pin
+  down the boundary of what "improper" means operationally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.fields import FieldElement
+
+from .darts import Permutation, SparseVector, fresh_tag
+from .layout import ProverMaterial
+from .params import AnonChanParams
+
+
+def _material_from_vector(
+    params: AnonChanParams,
+    vector: SparseVector,
+    rng: random.Random,
+    bit_guesses: Sequence[int] | None = None,
+    proper_decoy: SparseVector | None = None,
+) -> ProverMaterial:
+    """Assemble step-1 material around an arbitrary committed vector.
+
+    Without ``bit_guesses`` the copies are honest permutations of
+    ``vector`` (the prover "hopes for challenge bit 0 everywhere").
+    With guesses, check ``j`` is prepared to pass branch
+    ``bit_guesses[j]`` only: branch 0 via a consistent permutation of
+    ``vector``, branch 1 via a proper decoy vector with a truthful
+    index list.
+    """
+    field = params.field
+    # Drawn before the per-check material so that two strategies built
+    # from the same seed contribute the same challenge share (tests and
+    # experiments rely on this to pin the challenge bits).
+    challenge_share = field.random(rng)
+    perms, ws, idx_lists = [], [], []
+    for j in range(params.num_checks):
+        perm = Permutation.random(params.ell, rng)
+        guess = 0 if bit_guesses is None else bit_guesses[j]
+        if guess == 0:
+            w = perm.apply(vector)
+            idx = w.nonzero_indices()
+            # The index list must be *syntactically* valid (d entries);
+            # pad/trim deterministically — it is only opened on bit 1,
+            # which this strategy bets against.
+            idx = _pad_index_list(idx, params, rng)
+        else:
+            w = proper_decoy if proper_decoy is not None else _proper_decoy(params, rng)
+            w = Permutation.random(params.ell, rng).apply(w)
+            idx = w.nonzero_indices()
+        perms.append(perm)
+        ws.append(w)
+        idx_lists.append(idx)
+    return ProverMaterial(
+        vector=vector,
+        perms=perms,
+        ws=ws,
+        index_lists=idx_lists,
+        challenge_share=challenge_share,
+    )
+
+
+def _pad_index_list(
+    idx: list[int], params: AnonChanParams, rng: random.Random
+) -> list[int]:
+    """Force an index list to the mandatory length d (distinct, sorted)."""
+    chosen = set(idx[: params.d])
+    pool = iter(range(params.ell))
+    while len(chosen) < params.d:
+        candidate = next(pool)
+        chosen.add(candidate)
+    return sorted(chosen)[: params.d]
+
+
+def _proper_decoy(params: AnonChanParams, rng: random.Random) -> SparseVector:
+    """A fresh proper vector (for the bit-1 branch of a guessing cheater)."""
+    field = params.field
+    pair = (field.random_nonzero(rng).value, fresh_tag(field, rng).value)
+    indices = rng.sample(range(params.ell), params.d)
+    return SparseVector(field, params.ell, {k: pair for k in indices})
+
+
+# -- concrete strategies ----------------------------------------------------
+
+
+def improper_vector(
+    params: AnonChanParams,
+    messages: Sequence[FieldElement],
+    rng: random.Random,
+) -> SparseVector:
+    """A d-sparse vector carrying *several distinct* tagged messages.
+
+    This is the canonical improper commitment: if it survived, the
+    cheater would inject more than one message (breaking ``|Y| <= n``).
+    """
+    field = params.field
+    if len(messages) < 2:
+        raise ValueError("an improper vector needs at least two messages")
+    indices = rng.sample(range(params.ell), params.d)
+    entries = {}
+    for pos, k in enumerate(indices):
+        msg = messages[pos % len(messages)]
+        entries[k] = (msg.value, fresh_tag(field, rng).value)
+    return SparseVector(field, params.ell, entries)
+
+
+def guessing_cheater_material(
+    params: AnonChanParams,
+    messages: Sequence[FieldElement],
+    rng: random.Random,
+    bit_guesses: Sequence[int] | None = None,
+) -> ProverMaterial:
+    """The optimal improper-vector cheater (survives w.p. 2^-num_checks).
+
+    ``bit_guesses`` defaults to uniformly random guesses.
+    """
+    if bit_guesses is None:
+        bit_guesses = [rng.randrange(2) for _ in range(params.num_checks)]
+    vector = improper_vector(params, messages, rng)
+    return _material_from_vector(params, vector, rng, bit_guesses=bit_guesses)
+
+
+def jamming_material(
+    params: AnonChanParams, rng: random.Random, density: float = 1.0
+) -> ProverMaterial:
+    """A dense random vector (DC-net jamming).
+
+    Prepared to pass the bit-0 branch only (the copies are consistent
+    permutations); every bit-1 check catches it, so it survives w.p.
+    ``2^-num_checks``.
+    """
+    field = params.field
+    ell = params.ell
+    count = max(params.d + 1, int(ell * density))
+    indices = rng.sample(range(ell), min(count, ell))
+    entries = {
+        k: (field.random(rng).value, field.random(rng).value) for k in indices
+    }
+    vector = SparseVector(field, ell, entries)
+    return _material_from_vector(params, vector, rng)
+
+
+def targeted_material(
+    params: AnonChanParams,
+    message: FieldElement,
+    indices: Sequence[int],
+    rng: random.Random,
+    tag: FieldElement | None = None,
+) -> ProverMaterial:
+    """A *proper* vector at adversary-chosen indices (passes the proof).
+
+    Used by the E9 ablation: without the receiver's permutations
+    ``g_i``, these indices survive into the final sum exactly where the
+    adversary put them.
+    """
+    field = params.field
+    if len(set(indices)) != params.d:
+        raise ValueError(f"need exactly d={params.d} distinct indices")
+    if tag is None:
+        tag = fresh_tag(field, rng)
+    pair = (message.value, tag.value)
+    vector = SparseVector(params.field, params.ell, {k: pair for k in indices})
+    return _material_from_vector(params, vector, rng)
+
+
+def zero_material(params: AnonChanParams, rng: random.Random) -> ProverMaterial:
+    """The all-zero vector: passes both branches, contributes nothing."""
+    vector = SparseVector(params.field, params.ell, {})
+    field = params.field
+    perms = [Permutation.random(params.ell, rng) for _ in range(params.num_checks)]
+    ws = [p.apply(vector) for p in perms]
+    idx_lists = [sorted(rng.sample(range(params.ell), params.d)) for _ in ws]
+    return ProverMaterial(
+        vector=vector,
+        perms=perms,
+        ws=ws,
+        index_lists=idx_lists,
+        challenge_share=field.random(rng),
+    )
+
+
+def dependent_input_material(
+    params: AnonChanParams,
+    copy_of: FieldElement,
+    rng: random.Random,
+) -> ProverMaterial:
+    """A proper vector replaying a *known* message value with a fresh tag.
+
+    Models the malleability probe: the adversary may always send a
+    message equal to a value it knows, but (by VSS independence of
+    inputs) never one correlated with an *unknown* honest input; the
+    non-malleability experiment checks the latter statistically.
+    """
+    field = params.field
+    indices = rng.sample(range(params.ell), params.d)
+    pair = (copy_of.value, fresh_tag(field, rng).value)
+    vector = SparseVector(field, params.ell, {k: pair for k in indices})
+    return _material_from_vector(params, vector, rng)

@@ -1,0 +1,364 @@
+"""Protocol AnonChan (Figure 1 of the paper).
+
+A constant-round, unconditionally secure many-to-one anonymous channel
+for ``t < n/2``, built black-box on a linear VSS scheme:
+
+1. Every party VSS-shares (in one parallel sharing phase) its tagged
+   dart vector ``v``, the re-randomized copies ``w_j``, the linking
+   permutations, the copies' non-zero index lists, and a random
+   challenge contribution; the receiver additionally shares one random
+   permutation ``g_i`` per party.
+2. The challenge ``r`` (sum of all contributions) is opened and read as
+   bits.
+3. Cut-and-choose (two reconstruction steps): challenge bit 0 opens the
+   permutation and the difference ``pi_j(v) - w_j``; bit 1 opens the
+   index list, the alleged zeros and the entry differences.  Failures
+   disqualify the prover.
+4. The receiver's permutations are opened; each party locally combines
+   its shares of ``v = sum over PASS of g_i(v^(i))`` (VSS linearity)
+   and sends them *privately* to ``P*``, who simulates VSS-Rec
+   internally, thresholds at ``d/2`` occurrences, strips tags and
+   outputs the multiset ``Y``.
+
+The protocol adds **no broadcast rounds beyond those of the VSS**: all
+openings use the private-channel robust reconstruction of the VSS layer
+and step 4 is private by design.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Mapping, Sequence
+
+from repro.fields import FieldElement
+from repro.network import (
+    Adversary,
+    ExecutionResult,
+    PassiveAdversary,
+    Program,
+    RoundOutput,
+    parallel,
+    run_protocol,
+)
+from repro.vss import (
+    DEALER_DISQUALIFIED,
+    ReconstructionError,
+    VSSScheme,
+    combine_views,
+)
+
+from .cutandchoose import (
+    challenge_bits,
+    stage1_offsets,
+    stage2_passes,
+    stage2_plan_bit0,
+    stage2_plan_bit1,
+    validate_index_list_opening,
+    validate_permutation_opening,
+)
+from .darts import Permutation, SparseVector
+from .layout import DealerLayout, ProverMaterial, ReceiverLayout, honest_material
+from .params import AnonChanParams
+from .receiver import extract_output, vector_from_opened
+
+
+@dataclass
+class AnonChanOutput:
+    """A party's result of one AnonChan execution.
+
+    ``output`` (the multiset ``Y``) is populated only at the receiver;
+    the bookkeeping fields let tests and experiments inspect agreement
+    on disqualifications and the challenge.
+    """
+
+    pid: int
+    receiver: int
+    vss_qualified: frozenset[int]
+    passed: frozenset[int]
+    challenge: FieldElement
+    output: Counter | None = None
+    final_vector: SparseVector | None = None
+    diagnostics: dict = dc_field(default_factory=dict)
+
+
+class AnonChan:
+    """One configured instance of the anonymous channel protocol."""
+
+    def __init__(
+        self, params: AnonChanParams, vss: VSSScheme, receiver: int = 0
+    ):
+        if vss.n != params.n or vss.t != params.t:
+            raise ValueError("VSS scheme party set does not match parameters")
+        if vss.field != params.field:
+            raise ValueError("VSS scheme field does not match parameters")
+        if not 0 <= receiver < params.n:
+            raise ValueError(f"receiver {receiver} out of range")
+        self.params = params
+        self.vss = vss
+        self.receiver = receiver
+        self.layout = DealerLayout(params)
+        self.receiver_layout = ReceiverLayout(params)
+
+    # ------------------------------------------------------------------
+    def party_program(
+        self,
+        pid: int,
+        session,
+        message: FieldElement | None,
+        rng: random.Random,
+        material: ProverMaterial | None = None,
+        receiver_perms: Sequence[Permutation] | None = None,
+    ) -> Program:
+        """Party ``pid``'s complete protocol code.
+
+        ``material`` overrides the honest step-1 commitment (used by
+        attack strategies); ``receiver_perms`` overrides the receiver's
+        ``g_i`` (used by the permutation-ablation experiment).
+        """
+        params = self.params
+        layout = self.layout
+        rlayout = self.receiver_layout
+        field = params.field
+        n = params.n
+
+        # ---- step 1: parallel VSS sharing --------------------------------
+        if material is None:
+            if message is None:
+                raise ValueError(f"party {pid} needs a message to send")
+            material = honest_material(params, message, rng)
+        secrets = layout.build_secrets(material)
+
+        subprograms: dict[Any, Program] = {
+            ("deal", i): session.share_program(
+                pid,
+                i,
+                secrets if pid == i else None,
+                rng,
+                count=layout.total,
+            )
+            for i in range(n)
+        }
+        if pid == self.receiver:
+            if receiver_perms is None:
+                receiver_perms = [
+                    Permutation.random(params.ell, rng) for _ in range(n)
+                ]
+            recv_secrets = rlayout.build_secrets(list(receiver_perms))
+        else:
+            recv_secrets = None
+        subprograms["recv"] = session.share_program(
+            pid, self.receiver, recv_secrets, rng, count=rlayout.total
+        )
+        batches = yield from parallel(subprograms)
+
+        dealer_batches = {i: batches[("deal", i)] for i in range(n)}
+        recv_batch = batches["recv"]
+        vss_qualified = {
+            i for i in range(n) if dealer_batches[i] is not DEALER_DISQUALIFIED
+        }
+
+        # ---- step 2: open the joint challenge ------------------------------
+        if vss_qualified:
+            r_view = combine_views(
+                [
+                    dealer_batches[i][layout.challenge()]
+                    for i in sorted(vss_qualified)
+                ]
+            )
+            opened = yield from session.open_program(pid, [r_view])
+            challenge = opened[0]
+        else:
+            yield RoundOutput.silent()
+            challenge = field.zero()
+        bits = challenge_bits(challenge, params.num_checks)
+
+        # ---- step 3, stage 1: open permutations / index lists --------------
+        stage1_views = []
+        stage1_slices: list[tuple[int, int, int, int]] = []  # (i, j, lo, hi)
+        cursor = 0
+        for i in sorted(vss_qualified):
+            for j in range(params.num_checks):
+                offsets = stage1_offsets(layout, j, bits[j])
+                views = [dealer_batches[i][o] for o in offsets]
+                stage1_views.extend(views)
+                stage1_slices.append((i, j, cursor, cursor + len(views)))
+                cursor += len(views)
+        stage1_values = yield from session.open_program(pid, stage1_views)
+
+        passed = set(vss_qualified)
+        decoded: dict[tuple[int, int], Any] = {}
+        for i, j, lo, hi in stage1_slices:
+            values = stage1_values[lo:hi]
+            if bits[j] == 0:
+                perm = validate_permutation_opening(values)
+                if perm is None:
+                    passed.discard(i)
+                decoded[(i, j)] = perm
+            else:
+                idx = validate_index_list_opening(values, params.ell, params.d)
+                if idx is None:
+                    passed.discard(i)
+                decoded[(i, j)] = idx
+
+        # ---- step 3, stage 2: open the derived zero-combinations ------------
+        stage2_views = []
+        stage2_slices = []
+        cursor = 0
+        for i in sorted(passed):
+            for j in range(params.num_checks):
+                if bits[j] == 0:
+                    plan = stage2_plan_bit0(
+                        layout, j, decoded[(i, j)], dealer_batches[i].views
+                    )
+                else:
+                    plan = stage2_plan_bit1(
+                        layout, j, decoded[(i, j)], dealer_batches[i].views
+                    )
+                stage2_views.extend(plan.views)
+                stage2_slices.append((i, j, cursor, cursor + len(plan.views)))
+                cursor += len(plan.views)
+        stage2_values = yield from session.open_program(pid, stage2_views)
+        for i, j, lo, hi in stage2_slices:
+            if not stage2_passes(stage2_values[lo:hi]):
+                passed.discard(i)
+
+        # ---- step 4: open g, combine, send privately to the receiver --------
+        if recv_batch is not DEALER_DISQUALIFIED:
+            g_views = [
+                recv_batch[rlayout.g(i, k)]
+                for i in range(n)
+                for k in range(params.ell)
+            ]
+            g_values = yield from session.open_program(pid, g_views)
+            g_perms = []
+            for i in range(n):
+                perm = validate_permutation_opening(
+                    g_values[i * params.ell : (i + 1) * params.ell]
+                )
+                # A malformed g_i (only possible if the receiver cheats,
+                # in which case no guarantee involving it applies) falls
+                # back to the identity so the protocol still terminates.
+                g_perms.append(
+                    perm if perm is not None else Permutation.identity(params.ell)
+                )
+        else:
+            yield RoundOutput.silent()
+            g_perms = [Permutation.identity(params.ell) for _ in range(n)]
+
+        pass_sorted = sorted(passed)
+        payloads = []
+        if pass_sorted:
+            for k in range(params.ell):
+                x_view = combine_views(
+                    [
+                        dealer_batches[i][layout.vec_x(g_perms[i](k))]
+                        for i in pass_sorted
+                    ]
+                )
+                a_view = combine_views(
+                    [
+                        dealer_batches[i][layout.vec_a(g_perms[i](k))]
+                        for i in pass_sorted
+                    ]
+                )
+                payloads.append(session.reveal_payload(pid, x_view))
+                payloads.append(session.reveal_payload(pid, a_view))
+
+        if pid == self.receiver:
+            inbox = yield RoundOutput.silent()
+            collected: dict[int, list] = {pid: payloads}
+            for sender, payload in inbox.private.items():
+                if isinstance(payload, list) and len(payload) == len(payloads):
+                    collected[sender] = payload
+            xs, tags = [], []
+            failed = 0
+            for k in range(params.ell):
+                try:
+                    xs.append(
+                        session.verify_and_combine(
+                            {s: p[2 * k] for s, p in collected.items()}
+                        )
+                    )
+                    tags.append(
+                        session.verify_and_combine(
+                            {s: p[2 * k + 1] for s, p in collected.items()}
+                        )
+                    )
+                except (ReconstructionError, IndexError):
+                    xs.append(field.zero())
+                    tags.append(field.zero())
+                    failed += 1
+            final_vector = vector_from_opened(field, xs, tags)
+            output = extract_output(params, final_vector)
+            return AnonChanOutput(
+                pid=pid,
+                receiver=self.receiver,
+                vss_qualified=frozenset(vss_qualified),
+                passed=frozenset(passed),
+                challenge=challenge,
+                output=output,
+                final_vector=final_vector,
+                diagnostics={"failed_coordinates": failed},
+            )
+
+        yield RoundOutput(private={self.receiver: payloads})
+        return AnonChanOutput(
+            pid=pid,
+            receiver=self.receiver,
+            vss_qualified=frozenset(vss_qualified),
+            passed=frozenset(passed),
+            challenge=challenge,
+        )
+
+
+def run_anonchan(
+    params: AnonChanParams,
+    vss: VSSScheme,
+    messages: Mapping[int, FieldElement],
+    receiver: int = 0,
+    seed: int = 0,
+    adversary_factory=None,
+    corrupt_materials: Mapping[int, ProverMaterial] | None = None,
+    receiver_perms: Sequence[Permutation] | None = None,
+    count_elements: bool = True,
+) -> ExecutionResult:
+    """Convenience runner for one AnonChan execution.
+
+    ``corrupt_materials`` maps party ids to malicious step-1 material;
+    those parties are modeled as corrupted (they otherwise follow the
+    protocol, the standard shape of AnonChan-level attacks).
+    ``adversary_factory(protocol, session) -> Adversary`` supports
+    arbitrary attacks.
+    """
+    protocol = AnonChan(params, vss, receiver=receiver)
+    session = vss.new_session(random.Random(seed ^ 0x5EED))
+
+    def prog(pid: int, material=None) -> Program:
+        return protocol.party_program(
+            pid,
+            session,
+            messages.get(pid),
+            random.Random((seed << 16) | pid),
+            material=material,
+            receiver_perms=receiver_perms if pid == receiver else None,
+        )
+
+    programs = {pid: prog(pid) for pid in range(params.n)}
+
+    adversary: Adversary | None = None
+    if corrupt_materials:
+        adversary = PassiveAdversary(
+            set(corrupt_materials),
+            {
+                pid: prog(pid, material=mat)
+                for pid, mat in corrupt_materials.items()
+            },
+        )
+    elif adversary_factory is not None:
+        adversary = adversary_factory(protocol, session)
+
+    return run_protocol(
+        programs, adversary=adversary, count_elements=count_elements
+    )

@@ -1,0 +1,165 @@
+"""High-level facade: the anonymous channel as a one-call service.
+
+:class:`AnonymousChannel` bundles parameter selection, VSS choice and
+execution into the API a downstream user wants::
+
+    from repro.core import AnonymousChannel
+
+    chan = AnonymousChannel(n=5)
+    report = chan.send({0: 10, 1: 20, 2: 20, 3: 30, 4: 40})
+    report.delivered       # Counter({20: 2, 10: 1, 30: 1, 40: 1})
+    report.rounds          # r_VSS-share + 5
+    report.broadcast_rounds  # 2 with the default GGOR13 profile
+
+The lower-level pieces (:class:`~repro.core.anonchan.AnonChan`,
+:mod:`repro.vss`) stay available for experiments that need them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.vss import GGOR13_COST, BGWVSS, IdealVSS, VSSScheme
+
+from .adversaries import (
+    guessing_cheater_material,
+    jamming_material,
+    zero_material,
+)
+from .anonchan import run_anonchan
+from .layout import ProverMaterial
+from .params import AnonChanParams, scaled_parameters
+
+
+@dataclass
+class TransmissionReport:
+    """Outcome of one anonymous transmission."""
+
+    delivered: Counter
+    disqualified: frozenset[int]
+    rounds: int
+    broadcast_rounds: int
+    messages_sent: int
+    field_elements: int
+
+    def received(self, value: int) -> int:
+        """How many copies of ``value`` the receiver got."""
+        return self.delivered.get(value, 0)
+
+
+class AnonymousChannel:
+    """A configured many-to-one anonymous channel, ready to send.
+
+    Parameters
+    ----------
+    n:
+        Number of parties.
+    t:
+        Corruption bound; defaults to the maximum ``ceil(n/2) - 1``.
+    receiver:
+        The designated receiver ``P*`` (default: party 0).
+    vss:
+        ``"ideal-ggor13"`` (default: ideal functionality with the
+        GGOR13 cost profile — 2 broadcast rounds), ``"ideal"`` (minimal
+        profile), ``"bgw"`` (fully executable perfect VSS; requires
+        ``t < n/3``), or any :class:`~repro.vss.VSSScheme` instance.
+    params:
+        Explicit :class:`AnonChanParams`; default: scaled parameters
+        sized for interactive use.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int | None = None,
+        receiver: int = 0,
+        vss: str | VSSScheme = "ideal-ggor13",
+        params: AnonChanParams | None = None,
+    ):
+        if params is None:
+            params = scaled_parameters(n=n, t=t, d=8, num_checks=6, kappa=16)
+        self.params = params
+        self.receiver = receiver
+        if isinstance(vss, VSSScheme):
+            self.vss = vss
+        elif vss == "ideal-ggor13":
+            self.vss = IdealVSS(
+                params.field, params.n, params.t, cost=GGOR13_COST
+            )
+        elif vss == "ideal":
+            self.vss = IdealVSS(params.field, params.n, params.t)
+        elif vss == "bgw":
+            self.vss = BGWVSS(params.field, params.n, params.t)
+        else:
+            raise ValueError(f"unknown VSS selector {vss!r}")
+
+    def send(
+        self,
+        messages: Mapping[int, int],
+        seed: int = 0,
+        corrupt_materials: Mapping[int, ProverMaterial] | None = None,
+    ) -> TransmissionReport:
+        """Run one channel execution and return the receiver's view.
+
+        ``messages`` maps every party id to its (non-zero) message,
+        given as plain ints; ``corrupt_materials`` optionally replaces
+        some parties' step-1 commitments with attack strategies from
+        :mod:`repro.core.adversaries`.
+        """
+        params = self.params
+        field = params.field
+        if set(messages) != set(range(params.n)):
+            raise ValueError(
+                f"need a message for every party 0..{params.n - 1}"
+            )
+        encoded = {pid: field(value) for pid, value in messages.items()}
+        for pid, element in encoded.items():
+            if not element and (
+                corrupt_materials is None or pid not in corrupt_materials
+            ):
+                raise ValueError(
+                    f"party {pid}'s message encodes to zero; the protocol "
+                    "requires non-zero messages"
+                )
+        result = run_anonchan(
+            params,
+            self.vss,
+            encoded,
+            receiver=self.receiver,
+            seed=seed,
+            corrupt_materials=corrupt_materials,
+        )
+        out = result.outputs.get(self.receiver)
+        if out is None or out.output is None:
+            raise RuntimeError("receiver produced no output")
+        return TransmissionReport(
+            delivered=Counter(out.output),
+            disqualified=frozenset(range(params.n)) - out.passed,
+            rounds=result.metrics.rounds,
+            broadcast_rounds=result.metrics.broadcast_rounds,
+            messages_sent=result.metrics.private_messages,
+            field_elements=result.metrics.field_elements_sent,
+        )
+
+    # -- canned attacks (convenience for demos and tests) -----------------
+    def jamming_attack(self, pid: int, seed: int = 0) -> dict[int, ProverMaterial]:
+        """Corrupt ``pid`` with the dense-vector jamming strategy."""
+        return {pid: jamming_material(self.params, random.Random(seed))}
+
+    def ballot_stuffing_attack(
+        self, pid: int, values: list[int], seed: int = 0
+    ) -> dict[int, ProverMaterial]:
+        """Corrupt ``pid`` with a multi-message improper vector."""
+        field = self.params.field
+        return {
+            pid: guessing_cheater_material(
+                self.params, [field(v) for v in values], random.Random(seed)
+            )
+        }
+
+    def abstain(self, pid: int, seed: int = 0) -> dict[int, ProverMaterial]:
+        """Corrupt ``pid`` with the harmless all-zero vector."""
+        return {pid: zero_material(self.params, random.Random(seed))}

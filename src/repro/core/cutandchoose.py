@@ -1,0 +1,145 @@
+"""Cut-and-choose sparseness proof (step 3 of Figure 1).
+
+For each prover ``P_i`` and each check ``j``, challenge bit ``b_j``
+selects one of two openings:
+
+- ``b_j = 0``: open the permutation ``pi_j``; then reconstruct
+  ``u = pi_j(v) - w_j`` coordinate-wise and verify it is the zero
+  vector.  (``u``'s coordinates are *linear combinations* of committed
+  values with public coefficients once ``pi_j`` is public, so no new
+  sharing is needed — this is where VSS linearity earns its keep.)
+- ``b_j = 1``: open ``w_j``'s claimed non-zero index list; then
+  reconstruct the alleged zero coordinates of ``w_j`` (must all be
+  zero) and the consecutive differences of its alleged non-zero
+  entries (must all be zero, proving the entries are equal).
+
+This module computes which batch offsets/combinations to open and
+validates the opened values; the protocol driver in
+:mod:`repro.core.anonchan` wires it to actual VSS reconstructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fields import FieldElement
+from repro.vss import ShareView
+
+from .darts import Permutation
+from .layout import DealerLayout
+
+
+@dataclass(frozen=True)
+class Stage2Plan:
+    """Derived openings for one (prover, check) after stage 1 succeeded.
+
+    ``views`` are the linear-combination share views to reconstruct;
+    the check passes iff every reconstructed value is zero.
+    """
+
+    views: list[ShareView]
+
+
+def stage1_offsets(layout: DealerLayout, j: int, bit: int) -> list[int]:
+    """Batch offsets opened first for check ``j`` under challenge ``bit``."""
+    if bit == 0:
+        return [layout.perm(j, k) for k in range(layout.ell)]
+    return [layout.idx(j, m) for m in range(layout.d)]
+
+
+def validate_permutation_opening(
+    values: Sequence[FieldElement],
+) -> Permutation | None:
+    """Decode an opened permutation; ``None`` disqualifies the prover."""
+    return Permutation.from_field_elements(values)
+
+
+def validate_index_list_opening(
+    values: Sequence[FieldElement], ell: int, d: int
+) -> list[int] | None:
+    """Decode an opened index list; ``None`` disqualifies the prover.
+
+    Valid = exactly ``d`` distinct indices within ``[0, ell)``.
+    """
+    indices = [int(v) for v in values]
+    if len(indices) != d or len(set(indices)) != d:
+        return None
+    if any(not 0 <= k < ell for k in indices):
+        return None
+    return indices
+
+
+def stage2_plan_bit0(
+    layout: DealerLayout,
+    j: int,
+    perm: Permutation,
+    batch_views: Sequence[ShareView],
+) -> Stage2Plan:
+    """Views of ``u = pi_j(v) - w_j`` (both halves of every coordinate).
+
+    ``u[k] = v[pi_j(k)] - w_j[k]``; in our characteristic-2 field the
+    difference is computed via the generic ``scale(-1)`` so the code
+    stays field-agnostic.
+    """
+    field = layout.params.field
+    minus_one = field(field.neg(field.encode(1)))
+    views = []
+    for k in range(layout.ell):
+        src = perm(k)
+        views.append(
+            batch_views[layout.vec_x(src)]
+            + batch_views[layout.w_x(j, k)].scale(minus_one)
+        )
+        views.append(
+            batch_views[layout.vec_a(src)]
+            + batch_views[layout.w_a(j, k)].scale(minus_one)
+        )
+    return Stage2Plan(views=views)
+
+
+def stage2_plan_bit1(
+    layout: DealerLayout,
+    j: int,
+    index_list: Sequence[int],
+    batch_views: Sequence[ShareView],
+) -> Stage2Plan:
+    """Views of w_j's alleged zero coordinates and entry differences.
+
+    Order: for each non-listed k ascending, (x half, tag half); then for
+    consecutive listed pairs, the differences of both halves.
+    """
+    field = layout.params.field
+    minus_one = field(field.neg(field.encode(1)))
+    listed = set(index_list)
+    views: list[ShareView] = []
+    for k in range(layout.ell):
+        if k in listed:
+            continue
+        views.append(batch_views[layout.w_x(j, k)])
+        views.append(batch_views[layout.w_a(j, k)])
+    for prev, cur in zip(index_list, list(index_list)[1:]):
+        views.append(
+            batch_views[layout.w_x(j, cur)]
+            + batch_views[layout.w_x(j, prev)].scale(minus_one)
+        )
+        views.append(
+            batch_views[layout.w_a(j, cur)]
+            + batch_views[layout.w_a(j, prev)].scale(minus_one)
+        )
+    return Stage2Plan(views=views)
+
+
+def stage2_passes(values: Sequence[FieldElement]) -> bool:
+    """Both branches succeed iff every reconstructed value is zero."""
+    return all(not v for v in values)
+
+
+def challenge_bits(r: FieldElement, num_checks: int) -> list[int]:
+    """Interpret the jointly reconstructed ``r`` as challenge bits.
+
+    Figure 1, step 2: ``r`` is read as a bit string; we take the low
+    ``num_checks`` bits of its GF(2^kappa) encoding.
+    """
+    value = r.value
+    return [(value >> j) & 1 for j in range(num_checks)]

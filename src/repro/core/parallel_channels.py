@@ -1,0 +1,72 @@
+"""Parallel composition of AnonChan instances (paper §2 and §4).
+
+The security definition requires the channel's properties "under
+parallel composition", and the pseudosignature setup runs "many
+sessions in parallel" with every party acting as receiver.  Because
+party code is generator *programs* and rounds are multiplexed by
+:func:`repro.network.parallel`, running ``k`` full AnonChan instances
+concurrently costs exactly the rounds of **one** instance — this module
+wires that up and :mod:`tests.core.test_parallel_channels` measures it.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Mapping
+
+from repro.fields import FieldElement
+from repro.network import ExecutionResult, parallel, run_protocol
+from repro.vss import VSSScheme
+
+from .anonchan import AnonChan
+from .params import AnonChanParams
+
+
+def run_parallel_channels(
+    params: AnonChanParams,
+    vss: VSSScheme,
+    sessions: Mapping[object, tuple[int, Mapping[int, FieldElement]]],
+    seed: int = 0,
+    adversary=None,
+    count_elements: bool = True,
+) -> ExecutionResult:
+    """Run several complete AnonChan instances in the same rounds.
+
+    ``sessions`` maps a session label to ``(receiver, messages)``; each
+    session is an independent channel execution (fresh tags, fresh
+    darts, its own receiver).  All instances share one VSS session
+    object — exactly like the paper's single parallel VSS-Share phase —
+    and the total round count equals a single instance's.
+
+    Each honest party's output is a dict: label -> AnonChanOutput.
+    """
+    if not sessions:
+        raise ValueError("need at least one session")
+    protocols = {
+        label: AnonChan(params, vss, receiver=receiver)
+        for label, (receiver, _msgs) in sessions.items()
+    }
+    vss_session = vss.new_session(random.Random(seed ^ 0xC0FFEE))
+
+    def party(pid: int):
+        return parallel(
+            {
+                label: protocols[label].party_program(
+                    pid,
+                    vss_session,
+                    sessions[label][1].get(pid),
+                    random.Random(
+                        (seed << 20)
+                        ^ zlib.crc32(repr(label).encode())
+                        ^ (pid << 40)
+                    ),
+                )
+                for label in sessions
+            }
+        )
+
+    programs = {pid: party(pid) for pid in range(params.n)}
+    return run_protocol(
+        programs, adversary=adversary, count_elements=count_elements
+    )

@@ -1,0 +1,63 @@
+"""Receiver-side output extraction (end of step 4, Figure 1).
+
+``P*`` reconstructs the summed, permuted dart vector ``v``, collects the
+set ``T`` of non-zero pairs appearing at least ``d/2`` times, strips the
+tags and outputs the multiset ``Y``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.fields import Field, FieldElement
+
+from .darts import SparseVector
+from .params import AnonChanParams
+
+
+def extract_output(
+    params: AnonChanParams, vector: SparseVector
+) -> Counter:
+    """The multiset ``Y`` of messages carried by the final vector.
+
+    A pair ``(x, a) != (0, 0)`` enters ``T`` iff it appears at least
+    ``ceil(d/2)`` times; each element of ``T`` contributes its message
+    half ``x`` to ``Y`` once (distinct random tags keep distinct honest
+    transmissions of equal messages apart, so equal messages still
+    appear with the right multiplicity).
+    """
+    pair_counts: Counter = Counter(vector.entries.values())
+    y: Counter = Counter()
+    for (x, _a), count in pair_counts.items():
+        if count >= params.threshold_count:
+            y[x] += 1
+    return y
+
+
+def vector_from_opened(
+    field: Field, xs: Sequence[FieldElement], tags: Sequence[FieldElement]
+) -> SparseVector:
+    """Assemble the receiver's reconstructed dense halves into a vector."""
+    return SparseVector.from_components(
+        field, [v.value for v in xs], [v.value for v in tags]
+    )
+
+
+def honest_input_multiset(messages: Sequence[FieldElement]) -> Counter:
+    """The multiset X of honest senders' messages (for property checks)."""
+    return Counter(m.value for m in messages)
+
+
+def reliability_holds(x: Counter, y: Counter) -> bool:
+    """The Reliability property: ``X`` is a sub-multiset of ``Y``."""
+    return all(y[value] >= count for value, count in x.items())
+
+
+def non_malleability_shape_holds(n: int, x: Counter, y: Counter) -> bool:
+    """The checkable half of Non-Malleability: ``|Y| <= n`` and X ⊆ Y.
+
+    (Independence of ``Y \\ X`` from ``X`` is distributional and is
+    exercised statistically in the experiment suite.)
+    """
+    return sum(y.values()) <= n and reliability_holds(x, y)

@@ -1,0 +1,181 @@
+"""Binary extension fields GF(2^k).
+
+The paper's protocol computes over ``F = GF(2^kappa)`` with
+``kappa >= 2n``; elements double as ``kappa``-bit strings (the joint
+challenge ``r`` is reconstructed as a field element and then read as a
+bit string).  Addition is XOR; multiplication is carry-less
+multiplication modulo a fixed irreducible polynomial.
+
+For ``k <= GF2k.TABLE_MAX_K`` the field precomputes discrete log/exp
+tables over a generator, making multiplication and inversion O(1) table
+lookups — this is what keeps large simulated protocol runs tractable in
+pure Python.  Larger fields fall back to carry-less multiplication and
+Fermat inversion.
+"""
+
+from __future__ import annotations
+
+from .base import Field, FieldElement
+from .irreducible import (
+    gf2_degree,
+    gf2_mulmod,
+    gf2_powmod,
+    irreducible_polynomial,
+    is_irreducible,
+    poly_to_string,
+)
+
+_FIELD_CACHE: dict[tuple[int, int], "GF2k"] = {}
+
+
+class GF2k(Field):
+    """The finite field GF(2^k), elements encoded as ints in ``[0, 2^k)``.
+
+    Parameters
+    ----------
+    k:
+        Extension degree (``k >= 1``).
+    modulus:
+        Optional reduction polynomial (bitmask encoding, degree must be
+        ``k`` and the polynomial irreducible).  Defaults to the
+        lexicographically smallest irreducible polynomial of degree
+        ``k``.
+
+    Use :func:`gf2k` to obtain cached instances.
+    """
+
+    #: Largest k for which full log/exp tables are built (2^k entries).
+    TABLE_MAX_K = 16
+
+    def __init__(self, k: int, modulus: int | None = None):
+        if k < 1:
+            raise ValueError(f"extension degree must be >= 1, got {k}")
+        if modulus is None:
+            modulus = irreducible_polynomial(k)
+        if gf2_degree(modulus) != k:
+            raise ValueError(
+                f"modulus degree {gf2_degree(modulus)} does not match k={k}"
+            )
+        if not is_irreducible(modulus):
+            raise ValueError(f"modulus {poly_to_string(modulus)} is reducible")
+        self.k = k
+        self.modulus = modulus
+        self.order = 1 << k
+        self.short_name = f"GF(2^{k})"
+        self._mask = self.order - 1
+        self._exp: list[int] | None = None
+        self._log: list[int] | None = None
+        if k <= self.TABLE_MAX_K:
+            self._build_tables()
+
+    # -- table construction --------------------------------------------
+    def _build_tables(self) -> None:
+        """Build discrete log/exp tables over a multiplicative generator."""
+        group_order = self.order - 1
+        generator = self._find_generator(group_order)
+        exp = [1] * (2 * group_order)
+        log = [0] * self.order
+        value = 1
+        for i in range(group_order):
+            exp[i] = value
+            log[value] = i
+            value = gf2_mulmod(value, generator, self.modulus)
+        if value != 1:
+            raise RuntimeError("generator order mismatch while building tables")
+        # Duplicate the exp table so mul can skip one modular reduction.
+        for i in range(group_order, 2 * group_order):
+            exp[i] = exp[i - group_order]
+        self._exp = exp
+        self._log = log
+        self._group_order = group_order
+
+    def _find_generator(self, group_order: int) -> int:
+        """Smallest multiplicative generator of GF(2^k)*."""
+        from .irreducible import _prime_factors
+
+        factors = _prime_factors(group_order)
+        for candidate in range(2, self.order):
+            if all(
+                gf2_powmod(candidate, group_order // p, self.modulus) != 1
+                for p in factors
+            ):
+                return candidate
+        # k == 1: the group is trivial, 1 generates it.
+        return 1
+
+    # -- Field interface -------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        return a ^ b
+
+    def sub(self, a: int, b: int) -> int:
+        return a ^ b
+
+    def neg(self, a: int) -> int:
+        return a
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        if self._exp is not None:
+            return self._exp[self._log[a] + self._log[b]]
+        return gf2_mulmod(a, b, self.modulus)
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("inverse of zero in " + self.short_name)
+        if self._exp is not None:
+            return self._exp[self._group_order - self._log[a]]
+        # Fermat: a^(2^k - 2)
+        return gf2_powmod(a, self.order - 2, self.modulus)
+
+    def pow(self, a: int, e: int) -> int:
+        if self._exp is not None and a != 0:
+            if e < 0:
+                e = (e % self._group_order + self._group_order) % self._group_order
+            return self._exp[(self._log[a] * e) % self._group_order]
+        return super().pow(a, e)
+
+    def encode(self, value: int) -> int:
+        if 0 <= value < self.order:
+            return value
+        # Interpret arbitrary ints as GF(2)[x] polynomials and reduce.
+        from .irreducible import gf2_mod
+
+        return gf2_mod(value, self.modulus) if value >= 0 else gf2_mod(-value, self.modulus)
+
+    def _key(self) -> tuple:
+        return (self.k, self.modulus)
+
+    # -- GF(2^k)-specific helpers ----------------------------------------
+    def from_bits(self, bits: list[int]) -> FieldElement:
+        """Element whose encoding has bit ``i`` equal to ``bits[i]``."""
+        if len(bits) > self.k:
+            raise ValueError(f"{len(bits)} bits do not fit in {self.short_name}")
+        value = 0
+        for i, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise ValueError(f"bit {i} is {bit}, expected 0 or 1")
+            value |= bit << i
+        return FieldElement(self, value)
+
+    def to_bits(self, element: FieldElement) -> list[int]:
+        """The ``k`` bits of an element's encoding, LSB first.
+
+        The protocol interprets the jointly-reconstructed challenge
+        ``r`` as a bit string this way (paper, step 2).
+        """
+        value = element.value
+        return [(value >> i) & 1 for i in range(self.k)]
+
+    def __repr__(self) -> str:
+        return f"GF2k(k={self.k}, modulus={poly_to_string(self.modulus)})"
+
+
+def gf2k(k: int, modulus: int | None = None) -> GF2k:
+    """Return a cached GF(2^k) instance (tables are built once per k)."""
+    key = (k, modulus if modulus is not None else irreducible_polynomial(k))
+    field = _FIELD_CACHE.get(key)
+    if field is None:
+        field = GF2k(k, key[1])
+        _FIELD_CACHE[key] = field
+    return field

@@ -1,0 +1,159 @@
+"""Polynomials over GF(2) and irreducible-polynomial search.
+
+GF(2)[x] polynomials are encoded as Python integers: bit ``i`` of the
+integer is the coefficient of ``x**i``.  This module provides the
+carry-less arithmetic needed to build GF(2^k) extension fields and a
+deterministic search for the lexicographically smallest irreducible
+polynomial of each degree (so no hand-copied tables can be wrong).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+def gf2_degree(poly: int) -> int:
+    """Degree of a GF(2)[x] polynomial (``-1`` for the zero polynomial)."""
+    return poly.bit_length() - 1
+
+
+def gf2_mul(a: int, b: int) -> int:
+    """Carry-less (XOR) multiplication of two GF(2)[x] polynomials."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def gf2_mod(a: int, modulus: int) -> int:
+    """Remainder of ``a`` modulo ``modulus`` in GF(2)[x]."""
+    if modulus == 0:
+        raise ZeroDivisionError("polynomial modulus is zero")
+    deg_m = gf2_degree(modulus)
+    deg_a = gf2_degree(a)
+    while deg_a >= deg_m:
+        a ^= modulus << (deg_a - deg_m)
+        deg_a = gf2_degree(a)
+    return a
+
+
+def gf2_divmod(a: int, b: int) -> tuple[int, int]:
+    """Quotient and remainder of ``a / b`` in GF(2)[x]."""
+    if b == 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    deg_b = gf2_degree(b)
+    quotient = 0
+    while True:
+        deg_a = gf2_degree(a)
+        if deg_a < deg_b:
+            return quotient, a
+        shift = deg_a - deg_b
+        quotient ^= 1 << shift
+        a ^= b << shift
+
+
+def gf2_mulmod(a: int, b: int, modulus: int) -> int:
+    """``a * b mod modulus`` in GF(2)[x], reducing as we go."""
+    deg_m = gf2_degree(modulus)
+    result = 0
+    a = gf2_mod(a, modulus)
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if gf2_degree(a) >= deg_m:
+            a ^= modulus << (gf2_degree(a) - deg_m)
+    return result
+
+
+def gf2_powmod(a: int, exponent: int, modulus: int) -> int:
+    """``a ** exponent mod modulus`` in GF(2)[x] by square-and-multiply."""
+    result = 1
+    a = gf2_mod(a, modulus)
+    while exponent:
+        if exponent & 1:
+            result = gf2_mulmod(result, a, modulus)
+        a = gf2_mulmod(a, a, modulus)
+        exponent >>= 1
+    return result
+
+
+def gf2_gcd(a: int, b: int) -> int:
+    """Greatest common divisor in GF(2)[x]."""
+    while b:
+        a, b = b, gf2_mod(a, b)
+    return a
+
+
+def _prime_factors(n: int) -> list[int]:
+    """Distinct prime factors of ``n`` by trial division."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin irreducibility test for a GF(2)[x] polynomial.
+
+    ``poly`` of degree ``k`` is irreducible over GF(2) iff
+    ``x**(2**k) == x (mod poly)`` and, for every prime ``p | k``,
+    ``gcd(x**(2**(k//p)) - x, poly) == 1``.
+    """
+    k = gf2_degree(poly)
+    if k <= 0:
+        return False
+    if k == 1:
+        return True
+    if not poly & 1:  # divisible by x
+        return False
+    x = 0b10
+    for p in _prime_factors(k):
+        h = gf2_powmod(x, 1 << (k // p), poly) ^ x
+        if gf2_gcd(h, poly) != 1:
+            return False
+    return gf2_powmod(x, 1 << k, poly) == x
+
+
+@lru_cache(maxsize=None)
+def irreducible_polynomial(degree: int) -> int:
+    """The lexicographically smallest irreducible GF(2)[x] polynomial.
+
+    Deterministic search, cached per degree.  Used as the reduction
+    modulus of :class:`~repro.fields.gf2k.GF2k`.
+    """
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    base = 1 << degree
+    for low in range(1, base, 2):  # constant term must be 1 (degree >= 1)
+        candidate = base | low
+        if is_irreducible(candidate):
+            return candidate
+    raise RuntimeError(f"no irreducible polynomial of degree {degree} found")
+
+
+def poly_to_string(poly: int) -> str:
+    """Human-readable form of a GF(2)[x] polynomial, e.g. ``x^4 + x + 1``."""
+    if poly == 0:
+        return "0"
+    terms = []
+    for i in range(gf2_degree(poly), -1, -1):
+        if poly >> i & 1:
+            if i == 0:
+                terms.append("1")
+            elif i == 1:
+                terms.append("x")
+            else:
+                terms.append(f"x^{i}")
+    return " + ".join(terms)

@@ -1,0 +1,306 @@
+"""Univariate polynomials over a finite field.
+
+These are the workhorse of the secret-sharing layer: Shamir shares are
+evaluations of a random polynomial, reconstruction is Lagrange
+interpolation, and the bivariate sharing in :mod:`repro.sharing` reduces
+to rows/columns of univariate polynomials.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from .base import Field, FieldElement
+
+
+class Polynomial:
+    """A polynomial over a :class:`~repro.fields.base.Field`.
+
+    Coefficients are stored low-degree first and normalized (no trailing
+    zero coefficients).  The zero polynomial has an empty coefficient
+    list and degree ``-1``.
+    """
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: Field, coeffs: Iterable[FieldElement | int]):
+        values = [
+            c.value if isinstance(c, FieldElement) else field.encode(c)
+            for c in coeffs
+        ]
+        while values and values[-1] == 0:
+            values.pop()
+        self.field = field
+        self.coeffs = values
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def zero(cls, field: Field) -> "Polynomial":
+        """The zero polynomial."""
+        return cls(field, [])
+
+    @classmethod
+    def constant(cls, value: FieldElement) -> "Polynomial":
+        """The constant polynomial ``value``."""
+        return cls(value.field, [value])
+
+    @classmethod
+    def random(
+        cls,
+        field: Field,
+        degree: int,
+        rng: random.Random,
+        constant: FieldElement | None = None,
+    ) -> "Polynomial":
+        """A uniformly random polynomial of degree at most ``degree``.
+
+        If ``constant`` is given the constant coefficient is fixed to it
+        (this is how a Shamir dealer hides a secret at ``f(0)``).
+        """
+        if degree < 0:
+            raise ValueError(f"degree must be >= 0, got {degree}")
+        coeffs = [rng.randrange(field.order) for _ in range(degree + 1)]
+        if constant is not None:
+            coeffs[0] = constant.value
+        poly = cls.__new__(cls)
+        while coeffs and coeffs[-1] == 0:
+            coeffs.pop()
+        poly.field = field
+        poly.coeffs = coeffs
+        return poly
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (``-1`` for the zero polynomial)."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        """True iff this is the zero polynomial."""
+        return not self.coeffs
+
+    def coefficient(self, i: int) -> FieldElement:
+        """The coefficient of ``x**i`` (zero beyond the degree)."""
+        if 0 <= i < len(self.coeffs):
+            return FieldElement(self.field, self.coeffs[i])
+        return self.field.zero()
+
+    def __call__(self, x: FieldElement | int) -> FieldElement:
+        """Evaluate at ``x`` by Horner's rule."""
+        xv = x.value if isinstance(x, FieldElement) else self.field.encode(x)
+        f = self.field
+        acc = 0
+        for c in reversed(self.coeffs):
+            acc = f.add(f.mul(acc, xv), c)
+        return FieldElement(f, acc)
+
+    def evaluate_many(self, xs: Sequence[FieldElement | int]) -> list[FieldElement]:
+        """Evaluate at several points."""
+        return [self(x) for x in xs]
+
+    # -- arithmetic ----------------------------------------------------------
+    def _check(self, other: "Polynomial") -> None:
+        if other.field != self.field:
+            raise ValueError("cannot mix polynomials over different fields")
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check(other)
+        f = self.field
+        a, b = self.coeffs, other.coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        out = list(a)
+        for i, c in enumerate(b):
+            out[i] = f.add(out[i], c)
+        return Polynomial(f, [FieldElement(f, v) for v in out])
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        self._check(other)
+        f = self.field
+        n = max(len(self.coeffs), len(other.coeffs))
+        out = []
+        for i in range(n):
+            a = self.coeffs[i] if i < len(self.coeffs) else 0
+            b = other.coeffs[i] if i < len(other.coeffs) else 0
+            out.append(FieldElement(f, f.sub(a, b)))
+        return Polynomial(f, out)
+
+    def __neg__(self) -> "Polynomial":
+        f = self.field
+        return Polynomial(f, [FieldElement(f, f.neg(c)) for c in self.coeffs])
+
+    def __mul__(self, other: "Polynomial | FieldElement | int") -> "Polynomial":
+        f = self.field
+        if isinstance(other, (FieldElement, int)):
+            s = other.value if isinstance(other, FieldElement) else f.encode(other)
+            return Polynomial(
+                f, [FieldElement(f, f.mul(c, s)) for c in self.coeffs]
+            )
+        self._check(other)
+        if self.is_zero() or other.is_zero():
+            return Polynomial.zero(f)
+        out = [0] * (len(self.coeffs) + len(other.coeffs) - 1)
+        for i, a in enumerate(self.coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coeffs):
+                if b:
+                    out[i + j] = f.add(out[i + j], f.mul(a, b))
+        return Polynomial(f, [FieldElement(f, v) for v in out])
+
+    __rmul__ = __mul__
+
+    def divmod(self, divisor: "Polynomial") -> tuple["Polynomial", "Polynomial"]:
+        """Polynomial long division: returns ``(quotient, remainder)``."""
+        self._check(divisor)
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        f = self.field
+        remainder = list(self.coeffs)
+        dcoeffs = divisor.coeffs
+        dlead_inv = f.inv(dcoeffs[-1])
+        ddeg = len(dcoeffs) - 1
+        if len(remainder) <= ddeg:
+            return Polynomial.zero(f), Polynomial(
+                f, [FieldElement(f, v) for v in remainder]
+            )
+        qcoeffs = [0] * (len(remainder) - ddeg)
+        for i in range(len(remainder) - 1, ddeg - 1, -1):
+            coef = remainder[i]
+            if coef == 0:
+                continue
+            q = f.mul(coef, dlead_inv)
+            qcoeffs[i - ddeg] = q
+            for j, dc in enumerate(dcoeffs):
+                remainder[i - ddeg + j] = f.sub(
+                    remainder[i - ddeg + j], f.mul(q, dc)
+                )
+        return (
+            Polynomial(f, [FieldElement(f, v) for v in qcoeffs]),
+            Polynomial(f, [FieldElement(f, v) for v in remainder]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.field == other.field and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash((id(self.field), tuple(self.coeffs)))
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return "Polynomial(0)"
+        terms = []
+        for i in range(self.degree, -1, -1):
+            c = self.coeffs[i]
+            if c == 0:
+                continue
+            if i == 0:
+                terms.append(f"{c}")
+            elif i == 1:
+                terms.append(f"{c}*x" if c != 1 else "x")
+            else:
+                terms.append(f"{c}*x^{i}" if c != 1 else f"x^{i}")
+        return "Polynomial(" + " + ".join(terms) + ")"
+
+
+def lagrange_interpolate(
+    field: Field, points: Sequence[tuple[FieldElement | int, FieldElement | int]]
+) -> Polynomial:
+    """The unique polynomial of degree < ``len(points)`` through ``points``.
+
+    Raises ``ValueError`` on duplicate x-coordinates.
+    """
+    xs = [
+        p[0].value if isinstance(p[0], FieldElement) else field.encode(p[0])
+        for p in points
+    ]
+    ys = [
+        p[1].value if isinstance(p[1], FieldElement) else field.encode(p[1])
+        for p in points
+    ]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate x-coordinates in interpolation points")
+    result = Polynomial.zero(field)
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        if yi == 0:
+            continue
+        # Basis polynomial l_i(x) = prod_{j != i} (x - x_j) / (x_i - x_j)
+        basis = Polynomial(field, [field(1)])
+        denom = 1
+        for j, xj in enumerate(xs):
+            if j == i:
+                continue
+            basis = basis * Polynomial(
+                field, [FieldElement(field, field.neg(xj)), field(1)]
+            )
+            denom = field.mul(denom, field.sub(xi, xj))
+        scale = field.mul(yi, field.inv(denom))
+        result = result + basis * FieldElement(field, scale)
+    return result
+
+
+def interpolate_at(
+    field: Field,
+    points: Sequence[tuple[FieldElement | int, FieldElement | int]],
+    x0: FieldElement | int = 0,
+) -> FieldElement:
+    """Evaluate the interpolating polynomial at ``x0`` without building it.
+
+    This is the hot path of Shamir reconstruction (``x0 = 0``); it runs
+    in O(m^2) field operations for ``m`` points.
+    """
+    f = field
+    x0v = x0.value if isinstance(x0, FieldElement) else f.encode(x0)
+    xs = [
+        p[0].value if isinstance(p[0], FieldElement) else f.encode(p[0])
+        for p in points
+    ]
+    ys = [
+        p[1].value if isinstance(p[1], FieldElement) else f.encode(p[1])
+        for p in points
+    ]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate x-coordinates in interpolation points")
+    acc = 0
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        if yi == 0:
+            continue
+        num, den = 1, 1
+        for j, xj in enumerate(xs):
+            if j == i:
+                continue
+            num = f.mul(num, f.sub(x0v, xj))
+            den = f.mul(den, f.sub(xi, xj))
+        acc = f.add(acc, f.mul(yi, f.div(num, den)))
+    return FieldElement(f, acc)
+
+
+def lagrange_coefficients(
+    field: Field, xs: Sequence[FieldElement | int], x0: FieldElement | int = 0
+) -> list[FieldElement]:
+    """Lagrange coefficients ``c_i`` with ``f(x0) = sum c_i * f(x_i)``.
+
+    Precomputing these makes repeated reconstruction over the same point
+    set (e.g. thousands of parallel VSS instances with the same parties)
+    a dot product.
+    """
+    f = field
+    x0v = x0.value if isinstance(x0, FieldElement) else f.encode(x0)
+    xvs = [
+        x.value if isinstance(x, FieldElement) else f.encode(x) for x in xs
+    ]
+    if len(set(xvs)) != len(xvs):
+        raise ValueError("duplicate x-coordinates")
+    out = []
+    for i, xi in enumerate(xvs):
+        num, den = 1, 1
+        for j, xj in enumerate(xvs):
+            if j == i:
+                continue
+            num = f.mul(num, f.sub(x0v, xj))
+            den = f.mul(den, f.sub(xi, xj))
+        out.append(FieldElement(f, f.div(num, den)))
+    return out

@@ -1,0 +1,105 @@
+"""Prime fields GF(p).
+
+The anonymous channel itself runs over GF(2^kappa), but prime fields are
+useful as an alternative substrate for the VSS layer (any field with
+more than ``n`` elements works for Shamir-style sharing) and for tests
+that want small, human-readable arithmetic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import Field
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin primality test for 64-bit-ish inputs.
+
+    Uses the standard witness set that is provably correct for
+    ``n < 3317044064679887385961981``; falls back to 40 random rounds
+    beyond that.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    def witness(a: int) -> bool:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            return False
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                return False
+        return True
+
+    if n < 3317044064679887385961981:
+        witnesses: tuple[int, ...] = _SMALL_PRIMES
+    else:
+        rng = random.Random(n)
+        witnesses = tuple(rng.randrange(2, n - 1) for _ in range(40))
+    return not any(witness(a % n) for a in witnesses if a % n >= 2)
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime ``>= n``."""
+    if n <= 2:
+        return 2
+    candidate = n | 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+class PrimeField(Field):
+    """The finite field GF(p) for prime ``p``, encoded as ints ``[0, p)``."""
+
+    def __init__(self, p: int):
+        if not is_prime(p):
+            raise ValueError(f"{p} is not prime")
+        self.p = p
+        self.order = p
+        self.short_name = f"GF({p})"
+
+    def add(self, a: int, b: int) -> int:
+        s = a + b
+        return s - self.p if s >= self.p else s
+
+    def sub(self, a: int, b: int) -> int:
+        d = a - b
+        return d + self.p if d < 0 else d
+
+    def neg(self, a: int) -> int:
+        return self.p - a if a else 0
+
+    def mul(self, a: int, b: int) -> int:
+        return a * b % self.p
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("inverse of zero in " + self.short_name)
+        return pow(a, self.p - 2, self.p)
+
+    def pow(self, a: int, e: int) -> int:
+        if e < 0:
+            a = self.inv(a)
+            e = -e
+        return pow(a, e, self.p)
+
+    def encode(self, value: int) -> int:
+        return value % self.p
+
+    def _key(self) -> tuple:
+        return (self.p,)

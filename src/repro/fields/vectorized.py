@@ -1,0 +1,117 @@
+"""Vectorized GF(2^k) arithmetic over numpy arrays.
+
+The experiments shuffle hundreds of thousands of field elements (every
+coordinate of every dart vector is VSS-shared).  For table-backed
+fields (``k <= GF2k.TABLE_MAX_K``) the log/exp tables turn
+multiplication into integer gathers, which numpy executes tens of times
+faster than a Python loop.  :class:`VectorGF2k` exposes the same
+add/mul/Horner operations on whole arrays; the ideal VSS backend uses
+it to deal large batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gf2k import GF2k
+
+
+class VectorGF2k:
+    """Array operations over a table-backed binary field.
+
+    All arrays hold raw encodings as ``uint32``; operations are
+    element-wise with broadcasting.
+    """
+
+    def __init__(self, field: GF2k):
+        if field._exp is None:
+            raise ValueError(
+                f"{field.short_name} has no tables (k > {GF2k.TABLE_MAX_K}); "
+                "vectorized arithmetic needs a table-backed field"
+            )
+        self.field = field
+        self.order = field.order
+        self._group = field.order - 1
+        self._exp = np.asarray(field._exp, dtype=np.uint32)
+        self._log = np.asarray(field._log, dtype=np.uint32)
+
+    # -- conversions ------------------------------------------------------
+    def array(self, values) -> np.ndarray:
+        """Coerce a sequence of raw encodings to the working dtype."""
+        out = np.asarray(values, dtype=np.uint32)
+        if out.size and int(out.max(initial=0)) >= self.order:
+            raise ValueError("values out of field range")
+        return out
+
+    def random(self, shape, rng) -> np.ndarray:
+        """Uniform random array (``rng`` is ``numpy.random.Generator``)."""
+        return rng.integers(0, self.order, size=shape, dtype=np.uint32)
+
+    # -- arithmetic -------------------------------------------------------
+    @staticmethod
+    def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise field addition (XOR)."""
+        return np.bitwise_xor(a, b)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise field multiplication via log/exp gathers."""
+        a = np.asarray(a, dtype=np.uint32)
+        b = np.asarray(b, dtype=np.uint32)
+        a, b = np.broadcast_arrays(a, b)
+        out = np.zeros(a.shape, dtype=np.uint32)
+        nz = (a != 0) & (b != 0)
+        if nz.any():
+            idx = self._log[a[nz]].astype(np.int64) + self._log[b[nz]]
+            out[nz] = self._exp[idx]
+        return out
+
+    def scale(self, a: np.ndarray, scalar: int) -> np.ndarray:
+        """Multiply an array by one scalar encoding."""
+        if scalar == 0:
+            return np.zeros_like(np.asarray(a, dtype=np.uint32))
+        a = np.asarray(a, dtype=np.uint32)
+        out = np.zeros_like(a)
+        nz = a != 0
+        if nz.any():
+            idx = self._log[a[nz]].astype(np.int64) + int(self._log[scalar])
+            out[nz] = self._exp[idx]
+        return out
+
+    def inv(self, a: np.ndarray) -> np.ndarray:
+        """Element-wise inversion; raises on zeros."""
+        a = np.asarray(a, dtype=np.uint32)
+        if (a == 0).any():
+            raise ZeroDivisionError("inverse of zero in vectorized field op")
+        return self._exp[self._group - self._log[a].astype(np.int64)]
+
+    def horner_eval(self, coeffs: np.ndarray, x: int) -> np.ndarray:
+        """Evaluate many polynomials at one point.
+
+        ``coeffs`` has shape ``(m, deg + 1)``, low-degree first; returns
+        the length-``m`` array of evaluations at encoding ``x``.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.uint32)
+        if coeffs.ndim != 2:
+            raise ValueError("coeffs must be 2-D (one row per polynomial)")
+        acc = np.zeros(coeffs.shape[0], dtype=np.uint32)
+        for j in range(coeffs.shape[1] - 1, -1, -1):
+            acc = np.bitwise_xor(self.scale(acc, x), coeffs[:, j])
+        return acc
+
+    def eval_at_points(self, coeffs: np.ndarray, xs) -> np.ndarray:
+        """Evaluate many polynomials at several points.
+
+        Returns shape ``(m, len(xs))`` — exactly the share table a VSS
+        dealer needs (one row per secret, one column per party point).
+        """
+        xs = [int(x) for x in xs]
+        columns = [self.horner_eval(coeffs, x) for x in xs]
+        return np.stack(columns, axis=1)
+
+    def dot(self, coeffs: np.ndarray, values: np.ndarray) -> int:
+        """Field dot product of two 1-D arrays (Lagrange recombination)."""
+        prod = self.mul(coeffs, values)
+        acc = 0
+        for v in prod.tolist():
+            acc ^= v
+        return acc

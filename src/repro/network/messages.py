@@ -1,0 +1,101 @@
+"""Round message containers for the synchronous network model.
+
+The paper's model (Section 2): a complete synchronous network of n
+players pairwise connected by secure (private and authenticated)
+channels, plus a physical broadcast channel.  Computation evolves in
+rounds; in each round a party sends one (possibly empty) private payload
+to each other party and optionally one broadcast payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class RoundOutput:
+    """What one party emits in one round.
+
+    Attributes
+    ----------
+    private:
+        Mapping from recipient party id to payload, carried over the
+        secure pairwise channels.  Only the recipient (and an adversary
+        corrupting it) sees a private payload.
+    broadcast:
+        Optional payload for the physical broadcast channel; delivered
+        identically to every party.  ``None`` means the broadcast
+        channel is not used by this party this round.
+    """
+
+    private: Mapping[int, Any] = field(default_factory=dict)
+    broadcast: Any = None
+
+    @staticmethod
+    def silent() -> "RoundOutput":
+        """A round in which the party sends nothing."""
+        return RoundOutput()
+
+
+@dataclass(frozen=True)
+class RoundInput:
+    """What one party receives at the end of one round.
+
+    Attributes
+    ----------
+    private:
+        Mapping from sender id to the private payload addressed to this
+        party (absent senders sent nothing).
+    broadcast:
+        Mapping from sender id to that sender's broadcast payload
+        (absent senders did not broadcast).  By the broadcast channel's
+        guarantee, every party receives the *same* mapping.
+    """
+
+    private: Mapping[int, Any] = field(default_factory=dict)
+    broadcast: Mapping[int, Any] = field(default_factory=dict)
+
+
+_ATOMS = (int, str, bool, float)
+_CONTAINERS = (list, tuple, set, frozenset)
+
+
+def payload_size(payload: Any) -> int:
+    """Approximate payload size in field elements / atoms.
+
+    Used for bandwidth accounting: ints and field elements count 1,
+    containers count the sum of their items, ``None`` counts 0.  This
+    sits on the simulator's per-message hot path, hence the flat,
+    concrete-type dispatch.
+    """
+    if payload is None:
+        return 0
+    tp = type(payload)
+    if tp in _ATOMS or tp.__name__ == "FieldElement":
+        return 1
+    if tp is dict:
+        total = 0
+        for v in payload.values():
+            total += payload_size(v)
+        return total
+    if tp in _CONTAINERS:
+        total = 0
+        for v in payload:
+            total += payload_size(v)
+        return total
+    if isinstance(payload, _ATOMS):
+        return 1
+    if isinstance(payload, Mapping):
+        return sum(payload_size(v) for v in payload.values())
+    if isinstance(payload, _CONTAINERS):
+        return sum(payload_size(v) for v in payload)
+    # Dataclass-like objects: count their public attributes.
+    if hasattr(payload, "__dataclass_fields__"):
+        return sum(
+            payload_size(getattr(payload, name))
+            for name in payload.__dataclass_fields__
+        )
+    if hasattr(payload, "coeffs"):  # Polynomial
+        return len(payload.coeffs)
+    return 1

@@ -1,0 +1,209 @@
+"""Synchronous network simulator.
+
+Realizes the paper's communication model: ``n`` parties on a complete
+network of secure (private, authenticated) point-to-point channels plus
+a physical broadcast channel, computing in synchronous rounds against a
+rushing active adversary.
+
+Guarantees enforced by construction:
+
+- **Privacy/authenticity of channels** — a party only ever sees payloads
+  addressed to it, attributed to their true sender; the adversary sees
+  only broadcasts and traffic addressed to corrupted parties.
+- **Broadcast consistency** — one payload per broadcaster per round is
+  delivered identically to everyone (no equivocation on the physical
+  channel).
+- **Rushing** — honest round outputs are fixed before the adversary
+  chooses the corrupted parties' outputs for the same round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .adversary import Adversary, RushedView
+from .messages import RoundInput, RoundOutput, payload_size
+from .metrics import ProtocolMetrics
+from .program import Program
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one protocol execution.
+
+    Attributes
+    ----------
+    outputs:
+        Honest parties' protocol outputs, by party id.
+    metrics:
+        Round/broadcast/message accounting for the whole execution.
+    adversary:
+        The adversary instance (its recorded views are what the
+        anonymity and privacy experiments analyze), or ``None``.
+    """
+
+    outputs: dict[int, Any]
+    metrics: ProtocolMetrics
+    adversary: Adversary | None = None
+
+
+class ProtocolViolation(Exception):
+    """Raised when an execution exceeds sanity limits (likely a bug)."""
+
+
+def run_protocol(
+    programs: Mapping[int, Program],
+    adversary: Adversary | None = None,
+    max_rounds: int = 100_000,
+    count_elements: bool = True,
+) -> ExecutionResult:
+    """Execute a synchronous protocol to completion.
+
+    Parameters
+    ----------
+    programs:
+        One program per party id.  Programs of corrupted parties are
+        ignored (the adversary speaks for them); by convention attack
+        adversaries receive their own copies at construction time.
+    adversary:
+        Optional active rushing adversary.  ``None`` runs all parties
+        honestly.
+    max_rounds:
+        Safety valve against non-terminating programs.
+    count_elements:
+        When ``False``, skip the per-payload bandwidth recursion
+        (``field_elements_sent`` stays 0); rounds/broadcasts/message
+        counts are unaffected.  Useful for large experiment sweeps.
+
+    Returns
+    -------
+    ExecutionResult with honest outputs and cost metrics.
+    """
+    corrupted = adversary.corrupted if adversary is not None else frozenset()
+    unknown = corrupted - programs.keys()
+    if unknown:
+        raise ValueError(f"adversary corrupts unknown parties: {sorted(unknown)}")
+
+    honest: dict[int, Program] = {
+        pid: prog for pid, prog in programs.items() if pid not in corrupted
+    }
+    outputs: dict[int, Any] = {}
+    metrics = ProtocolMetrics()
+
+    pending: dict[int, RoundOutput] = {}
+    for pid, prog in list(honest.items()):
+        try:
+            pending[pid] = next(prog)
+        except StopIteration as stop:
+            outputs[pid] = stop.value
+            del honest[pid]
+
+    round_index = 0
+    while honest:
+        if round_index >= max_rounds:
+            raise ProtocolViolation(
+                f"protocol exceeded {max_rounds} rounds; still running: "
+                f"{sorted(honest)}"
+            )
+
+        # -- rushing: adversary sees honest outputs first ----------------
+        honest_broadcasts = {
+            pid: out.broadcast
+            for pid, out in pending.items()
+            if out.broadcast is not None
+        }
+        to_corrupted: dict[int, dict[int, Any]] = {pid: {} for pid in corrupted}
+        for sender, out in pending.items():
+            for recipient, payload in out.private.items():
+                if recipient in corrupted:
+                    to_corrupted[recipient][sender] = payload
+        corrupt_outputs: dict[int, RoundOutput] = {}
+        if adversary is not None:
+            view = RushedView(
+                round_index=round_index,
+                broadcasts=honest_broadcasts,
+                to_corrupted=to_corrupted,
+            )
+            corrupt_outputs = adversary.act(view)
+            extra = corrupt_outputs.keys() - corrupted
+            if extra:
+                raise ProtocolViolation(
+                    f"adversary produced output for uncorrupted {sorted(extra)}"
+                )
+
+        all_outputs = dict(pending)
+        all_outputs.update(corrupt_outputs)
+
+        # -- delivery ------------------------------------------------------
+        broadcasts = {
+            pid: out.broadcast
+            for pid, out in all_outputs.items()
+            if out.broadcast is not None
+        }
+        inboxes: dict[int, dict[int, Any]] = {pid: {} for pid in programs}
+        delivered = 0
+        elements = 0
+        size_cache: dict[int, int] = {}  # same object sent to many parties
+        for sender, out in all_outputs.items():
+            for recipient, payload in out.private.items():
+                if recipient not in inboxes:
+                    continue  # payload to a non-existent party: dropped
+                inboxes[recipient][sender] = payload
+                delivered += 1
+                if count_elements:
+                    size = size_cache.get(id(payload))
+                    if size is None:
+                        size = payload_size(payload)
+                        size_cache[id(payload)] = size
+                    elements += size
+        if count_elements:
+            elements += sum(
+                payload_size(b) for b in broadcasts.values()
+            ) * max(len(programs) - 1, 1)
+        metrics.record_round(
+            broadcasters=len(broadcasts),
+            private_messages=delivered,
+            elements=elements,
+        )
+
+        round_inputs = {
+            pid: RoundInput(private=inboxes[pid], broadcast=broadcasts)
+            for pid in programs
+        }
+        if adversary is not None:
+            adversary.observe_inputs(
+                {pid: round_inputs[pid] for pid in corrupted}
+            )
+
+        # -- resume honest parties ------------------------------------------
+        pending = {}
+        for pid in list(honest):
+            prog = honest[pid]
+            try:
+                pending[pid] = prog.send(round_inputs[pid])
+            except StopIteration as stop:
+                outputs[pid] = stop.value
+                del honest[pid]
+
+        # -- adaptive corruption between rounds ------------------------------
+        if adversary is not None:
+            budget_used = len(adversary.corrupted)
+            new = adversary.maybe_corrupt(
+                round_index + 1, len(programs), budget_used
+            )
+            for pid in new:
+                if pid in honest:
+                    takeover = getattr(adversary, "receive_takeover", None)
+                    if takeover is not None:
+                        takeover(pid, honest[pid], pending.get(pid))
+                    del honest[pid]
+                    pending.pop(pid, None)
+                adversary.corrupted = frozenset(adversary.corrupted | {pid})
+            corrupted = adversary.corrupted
+
+        round_index += 1
+
+    if adversary is not None:
+        adversary.finalize(outputs)
+    return ExecutionResult(outputs=outputs, metrics=metrics, adversary=adversary)

@@ -1,0 +1,53 @@
+"""PW96 pseudosignatures over the anonymous channel (paper, Section 4)."""
+
+from .mac import (
+    MACKey,
+    forgery_probability,
+    mac_sign,
+    mac_sign_message,
+    mac_verify,
+    mac_verify_message,
+    message_forgery_probability,
+    message_to_blocks,
+    pack_key,
+    unpack_key,
+)
+from .scheme import (
+    BytesPseudosignature,
+    Pseudosignature,
+    PseudosignatureScheme,
+    SignerSetup,
+    VerifierSetup,
+    setup_with_anonchan,
+)
+from .transfer import (
+    TransferStep,
+    break_probability,
+    chain_broken,
+    targeted_partial_signature,
+    transfer_chain,
+)
+
+__all__ = [
+    "MACKey",
+    "mac_sign",
+    "mac_verify",
+    "mac_sign_message",
+    "mac_verify_message",
+    "message_to_blocks",
+    "message_forgery_probability",
+    "forgery_probability",
+    "pack_key",
+    "unpack_key",
+    "PseudosignatureScheme",
+    "Pseudosignature",
+    "BytesPseudosignature",
+    "SignerSetup",
+    "VerifierSetup",
+    "setup_with_anonchan",
+    "TransferStep",
+    "transfer_chain",
+    "chain_broken",
+    "break_probability",
+    "targeted_partial_signature",
+]

@@ -1,0 +1,124 @@
+"""Information-theoretic message authentication codes.
+
+The PW96 pseudosignature construction needs one-time unconditionally
+secure MACs as its "keys": a key is a pair ``(a, b)`` over a field and
+the tag of message ``m`` is ``a*m + b``.  Given one (message, tag)
+pair, producing a valid tag for any other message succeeds with
+probability ``1/|F|`` — no computational assumptions.
+
+Keys travel through the anonymous channel, whose messages are single
+``GF(2^kappa)`` elements, so a key over ``GF(2^k)`` is packed into one
+channel element of ``GF(2^{2k})`` (:func:`pack_key` / :func:`unpack_key`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.fields import Field, FieldElement, GF2k, gf2k
+
+
+@dataclass(frozen=True)
+class MACKey:
+    """A one-time MAC key ``(a, b)``: tag(m) = a*m + b."""
+
+    a: FieldElement
+    b: FieldElement
+
+    @classmethod
+    def random(cls, field: Field, rng: random.Random) -> "MACKey":
+        # a must be non-zero, otherwise the tag ignores the message.
+        return cls(a=field.random_nonzero(rng), b=field.random(rng))
+
+
+def mac_sign(key: MACKey, message: FieldElement) -> FieldElement:
+    """The tag ``a*m + b``."""
+    return key.a * message + key.b
+
+
+def mac_verify(key: MACKey, message: FieldElement, tag: FieldElement) -> bool:
+    """Check a tag against a key."""
+    return mac_sign(key, message) == tag
+
+
+def forgery_probability(field: Field) -> float:
+    """Substitution-forgery bound: 1/|F| per attempt."""
+    return 1.0 / field.order
+
+
+def pack_key(key: MACKey, channel_field: GF2k) -> FieldElement:
+    """Pack ``(a, b)`` over GF(2^k) into one GF(2^{2k}) channel element."""
+    k = key.a.field.k  # type: ignore[attr-defined]
+    if channel_field.k < 2 * k:
+        raise ValueError(
+            f"channel field GF(2^{channel_field.k}) cannot hold a key over "
+            f"GF(2^{k}) pair"
+        )
+    return channel_field((key.a.value << k) | key.b.value)
+
+
+def unpack_key(element: FieldElement, mac_field: GF2k) -> MACKey:
+    """Inverse of :func:`pack_key`."""
+    k = mac_field.k
+    mask = (1 << k) - 1
+    return MACKey(
+        a=mac_field(element.value >> k & mask), b=mac_field(element.value & mask)
+    )
+
+
+# -- domain independence -----------------------------------------------------
+#
+# The paper (§1.2, §4) highlights that the PW96 approach is
+# *domain-independent*: the setup does not fix the message space, unlike
+# the SHZI02/BTHR07 alternative, which can only sign messages from the
+# MPC's field.  The standard realization is the polynomial-evaluation
+# MAC: a message of arbitrary length is split into field blocks
+# m_1..m_L (with unambiguous length encoding) and
+#
+#     tag = a^{L+1} + m_1 a^L + ... + m_L a + b
+#
+# which forges with probability (L+1)/|F| per attempt.
+
+
+def message_to_blocks(message: bytes, field: GF2k) -> list[FieldElement]:
+    """Split bytes into field elements, with an unambiguous terminator.
+
+    Each block carries ``field.k // 8`` message bytes (``k`` must be a
+    multiple of 8); a final block encodes the byte length, preventing
+    padding ambiguity.
+    """
+    if field.k % 8 != 0:
+        raise ValueError("block encoding needs k divisible by 8")
+    width = field.k // 8
+    blocks = [
+        field(int.from_bytes(message[i : i + width], "big"))
+        for i in range(0, len(message), width)
+    ]
+    blocks.append(field(len(message) % field.order))
+    return blocks
+
+
+def mac_sign_message(key: MACKey, message: bytes) -> FieldElement:
+    """Polynomial-evaluation MAC over an arbitrary byte string."""
+    field = key.a.field
+    blocks = message_to_blocks(message, field)  # type: ignore[arg-type]
+    # Horner evaluation of a^{L+1} + sum m_i a^{L+1-i} + b.
+    acc = key.a.field.encode(1)
+    f = field
+    a = key.a.value
+    for block in blocks:
+        acc = f.add(f.mul(acc, a), block.value)
+    return FieldElement(f, f.add(f.mul(acc, a), key.b.value))
+
+
+def mac_verify_message(key: MACKey, message: bytes, tag: FieldElement) -> bool:
+    """Verify a polynomial-evaluation MAC tag."""
+    return mac_sign_message(key, message) == tag
+
+
+def message_forgery_probability(field: Field, message_bytes: int) -> float:
+    """Forgery bound for the block MAC: (L+1)/|F| with L blocks."""
+    width = max(field.order.bit_length() - 1, 8) // 8
+    blocks = -(-message_bytes // width) + 1
+    return min(1.0, (blocks + 1) / field.order)

@@ -1,0 +1,322 @@
+"""PW96 pseudosignatures over a many-to-one anonymous channel (§4).
+
+Setup: the parties invoke the anonymous channel ``B`` times in parallel
+toward the signer ``P*``; per invocation each party sends one fresh
+random MAC key.  ``P*`` thus holds ``B`` *signature blocks*, each an
+anonymous multiset of keys — it cannot tell whose keys are whose, which
+is the entire trick.
+
+Sign: ``P*`` MACs the message under every key of every block
+("minisignatures").
+
+Verify: verifier number ``v`` in a transfer chain accepts iff at least
+``threshold(v)`` blocks contain a minisignature matching *its own* key
+for that block — with thresholds decreasing in ``v`` (paper §4: each
+new verifier is more tolerant).  A cheating signer who leaves some keys
+unsigned cannot target a specific verifier, because key ownership is
+hidden by the channel's Anonymity; the decreasing thresholds absorb the
+boundary effects, giving transferability up to the configured depth.
+
+Two setup paths are provided:
+
+- :meth:`PseudosignatureScheme.ideal_setup` — an ideal anonymous
+  channel (per-block shuffle), used by unit tests and by the Byzantine
+  agreement layer.
+- :func:`setup_with_anonchan` — the real thing: ``B`` AnonChan
+  executions with ``P*`` as receiver (constant rounds each; the paper's
+  point is that this replaces PW96's ``Omega(n^2)``-round setup).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field as dc_field
+
+from repro.fields import FieldElement, GF2k, gf2k
+
+from .mac import MACKey, mac_sign, mac_verify, pack_key, unpack_key
+
+
+@dataclass
+class SignerSetup:
+    """P*'s view after setup: per block, an anonymous list of keys."""
+
+    blocks: list[list[MACKey]]
+
+
+@dataclass
+class VerifierSetup:
+    """A party's view after setup: its own key for each block."""
+
+    pid: int
+    keys: list[MACKey]
+
+
+@dataclass(frozen=True)
+class Pseudosignature:
+    """P*'s pseudosignature: per block, one minisignature per block key."""
+
+    message: FieldElement
+    minisigs: tuple[tuple[FieldElement, ...], ...]
+
+
+@dataclass(frozen=True)
+class BytesPseudosignature:
+    """A pseudosignature on an arbitrary byte string.
+
+    Demonstrates the paper's *domain independence* (§1.2, §4): the same
+    anonymous-channel setup signs messages from domains unknown at setup
+    time, via the polynomial-evaluation MAC — unlike the SHZI02/BTHR07
+    alternative, which is confined to single field elements.
+    """
+
+    message: bytes
+    minisigs: tuple[tuple[FieldElement, ...], ...]
+
+
+class PseudosignatureScheme:
+    """One configured pseudosignature instance.
+
+    Parameters
+    ----------
+    n:
+        Number of parties (signer included).
+    signer:
+        The signer ``P*``'s id.
+    blocks:
+        Number of signature blocks ``B`` (one anonymous-channel
+        invocation each).
+    max_transfers:
+        Transferability depth ``L`` — the a-priori bound on how often
+        the signature may change hands (the paper: ``O(t)`` suffices
+        for Byzantine agreement).
+    mac_field:
+        Field of the one-time MACs.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        signer: int,
+        blocks: int,
+        max_transfers: int,
+        mac_field: GF2k | None = None,
+    ):
+        if mac_field is None:
+            mac_field = gf2k(16)
+        if blocks < max_transfers + 1:
+            raise ValueError(
+                f"need at least max_transfers+1 = {max_transfers + 1} blocks, "
+                f"got {blocks}"
+            )
+        if not 0 <= signer < n:
+            raise ValueError("signer out of range")
+        self.n = n
+        self.signer = signer
+        self.blocks = blocks
+        self.max_transfers = max_transfers
+        self.mac_field = mac_field
+        #: Per-level tolerance step: thresholds decrease by delta.
+        self.delta = blocks // (max_transfers + 1)
+
+    def threshold(self, level: int) -> int:
+        """Blocks that must match for the level-``level`` verifier.
+
+        Level 1 (the first verifier) demands every block; each further
+        transfer tolerates ``delta`` more mismatches.
+        """
+        if not 1 <= level <= self.max_transfers:
+            raise ValueError(
+                f"level must be in [1, {self.max_transfers}], got {level}"
+            )
+        return self.blocks - (level - 1) * self.delta
+
+    # -- setup ----------------------------------------------------------------
+    def ideal_setup(
+        self, rng: random.Random
+    ) -> tuple[SignerSetup, dict[int, VerifierSetup]]:
+        """Setup through an ideal anonymous channel (per-block shuffle)."""
+        setup, verifiers, _ownership = self._setup(rng, anonymous=True)
+        return setup, verifiers
+
+    def deanonymized_setup(
+        self, rng: random.Random
+    ) -> tuple[SignerSetup, dict[int, VerifierSetup], list[list[int]]]:
+        """ABLATION: setup over a channel that leaks key ownership.
+
+        Returns additionally ``ownership[b][i]`` = the party owning the
+        i-th key of block ``b``.  With this knowledge a cheating signer
+        breaks transferability *deterministically*
+        (:func:`targeted_partial_signature`) — the §4 rationale for
+        building the setup on an anonymous channel, made measurable.
+        """
+        return self._setup(rng, anonymous=False)
+
+    def _setup(
+        self, rng: random.Random, anonymous: bool
+    ) -> tuple[SignerSetup, dict[int, VerifierSetup], list[list[int]]]:
+        verifiers = {
+            pid: VerifierSetup(
+                pid=pid,
+                keys=[MACKey.random(self.mac_field, rng) for _ in range(self.blocks)],
+            )
+            for pid in range(self.n)
+            if pid != self.signer
+        }
+        signer_blocks = []
+        ownership: list[list[int]] = []
+        for b in range(self.blocks):
+            entries = [(pid, view.keys[b]) for pid, view in verifiers.items()]
+            if anonymous:
+                rng.shuffle(entries)  # the channel hides origins
+            signer_blocks.append([key for _pid, key in entries])
+            ownership.append([pid for pid, _key in entries])
+        return SignerSetup(blocks=signer_blocks), verifiers, ownership
+
+    # -- signing ----------------------------------------------------------------
+    def sign(self, setup: SignerSetup, message: FieldElement) -> Pseudosignature:
+        """MAC the message under every key in every block."""
+        return Pseudosignature(
+            message=message,
+            minisigs=tuple(
+                tuple(mac_sign(key, message) for key in block)
+                for block in setup.blocks
+            ),
+        )
+
+    def sign_partial(
+        self,
+        setup: SignerSetup,
+        message: FieldElement,
+        rng: random.Random,
+        skip_fraction: float = 0.5,
+        target_blocks: list[int] | None = None,
+    ) -> Pseudosignature:
+        """A cheating signer: leave a fraction of keys unsigned.
+
+        In ``target_blocks`` (default: all), each key's minisignature is
+        replaced by garbage with probability ``skip_fraction``.  Because
+        key ownership is anonymous, the damage lands on *random*
+        verifiers — the attack the decreasing thresholds are built for.
+        """
+        targets = set(
+            target_blocks if target_blocks is not None else range(self.blocks)
+        )
+        minisigs = []
+        for b, block in enumerate(setup.blocks):
+            row = []
+            for key in block:
+                if b in targets and rng.random() < skip_fraction:
+                    row.append(self.mac_field.random(rng))  # garbage
+                else:
+                    row.append(mac_sign(key, message))
+            minisigs.append(tuple(row))
+        return Pseudosignature(message=message, minisigs=tuple(minisigs))
+
+    def sign_bytes(
+        self, setup: SignerSetup, message: bytes
+    ) -> BytesPseudosignature:
+        """Sign an arbitrary byte string (domain independence, §4)."""
+        from .mac import mac_sign_message
+
+        return BytesPseudosignature(
+            message=message,
+            minisigs=tuple(
+                tuple(mac_sign_message(key, message) for key in block)
+                for block in setup.blocks
+            ),
+        )
+
+    # -- verification --------------------------------------------------------
+    def matching_blocks(self, view: VerifierSetup, sig: Pseudosignature) -> int:
+        """Blocks in which some minisignature matches the verifier's key."""
+        if len(sig.minisigs) != self.blocks:
+            return 0
+        count = 0
+        for key, row in zip(view.keys, sig.minisigs):
+            expected = mac_sign(key, sig.message)
+            if expected in row:
+                count += 1
+        return count
+
+    def verify(
+        self, view: VerifierSetup, sig: Pseudosignature, level: int
+    ) -> bool:
+        """Level-``level`` acceptance: enough blocks match."""
+        return self.matching_blocks(view, sig) >= self.threshold(level)
+
+    def matching_blocks_bytes(
+        self, view: VerifierSetup, sig: BytesPseudosignature
+    ) -> int:
+        """Blocks whose minisignatures include our byte-message MAC."""
+        from .mac import mac_sign_message
+
+        if len(sig.minisigs) != self.blocks:
+            return 0
+        count = 0
+        for key, row in zip(view.keys, sig.minisigs):
+            if mac_sign_message(key, sig.message) in row:
+                count += 1
+        return count
+
+    def verify_bytes(
+        self, view: VerifierSetup, sig: BytesPseudosignature, level: int
+    ) -> bool:
+        """Level-``level`` acceptance for a byte-message signature."""
+        return self.matching_blocks_bytes(view, sig) >= self.threshold(level)
+
+
+def setup_with_anonchan(
+    scheme: PseudosignatureScheme,
+    params,
+    vss,
+    seed: int = 0,
+) -> tuple[SignerSetup, dict[int, VerifierSetup], list]:
+    """Real setup: one AnonChan execution per signature block.
+
+    Each party sends ``pack_key(key)`` through the channel toward the
+    signer; the signer discards (one copy of) its own dummy contribution
+    and unpacks the rest.  Returns the executions' metrics as the third
+    element so experiments can account rounds/broadcasts (E6).
+    """
+    from repro.core import run_anonchan
+
+    rng = random.Random(seed)
+    mac_field = scheme.mac_field
+    channel_field = params.field
+    if channel_field.k < 2 * mac_field.k:
+        raise ValueError("channel field too small to pack MAC keys")
+
+    verifiers = {
+        pid: VerifierSetup(pid=pid, keys=[])
+        for pid in range(scheme.n)
+        if pid != scheme.signer
+    }
+    signer_blocks: list[list[MACKey]] = []
+    metrics = []
+    for b in range(scheme.blocks):
+        keys = {
+            pid: MACKey.random(mac_field, rng)
+            for pid in range(scheme.n)
+        }
+        messages = {
+            pid: pack_key(keys[pid], channel_field) for pid in range(scheme.n)
+        }
+        result = run_anonchan(
+            params,
+            vss,
+            messages,
+            receiver=scheme.signer,
+            seed=(seed << 8) | b,
+        )
+        metrics.append(result.metrics)
+        y = result.outputs[scheme.signer].output
+        received = list(y.elements())
+        own = messages[scheme.signer].value
+        if own in received:
+            received.remove(own)  # the signer's dummy contribution
+        block = [unpack_key(channel_field(v), mac_field) for v in received]
+        signer_blocks.append(block)
+        for pid, view in verifiers.items():
+            view.keys.append(keys[pid])
+    return SignerSetup(blocks=signer_blocks), verifiers, metrics

@@ -1,0 +1,137 @@
+"""Transfer chains: pseudosignature integrity degrades per hop (§4).
+
+A pseudosignature is passed ``V_1 -> V_2 -> ... -> V_L``; verifier
+number ``v`` checks at level ``v`` (more tolerant than ``v-1``).  The
+scheme is *broken* if some ``V_v`` accepts while ``V_{v+1}`` rejects —
+the signer then created a signature whose validity depends on who holds
+it.  The decreasing thresholds plus the Anonymity of the setup channel
+make this happen with small probability only; :func:`break_probability`
+measures it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .scheme import Pseudosignature, PseudosignatureScheme, VerifierSetup
+
+
+@dataclass(frozen=True)
+class TransferStep:
+    """One verifier's verdict within a chain."""
+
+    pid: int
+    level: int
+    matches: int
+    threshold: int
+    accepted: bool
+
+
+def transfer_chain(
+    scheme: PseudosignatureScheme,
+    views: dict[int, VerifierSetup],
+    sig: Pseudosignature,
+    path: list[int],
+) -> list[TransferStep]:
+    """Pass ``sig`` along ``path``; verifier ``i`` checks at level ``i+1``.
+
+    The chain stops at the first rejection (a rejecting verifier does
+    not pass the signature on).
+    """
+    if len(path) > scheme.max_transfers:
+        raise ValueError(
+            f"path longer than transferability bound {scheme.max_transfers}"
+        )
+    steps: list[TransferStep] = []
+    for i, pid in enumerate(path):
+        level = i + 1
+        view = views[pid]
+        matches = scheme.matching_blocks(view, sig)
+        threshold = scheme.threshold(level)
+        accepted = matches >= threshold
+        steps.append(
+            TransferStep(
+                pid=pid,
+                level=level,
+                matches=matches,
+                threshold=threshold,
+                accepted=accepted,
+            )
+        )
+        if not accepted:
+            break
+    return steps
+
+
+def chain_broken(steps: list[TransferStep]) -> bool:
+    """True iff some verifier accepted and the *next* one rejected."""
+    for a, b in zip(steps, steps[1:]):
+        if a.accepted and not b.accepted:
+            return True
+    return False
+
+
+def targeted_partial_signature(
+    scheme: PseudosignatureScheme,
+    setup,
+    ownership: list[list[int]],
+    message,
+    victim: int,
+    victim_level: int = 2,
+    rng: random.Random | None = None,
+) -> Pseudosignature:
+    """The attack anonymity prevents: un-sign exactly the victim's keys.
+
+    Knowing key ownership (a *de-anonymized* setup), the cheating signer
+    leaves the victim's key unsigned in just enough blocks that every
+    earlier verifier still matches all blocks while the victim at
+    ``victim_level`` falls below its threshold — a deterministic
+    accept-then-reject break.  With the anonymous setup this targeting
+    is information-theoretically impossible.
+    """
+    from repro.fields import FieldElement
+    from .mac import mac_sign
+
+    if rng is None:
+        rng = random.Random(0)
+    blocks_to_spoil = scheme.blocks - scheme.threshold(victim_level) + 1
+    spoiled = set(range(blocks_to_spoil))
+    minisigs = []
+    for b, block in enumerate(setup.blocks):
+        row = []
+        for key, owner in zip(block, ownership[b]):
+            if b in spoiled and owner == victim:
+                row.append(scheme.mac_field.random(rng))  # garbage
+            else:
+                row.append(mac_sign(key, message))
+        minisigs.append(tuple(row))
+    return Pseudosignature(message=message, minisigs=tuple(minisigs))
+
+
+def break_probability(
+    scheme: PseudosignatureScheme,
+    trials: int,
+    rng: random.Random,
+    skip_fraction: float = 0.5,
+    path_length: int | None = None,
+) -> float:
+    """Monte-Carlo estimate of the cheating signer's break rate.
+
+    Each trial: fresh ideal setup, a partial signature, and a random
+    transfer path; counts the fraction of trials with an
+    accept-then-reject gap.
+    """
+    if path_length is None:
+        path_length = scheme.max_transfers
+    broken = 0
+    for _ in range(trials):
+        setup, views = scheme.ideal_setup(rng)
+        message = scheme.mac_field.random(rng)
+        sig = scheme.sign_partial(setup, message, rng, skip_fraction)
+        others = [p for p in views]
+        rng.shuffle(others)
+        steps = transfer_chain(scheme, views, sig, others[:path_length])
+        if chain_broken(steps):
+            broken += 1
+    return broken / trials

@@ -1,0 +1,46 @@
+"""Secret-sharing substrates used by the VSS layer.
+
+- :mod:`~repro.sharing.shamir` — plain (n, t) Shamir sharing.
+- :mod:`~repro.sharing.bivariate` — symmetric bivariate sharing (the
+  dealing structure of both VSS backends).
+- :mod:`~repro.sharing.reedsolomon` — Berlekamp–Welch error-corrected
+  reconstruction (robust reconstruction for t < n/3).
+- :mod:`~repro.sharing.icp` — Rabin–Ben-Or information checking
+  (unconditional share authentication for t < n/2).
+"""
+
+from .bivariate import (
+    SymmetricBivariate,
+    interpolate_bivariate_from_rows,
+    rows_consistent,
+)
+from .icp import (
+    ICPKey,
+    ICPTag,
+    forgery_probability,
+    icp_combine,
+    icp_generate,
+    icp_verify,
+)
+from .linalg import matrix_rank, solve_linear_system
+from .reedsolomon import DecodingError, berlekamp_welch, correct_shares
+from .shamir import ShamirScheme, Share
+
+__all__ = [
+    "ShamirScheme",
+    "Share",
+    "SymmetricBivariate",
+    "rows_consistent",
+    "interpolate_bivariate_from_rows",
+    "berlekamp_welch",
+    "correct_shares",
+    "DecodingError",
+    "ICPTag",
+    "ICPKey",
+    "icp_generate",
+    "icp_verify",
+    "icp_combine",
+    "forgery_probability",
+    "solve_linear_system",
+    "matrix_rank",
+]

@@ -1,0 +1,133 @@
+"""Symmetric bivariate polynomial sharing.
+
+The statistical and perfect VSS backends both deal a secret through a
+random symmetric bivariate polynomial ``F(x, y)`` of degree at most
+``t`` in each variable with ``F(0, 0) = s``.  Party ``P_i`` receives the
+row polynomial ``f_i(y) = F(i, y)``; symmetry gives the pairwise
+consistency relation ``f_i(j) = f_j(i)`` that drives the
+complaint/accusation phase, and ``f_i(0)`` are Shamir shares of ``s``
+on the degree-``t`` polynomial ``F(x, 0)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.fields import Field, FieldElement, Polynomial
+
+
+class SymmetricBivariate:
+    """A symmetric bivariate polynomial over a finite field.
+
+    Stored as a symmetric ``(t+1) x (t+1)`` coefficient matrix
+    ``c[j][k]`` (raw encodings) with ``F(x, y) = sum c[j][k] x^j y^k``.
+    """
+
+    __slots__ = ("field", "t", "coeffs")
+
+    def __init__(self, field: Field, coeffs: list[list[int]]):
+        t = len(coeffs) - 1
+        if any(len(row) != t + 1 for row in coeffs):
+            raise ValueError("coefficient matrix must be square")
+        for j in range(t + 1):
+            for k in range(j):
+                if coeffs[j][k] != coeffs[k][j]:
+                    raise ValueError("coefficient matrix must be symmetric")
+        self.field = field
+        self.t = t
+        self.coeffs = coeffs
+
+    @classmethod
+    def random(
+        cls,
+        field: Field,
+        t: int,
+        secret: FieldElement,
+        rng: random.Random,
+    ) -> "SymmetricBivariate":
+        """Uniformly random symmetric F with degree <= t and F(0,0)=secret."""
+        if t < 0:
+            raise ValueError("degree must be >= 0")
+        coeffs = [[0] * (t + 1) for _ in range(t + 1)]
+        for j in range(t + 1):
+            for k in range(j, t + 1):
+                v = rng.randrange(field.order)
+                coeffs[j][k] = v
+                coeffs[k][j] = v
+        coeffs[0][0] = secret.value
+        return cls(field, coeffs)
+
+    def __call__(self, x: FieldElement | int, y: FieldElement | int) -> FieldElement:
+        """Evaluate F(x, y)."""
+        return self.row(x)(y)
+
+    def row(self, x: FieldElement | int) -> Polynomial:
+        """The univariate row polynomial ``f_x(y) = F(x, y)``."""
+        f = self.field
+        xv = x.value if isinstance(x, FieldElement) else f.encode(x)
+        # Evaluate in x per y-power: row_k = sum_j c[j][k] x^j.
+        out = []
+        for k in range(self.t + 1):
+            acc = 0
+            power = f.encode(1)
+            for j in range(self.t + 1):
+                acc = f.add(acc, f.mul(self.coeffs[j][k], power))
+                power = f.mul(power, xv)
+            out.append(FieldElement(f, acc))
+        return Polynomial(f, out)
+
+    def secret(self) -> FieldElement:
+        """The shared secret ``F(0, 0)``."""
+        return FieldElement(self.field, self.coeffs[0][0])
+
+    def rows(self, xs: Sequence[FieldElement | int]) -> list[Polynomial]:
+        """Row polynomials for each evaluation point."""
+        return [self.row(x) for x in xs]
+
+
+def rows_consistent(
+    rows: dict[int, Polynomial], points: dict[int, FieldElement]
+) -> bool:
+    """Check pairwise symmetry ``f_i(j) == f_j(i)`` over the given rows.
+
+    ``rows`` maps party id to its row polynomial and ``points`` maps
+    party id to its evaluation point.
+    """
+    ids = sorted(rows)
+    for a_idx, i in enumerate(ids):
+        for j in ids[a_idx + 1 :]:
+            if rows[i](points[j]) != rows[j](points[i]):
+                return False
+    return True
+
+
+def interpolate_bivariate_from_rows(
+    field: Field,
+    t: int,
+    rows: dict[int, Polynomial],
+    points: dict[int, FieldElement],
+) -> SymmetricBivariate:
+    """Recover F from ``t + 1`` row polynomials.
+
+    Each y-coefficient of F's rows is a degree-``t`` polynomial in x, so
+    column-wise Lagrange interpolation over any ``t + 1`` rows pins the
+    whole coefficient matrix.  Raises ``ValueError`` if fewer than
+    ``t + 1`` rows are supplied or the result is not symmetric (i.e. the
+    rows did not come from a symmetric bivariate polynomial).
+    """
+    from repro.fields import lagrange_interpolate
+
+    ids = sorted(rows)[: t + 1]
+    if len(ids) < t + 1:
+        raise ValueError(f"need {t + 1} rows, got {len(rows)}")
+    coeffs = [[0] * (t + 1) for _ in range(t + 1)]
+    for k in range(t + 1):
+        pts = [(points[i], rows[i].coefficient(k)) for i in ids]
+        col = lagrange_interpolate(field, pts)
+        if col.degree > t:
+            raise ValueError("rows exceed degree bound")
+        for j in range(t + 1):
+            coeffs[j][k] = col.coefficient(j).value
+    # Symmetry check (constructor enforces it).
+    return SymmetricBivariate(field, coeffs)

@@ -1,0 +1,131 @@
+"""Information Checking Protocol (ICP) — Rabin–Ben-Or check vectors.
+
+The ICP is the unconditional analogue of a signature for the
+three-player setting dealer ``D`` / intermediary ``INT`` / receiver
+``R`` [RB89]:
+
+- ``D`` holds a value ``s``.  He picks auxiliary randomness ``y`` and a
+  key ``(b, c)`` with ``c = s + b * y``, gives ``(s, y)`` to ``INT`` and
+  ``(b, c)`` to ``R``.
+- Later ``INT`` reveals ``(s, y)`` to ``R``, who accepts iff
+  ``c == s + b * y``.
+
+An ``INT`` who wants to open a different value ``s' != s`` must find
+``y'`` with ``c = s' + b * y'`` without knowing ``(b, c)``; for each
+guess this succeeds with probability ``1/|F|`` (over the uniformly
+random ``b``), so the forgery probability is negligible in ``kappa``
+for ``F = GF(2^kappa)``.
+
+The scheme is *linear* when the same ``b`` is reused across instances:
+``c1 + c2 = (s1 + s2) + b * (y1 + y2)``, so tags and keys of a linear
+combination of values are the same linear combination of tags and keys.
+This is what lets the VSS layer authenticate shares of *sums* of
+secrets without further interaction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fields import Field, FieldElement
+
+
+@dataclass(frozen=True)
+class ICPTag:
+    """INT's side of an ICP instance: the value and auxiliary randomness."""
+
+    value: FieldElement
+    aux: FieldElement
+
+    def __add__(self, other: "ICPTag") -> "ICPTag":
+        return ICPTag(self.value + other.value, self.aux + other.aux)
+
+    def scale(self, scalar: FieldElement) -> "ICPTag":
+        """Tag for ``scalar * value`` (requires scaled key too)."""
+        return ICPTag(self.value * scalar, self.aux * scalar)
+
+
+@dataclass(frozen=True)
+class ICPKey:
+    """R's side of an ICP instance: the verification key ``(b, c)``."""
+
+    b: FieldElement
+    c: FieldElement
+
+    def __add__(self, other: "ICPKey") -> "ICPKey":
+        if self.b != other.b:
+            raise ValueError(
+                "ICP keys combine linearly only when sharing the same b"
+            )
+        return ICPKey(self.b, self.c + other.c)
+
+    def scale(self, scalar: FieldElement) -> "ICPKey":
+        """Key for ``scalar * value``."""
+        return ICPKey(self.b, self.c * scalar)
+
+
+def icp_generate(
+    value: FieldElement,
+    rng: random.Random,
+    b: FieldElement | None = None,
+) -> tuple[ICPTag, ICPKey]:
+    """Dealer-side generation of an ICP (tag for INT, key for R).
+
+    Passing an explicit ``b`` lets a dealer reuse one ``b`` per
+    (INT, R) pair across its parallel instances, which is what makes
+    the resulting authentication linear.
+    """
+    field = value.field
+    if b is None:
+        b = field.random_nonzero(rng)
+    elif not b:
+        raise ValueError("ICP key component b must be non-zero")
+    y = field.random(rng)
+    c = value + b * y
+    return ICPTag(value, y), ICPKey(b, c)
+
+
+def icp_verify(tag: ICPTag, key: ICPKey) -> bool:
+    """R's check: accept the opened ``(s, y)`` iff ``c == s + b*y``."""
+    return key.c == tag.value + key.b * tag.aux
+
+
+def icp_combine(
+    tags: Sequence[ICPTag],
+    keys: Sequence[ICPKey],
+    coefficients: Sequence[FieldElement] | None = None,
+) -> tuple[ICPTag, ICPKey]:
+    """Tag/key of a linear combination of authenticated values.
+
+    All keys must share the same ``b``.  With ``coefficients`` omitted,
+    computes the plain sum.
+    """
+    if len(tags) != len(keys) or not tags:
+        raise ValueError("need equally many (>=1) tags and keys")
+    if coefficients is None:
+        tag = tags[0]
+        key = keys[0]
+        for t, k in zip(tags[1:], keys[1:]):
+            tag = tag + t
+            key = key + k
+        return tag, key
+    if len(coefficients) != len(tags):
+        raise ValueError("one coefficient per instance required")
+    tag = tags[0].scale(coefficients[0])
+    key = keys[0].scale(coefficients[0])
+    for t, k, a in zip(tags[1:], keys[1:], coefficients[1:]):
+        tag = tag + t.scale(a)
+        key = key + k.scale(a)
+    return tag, key
+
+
+def forgery_probability(field: Field, attempts: int = 1) -> float:
+    """Upper bound on ICP forgery probability after ``attempts`` tries.
+
+    Each attempted opening of a modified value passes with probability
+    at most ``1/|F|`` over the receiver's (secret, uniform) key
+    component ``b``; a union bound gives ``attempts / |F|``.
+    """
+    return min(1.0, attempts / field.order)

@@ -1,0 +1,84 @@
+"""Dense linear algebra over a finite field.
+
+Gaussian elimination is all the Berlekamp–Welch decoder needs; kept as
+its own module because matrix solving over GF(2^k) is also handy in
+tests and analysis code.
+"""
+
+from __future__ import annotations
+
+from repro.fields import Field
+
+
+def solve_linear_system(
+    field: Field, matrix: list[list[int]], rhs: list[int]
+) -> list[int] | None:
+    """Solve ``A x = b`` over ``field``; return one solution or ``None``.
+
+    ``matrix`` rows and ``rhs`` hold raw field encodings.  When the
+    system is under-determined, free variables are set to zero.  Returns
+    ``None`` when the system is inconsistent.
+    """
+    rows = len(matrix)
+    if rows != len(rhs):
+        raise ValueError("matrix/rhs size mismatch")
+    cols = len(matrix[0]) if rows else 0
+    if any(len(r) != cols for r in matrix):
+        raise ValueError("ragged matrix")
+
+    a = [list(row) + [b] for row, b in zip(matrix, rhs)]
+    pivot_cols: list[int] = []
+    r = 0
+    for c in range(cols):
+        pivot = next((i for i in range(r, rows) if a[i][c] != 0), None)
+        if pivot is None:
+            continue
+        a[r], a[pivot] = a[pivot], a[r]
+        inv = field.inv(a[r][c])
+        a[r] = [field.mul(v, inv) for v in a[r]]
+        for i in range(rows):
+            if i != r and a[i][c] != 0:
+                factor = a[i][c]
+                a[i] = [
+                    field.sub(vi, field.mul(factor, vr))
+                    for vi, vr in zip(a[i], a[r])
+                ]
+        pivot_cols.append(c)
+        r += 1
+        if r == rows:
+            break
+    # Inconsistency check: a zero row with non-zero rhs.
+    for i in range(r, rows):
+        if all(v == 0 for v in a[i][:cols]) and a[i][cols] != 0:
+            return None
+    solution = [0] * cols
+    for row_idx, c in enumerate(pivot_cols):
+        solution[c] = a[row_idx][cols]
+    return solution
+
+
+def matrix_rank(field: Field, matrix: list[list[int]]) -> int:
+    """Rank of a matrix of raw field encodings."""
+    rows = [list(r) for r in matrix]
+    if not rows:
+        return 0
+    cols = len(rows[0])
+    rank = 0
+    for c in range(cols):
+        pivot = next((i for i in range(rank, len(rows)) if rows[i][c] != 0), None)
+        if pivot is None:
+            continue
+        rows[rank], rows[pivot] = rows[pivot], rows[rank]
+        inv = field.inv(rows[rank][c])
+        rows[rank] = [field.mul(v, inv) for v in rows[rank]]
+        for i in range(len(rows)):
+            if i != rank and rows[i][c] != 0:
+                factor = rows[i][c]
+                rows[i] = [
+                    field.sub(vi, field.mul(factor, vr))
+                    for vi, vr in zip(rows[i], rows[rank])
+                ]
+        rank += 1
+        if rank == len(rows):
+            break
+    return rank

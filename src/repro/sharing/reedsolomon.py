@@ -1,0 +1,138 @@
+"""Reed–Solomon decoding via the Berlekamp–Welch algorithm.
+
+Shamir shares are a Reed–Solomon codeword: ``n`` evaluations of a
+degree-``t`` polynomial.  With ``e`` corrupted shares and
+``n >= t + 1 + 2e``, Berlekamp–Welch recovers the polynomial and the
+error positions.  This is the robust-reconstruction engine of the
+perfect (t < n/3) VSS backend: there ``e <= t`` and ``n >= 3t + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fields import Field, FieldElement, Polynomial
+
+from .linalg import solve_linear_system
+
+
+class DecodingError(Exception):
+    """Raised when no codeword lies within the decoding radius."""
+
+
+def berlekamp_welch(
+    field: Field,
+    points: Sequence[tuple[FieldElement | int, FieldElement | int]],
+    degree: int,
+    max_errors: int | None = None,
+) -> tuple[Polynomial, list[int]]:
+    """Decode ``points`` as a degree-``degree`` polynomial with errors.
+
+    Parameters
+    ----------
+    points:
+        ``(x_i, y_i)`` pairs with distinct ``x_i``.
+    degree:
+        The degree bound ``t`` of the message polynomial.
+    max_errors:
+        Errors to tolerate; defaults to the maximum decodable
+        ``floor((n - degree - 1) / 2)``.
+
+    Returns
+    -------
+    (polynomial, error_positions):
+        The decoded polynomial and the indices into ``points`` whose
+        ``y`` disagrees with it.
+
+    Raises
+    ------
+    DecodingError:
+        If no polynomial of the given degree agrees with the points on
+        all but ``max_errors`` positions.
+    """
+    f = field
+    xs = [p[0].value if isinstance(p[0], FieldElement) else f.encode(p[0]) for p in points]
+    ys = [p[1].value if isinstance(p[1], FieldElement) else f.encode(p[1]) for p in points]
+    n = len(points)
+    if len(set(xs)) != n:
+        raise ValueError("duplicate x-coordinates")
+    if degree < 0:
+        raise ValueError("degree must be >= 0")
+    cap = (n - degree - 1) // 2
+    if max_errors is None:
+        max_errors = max(cap, 0)
+    if max_errors > cap:
+        raise ValueError(
+            f"cannot correct {max_errors} errors with n={n}, degree={degree} "
+            f"(max {cap})"
+        )
+
+    for e in range(max_errors, -1, -1):
+        result = _try_decode(f, xs, ys, degree, e)
+        if result is not None:
+            return result
+    raise DecodingError(
+        f"no degree-{degree} polynomial within {max_errors} errors of the "
+        f"{n} given points"
+    )
+
+
+def _try_decode(
+    f: Field, xs: list[int], ys: list[int], degree: int, e: int
+) -> tuple[Polynomial, list[int]] | None:
+    """One Berlekamp–Welch attempt with exactly ``e`` tolerated errors.
+
+    Solve for ``E`` (monic, degree ``e``) and ``Q`` (degree ``<= degree + e``)
+    with ``Q(x_i) = y_i * E(x_i)`` for all ``i``; then ``P = Q / E``.
+    """
+    n = len(xs)
+    num_q = degree + e + 1  # unknown coefficients of Q
+    num_e = e  # unknown coefficients of E (leading coeff fixed to 1)
+    matrix: list[list[int]] = []
+    rhs: list[int] = []
+    for xi, yi in zip(xs, ys):
+        row = []
+        # Q coefficients: x^0 .. x^(degree+e)
+        power = f.encode(1)
+        for _ in range(num_q):
+            row.append(power)
+            power = f.mul(power, xi)
+        # E coefficients (negated, moved to LHS): -y * x^0 .. -y * x^(e-1)
+        power = f.encode(1)
+        for _ in range(num_e):
+            row.append(f.neg(f.mul(yi, power)))
+            power = f.mul(power, xi)
+        matrix.append(row)
+        # RHS: y * x^e  (from the monic leading term of E)
+        rhs.append(f.mul(yi, f.pow(xi, e)))
+    solution = solve_linear_system(f, matrix, rhs)
+    if solution is None:
+        return None
+    q = Polynomial(f, [FieldElement(f, v) for v in solution[:num_q]])
+    e_coeffs = [FieldElement(f, v) for v in solution[num_q:]] + [f.one()]
+    e_poly = Polynomial(f, e_coeffs)
+    p, remainder = q.divmod(e_poly)
+    if not remainder.is_zero() or p.degree > degree:
+        return None
+    errors = [
+        i
+        for i, (xi, yi) in enumerate(zip(xs, ys))
+        if p(FieldElement(f, xi)).value != yi
+    ]
+    if len(errors) > e:
+        return None
+    return p, errors
+
+
+def correct_shares(
+    field: Field,
+    points: Sequence[tuple[FieldElement | int, FieldElement | int]],
+    degree: int,
+    max_errors: int | None = None,
+) -> tuple[FieldElement, list[int]]:
+    """Convenience wrapper: robustly reconstruct ``P(0)``.
+
+    Returns the secret and the indices of corrupted points.
+    """
+    poly, errors = berlekamp_welch(field, points, degree, max_errors)
+    return poly(0), errors

@@ -1,0 +1,159 @@
+"""Shamir secret sharing over an arbitrary finite field.
+
+The (n, t) scheme hides a secret at ``f(0)`` of a random degree-``t``
+polynomial and hands party ``P_i`` the evaluation ``f(alpha_i)``.  Any
+``t + 1`` shares reconstruct; any ``t`` reveal nothing.  Linearity —
+shares of a (public) linear combination of secrets are the same linear
+combination of the shares — is what the paper's step 4 relies on to sum
+the dart vectors "for free".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fields import (
+    Field,
+    FieldElement,
+    Polynomial,
+    interpolate_at,
+    lagrange_coefficients,
+)
+
+
+@dataclass(frozen=True)
+class Share:
+    """One party's Shamir share: the point ``(x, y)`` on the polynomial."""
+
+    x: FieldElement
+    y: FieldElement
+
+    def __add__(self, other: "Share") -> "Share":
+        if self.x != other.x:
+            raise ValueError("cannot add shares at different evaluation points")
+        return Share(self.x, self.y + other.y)
+
+    def scale(self, scalar: FieldElement) -> "Share":
+        """The share of ``scalar * secret``."""
+        return Share(self.x, self.y * scalar)
+
+
+class ShamirScheme:
+    """An (n, t) Shamir sharing scheme with evaluation points 1..n.
+
+    Parameters
+    ----------
+    field:
+        Field with ``order > n`` (needed for n distinct non-zero points).
+    n:
+        Number of parties.
+    t:
+        Degree of the sharing polynomial; any ``t`` shares are
+        independent of the secret, ``t + 1`` reconstruct it.
+    """
+
+    def __init__(self, field: Field, n: int, t: int):
+        if n < 1:
+            raise ValueError(f"need at least one party, got n={n}")
+        if not 0 <= t < n:
+            raise ValueError(f"threshold t={t} must satisfy 0 <= t < n={n}")
+        if field.order <= n:
+            raise ValueError(
+                f"field of order {field.order} too small for n={n} parties"
+            )
+        self.field = field
+        self.n = n
+        self.t = t
+        self.points = [field(i) for i in range(1, n + 1)]
+        self._recon_coeffs_full = lagrange_coefficients(field, self.points, 0)
+
+    # -- dealing ---------------------------------------------------------
+    def share(
+        self, secret: FieldElement, rng: random.Random
+    ) -> list[Share]:
+        """Deal shares of ``secret`` to all n parties."""
+        poly = Polynomial.random(self.field, self.t, rng, constant=secret)
+        return [Share(x, poly(x)) for x in self.points]
+
+    def share_with_polynomial(
+        self, secret: FieldElement, rng: random.Random
+    ) -> tuple[list[Share], Polynomial]:
+        """Deal shares and also return the sharing polynomial (dealer view)."""
+        poly = Polynomial.random(self.field, self.t, rng, constant=secret)
+        return [Share(x, poly(x)) for x in self.points], poly
+
+    def share_vector(
+        self, secrets: Sequence[FieldElement], rng: random.Random
+    ) -> list[list[Share]]:
+        """Deal many secrets in parallel: result[k][i] is P_i's k-th share."""
+        return [self.share(s, rng) for s in secrets]
+
+    # -- reconstruction ----------------------------------------------------
+    def reconstruct(self, shares: Sequence[Share]) -> FieldElement:
+        """Interpolate the secret from ``>= t + 1`` shares.
+
+        No error handling: shares are taken at face value.  Use
+        :func:`repro.sharing.reedsolomon.berlekamp_welch` (via
+        :meth:`reconstruct_robust` of the VSS layer) when some shares
+        may be corrupted.
+        """
+        if len(shares) < self.t + 1:
+            raise ValueError(
+                f"need at least {self.t + 1} shares, got {len(shares)}"
+            )
+        pts = [(s.x, s.y) for s in shares[: self.t + 1]]
+        return interpolate_at(self.field, pts, 0)
+
+    def reconstruct_all(self, shares: Sequence[Share]) -> FieldElement:
+        """Reconstruct from exactly all n shares using cached coefficients."""
+        if len(shares) != self.n:
+            raise ValueError(f"expected {self.n} shares, got {len(shares)}")
+        f = self.field
+        acc = 0
+        for coeff, share in zip(self._recon_coeffs_full, shares):
+            acc = f.add(acc, f.mul(coeff.value, share.y.value))
+        return FieldElement(f, acc)
+
+    def consistent(self, shares: Sequence[Share]) -> bool:
+        """True iff the given shares all lie on one degree <= t polynomial."""
+        if len(shares) <= self.t + 1:
+            return True
+        pts = [(s.x, s.y) for s in shares[: self.t + 1]]
+        for share in shares[self.t + 1 :]:
+            if interpolate_at(self.field, pts, share.x) != share.y:
+                return False
+        return True
+
+    # -- linearity ----------------------------------------------------------
+    @staticmethod
+    def add_shares(a: Sequence[Share], b: Sequence[Share]) -> list[Share]:
+        """Component-wise sum: shares of ``secret_a + secret_b``."""
+        return [sa + sb for sa, sb in zip(a, b)]
+
+    @staticmethod
+    def scale_shares(shares: Sequence[Share], scalar: FieldElement) -> list[Share]:
+        """Shares of ``scalar * secret``."""
+        return [s.scale(scalar) for s in shares]
+
+    def linear_combination(
+        self,
+        share_rows: Sequence[Sequence[Share]],
+        coefficients: Sequence[FieldElement],
+    ) -> list[Share]:
+        """Shares of ``sum_k coefficients[k] * secret_k``.
+
+        ``share_rows[k]`` must hold all n parties' shares of secret k.
+        """
+        if len(share_rows) != len(coefficients):
+            raise ValueError("one coefficient per share row required")
+        f = self.field
+        acc = [0] * self.n
+        for row, coeff in zip(share_rows, coefficients):
+            cv = coeff.value
+            for i, share in enumerate(row):
+                acc[i] = f.add(acc[i], f.mul(cv, share.y.value))
+        return [
+            Share(x, FieldElement(f, v)) for x, v in zip(self.points, acc)
+        ]

@@ -1,0 +1,116 @@
+"""Round/broadcast cost profiles of the VSS schemes the paper compares.
+
+Sources (all figures as cited *in the paper*):
+
+- RB89 (Rabin–Ben-Or): 7 sharing rounds (Section 1.1, Section 1.2).
+- Rab94 (Rabin): 9 sharing rounds (footnote 7).
+- GGOR13 (Garay–Givens–Ostrovsky–Raykov, ICITS'13): 21 sharing rounds
+  and only **2 broadcast rounds in sharing, none in reconstruction**
+  (Section 2.2); statically secure.
+
+The paper does not state broadcast-round counts for RB89/Rab94; those
+schemes use broadcast throughout their sharing phase, and we model them
+with a conservative placeholder (broadcast in every sharing round).
+Nothing reproduced here depends on the placeholder: the paper's
+broadcast claim (E2) is specifically "2 broadcasts with the GGOR13
+VSS", which is exact below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import VSSCost
+
+#: Rabin–Ben-Or STOC'89 statistical VSS, t < n/2 (7 sharing rounds).
+RB89_COST = VSSCost(
+    share_rounds=7,
+    share_broadcast_rounds=7,  # placeholder upper bound, see module docs
+    reconstruct_rounds=1,
+    reconstruct_broadcast_rounds=0,
+)
+
+#: Rabin JACM'94 statistical VSS, t < n/2 (9 sharing rounds).
+RAB94_COST = VSSCost(
+    share_rounds=9,
+    share_broadcast_rounds=9,  # placeholder upper bound, see module docs
+    reconstruct_rounds=1,
+    reconstruct_broadcast_rounds=0,
+)
+
+#: GGOR ICITS'13 broadcast-efficient statistical VSS, t < n/2.
+GGOR13_COST = VSSCost(
+    share_rounds=21,
+    share_broadcast_rounds=2,
+    reconstruct_rounds=1,
+    reconstruct_broadcast_rounds=0,
+)
+
+#: Our executable perfect VSS (t < n/3), honest-dealer fast path
+#: (3 rounds, no broadcast; faults trigger extra complaint rounds that
+#: do use broadcast -- measured in experiment E7).
+BGW_COST = VSSCost(
+    share_rounds=3,
+    share_broadcast_rounds=0,
+    reconstruct_rounds=1,
+    reconstruct_broadcast_rounds=0,
+)
+
+#: Our executable statistical VSS (t < n/2), honest-dealer fast path
+#: (3 rounds, no broadcast; complaints add broadcast rounds).
+RB89_IMPL_COST = VSSCost(
+    share_rounds=3,
+    share_broadcast_rounds=0,
+    reconstruct_rounds=1,
+    reconstruct_broadcast_rounds=0,
+)
+
+
+@dataclass(frozen=True)
+class VSSProfile:
+    """A named scheme profile for cost comparisons (experiment E7)."""
+
+    name: str
+    cost: VSSCost
+    threshold: str  # "t < n/2" or "t < n/3"
+    security: str  # "statistical" or "perfect"
+    source: str  # where the figures come from
+
+
+PROFILES: dict[str, VSSProfile] = {
+    "RB89": VSSProfile(
+        name="RB89",
+        cost=RB89_COST,
+        threshold="t < n/2",
+        security="statistical",
+        source="paper §1.1/§1.2 (7 rounds); broadcast count modeled",
+    ),
+    "Rab94": VSSProfile(
+        name="Rab94",
+        cost=RAB94_COST,
+        threshold="t < n/2",
+        security="statistical",
+        source="paper footnote 7 (9 rounds); broadcast count modeled",
+    ),
+    "GGOR13": VSSProfile(
+        name="GGOR13",
+        cost=GGOR13_COST,
+        threshold="t < n/2",
+        security="statistical (static adversary)",
+        source="paper §2.2 + footnote 7 (21 rounds, 2 broadcasts)",
+    ),
+    "BGW-impl": VSSProfile(
+        name="BGW-impl",
+        cost=BGW_COST,
+        threshold="t < n/3",
+        security="perfect",
+        source="this repository (measured, honest-dealer fast path)",
+    ),
+    "RB89-impl": VSSProfile(
+        name="RB89-impl",
+        cost=RB89_IMPL_COST,
+        threshold="t < n/2",
+        security="statistical",
+        source="this repository (measured, honest-dealer fast path)",
+    ),
+}

@@ -1,0 +1,429 @@
+"""Ideal-functionality VSS backend (hybrid-model composition).
+
+The paper composes AnonChan with VSS *black-box* and inherits its
+round/broadcast cost.  This backend mirrors that hybrid-world
+methodology: a trusted in-process functionality holds the dealt
+polynomials and enforces Commitment (a dealer cannot change a dealt
+value) and share authenticity (a corrupted party cannot open a wrong
+share without detection), while the party programs consume exactly the
+round/broadcast schedule of a chosen *cost profile* (RB89, Rab94,
+GGOR13, ...).  This lets the experiments scale AnonChan far beyond what
+a full message-level VSS execution could simulate, with metrics that
+match the real composition.
+
+The real message-passing backends (:mod:`repro.vss.bgw`,
+:mod:`repro.vss.rb89`) validate the VSS properties themselves; their
+tests plus this hybrid model together reproduce the paper's
+composition claim.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.fields import FieldElement
+from repro.network import Program, RoundOutput
+
+from .base import (
+    DEALER_DISQUALIFIED,
+    ReconstructionError,
+    SharedBatch,
+    ShareView,
+    VSSCost,
+    VSSScheme,
+    VSSSession,
+)
+
+
+class RefuseType:
+    """Sentinel a (corrupt) dealer passes to refuse to share properly."""
+
+    def __repr__(self) -> str:
+        return "REFUSE"
+
+
+#: Pass as ``secrets`` to model a dealer that gets publicly disqualified.
+REFUSE = RefuseType()
+
+#: Terms of a linear combination: serial -> raw coefficient encoding.
+Terms = tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class IdealShareView(ShareView):
+    """A party's view: symbolic terms plus its concrete share value."""
+
+    session: "IdealVSSSession"
+    pid: int
+    terms: Terms
+    value: int  # raw encoding of this party's Shamir share of the combo
+
+    def __add__(self, other: ShareView) -> "IdealShareView":
+        if not isinstance(other, IdealShareView) or other.session is not self.session:
+            raise ValueError("cannot combine views from different sessions")
+        if other.pid != self.pid:
+            raise ValueError("cannot combine views of different parties")
+        field = self.session.scheme.field
+        merged = dict(self.terms)
+        for serial, coeff in other.terms:
+            merged[serial] = field.add(merged.get(serial, 0), coeff)
+        terms = tuple(sorted((s, c) for s, c in merged.items() if c != 0))
+        return IdealShareView(
+            self.session, self.pid, terms, field.add(self.value, other.value)
+        )
+
+    def scale(self, scalar: FieldElement) -> "IdealShareView":
+        field = self.session.scheme.field
+        sv = scalar.value
+        terms = tuple(
+            (serial, field.mul(coeff, sv)) for serial, coeff in self.terms if field.mul(coeff, sv) != 0
+        )
+        return IdealShareView(
+            self.session, self.pid, terms, field.mul(self.value, sv)
+        )
+
+
+class IdealVSSSession(VSSSession):
+    """Shared trusted functionality + per-party program frontends."""
+
+    def __init__(self, scheme: "IdealVSS"):
+        super().__init__(scheme)
+        # Per dealt value: its share evaluations at x = 0..n (index 0 is
+        # the secret itself).  Polynomials are never materialized — the
+        # functionality only ever needs these n+1 points.
+        self._evals: list[list[int]] = []
+        self._batches: dict[tuple[int, int], int | RefuseType | None] = {}
+        self._batch_lengths: dict[tuple[int, int], int] = {}
+        self._counters: dict[tuple[int, int], int] = {}
+        self._lagrange_cache: dict[tuple[int, ...], list[int]] = {}
+        self._vector = None
+        self._vector_checked = False
+        self._evals_np = None  # cached numpy view of _evals
+
+    def _vector_backend(self):
+        """Lazily construct the numpy backend (table-backed fields only)."""
+        if not self._vector_checked:
+            self._vector_checked = True
+            try:
+                from repro.fields.vectorized import VectorGF2k
+
+                self._vector = VectorGF2k(self.scheme.field)
+            except (ValueError, AttributeError, ImportError):
+                self._vector = None
+        return self._vector
+
+    # -- functionality internals ------------------------------------------
+    def _deal(
+        self,
+        dealer: int,
+        batch_index: int,
+        secrets: Sequence[FieldElement] | RefuseType,
+        rng: random.Random,
+    ) -> None:
+        key = (dealer, batch_index)
+        if key in self._batches:
+            raise ValueError(f"dealer {dealer} already dealt batch {batch_index}")
+        if isinstance(secrets, RefuseType):
+            self._batches[key] = REFUSE
+            return
+        first = len(self._evals)
+        field = self.scheme.field
+        t = self.scheme.t
+        n = self.scheme.n
+        order = field.order
+        points = [field.encode(x) for x in range(n + 1)]
+        randrange = rng.randrange
+        coeff_rows = [
+            [secret.value] + [randrange(order) for _ in range(t)]
+            for secret in secrets
+        ]
+        vec = self._vector_backend()
+        if vec is not None and len(coeff_rows) >= 32:
+            # Large batch on a table-backed field: evaluate all sharing
+            # polynomials at all party points in a few numpy gathers.
+            import numpy as np
+
+            table = vec.eval_at_points(
+                np.asarray(coeff_rows, dtype=np.uint32), points
+            )
+            self._evals.extend(row.tolist() for row in table)
+        else:
+            add, mul = field.add, field.mul
+            for coeffs in coeff_rows:
+                evals = []
+                for x in points:
+                    acc = 0
+                    for c in reversed(coeffs):  # Horner
+                        acc = add(mul(acc, x), c)
+                    evals.append(acc)
+                self._evals.append(evals)
+        self._batches[key] = first
+        self._batch_lengths[key] = len(secrets)
+
+    def _eval_terms(self, terms: Terms, x_index: int) -> int:
+        """Value of a linear combination at party point index (0 = secret)."""
+        field = self.scheme.field
+        evals = self._evals
+        add, mul = field.add, field.mul
+        acc = 0
+        for serial, coeff in terms:
+            acc = add(acc, mul(coeff, evals[serial][x_index]))
+        return acc
+
+    def _point(self, pid: int) -> int:
+        return self.scheme.field.encode(pid + 1)
+
+    # -- VSSSession interface ----------------------------------------------
+    def share_program(
+        self,
+        pid: int,
+        dealer: int,
+        secrets: Sequence[FieldElement] | RefuseType | None,
+        rng: random.Random,
+        count: int = 1,
+    ) -> Program:
+        scheme: IdealVSS = self.scheme  # type: ignore[assignment]
+        batch_index = self._counters.get((pid, dealer), 0)
+        self._counters[(pid, dealer)] = batch_index + 1
+
+        if pid == dealer:
+            if secrets is None:
+                raise ValueError("dealer must supply secrets (or REFUSE)")
+            if not isinstance(secrets, RefuseType) and len(secrets) != count:
+                raise ValueError(
+                    f"dealer supplied {len(secrets)} secrets for a batch of {count}"
+                )
+            self._deal(dealer, batch_index, secrets, rng)
+
+        cost = scheme.cost
+        for r in range(cost.share_rounds):
+            if pid == dealer and r < cost.share_broadcast_rounds:
+                yield RoundOutput(broadcast="vss-share")
+            else:
+                yield RoundOutput.silent()
+
+        record = self._batches.get((dealer, batch_index))
+        if record is None or isinstance(record, RefuseType):
+            return DEALER_DISQUALIFIED
+        first = record
+        count = self._batch_lengths[(dealer, batch_index)]
+        one = self.scheme.field.encode(1)
+        views = [
+            IdealShareView(
+                self,
+                pid,
+                terms=((first + k, one),),
+                value=self._evals[first + k][pid + 1],
+            )
+            for k in range(count)
+        ]
+        return SharedBatch(dealer=dealer, views=views)
+
+    def zero_view(self, pid: int) -> IdealShareView:
+        return IdealShareView(self, pid, terms=(), value=0)
+
+    def open_program(self, pid: int, views):
+        """Batched public opening (numpy fast path).
+
+        Semantically identical to the base implementation: honest
+        parties all open the same views, so a payload is accepted iff it
+        matches the verifier's expected ``(terms, value)`` for that
+        position; positions where the expected group misses quorum fall
+        back to the generic per-value logic (which also handles senders
+        forming alternative terms-groups).
+        """
+        from repro.network import RoundOutput
+
+        vec = self._vector_backend()
+        n = self.scheme.n
+        payloads = [self.reveal_payload(pid, v) for v in views]
+        inbox = yield RoundOutput(
+            private={j: payloads for j in range(n) if j != pid}
+        )
+        columns: list[tuple[int, Any]] = [(pid, payloads)]
+        for sender, payload in inbox.private.items():
+            if isinstance(payload, (list, tuple)) and len(payload) == len(views):
+                columns.append((sender, payload))
+
+        if vec is None or len(views) < 64:
+            return self._combine_columns(columns, views, pid)
+
+        import numpy as np
+
+        field = self.scheme.field
+        quorum = self.scheme.t + 1
+        # Flatten the verifier's own terms: arrays over (value, term).
+        ks, serials, coeffs = [], [], []
+        for k, view in enumerate(views):
+            for serial, coeff in view.terms:
+                ks.append(k)
+                serials.append(serial)
+                coeffs.append(coeff)
+        if self._evals_np is None or self._evals_np.shape[0] != len(self._evals):
+            self._evals_np = np.asarray(self._evals, dtype=np.uint32)
+        evals_arr = self._evals_np
+        serial_idx = np.asarray(serials, dtype=np.int64)
+        coeff_arr = np.asarray(coeffs, dtype=np.uint32)
+        # Segment boundaries per value (terms were appended in k order).
+        ks_arr = np.asarray(ks, dtype=np.int64)
+        boundaries = np.searchsorted(ks_arr, np.arange(len(views)))
+
+        def expected_for_point(x_index: int) -> np.ndarray:
+            if len(serial_idx) == 0:
+                return np.zeros(len(views), dtype=np.uint32)
+            prod = vec.mul(evals_arr[serial_idx, x_index], coeff_arr)
+            segments = np.bitwise_xor.reduceat(prod, boundaries)
+            # reduceat misbehaves for empty segments (views with no
+            # terms); patch those to zero.
+            out = np.zeros(len(views), dtype=np.uint32)
+            counts = np.diff(np.append(boundaries, len(prod)))
+            out[counts > 0] = segments[counts > 0]
+            return out
+
+        expected_terms = [v.terms for v in views]
+        accepted: list[list[tuple[int, int]]] = [[] for _ in views]
+        num_views = len(views)
+        for sender, column in columns:
+            expected_vals = expected_for_point(sender + 1).tolist()
+            point = sender + 1
+            for k in range(num_views):
+                row = accepted[k]
+                if len(row) >= quorum:
+                    continue
+                payload = column[k]
+                if (
+                    type(payload) is tuple
+                    and len(payload) == 3
+                    and payload[0] == sender
+                    and payload[2] == expected_vals[k]
+                    and payload[1] == expected_terms[k]
+                ):
+                    row.append((point, payload[2]))
+
+        results = []
+        for k in range(len(views)):
+            pts = accepted[k]
+            if len(pts) < quorum:
+                # Rare/adversarial: defer to the generic logic.
+                results.append(
+                    self.verify_and_combine(
+                        {sender: column[k] for sender, column in columns},
+                        verifier=pid,
+                    )
+                )
+                continue
+            xs = tuple(p[0] for p in pts)
+            lag = self._lagrange_cache.get(xs)
+            if lag is None:
+                from repro.fields import lagrange_coefficients
+
+                lag = [c.value for c in lagrange_coefficients(field, xs, 0)]
+                self._lagrange_cache[xs] = lag
+            add, mul = field.add, field.mul
+            acc = 0
+            for (_, value), c in zip(pts, lag):
+                acc = add(acc, mul(c, value))
+            results.append(FieldElement(field, acc))
+        return results
+
+    def _combine_columns(self, columns, views, pid):
+        """Scalar path shared with the base class's semantics."""
+        results = []
+        for k in range(len(views)):
+            results.append(
+                self.verify_and_combine(
+                    {sender: column[k] for sender, column in columns},
+                    verifier=pid,
+                )
+            )
+        return results
+
+    def reveal_payload(self, pid: int, view: ShareView) -> Any:
+        if not isinstance(view, IdealShareView):
+            raise TypeError("expected an IdealShareView")
+        return (pid, view.terms, view.value)
+
+    def verify_and_combine(
+        self, payloads: Mapping[int, Any], verifier: int | None = None
+    ) -> FieldElement:
+        """Models the w.h.p. guarantees of a real statistical VSS-Rec.
+
+        A payload from party ``i`` is accepted iff its claimed share
+        value matches the functionality's record for the claimed terms
+        at ``i``'s evaluation point (real schemes achieve this check via
+        ICP / error correction).  The value of the terms-group with at
+        least ``t + 1`` accepted payloads is reconstructed by Lagrange
+        interpolation of the accepted points.
+        """
+        field = self.scheme.field
+        quorum = self.scheme.t + 1
+        groups: dict[Terms, list[tuple[int, int]]] = {}
+        for sender, payload in payloads.items():
+            if (
+                type(payload) is not tuple
+                or len(payload) != 3
+                or payload[0] != sender
+                or type(payload[2]) is not int
+            ):
+                continue  # malformed or mis-attributed payload: rejected
+            groups.setdefault(payload[1], []).append((sender, payload[2]))
+
+        evals = self._evals
+        num_values = len(evals)
+        add, mul = field.add, field.mul
+        # Largest claimed group first; within a group, verify members
+        # lazily — with >= t+1 honest contributors the first quorum of
+        # verifications already succeeds.
+        for terms, members in sorted(groups.items(), key=lambda kv: -len(kv[1])):
+            if len(members) < quorum:
+                break
+            if type(terms) is not tuple or not all(
+                type(term) is tuple
+                and len(term) == 2
+                and type(term[0]) is int
+                and 0 <= term[0] < num_values
+                and type(term[1]) is int
+                for term in terms
+            ):
+                continue  # references to non-existent sharings: rejected
+            pts: list[tuple[int, int]] = []
+            for sender, value in members:
+                x_index = sender + 1
+                expected = 0
+                for serial, coeff in terms:
+                    expected = add(expected, mul(coeff, evals[serial][x_index]))
+                if expected != value:
+                    continue  # forged share value: rejected (w.h.p. in reality)
+                pts.append((x_index, value))
+                if len(pts) == quorum:
+                    break
+            if len(pts) < quorum:
+                continue
+            xs = tuple(p[0] for p in pts)
+            coeffs = self._lagrange_cache.get(xs)
+            if coeffs is None:
+                from repro.fields import lagrange_coefficients
+
+                coeffs = [c.value for c in lagrange_coefficients(field, xs, 0)]
+                self._lagrange_cache[xs] = coeffs
+            acc = 0
+            for (_, value), c in zip(pts, coeffs):
+                acc = add(acc, mul(c, value))
+            return FieldElement(field, acc)
+        raise ReconstructionError(
+            f"no terms-group reached {quorum} verified payloads"
+        )
+
+
+class IdealVSS(VSSScheme):
+    """Ideal linear VSS with a pluggable round/broadcast cost profile."""
+
+    def __init__(self, field, n: int, t: int, cost: VSSCost | None = None):
+        if cost is None:
+            cost = VSSCost(share_rounds=1, share_broadcast_rounds=0)
+        super().__init__(field, n, t, cost)
+
+    def new_session(self, rng: random.Random) -> IdealVSSSession:
+        return IdealVSSSession(self)

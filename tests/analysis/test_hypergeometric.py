@@ -1,0 +1,168 @@
+"""Tests for the hypergeometric tail machinery behind Claim 2."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    chvatal_tail_bound,
+    collision_tail_bound,
+    expected_pairwise_collisions,
+    hypergeometric_pmf,
+    hypergeometric_tail,
+    paper_c_for_budget,
+    paper_collision_budget,
+    paper_tail_bound,
+)
+
+
+class TestPmf:
+    def test_sums_to_one(self):
+        total = sum(
+            hypergeometric_pmf(20, 7, 5, k) for k in range(0, 6)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # Pr[X=1] for (N=10, K=4, n=3): C(4,1)C(6,2)/C(10,3) = 60/120 = 0.5
+        assert hypergeometric_pmf(10, 4, 3, 1) == pytest.approx(0.5)
+
+    def test_out_of_support(self):
+        assert hypergeometric_pmf(10, 4, 3, 4) == 0.0
+        assert hypergeometric_pmf(10, 4, 3, -1) == 0.0
+
+    def test_mean(self):
+        n_pop, k_succ, draws = 50, 10, 12
+        mean = sum(
+            k * hypergeometric_pmf(n_pop, k_succ, draws, k)
+            for k in range(0, draws + 1)
+        )
+        assert mean == pytest.approx(draws * k_succ / n_pop)
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rv = scipy_stats.hypergeom(40, 9, 11)
+        for k in range(0, 10):
+            assert hypergeometric_pmf(40, 9, 11, k) == pytest.approx(
+                rv.pmf(k), abs=1e-12
+            )
+
+
+class TestTail:
+    def test_tail_is_complement(self):
+        assert hypergeometric_tail(20, 7, 5, 0) == pytest.approx(1.0)
+
+    def test_tail_monotone(self):
+        tails = [hypergeometric_tail(30, 10, 8, k) for k in range(9)]
+        assert all(a >= b for a, b in zip(tails, tails[1:]))
+
+    def test_chvatal_bounds_exact_tail(self):
+        """The Chvátal/Hoeffding bound dominates the exact tail."""
+        for k in range(3, 9):
+            exact = hypergeometric_tail(100, 20, 8, k)
+            bound = chvatal_tail_bound(100, 20, 8, k)
+            assert bound >= exact - 1e-12
+
+    def test_chvatal_trivial_below_mean(self):
+        assert chvatal_tail_bound(100, 50, 10, 2) == 1.0
+
+
+class TestPaperBound:
+    def test_budget_formula(self):
+        n, d, ell = 5, 16, 640
+        c = 0.05
+        assert paper_collision_budget(n, d, ell, c) == pytest.approx(
+            25 * (256 / 640 + 0.05 * 16)
+        )
+
+    def test_c_inversion(self):
+        n, d, ell = 5, 16, 640
+        c = paper_c_for_budget(n, d, ell, budget=d / 2)
+        assert paper_collision_budget(n, d, ell, c) == pytest.approx(d / 2)
+
+    def test_tail_bound_formula(self):
+        assert paper_tail_bound(4, 100, 1000, 0.2) == pytest.approx(
+            16 * math.exp(-0.04 * 100)
+        )
+
+    def test_paper_choice_satisfies_both(self):
+        """C = 1/(4 n^2), d = n^4 kappa, l = 4 n^6 kappa (proof of Thm 1)."""
+        n, kappa = 4, 8
+        d, ell = n**4 * kappa, 4 * n**6 * kappa
+        c = 1 / (4 * n**2)
+        assert paper_collision_budget(n, d, ell, c) == pytest.approx(d / 2)
+        assert c * c * d == pytest.approx(kappa / 16)
+
+    def test_negative_c_rejected(self):
+        with pytest.raises(ValueError):
+            paper_tail_bound(4, 10, 100, -0.1)
+
+
+class TestMonteCarlo:
+    """Claim 2 validated against simulation (the E3 experiment in small)."""
+
+    @staticmethod
+    def _total_collisions(n, d, ell, rng):
+        sets = [frozenset(rng.sample(range(ell), d)) for _ in range(n)]
+        return sum(
+            len(sets[i] & sets[j])
+            for i in range(n)
+            for j in range(n)
+            if i != j
+        )
+
+    def test_expectation_matches(self):
+        n, d, ell = 4, 8, 256
+        rng = random.Random(0)
+        trials = 400
+        mean = (
+            sum(self._total_collisions(n, d, ell, rng) for _ in range(trials))
+            / trials
+        )
+        expected = expected_pairwise_collisions(n, d, ell)
+        assert mean == pytest.approx(expected, rel=0.25)
+
+    def test_tail_bound_holds_empirically(self):
+        n, d, ell = 4, 8, 256
+        rng = random.Random(1)
+        c = 0.25
+        budget = paper_collision_budget(n, d, ell, c)
+        bound = paper_tail_bound(n, d, ell, c)
+        trials = 300
+        exceed = sum(
+            self._total_collisions(n, d, ell, rng) >= budget
+            for _ in range(trials)
+        )
+        assert exceed / trials <= min(1.0, bound) + 0.05
+
+    def test_per_party_bound_holds_empirically(self):
+        n, d, ell = 5, 8, 320
+        rng = random.Random(2)
+        bound = collision_tail_bound(n, d, ell, budget=d / 2)
+        trials = 400
+        bad = 0
+        for _ in range(trials):
+            sets = [frozenset(rng.sample(range(ell), d)) for _ in range(n)]
+            others = set().union(*sets[1:])
+            if len(sets[0] & others) >= d / 2:
+                bad += 1
+        assert bad / trials <= bound + 0.05
+
+
+@settings(max_examples=40)
+@given(
+    pop=st.integers(min_value=10, max_value=200),
+    succ=st.integers(min_value=1, max_value=9),
+    draws=st.integers(min_value=1, max_value=9),
+    k=st.integers(min_value=0, max_value=9),
+)
+def test_tail_bounded_by_one_and_nonneg(pop, succ, draws, k):
+    tail = hypergeometric_tail(pop, succ, draws, k)
+    assert 0.0 <= tail <= 1.0 + 1e-12
+    kk = max(k, 1)
+    assert chvatal_tail_bound(pop, succ, draws, kk) >= (
+        hypergeometric_tail(pop, succ, draws, kk) - 1e-9
+    )

@@ -1,0 +1,93 @@
+"""Tests for round-complexity models and error budgets."""
+
+import pytest
+
+from repro.analysis import (
+    anonchan_rounds,
+    comparison_table,
+    empirical_distribution,
+    error_budget,
+    pw96_rounds,
+    required_checks_for,
+    statistical_distance,
+    vabh03_rounds,
+    zhang11_rounds,
+)
+from repro.core import scaled_parameters
+from repro.vss import GGOR13_COST, RB89_COST
+
+
+class TestRoundModels:
+    def test_anonchan_with_rb89(self):
+        """§1.1: round complexity essentially r_VSS-share (7 for RB89)."""
+        est = anonchan_rounds(RB89_COST)
+        assert est.rounds == 7 + 5
+
+    def test_anonchan_with_ggor13_broadcasts(self):
+        """Abstract/E2: two broadcast rounds total with GGOR13."""
+        est = anonchan_rounds(GGOR13_COST)
+        assert est.broadcast_rounds == 2
+
+    def test_zhang11_dominated_by_bit_decomposition(self):
+        """§1.2: 114-round bit decomposition vs 7-round VSS sharing."""
+        z = zhang11_rounds(RB89_COST)
+        a = anonchan_rounds(RB89_COST)
+        assert z.rounds >= 7 + 114 + 114
+        assert z.rounds > 10 * a.rounds
+
+    def test_pw96_quadratic_growth(self):
+        """Footnote 1: the adversary forces Omega(n^2) rounds."""
+        small = pw96_rounds(8).rounds
+        big = pw96_rounds(16).rounds
+        assert big >= 3.5 * small  # ~quadratic: x4 when n doubles
+
+    def test_pw96_beats_nobody_at_scale(self):
+        for n in (9, 15, 25):
+            assert pw96_rounds(n).rounds > anonchan_rounds().rounds
+
+    def test_vabh03_repetition(self):
+        one = vabh03_rounds(0.5)
+        strong = vabh03_rounds(1 - 2**-10)
+        assert one.rounds == 3
+        assert strong.rounds == 30  # 10 repetitions
+
+    def test_comparison_table_ordering(self):
+        """E1's headline: ours fastest among the compared protocols."""
+        table = comparison_table(n=10)
+        ours = table[0]
+        assert ours.protocol.startswith("GGOR14")
+        for other in table[1:3]:  # Zhang11 and PW96
+            assert ours.rounds < other.rounds
+
+
+class TestErrorBudget:
+    def test_terms_shrink_with_parameters(self):
+        weak = error_budget(scaled_parameters(n=4, num_checks=3))
+        strong = error_budget(scaled_parameters(n=4, num_checks=12))
+        assert strong.cheater_survival < weak.cheater_survival
+
+    def test_reliability_superset_of_terms(self):
+        b = error_budget(scaled_parameters(n=5))
+        assert b.reliability >= b.cheater_survival
+        assert b.reliability >= b.collision_overflow
+
+    def test_anonymity_only_vss(self):
+        b = error_budget(scaled_parameters(n=5), vss_failure=0.25)
+        assert b.anonymity == 0.25
+        assert error_budget(scaled_parameters(n=5)).anonymity == 0.0
+
+    def test_required_checks(self):
+        assert required_checks_for(40, t=1) == 40
+        assert required_checks_for(40, t=8) == 43
+
+
+class TestStatistics:
+    def test_statistical_distance_basics(self):
+        assert statistical_distance({"a": 1.0}, {"a": 1.0}) == 0.0
+        assert statistical_distance({"a": 1.0}, {"b": 1.0}) == 1.0
+        assert statistical_distance({"a": 0.5, "b": 0.5}, {"a": 1.0}) == 0.5
+
+    def test_empirical_distribution(self):
+        d = empirical_distribution(["x", "x", "y", "z"])
+        assert d == {"x": 0.5, "y": 0.25, "z": 0.25}
+        assert empirical_distribution([]) == {}

@@ -1,0 +1,79 @@
+"""Tests for the GJ04 baseline model."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines import (
+    collision_free_probability,
+    gj04_measure_reliability,
+    gj04_run_with_repetition,
+    run_gj04_once,
+)
+from repro.baselines.gj04 import BROADCAST_ROUNDS_PER_ATTEMPT
+
+
+class TestSingleRun:
+    def test_lone_message_delivered(self):
+        rng = random.Random(0)
+        run = run_gj04_once([42], slots=16, rng=rng)
+        assert run.delivered[42] == 1
+        assert run.reliable()
+
+    def test_non_interactivity(self):
+        run = run_gj04_once([1], slots=4, rng=random.Random(1))
+        assert run.broadcast_rounds == BROADCAST_ROUNDS_PER_ATTEMPT == 1
+
+    def test_collision_destroys(self):
+        # One slot: two messages always collide.
+        run = run_gj04_once([1, 2], slots=1, rng=random.Random(2))
+        assert not run.delivered
+        assert not run.reliable()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_gj04_once([1], slots=0, rng=random.Random(0))
+
+
+class TestCollisionRate:
+    def test_birthday_formula(self):
+        assert collision_free_probability(2, 2) == pytest.approx(0.5)
+        assert collision_free_probability(1, 10) == pytest.approx(1.0)
+        assert collision_free_probability(11, 10) == 0.0
+
+    def test_measured_matches_formula(self):
+        n, slots = 5, 40
+        measured = gj04_measure_reliability(n, slots, trials=2000, seed=3)
+        predicted = collision_free_probability(n, slots)
+        assert measured == pytest.approx(predicted, abs=0.05)
+
+    def test_reliability_decays_with_n(self):
+        """The §1.2 criticism: no collision handling, even all-honest."""
+        slots = 64
+        rates = [
+            gj04_measure_reliability(n, slots, trials=800, seed=n)
+            for n in (2, 6, 12)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+
+class TestRepetitionMalleability:
+    def test_delivery_by_repetition(self):
+        rng = random.Random(4)
+        trace = gj04_run_with_repetition([1, 2, 3], slots=4, rng=rng)
+        assert trace.delivered >= Counter([1, 2, 3])
+        assert trace.broadcast_rounds == trace.attempts
+
+    def test_spurious_dependent_values(self):
+        """'...allows the adversary to introduce additional spurious
+        values; thus in addition to being unreliable the construction
+        becomes malleable' (§1.2)."""
+        echoes = 0
+        for seed in range(40):
+            rng = random.Random(seed)
+            trace = gj04_run_with_repetition(
+                [10, 20, 30, 40], slots=5, rng=rng
+            )
+            echoes += trace.echoes
+        assert echoes > 0

@@ -1,0 +1,154 @@
+"""Tests for the PW96, Zhang'11 and vABH03 baseline models."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines import (
+    MaximalDisruption,
+    NoDisruption,
+    all_pairs_with_corrupt,
+    batcher_network,
+    half_reliability_parameters,
+    measure_reliability,
+    run_pw96,
+    run_vabh03_once,
+    run_with_repetition,
+    worst_case_runs,
+    zhang11_round_count,
+    zhang11_shuffle,
+)
+from repro.fields import gf2k
+
+
+class TestPW96:
+    def test_honest_case_single_run(self):
+        trace = run_pw96(n=7, corrupt={1, 2}, strategy=NoDisruption())
+        assert trace.runs == 1
+        assert trace.delivered
+
+    def test_maximal_disruption_burns_all_pairs(self):
+        n, corrupt = 8, {0, 1, 2}
+        trace = run_pw96(n, corrupt, MaximalDisruption())
+        expected_pairs = all_pairs_with_corrupt(n, corrupt)
+        assert set(trace.eliminated_pairs) == expected_pairs
+        assert trace.runs == len(expected_pairs) + 1  # final clean run
+
+    def test_worst_case_is_quadratic(self):
+        """Footnote 1: Omega(n^2) runs with t = Theta(n)."""
+        runs = []
+        for n in (8, 16, 32):
+            t = (n - 1) // 2
+            runs.append(worst_case_runs(n, t))
+        assert runs[1] >= 3.5 * runs[0]
+        assert runs[2] >= 3.5 * runs[1]
+
+    def test_trace_matches_worst_case_formula(self):
+        n, t = 10, 4
+        corrupt = set(range(t))
+        trace = run_pw96(n, corrupt, MaximalDisruption())
+        assert len(trace.eliminated_pairs) == worst_case_runs(n, t)
+
+    def test_player_elimination_is_linear(self):
+        """HMP00-style elimination: at most t failed runs."""
+        n, corrupt = 12, {0, 1, 2, 3, 4}
+        trace = run_pw96(
+            n, corrupt, MaximalDisruption(), player_elimination=True
+        )
+        assert trace.runs <= len(corrupt) + 1
+
+    def test_localization_soundness_enforced(self):
+        class Framing(MaximalDisruption):
+            def next_disruption(self, corrupt_active, honest_active, burned):
+                return frozenset(sorted(honest_active)[:2])  # frame honest
+
+        with pytest.raises(ValueError):
+            run_pw96(6, {5}, Framing())
+
+    def test_rounds_scale_with_runs(self):
+        trace = run_pw96(6, {0}, MaximalDisruption(), rounds_per_run=4)
+        assert trace.rounds == trace.runs * 4
+
+
+class TestZhang11:
+    def test_shuffle_preserves_multiset(self):
+        f = gf2k(16)
+        rng = random.Random(0)
+        inputs = [f(v) for v in (5, 9, 9, 1, 30)]
+        trace = zhang11_shuffle(f, inputs, rng)
+        assert Counter(v.value for v in trace.shuffled) == Counter(
+            v.value for v in inputs
+        )
+
+    def test_shuffle_is_actually_random(self):
+        f = gf2k(16)
+        rng = random.Random(1)
+        inputs = [f(v) for v in (1, 2, 3)]
+        orders = set()
+        for _ in range(50):
+            trace = zhang11_shuffle(f, inputs, rng)
+            orders.add(tuple(v.value for v in trace.shuffled))
+        assert len(orders) == 6  # all 3! permutations appear
+
+    def test_round_count_matches_paper_formula(self):
+        """§1.2: r_VSS + r_comp + r_eq + r_mult with RB89 + DFK+06."""
+        assert zhang11_round_count() == 7 + 114 + 114 + 3
+
+    def test_shuffle_trace_rounds(self):
+        f = gf2k(16)
+        trace = zhang11_shuffle(f, [f(1), f(2)], random.Random(2))
+        assert trace.rounds == zhang11_round_count()
+        assert trace.sub_protocol_invocations > 0
+
+    def test_batcher_network_sorts(self):
+        for n in (2, 3, 5, 8, 13):
+            net = batcher_network(n)
+            rng = random.Random(n)
+            values = [rng.randrange(100) for _ in range(n)]
+            for a, b in net:
+                if values[a] > values[b]:
+                    values[a], values[b] = values[b], values[a]
+            assert values == sorted(values)
+
+
+class TestVABH03:
+    def test_lone_dart_delivered(self):
+        rng = random.Random(0)
+        run = run_vabh03_once([42], slots=10, copies=3, rng=rng)
+        assert run.delivered[42] >= 1
+        assert run.reliable()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_vabh03_once([1], slots=0, copies=1, rng=random.Random(0))
+
+    def test_half_reliability_regime(self):
+        """The paper's §1.2 point: per-run reliability around 1/2 (E8)."""
+        n = 8
+        slots, copies = half_reliability_parameters(n)
+        r = measure_reliability(n, slots, copies, trials=600, seed=1)
+        assert 0.3 <= r <= 0.75
+
+    def test_our_style_parameters_are_reliable(self):
+        """With redundancy (many copies, wide vector) reliability ~ 1."""
+        r = measure_reliability(4, slots=400, copies=8, trials=300, seed=2)
+        assert r >= 0.99
+
+    def test_repetition_reaches_delivery(self):
+        rng = random.Random(3)
+        trace = run_with_repetition([1, 2, 3, 4], slots=8, copies=1, rng=rng)
+        assert trace.delivered >= Counter([1, 2, 3, 4])
+
+    def test_repetition_is_malleable(self):
+        """§1.2's criticism made concrete: across many executions the
+        repeating adversary echoes previously revealed honest values, so
+        Y \\ X depends on X."""
+        echoes = 0
+        for seed in range(30):
+            rng = random.Random(seed)
+            trace = run_with_repetition(
+                [10, 20, 30, 40, 50], slots=6, copies=1, rng=rng
+            )
+            echoes += trace.echoes
+        assert echoes > 0

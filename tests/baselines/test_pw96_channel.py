@@ -1,0 +1,104 @@
+"""Tests for the runnable PW96-style channel (traps + localization loop)."""
+
+import random
+
+import pytest
+
+from repro.baselines.pw96_channel import run_pw96_channel
+from repro.fields import gf2k
+
+
+@pytest.fixture(scope="module")
+def f():
+    return gf2k(16)
+
+
+class TestHonestDelivery:
+    def test_no_corruption_fast(self, f):
+        trace = run_pw96_channel(
+            f, n=5, corrupt=set(), messages={1: 111, 3: 333},
+            rng=random.Random(0),
+        )
+        assert not trace.gave_up
+        assert trace.delivered[111] == 1
+        assert trace.delivered[333] == 1
+        assert trace.investigations == 0
+        assert trace.rounds <= 4  # only slot collisions can delay
+
+    def test_no_messages_terminates(self, f):
+        trace = run_pw96_channel(
+            f, n=4, corrupt=set(), messages={}, rng=random.Random(1)
+        )
+        assert trace.rounds == 0
+
+
+class TestUnderJamming:
+    def test_delivery_despite_persistent_jammer(self, f):
+        trace = run_pw96_channel(
+            f, n=5, corrupt={4}, messages={1: 77}, rng=random.Random(2),
+        )
+        assert not trace.gave_up
+        assert trace.delivered[77] == 1
+        # The jammer burned pairs before delivery became possible.
+        assert trace.investigations >= 1
+        assert all(4 in pair for pair in trace.burned_pairs)
+
+    def test_round_count_grows_with_corruption(self, f):
+        """More corrupt parties => more burnable pairs => more rounds
+        (the Omega(n^2) mechanism, measured end-to-end)."""
+        rounds = []
+        for t in (1, 2, 3):
+            n = 8
+            trace = run_pw96_channel(
+                f, n=n, corrupt=set(range(t)), messages={7: 55},
+                rng=random.Random(3),
+            )
+            assert not trace.gave_up
+            rounds.append(trace.rounds)
+        assert rounds[0] < rounds[1] < rounds[2]
+        # Each corrupt party can burn ~n-ish pairs before giving up.
+        assert rounds[2] >= 15
+
+    def test_pairs_are_never_reburned(self, f):
+        trace = run_pw96_channel(
+            f, n=6, corrupt={0, 1}, messages={5: 9}, rng=random.Random(4),
+        )
+        assert len(set(trace.burned_pairs)) == len(trace.burned_pairs)
+
+    def test_player_elimination_is_much_faster(self, f):
+        """The [HMP00] improvement from footnote 1, measured."""
+        slow = run_pw96_channel(
+            f, n=8, corrupt={0, 1, 2}, messages={7: 42},
+            rng=random.Random(5),
+        )
+        fast = run_pw96_channel(
+            f, n=8, corrupt={0, 1, 2}, messages={7: 42},
+            rng=random.Random(5), player_elimination=True,
+        )
+        assert not slow.gave_up and not fast.gave_up
+        assert fast.rounds < slow.rounds
+        assert fast.delivered[42] == 1
+
+    def test_localizations_always_implicate_corrupt(self, f):
+        trace = run_pw96_channel(
+            f, n=6, corrupt={2}, messages={0: 5}, rng=random.Random(6),
+        )
+        for pair in trace.burned_pairs:
+            assert 2 in pair
+        for pid in trace.eliminated_players:
+            assert pid == 2
+
+
+class TestModelAgreement:
+    def test_measured_pairs_match_worst_case_formula(self, f):
+        """The executable channel burns exactly the t(n-t)+C(t,2) pairs
+        the abstract game (and footnote 1) predicts."""
+        from repro.baselines import worst_case_runs
+
+        for n, t in ((4, 1), (6, 2), (8, 3)):
+            trace = run_pw96_channel(
+                f, n=n, corrupt=set(range(t)), messages={n - 1: 5},
+                rng=random.Random(n),
+            )
+            assert not trace.gave_up
+            assert len(trace.burned_pairs) == worst_case_runs(n, t)

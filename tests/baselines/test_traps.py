@@ -1,0 +1,94 @@
+"""Tests for the executable trap mechanism (PW96 mechanics)."""
+
+import random
+
+import pytest
+
+from repro.baselines.traps import TrapDCNet, trap_catch_probability
+from repro.fields import gf2k
+
+
+@pytest.fixture
+def net():
+    return TrapDCNet(gf2k(16), n=5, num_slots=12, rng=random.Random(0))
+
+
+class TestHonestRounds:
+    def test_clean_round_delivers_and_traps_quiet(self, net):
+        messages = {0: (3, 111), 1: (7, 222)}
+        traps = {2: (5, 999), 3: (9, 888)}
+        result = net.run_round(messages, traps)
+        assert result.sprung_traps == []
+        assert sorted(result.delivered) == [111, 222]
+        assert result.slots[5] == 999  # trap value came back intact
+
+    def test_pads_cancel(self, net):
+        result = net.run_round({}, {})
+        assert all(v == 0 for v in result.slots)
+
+
+class TestDisruption:
+    def test_jammer_springs_trap(self, net):
+        traps = {2: (5, 999)}
+        disruption = {4: {slot: 7 for slot in range(12)}}  # jam everything
+        result = net.run_round({0: (3, 111)}, traps, disruption)
+        assert result.sprung_traps == [5]
+        assert len(result.localized) == 1
+
+    def test_localization_implicates_corrupt(self, net):
+        traps = {2: (5, 999)}
+        disruption = {4: {5: 7}}
+        result = net.run_round({}, traps, disruption)
+        kind, who = result.localized[0]
+        assert 4 in who  # the corrupt party is in the localized set
+        if kind == "pair":
+            assert len(who) == 2
+
+    def test_selective_jam_of_message_slot_misses_traps(self, net):
+        """A jammer hitting only a non-trap slot is not caught this
+        round — the reason PW96 needs many rounds."""
+        traps = {2: (5, 999)}
+        disruption = {4: {3: 1}}  # hits the message slot only
+        result = net.run_round({0: (3, 111)}, traps, disruption)
+        assert result.sprung_traps == []
+        assert 111 not in result.delivered  # the message was destroyed
+
+
+class TestCatchProbability:
+    def test_formula_extremes(self):
+        assert trap_catch_probability(10, 0, 5) == pytest.approx(0.0)
+        assert trap_catch_probability(10, 10, 1) == pytest.approx(1.0)
+        assert trap_catch_probability(10, 5, 10) == pytest.approx(1.0)
+
+    def test_single_hit(self):
+        assert trap_catch_probability(10, 3, 1) == pytest.approx(0.3)
+
+    def test_measured_matches_formula(self):
+        """Monte-Carlo: random single-slot jams vs hidden traps."""
+        f = gf2k(16)
+        trials, caught = 300, 0
+        num_slots, num_traps = 12, 4
+        rng = random.Random(1)
+        for trial in range(trials):
+            net = TrapDCNet(f, n=4, num_slots=num_slots, rng=random.Random(trial))
+            trap_slots = rng.sample(range(num_slots), num_traps)
+            traps = {
+                owner: (slot, 1000 + owner)
+                for owner, slot in enumerate(trap_slots[:3])
+            }
+            jam_slot = rng.randrange(num_slots)
+            result = net.run_round({}, traps, {3: {jam_slot: 5}})
+            if result.sprung_traps:
+                caught += 1
+        predicted = trap_catch_probability(num_slots, 3, 1)
+        assert caught / trials == pytest.approx(predicted, abs=0.08)
+
+    def test_full_jam_always_caught(self):
+        f = gf2k(16)
+        for seed in range(20):
+            net = TrapDCNet(f, n=4, num_slots=8, rng=random.Random(seed))
+            traps = {1: (seed % 8, 42)}
+            result = net.run_round(
+                {}, traps, {3: {s: 9 for s in range(8)}}
+            )
+            assert result.sprung_traps

@@ -1,0 +1,176 @@
+"""Tests for Dolev–Strong, phase-king, and broadcast simulation."""
+
+import random
+
+import pytest
+
+from repro.byzantine import (
+    DEFAULT_VALUE,
+    IdealSignatures,
+    PseudosignatureAdapter,
+    SimulatedBroadcastChannel,
+    run_dolev_strong,
+    run_phase_king,
+)
+from repro.network import Adversary, RoundOutput, SilentAdversary
+
+
+class TestDolevStrongHonest:
+    def test_agreement_and_validity(self):
+        res = run_dolev_strong(n=5, t=2, sender=0, value="hello")
+        assert all(v == "hello" for v in res.outputs.values())
+
+    def test_round_count_t_plus_one(self):
+        res = run_dolev_strong(n=5, t=2, sender=0, value=1)
+        assert res.metrics.rounds == 3  # t + 1
+
+    def test_no_physical_broadcast_used(self):
+        """The whole point: broadcast simulated on point-to-point only."""
+        res = run_dolev_strong(n=7, t=3, sender=2, value=9)
+        assert res.metrics.broadcast_rounds == 0
+        assert all(v == 9 for v in res.outputs.values())
+
+    def test_non_sender_needs_no_input(self):
+        res = run_dolev_strong(n=4, t=1, sender=3, value=5)
+        assert all(v == 5 for v in res.outputs.values())
+
+
+class TestDolevStrongAdversarial:
+    def test_silent_sender_defaults(self):
+        res = run_dolev_strong(
+            n=5, t=2, sender=0, value=7, adversary=SilentAdversary({0})
+        )
+        assert all(v == DEFAULT_VALUE for v in res.outputs.values())
+
+    def test_equivocating_sender_agreement_holds(self):
+        """A corrupt sender sends different signed values to different
+        parties; honest parties still agree (on the default)."""
+
+        class Equivocator(Adversary):
+            def __init__(self, signatures, n):
+                super().__init__({0})
+                self.signatures = signatures
+                self.n = n
+
+            def act(self, view):
+                if view.round_index == 0:
+                    half = self.n // 2
+                    msgs = {}
+                    for j in range(1, self.n):
+                        value = "a" if j <= half else "b"
+                        sig = self.signatures.sign(0, value)
+                        msgs[j] = [(value, [(0, sig)])]
+                    return {0: RoundOutput(private=msgs)}
+                return {0: RoundOutput.silent()}
+
+        sigs = IdealSignatures()
+        res = run_dolev_strong(
+            n=6, t=2, sender=0, value=None,
+            signatures=sigs, adversary=Equivocator(sigs, 6),
+        )
+        outs = [res.outputs[p] for p in range(1, 6)]
+        assert all(o == outs[0] for o in outs)
+        assert outs[0] == DEFAULT_VALUE  # both values extracted
+
+    def test_silent_relays_do_not_matter(self):
+        res = run_dolev_strong(
+            n=7, t=3, sender=0, value=42, adversary=SilentAdversary({4, 5, 6})
+        )
+        for pid in range(4):
+            assert res.outputs[pid] == 42
+
+    def test_unsigned_injection_rejected(self):
+        """A corrupt relay injecting an unsigned value changes nothing."""
+
+        class Injector(Adversary):
+            def act(self, view):
+                return {
+                    3: RoundOutput(
+                        private={
+                            j: [("evil", [(0, ("sig", 0, "evil"))])]
+                            for j in range(3)
+                        }
+                    )
+                }
+
+        res = run_dolev_strong(
+            n=4, t=1, sender=0, value="good", adversary=Injector({3})
+        )
+        for pid in range(3):
+            assert res.outputs[pid] == "good"
+
+
+class TestDolevStrongOverPseudosignatures:
+    def test_broadcast_with_pseudosignatures(self):
+        rng = random.Random(0)
+        n, t = 5, 2
+        adapter = PseudosignatureAdapter(
+            n=n, blocks=4 * (t + 2), max_transfers=t + 1, rng=rng
+        )
+        res = run_dolev_strong(n, t, sender=1, value="msg", signatures=adapter)
+        assert all(v == "msg" for v in res.outputs.values())
+        assert res.metrics.broadcast_rounds == 0
+
+    def test_t_less_than_half(self):
+        """Resilience t < n/2 — beyond any unauthenticated protocol."""
+        rng = random.Random(1)
+        n, t = 7, 3
+        adapter = PseudosignatureAdapter(
+            n=n, blocks=4 * (t + 2), max_transfers=t + 1, rng=rng
+        )
+        res = run_dolev_strong(
+            n, t, sender=0, value=5, signatures=adapter,
+            adversary=SilentAdversary({4, 5, 6}),
+        )
+        for pid in range(4):
+            assert res.outputs[pid] == 5
+
+
+class TestPhaseKing:
+    def test_agreement_all_same_input(self):
+        res = run_phase_king(n=9, t=2, values={i: 1 for i in range(9)})
+        assert all(v == 1 for v in res.outputs.values())
+
+    def test_validity_mixed_inputs(self):
+        values = {i: i % 2 for i in range(9)}
+        res = run_phase_king(n=9, t=2, values=values)
+        outs = list(res.outputs.values())
+        assert all(v == outs[0] for v in outs)
+        assert outs[0] in (0, 1)
+
+    def test_agreement_under_silent_faults(self):
+        values = {i: i % 2 for i in range(9)}
+        res = run_phase_king(
+            n=9, t=2, values=values, adversary=SilentAdversary({7, 8})
+        )
+        outs = [res.outputs[i] for i in range(7)]
+        assert all(v == outs[0] for v in outs)
+
+    def test_resilience_bound_enforced(self):
+        with pytest.raises(ValueError):
+            run_phase_king(n=8, t=2, values={})
+
+    def test_round_count(self):
+        res = run_phase_king(n=9, t=2, values={i: 0 for i in range(9)})
+        assert res.metrics.rounds == 2 * 3  # two rounds per phase, t+1 phases
+
+
+class TestSimulatedBroadcast:
+    def test_setup_then_many_broadcasts(self):
+        chan = SimulatedBroadcastChannel(n=5, t=2)
+        cost = chan.setup(random.Random(2))
+        assert cost.broadcast_rounds == 2  # GGOR13: the paper's headline
+        assert cost.rounds == 21 + 5
+        for sender, value in ((0, "x"), (3, "y")):
+            res = chan.broadcast(sender, value)
+            assert all(v == value for v in res.outputs.values())
+            assert res.metrics.broadcast_rounds == 0
+
+    def test_setup_required(self):
+        chan = SimulatedBroadcastChannel(n=5, t=2)
+        with pytest.raises(RuntimeError):
+            chan.broadcast(0, "x")
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedBroadcastChannel(n=4, t=2)

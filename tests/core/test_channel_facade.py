@@ -1,0 +1,98 @@
+"""Tests for the high-level AnonymousChannel facade."""
+
+import pytest
+
+from repro.core import AnonymousChannel, scaled_parameters
+from repro.vss import BGWVSS, IdealVSS
+
+
+@pytest.fixture(scope="module")
+def small_params():
+    return scaled_parameters(n=4, d=6, num_checks=3, kappa=16)
+
+
+@pytest.fixture(scope="module")
+def chan(small_params):
+    return AnonymousChannel(n=4, params=small_params)
+
+
+class TestSend:
+    def test_basic_delivery(self, chan):
+        report = chan.send({0: 1, 1: 2, 2: 2, 3: 4}, seed=0)
+        assert dict(report.delivered) == {1: 1, 2: 2, 4: 1}
+        assert report.received(2) == 2
+        assert report.received(99) == 0
+        assert not report.disqualified
+
+    def test_default_profile_uses_two_broadcasts(self, chan):
+        report = chan.send({0: 1, 1: 2, 2: 3, 3: 4}, seed=1)
+        assert report.broadcast_rounds == 2
+        assert report.rounds == 21 + 5
+
+    def test_missing_party_rejected(self, chan):
+        with pytest.raises(ValueError):
+            chan.send({0: 1, 1: 2})
+
+    def test_zero_message_rejected(self, chan):
+        with pytest.raises(ValueError):
+            chan.send({0: 0, 1: 2, 2: 3, 3: 4})
+
+    def test_bandwidth_accounting_present(self, chan):
+        report = chan.send({0: 1, 1: 2, 2: 3, 3: 4}, seed=2)
+        assert report.messages_sent > 0
+        assert report.field_elements > 0
+
+
+class TestCannedAttacks:
+    def test_jamming_attack_caught(self, chan):
+        attack = chan.jamming_attack(3, seed=7)
+        report = chan.send({0: 1, 1: 2, 2: 3, 3: 4}, seed=3,
+                           corrupt_materials=attack)
+        assert 3 in report.disqualified
+        assert report.received(1) == 1
+        assert report.received(2) == 1
+        assert report.received(3) == 1
+
+    def test_ballot_stuffing_attack_caught(self, chan):
+        attack = chan.ballot_stuffing_attack(3, [7, 8], seed=8)
+        report = chan.send({0: 1, 1: 2, 2: 3, 3: 4}, seed=4,
+                           corrupt_materials=attack)
+        # Either caught, or (w.p. 2^-3) survived without |Y| > n.
+        assert sum(report.delivered.values()) <= 4
+
+    def test_abstain_is_harmless(self, chan):
+        attack = chan.abstain(3, seed=9)
+        report = chan.send({0: 1, 1: 2, 2: 3, 3: 4}, seed=5,
+                           corrupt_materials=attack)
+        assert 3 not in report.disqualified
+        assert dict(report.delivered) == {1: 1, 2: 1, 3: 1}
+
+
+class TestConfiguration:
+    def test_vss_selectors(self, small_params):
+        assert isinstance(
+            AnonymousChannel(n=4, params=small_params, vss="ideal").vss,
+            IdealVSS,
+        )
+        assert isinstance(
+            AnonymousChannel(n=4, params=small_params, vss="bgw").vss, BGWVSS
+        )
+
+    def test_explicit_scheme_instance(self, small_params):
+        scheme = IdealVSS(small_params.field, 4, 1)
+        chan = AnonymousChannel(n=4, params=small_params, vss=scheme)
+        assert chan.vss is scheme
+
+    def test_unknown_selector(self, small_params):
+        with pytest.raises(ValueError):
+            AnonymousChannel(n=4, params=small_params, vss="magic")
+
+    def test_default_params_generated(self):
+        chan = AnonymousChannel(n=6, t=2)
+        assert chan.params.n == 6
+        assert chan.params.t == 2
+
+    def test_other_receiver(self, small_params):
+        chan = AnonymousChannel(n=4, params=small_params, receiver=2)
+        report = chan.send({0: 5, 1: 6, 2: 7, 3: 8}, seed=6)
+        assert dict(report.delivered) == {5: 1, 6: 1, 7: 1, 8: 1}

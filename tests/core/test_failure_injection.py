@@ -1,0 +1,179 @@
+"""Failure-injection tests for AnonChan.
+
+The model's convention (paper §2): missing or malformed messages are
+replaced with defaults.  These tests inject crashes, message drops,
+garbage payloads and adaptive corruption into full protocol runs and
+check the guarantees for the *remaining honest* parties.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    AnonChan,
+    honest_input_multiset,
+    reliability_holds,
+    run_anonchan,
+    scaled_parameters,
+)
+from repro.network import (
+    Adversary,
+    PassiveAdversary,
+    RoundOutput,
+    SilentAdversary,
+    TamperingAdversary,
+    run_protocol,
+)
+from repro.vss import IdealVSS
+
+
+@pytest.fixture(scope="module")
+def params():
+    return scaled_parameters(n=4, d=6, num_checks=3, kappa=16)
+
+
+@pytest.fixture(scope="module")
+def vss(params):
+    return IdealVSS(params.field, params.n, params.t)
+
+
+def _messages(params):
+    return {i: params.field(100 + i) for i in range(params.n)}
+
+
+def _protocol_run(params, vss, adversary_builder, seed=0):
+    protocol = AnonChan(params, vss, receiver=0)
+    session = vss.new_session(random.Random(seed))
+    msgs = _messages(params)
+
+    def prog(pid):
+        return protocol.party_program(
+            pid, session, msgs[pid], random.Random(seed * 101 + pid)
+        )
+
+    programs = {pid: prog(pid) for pid in range(params.n)}
+    adversary = adversary_builder(prog)
+    return run_protocol(programs, adversary=adversary), msgs
+
+
+class TestCrashFaults:
+    def test_fully_silent_party(self, params, vss):
+        result, msgs = _protocol_run(
+            params, vss, lambda prog: SilentAdversary({3}), seed=1
+        )
+        out = result.outputs[0]
+        assert 3 not in out.vss_qualified  # never shared: disqualified
+        x = honest_input_multiset([msgs[i] for i in range(3)])
+        assert reliability_holds(x, out.output)
+
+    def test_crash_after_sharing(self, params, vss):
+        """A party that shares honestly then goes silent: its message is
+        still delivered (shares of its vector live with everyone)."""
+
+        def builder(prog):
+            def tamper(pid, view, out):
+                # Stay honest through the share phase (round 0), then crash.
+                if view.round_index >= 1:
+                    return RoundOutput.silent()
+                return out
+
+            return TamperingAdversary({3}, {3: prog(3)}, tamper)
+
+        result, msgs = _protocol_run(params, vss, builder, seed=2)
+        out = result.outputs[0]
+        assert 3 in out.vss_qualified
+        # The crashed party's vector was committed; the sum still
+        # carries its message.
+        x = honest_input_multiset([msgs[i] for i in range(4)])
+        assert reliability_holds(x, out.output)
+
+    def test_crash_before_transfer_to_receiver(self, params, vss):
+        """Crashing just before the private transfer removes only one
+        share of the sum; t+1 honest shares reconstruct regardless."""
+        last_round = vss.cost.share_rounds + 4  # the transfer round
+
+        def builder(prog):
+            def tamper(pid, view, out):
+                if view.round_index >= last_round:
+                    return RoundOutput.silent()
+                return out
+
+            return TamperingAdversary({2}, {2: prog(2)}, tamper)
+
+        result, msgs = _protocol_run(params, vss, builder, seed=3)
+        out = result.outputs[0]
+        x = honest_input_multiset([msgs[i] for i in range(4)])
+        assert reliability_holds(x, out.output)
+
+
+class TestGarbageInjection:
+    def test_garbage_payloads_in_every_round(self, params, vss):
+        """A corrupted party replaces every payload with junk."""
+
+        def builder(prog):
+            def tamper(pid, view, out):
+                return RoundOutput(
+                    private={j: "garbage" for j in range(params.n) if j != pid},
+                    broadcast=None,
+                )
+
+            return TamperingAdversary({3}, {3: prog(3)}, tamper)
+
+        result, msgs = _protocol_run(params, vss, builder, seed=4)
+        out = result.outputs[0]
+        x = honest_input_multiset([msgs[i] for i in range(3)])
+        assert reliability_holds(x, out.output)
+        assert sum(out.output.values()) <= params.n
+
+    def test_random_message_drops(self, params, vss):
+        """The corrupted party drops each outgoing payload w.p. 1/2."""
+        drop_rng = random.Random(99)
+
+        def builder(prog):
+            def tamper(pid, view, out):
+                kept = {
+                    j: p
+                    for j, p in out.private.items()
+                    if drop_rng.random() < 0.5
+                }
+                return RoundOutput(private=kept, broadcast=out.broadcast)
+
+            return TamperingAdversary({1}, {1: prog(1)}, tamper)
+
+        result, msgs = _protocol_run(params, vss, builder, seed=5)
+        out = result.outputs[0]
+        x = honest_input_multiset([msgs[i] for i in (0, 2, 3)])
+        assert reliability_holds(x, out.output)
+
+
+class TestAdaptiveCorruption:
+    def test_mid_protocol_takeover(self, params, vss):
+        """An adaptive adversary corrupting a party mid-run gains its
+        future messages (here: silences it); the channel still delivers
+        the remaining honest messages and |Y| <= n."""
+
+        class Adaptive(Adversary):
+            def maybe_corrupt(self, round_index, total, used):
+                if round_index == 3 and used == 0:
+                    return {2}
+                return set()
+
+        result, msgs = _protocol_run(
+            params, vss, lambda prog: Adaptive(set()), seed=6
+        )
+        out = result.outputs[0]
+        x = honest_input_multiset([msgs[i] for i in (0, 1, 3)])
+        assert reliability_holds(x, out.output)
+        assert sum(out.output.values()) <= params.n
+
+
+class TestReceiverFaults:
+    def test_receiver_crash_leaves_others_consistent(self, params, vss):
+        """If P* crashes, non-receivers still terminate and agree on
+        PASS (they produce no multiset — only P* does)."""
+        result, _ = _protocol_run(
+            params, vss, lambda prog: SilentAdversary({0}), seed=7
+        )
+        passes = [result.outputs[p].passed for p in (1, 2, 3)]
+        assert passes[0] == passes[1] == passes[2]

@@ -1,0 +1,95 @@
+"""Tests for parallel composition of full AnonChan instances."""
+
+import pytest
+
+from repro.core import honest_input_multiset, scaled_parameters
+from repro.core.parallel_channels import run_parallel_channels
+from repro.vss import GGOR13_COST, IdealVSS
+
+
+@pytest.fixture(scope="module")
+def params():
+    # Wider margin than the default test parameters: these tests assert
+    # full delivery in *every* concurrent session, so the per-sender
+    # collision-loss probability must be well below one in a hundred.
+    return scaled_parameters(n=4, d=8, num_checks=3, kappa=16, margin=12)
+
+
+def _messages(params, base):
+    return {i: params.field(base + i) for i in range(params.n)}
+
+
+class TestParallelComposition:
+    def test_two_sessions_same_rounds_as_one(self, params):
+        """The §2/§4 composition: k instances cost one instance's rounds."""
+        vss = IdealVSS(params.field, params.n, params.t)
+        sessions = {
+            "a": (0, _messages(params, 100)),
+            "b": (1, _messages(params, 200)),
+        }
+        result = run_parallel_channels(params, vss, sessions, seed=1)
+        assert result.metrics.rounds == vss.cost.share_rounds + 5
+        out0 = result.outputs[0]["a"]
+        out1 = result.outputs[1]["b"]
+        assert out0.output == honest_input_multiset(
+            list(sessions["a"][1].values())
+        )
+        assert out1.output == honest_input_multiset(
+            list(sessions["b"][1].values())
+        )
+
+    def test_every_party_a_receiver(self, params):
+        """The pseudosignature setup's shape: n sessions, one receiver
+        each, still one sharing phase and two broadcasts (GGOR13)."""
+        vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+        sessions = {
+            f"to-{r}": (r, _messages(params, 100 * (r + 1)))
+            for r in range(params.n)
+        }
+        result = run_parallel_channels(params, vss, sessions, seed=2)
+        assert result.metrics.rounds == 21 + 5
+        assert result.metrics.broadcast_rounds == 2
+        for r in range(params.n):
+            out = result.outputs[r][f"to-{r}"]
+            assert out.output == honest_input_multiset(
+                list(sessions[f"to-{r}"][1].values())
+            )
+
+    def test_sessions_are_independent(self, params):
+        """Fresh tags per session: identical message sets do not merge."""
+        vss = IdealVSS(params.field, params.n, params.t)
+        msgs = _messages(params, 300)
+        sessions = {"x": (0, msgs), "y": (0, msgs)}
+        result = run_parallel_channels(params, vss, sessions, seed=3)
+        out = result.outputs[0]
+        assert out["x"].output == out["y"].output == honest_input_multiset(
+            list(msgs.values())
+        )
+
+    def test_empty_sessions_rejected(self, params):
+        vss = IdealVSS(params.field, params.n, params.t)
+        with pytest.raises(ValueError):
+            run_parallel_channels(params, vss, {}, seed=0)
+
+    def test_attack_in_one_session_does_not_leak(self, params):
+        """A jammer corrupting session 'a' is disqualified there; we run
+        it via the adversary corrupting the party entirely, so it is
+        silent in both sessions -> excluded from both PASS sets,
+        delivery of the honest messages unaffected."""
+        from repro.network import SilentAdversary
+
+        vss = IdealVSS(params.field, params.n, params.t)
+        sessions = {
+            "a": (0, _messages(params, 100)),
+            "b": (1, _messages(params, 200)),
+        }
+        result = run_parallel_channels(
+            params, vss, sessions, seed=4, adversary=SilentAdversary({3})
+        )
+        out_a = result.outputs[0]["a"]
+        out_b = result.outputs[1]["b"]
+        assert 3 not in out_a.vss_qualified
+        assert 3 not in out_b.vss_qualified
+        for out, base in ((out_a, 100), (out_b, 200)):
+            for i in range(3):
+                assert out.output[base + i] >= 1

@@ -1,0 +1,94 @@
+"""Tests for the round-schedule tool and the CLI."""
+
+import pytest
+
+from repro.core import scaled_parameters
+from repro.core.trace import (
+    format_schedule,
+    round_schedule,
+    total_broadcast_rounds,
+    total_rounds,
+)
+from repro.vss import BGW_COST, GGOR13_COST, RB89_COST
+
+
+@pytest.fixture(scope="module")
+def params():
+    return scaled_parameters(n=5)
+
+
+class TestSchedule:
+    def test_length_matches_formula(self, params):
+        for cost in (RB89_COST, GGOR13_COST, BGW_COST):
+            schedule = round_schedule(params, cost)
+            assert len(schedule) == total_rounds(params, cost)
+            assert len(schedule) == cost.share_rounds + 5
+
+    def test_broadcast_rounds_only_in_sharing(self, params):
+        schedule = round_schedule(params, GGOR13_COST)
+        broadcasting = [r for r in schedule if r.uses_broadcast]
+        assert len(broadcasting) == 2 == total_broadcast_rounds(params, GGOR13_COST)
+        assert all(r.phase.startswith("step 1") for r in broadcasting)
+
+    def test_indices_sequential(self, params):
+        schedule = round_schedule(params, RB89_COST)
+        assert [r.index for r in schedule] == list(range(len(schedule)))
+
+    def test_schedule_matches_measured_execution(self, params):
+        """The static schedule agrees with the simulator's accounting."""
+        from repro.core import run_anonchan
+        from repro.vss import IdealVSS
+
+        small = scaled_parameters(n=4, d=6, num_checks=3, kappa=16)
+        vss = IdealVSS(small.field, small.n, small.t, cost=GGOR13_COST)
+        messages = {i: small.field(10 + i) for i in range(4)}
+        result = run_anonchan(small, vss, messages, seed=0)
+        assert result.metrics.rounds == total_rounds(small, GGOR13_COST)
+        assert result.metrics.broadcast_rounds == total_broadcast_rounds(
+            small, GGOR13_COST
+        )
+
+    def test_format_contains_key_facts(self, params):
+        text = format_schedule(params, GGOR13_COST)
+        assert "26 rounds" in text
+        assert "2 broadcast rounds" in text
+        assert "private transfer" in text
+
+
+class TestCLI:
+    def test_rounds_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["rounds"]) == 0
+        out = capsys.readouterr().out
+        assert "GGOR14 (this paper)" in out
+        assert "Zhang11" in out
+
+    def test_params_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["params", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-exact" in out
+        assert "VSS sharings" in out
+
+    def test_schedule_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["schedule", "-n", "4", "--vss", "RB89"]) == 0
+        out = capsys.readouterr().out
+        assert "12 rounds" in out  # 7 + 5
+
+    def test_demo_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["demo", "-n", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "receiver's multiset Y" in out
+        assert "100" in out
+
+    def test_unknown_command_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,207 @@
+"""Unit and property tests for GF(2^k) arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields import GF2k, gf2k, irreducible_polynomial, is_irreducible
+
+
+@pytest.fixture(scope="module")
+def f16():
+    return gf2k(16)
+
+
+@pytest.fixture(scope="module")
+def f8():
+    return gf2k(8)
+
+
+class TestConstruction:
+    def test_order(self):
+        assert gf2k(8).order == 256
+        assert gf2k(1).order == 2
+
+    def test_cached_instances(self):
+        assert gf2k(8) is gf2k(8)
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            GF2k(0)
+
+    def test_reducible_modulus_rejected(self):
+        # x^4 + x^2 + 1 = (x^2 + x + 1)^2 is reducible.
+        with pytest.raises(ValueError):
+            GF2k(4, modulus=0b10101)
+
+    def test_modulus_degree_mismatch(self):
+        with pytest.raises(ValueError):
+            GF2k(4, modulus=0b1011)  # degree 3
+
+    def test_default_modulus_is_irreducible(self):
+        for k in (1, 2, 3, 5, 8, 12, 16, 24, 32, 48, 64):
+            assert is_irreducible(irreducible_polynomial(k))
+
+    def test_aes_modulus_accepted(self):
+        # x^8 + x^4 + x^3 + x + 1, the AES polynomial.
+        f = GF2k(8, modulus=0x11B)
+        assert f.mul(0x53, 0xCA) == 0x01  # known AES inverse pair
+
+
+class TestArithmeticIdentities:
+    def test_addition_is_xor(self, f8):
+        assert f8.add(0b1010, 0b0110) == 0b1100
+
+    def test_add_sub_same(self, f8):
+        # Characteristic 2: subtraction == addition.
+        for a, b in [(3, 7), (200, 13), (255, 255)]:
+            assert f8.sub(a, b) == f8.add(a, b)
+
+    def test_neg_is_identity(self, f8):
+        assert f8.neg(123) == 123
+
+    def test_mul_by_zero_and_one(self, f16):
+        assert f16.mul(0, 777) == 0
+        assert f16.mul(777, 1) == 777
+
+    def test_inverse_of_zero_raises(self, f16):
+        with pytest.raises(ZeroDivisionError):
+            f16.inv(0)
+
+    def test_exhaustive_inverse_small_field(self):
+        f = gf2k(4)
+        for a in range(1, 16):
+            assert f.mul(a, f.inv(a)) == 1
+
+    def test_pow_matches_repeated_mul(self, f8):
+        a = 0x57
+        acc = 1
+        for e in range(10):
+            assert f8.pow(a, e) == acc
+            acc = f8.mul(acc, a)
+
+    def test_pow_negative_exponent(self, f8):
+        a = 0x57
+        assert f8.mul(f8.pow(a, -1), a) == 1
+        assert f8.pow(a, -2) == f8.inv(f8.mul(a, a))
+
+    def test_fermat(self, f8):
+        # a^(2^k - 1) == 1 for nonzero a.
+        for a in (1, 2, 77, 255):
+            assert f8.pow(a, f8.order - 1) == 1
+
+
+class TestTablelessFields:
+    """Fields with k > TABLE_MAX_K use carry-less arithmetic directly."""
+
+    def test_large_field_matches_table_field_structure(self):
+        f = gf2k(32)
+        assert f._exp is None
+        a, b = 0xDEADBEEF, 0x12345678
+        ab = f.mul(a, b)
+        assert f.mul(ab, f.inv(b)) == a
+
+    def test_large_field_inverse(self):
+        f = gf2k(64)
+        a = 0x0123456789ABCDEF
+        assert f.mul(a, f.inv(a)) == 1
+
+
+class TestElements:
+    def test_operators(self, f16):
+        a, b = f16(1234), f16(5678)
+        assert (a + b).value == f16.add(1234, 5678)
+        assert (a * b).value == f16.mul(1234, 5678)
+        assert (a - b) == (a + b)  # char 2
+        assert (a / b) * b == a
+        assert (-a) == a
+        assert a ** 3 == a * a * a
+
+    def test_element_immutable(self, f16):
+        a = f16(5)
+        with pytest.raises(AttributeError):
+            a.value = 6
+
+    def test_mixed_field_rejected(self, f8, f16):
+        with pytest.raises(ValueError):
+            _ = f8(1) + f16(1)
+
+    def test_int_coercion(self, f8):
+        assert f8(3) + 5 == f8(6)  # 3 XOR 5
+        assert 5 + f8(3) == f8(6)
+        assert int(f8(77)) == 77
+
+    def test_bool(self, f8):
+        assert not f8(0)
+        assert f8(1)
+
+    def test_sum_helper(self, f8):
+        items = [f8(v) for v in (1, 2, 4, 8)]
+        assert f8.sum(items) == f8(15)
+        assert f8.sum([]) == f8.zero()
+
+
+class TestBits:
+    def test_roundtrip(self, f8):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert f8.to_bits(f8.from_bits(bits)) == bits
+
+    def test_too_many_bits(self, f8):
+        with pytest.raises(ValueError):
+            f8.from_bits([0] * 9)
+
+    def test_bad_bit(self, f8):
+        with pytest.raises(ValueError):
+            f8.from_bits([2])
+
+    def test_to_bits_width(self, f16):
+        assert len(f16.to_bits(f16(1))) == 16
+
+
+class TestRandom:
+    def test_random_nonzero(self, f8):
+        rng = random.Random(0)
+        for _ in range(200):
+            assert f8.random_nonzero(rng).value != 0
+
+    def test_random_in_range(self, f8):
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 0 <= f8.random(rng).value < 256
+
+
+# -- hypothesis property tests -----------------------------------------
+
+el16 = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+@settings(max_examples=200)
+@given(a=el16, b=el16, c=el16)
+def test_field_axioms_gf16(a, b, c):
+    f = gf2k(16)
+    # associativity / commutativity / distributivity
+    assert f.mul(a, f.mul(b, c)) == f.mul(f.mul(a, b), c)
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.add(a, b) == f.add(b, a)
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+
+@settings(max_examples=200)
+@given(a=el16)
+def test_inverse_property_gf16(a):
+    f = gf2k(16)
+    if a == 0:
+        return
+    assert f.mul(a, f.inv(a)) == 1
+
+
+@settings(max_examples=100)
+@given(a=st.integers(min_value=0, max_value=2**32 - 1),
+       b=st.integers(min_value=0, max_value=2**32 - 1))
+def test_tableless_agrees_with_structure(a, b):
+    f = gf2k(32)
+    ab = f.mul(a, b)
+    if b:
+        assert f.mul(ab, f.inv(b)) == a

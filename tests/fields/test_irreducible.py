@@ -1,0 +1,121 @@
+"""Tests for GF(2)[x] polynomial arithmetic and irreducibility search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields import (
+    gf2_degree,
+    gf2_divmod,
+    gf2_gcd,
+    gf2_mod,
+    gf2_mul,
+    gf2_mulmod,
+    gf2_powmod,
+    irreducible_polynomial,
+    is_irreducible,
+    poly_to_string,
+)
+
+
+class TestArithmetic:
+    def test_degree(self):
+        assert gf2_degree(0) == -1
+        assert gf2_degree(1) == 0
+        assert gf2_degree(0b1011) == 3
+
+    def test_mul_known(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert gf2_mul(0b11, 0b11) == 0b101
+        # x * (x^2 + x + 1) = x^3 + x^2 + x
+        assert gf2_mul(0b10, 0b111) == 0b1110
+
+    def test_mod(self):
+        # x^4 mod (x^4 + x + 1) = x + 1
+        assert gf2_mod(0b10000, 0b10011) == 0b11
+
+    def test_mod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf2_mod(0b101, 0)
+
+    def test_divmod(self):
+        q, r = gf2_divmod(0b10000, 0b10011)
+        assert q == 1 and r == 0b11
+        assert gf2_mul(q, 0b10011) ^ r == 0b10000
+
+    def test_divmod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf2_divmod(1, 0)
+
+    def test_gcd(self):
+        # gcd((x+1)(x^2+x+1), (x+1)x) = x+1
+        a = gf2_mul(0b11, 0b111)
+        b = gf2_mul(0b11, 0b10)
+        assert gf2_gcd(a, b) == 0b11
+
+    def test_powmod(self):
+        m = 0b10011  # x^4 + x + 1
+        assert gf2_powmod(0b10, 4, m) == 0b11  # x^4 = x + 1
+        assert gf2_powmod(0b10, 15, m) == 1  # multiplicative order 15
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        for p in (0b11, 0b111, 0b1011, 0b10011, 0x11B):
+            assert is_irreducible(p)
+
+    def test_known_reducible(self):
+        assert not is_irreducible(0b101)  # x^2 + 1 = (x+1)^2
+        assert not is_irreducible(0b110)  # divisible by x
+        assert not is_irreducible(0b10101)  # (x^2+x+1)^2
+
+    def test_constants_not_irreducible(self):
+        assert not is_irreducible(0)
+        assert not is_irreducible(1)
+
+    def test_search_returns_minimal(self):
+        assert irreducible_polynomial(1) == 0b11
+        assert irreducible_polynomial(2) == 0b111
+        assert irreducible_polynomial(3) == 0b1011
+        assert irreducible_polynomial(4) == 0b10011
+
+    def test_search_bad_degree(self):
+        with pytest.raises(ValueError):
+            irreducible_polynomial(0)
+
+    def test_all_default_moduli_verify(self):
+        for k in range(1, 33):
+            p = irreducible_polynomial(k)
+            assert gf2_degree(p) == k
+            assert is_irreducible(p)
+
+
+class TestPrinting:
+    def test_poly_to_string(self):
+        assert poly_to_string(0) == "0"
+        assert poly_to_string(1) == "1"
+        assert poly_to_string(0b10) == "x"
+        assert poly_to_string(0b10011) == "x^4 + x + 1"
+
+
+@settings(max_examples=80)
+@given(
+    a=st.integers(min_value=0, max_value=2**12 - 1),
+    b=st.integers(min_value=1, max_value=2**12 - 1),
+)
+def test_divmod_identity(a, b):
+    q, r = gf2_divmod(a, b)
+    assert gf2_mul(q, b) ^ r == a
+    assert gf2_degree(r) < gf2_degree(b)
+
+
+@settings(max_examples=80)
+@given(
+    a=st.integers(min_value=0, max_value=2**10 - 1),
+    b=st.integers(min_value=0, max_value=2**10 - 1),
+)
+def test_gcd_divides_both(a, b):
+    g = gf2_gcd(a, b)
+    if g:
+        assert gf2_mod(a, g) == 0
+        assert gf2_mod(b, g) == 0

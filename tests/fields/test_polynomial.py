@@ -1,0 +1,184 @@
+"""Tests for univariate polynomial arithmetic and interpolation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields import (
+    Polynomial,
+    PrimeField,
+    gf2k,
+    interpolate_at,
+    lagrange_coefficients,
+    lagrange_interpolate,
+)
+
+
+@pytest.fixture(scope="module")
+def f():
+    return gf2k(16)
+
+
+@pytest.fixture(scope="module")
+def fp():
+    return PrimeField(101)
+
+
+class TestBasics:
+    def test_zero(self, f):
+        z = Polynomial.zero(f)
+        assert z.is_zero()
+        assert z.degree == -1
+        assert z(5) == f.zero()
+
+    def test_constant(self, f):
+        p = Polynomial.constant(f(7))
+        assert p.degree == 0
+        assert p(123) == f(7)
+
+    def test_normalization(self, f):
+        p = Polynomial(f, [f(1), f(0), f(0)])
+        assert p.degree == 0
+
+    def test_evaluation_horner(self, fp):
+        # p(x) = 3 + 2x + x^2 over GF(101)
+        p = Polynomial(fp, [3, 2, 1])
+        assert p(0) == fp(3)
+        assert p(1) == fp(6)
+        assert p(10) == fp(3 + 20 + 100)
+
+    def test_coefficient_access(self, f):
+        p = Polynomial(f, [1, 2, 3])
+        assert p.coefficient(1) == f(2)
+        assert p.coefficient(99) == f.zero()
+
+    def test_evaluate_many(self, fp):
+        p = Polynomial(fp, [1, 1])
+        assert p.evaluate_many([0, 1, 2]) == [fp(1), fp(2), fp(3)]
+
+
+class TestArithmetic:
+    def test_add_sub(self, fp):
+        a = Polynomial(fp, [1, 2, 3])
+        b = Polynomial(fp, [4, 5])
+        assert (a + b)(7) == fp((1 + 2 * 7 + 3 * 49 + 4 + 5 * 7) % 101)
+        assert ((a + b) - b) == a
+
+    def test_mul(self, fp):
+        a = Polynomial(fp, [1, 1])  # 1 + x
+        b = Polynomial(fp, [1, 100])  # 1 - x
+        assert a * b == Polynomial(fp, [1, 0, 100])  # 1 - x^2
+
+    def test_scalar_mul(self, fp):
+        a = Polynomial(fp, [1, 2])
+        assert a * fp(3) == Polynomial(fp, [3, 6])
+        assert 3 * a == Polynomial(fp, [3, 6])
+
+    def test_mul_by_zero_poly(self, f):
+        a = Polynomial(f, [1, 2])
+        assert (a * Polynomial.zero(f)).is_zero()
+
+    def test_divmod(self, fp):
+        a = Polynomial(fp, [2, 3, 1])  # (x+1)(x+2)
+        b = Polynomial(fp, [1, 1])
+        q, r = a.divmod(b)
+        assert r.is_zero()
+        assert q == Polynomial(fp, [2, 1])
+
+    def test_divmod_remainder(self, fp):
+        a = Polynomial(fp, [5, 0, 1])
+        b = Polynomial(fp, [1, 1])
+        q, r = a.divmod(b)
+        assert q * b + r == a
+        assert r.degree < b.degree
+
+    def test_div_by_zero(self, fp):
+        with pytest.raises(ZeroDivisionError):
+            Polynomial(fp, [1]).divmod(Polynomial.zero(fp))
+
+    def test_mixed_fields_rejected(self, f, fp):
+        with pytest.raises(ValueError):
+            Polynomial(f, [1]) + Polynomial(fp, [1])
+
+
+class TestRandom:
+    def test_fixed_constant(self, f):
+        rng = random.Random(42)
+        for _ in range(20):
+            p = Polynomial.random(f, degree=5, rng=rng, constant=f(99))
+            assert p(0) == f(99)
+            assert p.degree <= 5
+
+    def test_bad_degree(self, f):
+        with pytest.raises(ValueError):
+            Polynomial.random(f, degree=-1, rng=random.Random(0))
+
+    def test_distribution_covers_degrees(self, f):
+        rng = random.Random(7)
+        degrees = {Polynomial.random(f, 3, rng).degree for _ in range(50)}
+        assert 3 in degrees
+
+
+class TestInterpolation:
+    def test_roundtrip(self, f):
+        rng = random.Random(3)
+        p = Polynomial.random(f, degree=4, rng=rng)
+        pts = [(f(i), p(i)) for i in range(1, 6)]
+        q = lagrange_interpolate(f, pts)
+        assert q == p
+
+    def test_interpolate_at_matches_full(self, f):
+        rng = random.Random(4)
+        p = Polynomial.random(f, degree=3, rng=rng)
+        pts = [(f(i), p(i)) for i in range(1, 5)]
+        assert interpolate_at(f, pts, 0) == p(0)
+        assert interpolate_at(f, pts, f(9)) == p(9)
+
+    def test_duplicate_x_rejected(self, f):
+        with pytest.raises(ValueError):
+            lagrange_interpolate(f, [(f(1), f(2)), (f(1), f(3))])
+        with pytest.raises(ValueError):
+            interpolate_at(f, [(1, 2), (1, 3)])
+
+    def test_lagrange_coefficients(self, f):
+        rng = random.Random(5)
+        p = Polynomial.random(f, degree=3, rng=rng)
+        xs = [f(i) for i in range(1, 5)]
+        coeffs = lagrange_coefficients(f, xs, 0)
+        acc = f.zero()
+        for c, x in zip(coeffs, xs):
+            acc = acc + c * p(x)
+        assert acc == p(0)
+
+    def test_prime_field_interpolation(self, fp):
+        pts = [(fp(1), fp(1)), (fp(2), fp(4)), (fp(3), fp(9))]
+        q = lagrange_interpolate(fp, pts)
+        assert q == Polynomial(fp, [0, 0, 1])  # x^2
+
+
+@settings(max_examples=60)
+@given(
+    degree=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=10**9),
+)
+def test_interpolation_recovers_random_polynomial(degree, seed):
+    f = gf2k(16)
+    rng = random.Random(seed)
+    p = Polynomial.random(f, degree=degree, rng=rng)
+    pts = [(f(i), p(i)) for i in range(1, degree + 2)]
+    assert lagrange_interpolate(f, pts) == p
+
+
+@settings(max_examples=60)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_poly_ring_axioms(seed):
+    f = gf2k(8)
+    rng = random.Random(seed)
+    a = Polynomial.random(f, 3, rng)
+    b = Polynomial.random(f, 3, rng)
+    c = Polynomial.random(f, 3, rng)
+    assert a * (b + c) == a * b + a * c
+    assert (a + b) + c == a + (b + c)
+    assert a * b == b * a

@@ -1,0 +1,100 @@
+"""Tests for prime fields GF(p) and primality utilities."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields import PrimeField, is_prime, next_prime
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41}
+        for n in range(2, 43):
+            assert is_prime(n) == (n in primes)
+
+    def test_non_primes(self):
+        for n in (-1, 0, 1, 4, 100, 561, 1105):  # incl. Carmichael numbers
+            assert not is_prime(n)
+
+    def test_large_prime(self):
+        assert is_prime(2**61 - 1)  # Mersenne
+        assert not is_prime(2**61 + 1)
+
+    def test_next_prime(self):
+        assert next_prime(0) == 2
+        assert next_prime(14) == 17
+        assert next_prime(17) == 17
+        assert is_prime(next_prime(10**12))
+
+
+class TestArithmetic:
+    @pytest.fixture(scope="class")
+    def f(self):
+        return PrimeField(101)
+
+    def test_composite_rejected(self):
+        with pytest.raises(ValueError):
+            PrimeField(100)
+
+    def test_add_sub_wraparound(self, f):
+        assert f.add(60, 60) == 19
+        assert f.sub(10, 20) == 91
+        assert f.neg(1) == 100
+        assert f.neg(0) == 0
+
+    def test_mul_inv(self, f):
+        for a in (1, 2, 50, 100):
+            assert f.mul(a, f.inv(a)) == 1
+
+    def test_inv_zero(self, f):
+        with pytest.raises(ZeroDivisionError):
+            f.inv(0)
+
+    def test_pow(self, f):
+        assert f.pow(2, 10) == 1024 % 101
+        assert f.pow(2, -1) == f.inv(2)
+        assert f.pow(5, 100) == 1  # Fermat's little theorem
+
+    def test_encode_negative(self, f):
+        assert f.encode(-1) == 100
+        assert f.encode(202) == 0
+
+    def test_elements_and_equality(self):
+        a = PrimeField(13)
+        b = PrimeField(13)
+        c = PrimeField(17)
+        assert a == b and a != c
+        assert a(5) + a(10) == a(2)
+        assert hash(a) == hash(b)
+
+    def test_shamir_over_prime_field(self):
+        """The sharing layer is field-generic."""
+        from repro.sharing import ShamirScheme
+
+        f = PrimeField(97)
+        scheme = ShamirScheme(f, n=6, t=2)
+        rng = random.Random(0)
+        shares = scheme.share(f(42), rng)
+        assert scheme.reconstruct_all(shares) == f(42)
+
+    def test_sub_is_not_add(self):
+        """Unlike GF(2^k), subtraction differs from addition."""
+        f = PrimeField(11)
+        assert f.sub(3, 5) != f.add(3, 5)
+
+
+@settings(max_examples=100)
+@given(
+    a=st.integers(min_value=0, max_value=100),
+    b=st.integers(min_value=0, max_value=100),
+    c=st.integers(min_value=0, max_value=100),
+)
+def test_field_axioms_gf101(a, b, c):
+    f = PrimeField(101)
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+    assert f.add(a, f.neg(a)) == 0
+    if a:
+        assert f.mul(a, f.inv(a)) == 1

@@ -1,0 +1,135 @@
+"""Tests for numpy-vectorized GF(2^k) arithmetic."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.fields import Polynomial, gf2k
+from repro.fields.vectorized import VectorGF2k
+
+
+@pytest.fixture(scope="module")
+def vec():
+    return VectorGF2k(gf2k(16))
+
+
+class TestConstruction:
+    def test_tableless_field_rejected(self):
+        with pytest.raises(ValueError):
+            VectorGF2k(gf2k(32))
+
+    def test_array_range_check(self, vec):
+        with pytest.raises(ValueError):
+            vec.array([vec.order])
+
+
+class TestAgreementWithScalar:
+    """Every vector op must agree with the scalar field arithmetic."""
+
+    def test_mul(self, vec):
+        f = vec.field
+        rng = random.Random(0)
+        a = [rng.randrange(f.order) for _ in range(500)]
+        b = [rng.randrange(f.order) for _ in range(500)]
+        out = vec.mul(vec.array(a), vec.array(b))
+        for x, y, z in zip(a, b, out.tolist()):
+            assert z == f.mul(x, y)
+
+    def test_mul_with_zeros(self, vec):
+        out = vec.mul(vec.array([0, 1, 5, 0]), vec.array([7, 0, 3, 0]))
+        assert out.tolist() == [0, 0, vec.field.mul(5, 3), 0]
+
+    def test_add(self, vec):
+        out = VectorGF2k.add(vec.array([1, 2, 3]), vec.array([3, 2, 1]))
+        assert out.tolist() == [2, 0, 2]
+
+    def test_scale(self, vec):
+        f = vec.field
+        a = vec.array([0, 1, 2, 77])
+        out = vec.scale(a, 9)
+        assert out.tolist() == [f.mul(v, 9) for v in (0, 1, 2, 77)]
+        assert vec.scale(a, 0).tolist() == [0, 0, 0, 0]
+
+    def test_inv(self, vec):
+        f = vec.field
+        a = [1, 2, 3, 1000]
+        out = vec.inv(vec.array(a))
+        for x, y in zip(a, out.tolist()):
+            assert f.mul(x, y) == 1
+
+    def test_inv_zero_raises(self, vec):
+        with pytest.raises(ZeroDivisionError):
+            vec.inv(vec.array([1, 0]))
+
+    def test_broadcasting(self, vec):
+        f = vec.field
+        out = vec.mul(vec.array([1, 2, 3]), np.uint32(5))
+        assert out.tolist() == [f.mul(v, 5) for v in (1, 2, 3)]
+
+
+class TestPolynomialEvaluation:
+    def test_horner_matches_polynomial(self, vec):
+        f = vec.field
+        rng = random.Random(1)
+        polys = [Polynomial.random(f, 3, rng) for _ in range(40)]
+        coeffs = np.array(
+            [[p.coefficient(j).value for j in range(4)] for p in polys],
+            dtype=np.uint32,
+        )
+        for x in (0, 1, 5, 1234):
+            out = vec.horner_eval(coeffs, f.encode(x))
+            for p, v in zip(polys, out.tolist()):
+                assert v == p(x).value
+
+    def test_eval_at_points_shape(self, vec):
+        coeffs = np.zeros((7, 3), dtype=np.uint32)
+        table = vec.eval_at_points(coeffs, [1, 2, 3, 4])
+        assert table.shape == (7, 4)
+        assert (table == 0).all()
+
+    def test_1d_coeffs_rejected(self, vec):
+        with pytest.raises(ValueError):
+            vec.horner_eval(np.zeros(4, dtype=np.uint32), 1)
+
+    def test_dot(self, vec):
+        f = vec.field
+        a = [3, 5, 7]
+        b = [11, 13, 17]
+        expected = 0
+        for x, y in zip(a, b):
+            expected ^= f.mul(x, y)
+        assert vec.dot(vec.array(a), vec.array(b)) == expected
+
+
+class TestIdealVSSIntegration:
+    def test_vectorized_dealing_matches_scalar_path(self):
+        """Same rng seed => identical share tables on both paths."""
+        import random as pyrandom
+
+        from repro.vss import IdealVSS
+
+        f = gf2k(16)
+        scheme = IdealVSS(f, n=5, t=2)
+        secrets = [f(i * 3 + 1) for i in range(64)]  # >= 32: vector path
+
+        session_v = scheme.new_session(pyrandom.Random(0))
+        session_v._deal(0, 0, secrets, pyrandom.Random(42))
+
+        session_s = scheme.new_session(pyrandom.Random(0))
+        session_s._vector_checked = True  # force the scalar path
+        session_s._vector = None
+        session_s._deal(0, 0, secrets, pyrandom.Random(42))
+
+        assert session_v._evals == session_s._evals
+
+    def test_small_batches_use_scalar_path(self):
+        import random as pyrandom
+
+        from repro.vss import IdealVSS
+
+        f = gf2k(16)
+        scheme = IdealVSS(f, n=4, t=1)
+        session = scheme.new_session(pyrandom.Random(0))
+        session._deal(0, 0, [f(9)], pyrandom.Random(1))
+        assert session._evals[0][0] == 9  # the secret at x=0

@@ -1,0 +1,131 @@
+"""Tests for the reusable fault-injection library."""
+
+import random
+
+import pytest
+
+from repro.network import (
+    RoundOutput,
+    compose_tampers,
+    crash_after,
+    drop_messages,
+    faulty_adversary,
+    flip_integers,
+    garble_everything,
+    only_in_rounds,
+    run_protocol,
+)
+
+
+def chatter(pid, n, rounds):
+    """Send (pid, round) to everyone each round; collect everything."""
+    seen = []
+    for r in range(rounds):
+        inbox = yield RoundOutput(
+            private={j: (pid, r) for j in range(n) if j != pid}
+        )
+        seen.append(dict(inbox.private))
+    return seen
+
+
+def _run(n, rounds, corrupted, *tampers):
+    programs = {pid: chatter(pid, n, rounds) for pid in range(n)}
+    adv = faulty_adversary(
+        corrupted,
+        {pid: chatter(pid, n, rounds) for pid in corrupted},
+        *tampers,
+    )
+    return run_protocol(programs, adversary=adv)
+
+
+class TestCrashAfter:
+    def test_silent_from_given_round(self):
+        res = _run(3, 4, {2}, crash_after(2))
+        seen = res.outputs[0]
+        assert 2 in seen[0] and 2 in seen[1]
+        assert 2 not in seen[2] and 2 not in seen[3]
+
+    def test_crash_at_zero_is_fully_silent(self):
+        res = _run(3, 2, {2}, crash_after(0))
+        assert all(2 not in r for r in res.outputs[0])
+
+
+class TestDropMessages:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            drop_messages(1.5, random.Random(0))
+
+    def test_drop_all(self):
+        res = _run(3, 3, {2}, drop_messages(1.0, random.Random(0)))
+        assert all(2 not in r for r in res.outputs[0])
+
+    def test_drop_none(self):
+        res = _run(3, 3, {2}, drop_messages(0.0, random.Random(0)))
+        assert all(2 in r for r in res.outputs[0])
+
+    def test_partial_drop_rate(self):
+        rng = random.Random(1)
+        res = _run(4, 40, {3}, drop_messages(0.5, rng))
+        received = sum(1 for r in res.outputs[0] if 3 in r)
+        assert 8 <= received <= 32  # ~20 expected
+
+
+class TestGarbleAndFlip:
+    def test_garble(self):
+        res = _run(3, 1, {2}, garble_everything())
+        assert res.outputs[0][0][2] == "garbage"
+
+    def test_flip_integers_tuple(self):
+        res = _run(3, 1, {2}, flip_integers(0xFF))
+        pid, r = res.outputs[0][0][2]
+        assert (pid, r) == (2, 0 ^ 0xFF)
+
+    def test_flip_integers_list(self):
+        def prog(pid):
+            inbox = yield RoundOutput(private={1 - pid: [1, 2, 3]})
+            return inbox.private
+
+        adv = faulty_adversary({1}, {1: prog(1)}, flip_integers(1))
+        res = run_protocol({0: prog(0), 1: prog(1)}, adversary=adv)
+        assert res.outputs[0][1] == [0, 3, 2]
+
+
+class TestComposition:
+    def test_only_in_rounds(self):
+        res = _run(3, 3, {2}, only_in_rounds(garble_everything(), {1}))
+        seen = res.outputs[0]
+        assert seen[0][2] == (2, 0)
+        assert seen[1][2] == "garbage"
+        assert seen[2][2] == (2, 2)
+
+    def test_compose_order(self):
+        t = compose_tampers(flip_integers(0b01), flip_integers(0b10))
+        out = t(0, None, RoundOutput(private={1: 0}))
+        assert out.private[1] == 0b11
+
+    def test_faults_against_anonchan(self):
+        """Library faults drive a full protocol run (smoke)."""
+        from repro.core import AnonChan, scaled_parameters
+        from repro.vss import IdealVSS
+
+        params = scaled_parameters(n=4, d=6, num_checks=3, kappa=16)
+        vss = IdealVSS(params.field, params.n, params.t)
+        protocol = AnonChan(params, vss)
+        session = vss.new_session(random.Random(0))
+        msgs = {i: params.field(50 + i) for i in range(4)}
+
+        def prog(pid):
+            return protocol.party_program(
+                pid, session, msgs[pid], random.Random(pid)
+            )
+
+        adv = faulty_adversary(
+            {3},
+            {3: prog(3)},
+            drop_messages(0.3, random.Random(5)),
+            only_in_rounds(flip_integers(0x7), {2, 3}),
+        )
+        res = run_protocol({pid: prog(pid) for pid in range(4)}, adversary=adv)
+        out = res.outputs[0]
+        for i in range(3):
+            assert out.output[50 + i] >= 1  # honest messages survive

@@ -1,0 +1,109 @@
+"""Tests for domain-independent (byte-message) pseudosignatures.
+
+§1.2/§4: the PW96 approach signs messages from domains unknown at setup
+time; SHZI02-style schemes are confined to the underlying field.
+"""
+
+import random
+
+import pytest
+
+from repro.fields import gf2k
+from repro.pseudosig import (
+    MACKey,
+    PseudosignatureScheme,
+    mac_sign_message,
+    mac_verify_message,
+    message_forgery_probability,
+    message_to_blocks,
+)
+
+
+class TestBlockMAC:
+    def test_sign_verify_roundtrip(self):
+        f = gf2k(16)
+        rng = random.Random(0)
+        key = MACKey.random(f, rng)
+        for message in (b"", b"x", b"hello world", b"\x00" * 100, bytes(range(256))):
+            tag = mac_sign_message(key, message)
+            assert mac_verify_message(key, message, tag)
+
+    def test_different_message_rejected(self):
+        f = gf2k(16)
+        key = MACKey.random(f, random.Random(1))
+        tag = mac_sign_message(key, b"attack at dawn")
+        assert not mac_verify_message(key, b"attack at dusk", tag)
+        assert not mac_verify_message(key, b"attack at dawn!", tag)
+
+    def test_length_extension_blocked(self):
+        """Appending zero bytes changes the tag (the length terminator)."""
+        f = gf2k(16)
+        key = MACKey.random(f, random.Random(2))
+        assert mac_sign_message(key, b"ab") != mac_sign_message(key, b"ab\x00")
+        assert mac_sign_message(key, b"") != mac_sign_message(key, b"\x00")
+
+    def test_blocks_encoding(self):
+        f = gf2k(16)
+        blocks = message_to_blocks(b"abcd", f)
+        assert len(blocks) == 3  # two 2-byte blocks + length terminator
+        assert blocks[0] == f(ord("a") << 8 | ord("b"))
+        assert blocks[-1] == f(4)
+
+    def test_odd_field_rejected(self):
+        with pytest.raises(ValueError):
+            message_to_blocks(b"x", gf2k(15))
+
+    def test_forgery_bound_grows_with_length(self):
+        f = gf2k(16)
+        assert message_forgery_probability(f, 10) < message_forgery_probability(
+            f, 10_000
+        )
+
+    def test_forgery_rate_empirical(self):
+        """Random substitution forgeries almost never verify."""
+        f = gf2k(16)
+        rng = random.Random(3)
+        hits = 0
+        for _ in range(2000):
+            key = MACKey.random(f, rng)
+            _tag = mac_sign_message(key, b"original")
+            guess = f(rng.randrange(f.order))
+            if mac_verify_message(key, b"forged!!", guess):
+                hits += 1
+        assert hits <= 2
+
+
+class TestBytesPseudosignatures:
+    @pytest.fixture
+    def scheme(self):
+        return PseudosignatureScheme(n=5, signer=0, blocks=12, max_transfers=3)
+
+    def test_sign_and_verify_arbitrary_message(self, scheme):
+        rng = random.Random(0)
+        setup, views = scheme.ideal_setup(rng)
+        message = b"this domain was unknown at setup time \xf0\x9f\x94\x92"
+        sig = scheme.sign_bytes(setup, message)
+        for view in views.values():
+            for level in range(1, scheme.max_transfers + 1):
+                assert scheme.verify_bytes(view, sig, level)
+
+    def test_tampered_message_rejected(self, scheme):
+        rng = random.Random(1)
+        setup, views = scheme.ideal_setup(rng)
+        sig = scheme.sign_bytes(setup, b"pay 10 coins to bob")
+        from repro.pseudosig import BytesPseudosignature
+
+        forged = BytesPseudosignature(
+            message=b"pay 99 coins to eve", minisigs=sig.minisigs
+        )
+        for view in views.values():
+            assert not scheme.verify_bytes(view, forged, level=1)
+
+    def test_same_setup_signs_many_domains(self, scheme):
+        """The setup fixes no message space: field-sized, long, empty."""
+        rng = random.Random(2)
+        setup, views = scheme.ideal_setup(rng)
+        view = next(iter(views.values()))
+        for message in (b"", b"short", b"L" * 5000):
+            sig = scheme.sign_bytes(setup, message)
+            assert scheme.verify_bytes(view, sig, level=1)

@@ -1,0 +1,141 @@
+"""Tests for IT-MACs and the PW96 pseudosignature scheme."""
+
+import random
+
+import pytest
+
+from repro.fields import gf2k
+from repro.pseudosig import (
+    MACKey,
+    PseudosignatureScheme,
+    mac_sign,
+    mac_verify,
+    pack_key,
+    unpack_key,
+)
+
+
+class TestMAC:
+    def test_sign_verify(self):
+        f = gf2k(16)
+        rng = random.Random(0)
+        key = MACKey.random(f, rng)
+        m = f(1234)
+        assert mac_verify(key, m, mac_sign(key, m))
+
+    def test_wrong_message_rejected(self):
+        f = gf2k(16)
+        rng = random.Random(1)
+        key = MACKey.random(f, rng)
+        tag = mac_sign(key, f(10))
+        assert not mac_verify(key, f(11), tag)
+
+    def test_a_component_nonzero(self):
+        f = gf2k(16)
+        rng = random.Random(2)
+        assert all(MACKey.random(f, rng).a.value != 0 for _ in range(100))
+
+    def test_forgery_rate_empirical(self):
+        """Blind substitution forgery succeeds ~1/|F|."""
+        f = gf2k(8)  # small field so we can measure
+        rng = random.Random(3)
+        hits = 0
+        trials = 4000
+        for _ in range(trials):
+            key = MACKey.random(f, rng)
+            m, m2 = f(1), f(2)
+            _tag = mac_sign(key, m)
+            guess = f(rng.randrange(f.order))
+            if mac_verify(key, m2, guess):
+                hits += 1
+        assert hits / trials < 4 / f.order + 0.01
+
+    def test_pack_unpack_roundtrip(self):
+        mac_field = gf2k(8)
+        channel_field = gf2k(16)
+        rng = random.Random(4)
+        for _ in range(50):
+            key = MACKey.random(mac_field, rng)
+            packed = pack_key(key, channel_field)
+            assert packed.value != 0
+            assert unpack_key(packed, mac_field) == key
+
+    def test_pack_too_small_channel(self):
+        key = MACKey.random(gf2k(16), random.Random(5))
+        with pytest.raises(ValueError):
+            pack_key(key, gf2k(16))
+
+
+@pytest.fixture
+def scheme():
+    return PseudosignatureScheme(n=5, signer=0, blocks=12, max_transfers=3)
+
+
+class TestPseudosignatures:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            PseudosignatureScheme(n=5, signer=0, blocks=2, max_transfers=3)
+        with pytest.raises(ValueError):
+            PseudosignatureScheme(n=5, signer=9, blocks=12, max_transfers=3)
+
+    def test_thresholds_decrease(self, scheme):
+        ths = [scheme.threshold(v) for v in range(1, 4)]
+        assert ths[0] == scheme.blocks  # first verifier wants everything
+        assert ths == sorted(ths, reverse=True)
+        assert ths[-1] > 0
+        with pytest.raises(ValueError):
+            scheme.threshold(0)
+        with pytest.raises(ValueError):
+            scheme.threshold(99)
+
+    def test_honest_signature_accepted_at_all_levels(self, scheme):
+        rng = random.Random(0)
+        setup, views = scheme.ideal_setup(rng)
+        msg = scheme.mac_field(777)
+        sig = scheme.sign(setup, msg)
+        for view in views.values():
+            for level in range(1, scheme.max_transfers + 1):
+                assert scheme.verify(view, sig, level)
+
+    def test_signature_on_other_message_rejected(self, scheme):
+        rng = random.Random(1)
+        setup, views = scheme.ideal_setup(rng)
+        sig = scheme.sign(setup, scheme.mac_field(777))
+        forged = type(sig)(
+            message=scheme.mac_field(778), minisigs=sig.minisigs
+        )
+        for view in views.values():
+            assert not scheme.verify(view, forged, level=1)
+            assert scheme.matching_blocks(view, forged) <= 1
+
+    def test_setup_blocks_are_anonymous_multisets(self, scheme):
+        """The signer's block contains everyone's key, origin hidden."""
+        rng = random.Random(2)
+        setup, views = scheme.ideal_setup(rng)
+        for b, block in enumerate(setup.blocks):
+            expected = sorted(
+                (v.keys[b].a.value, v.keys[b].b.value) for v in views.values()
+            )
+            actual = sorted((k.a.value, k.b.value) for k in block)
+            assert actual == expected
+
+    def test_partial_signature_damages_random_verifiers(self, scheme):
+        """Unsigned keys hit verifiers the signer cannot choose."""
+        rng = random.Random(3)
+        setup, views = scheme.ideal_setup(rng)
+        msg = scheme.mac_field(55)
+        sig = scheme.sign_partial(setup, msg, rng, skip_fraction=0.5)
+        counts = [scheme.matching_blocks(v, sig) for v in views.values()]
+        # Damage is spread: nobody keeps a perfect count...
+        assert all(c < scheme.blocks for c in counts)
+        # ...and nobody is wiped out either (it is random, not targeted).
+        assert all(c > 0 for c in counts)
+
+    def test_wrong_block_count_rejected(self, scheme):
+        rng = random.Random(4)
+        setup, views = scheme.ideal_setup(rng)
+        from repro.pseudosig import Pseudosignature
+
+        sig = Pseudosignature(message=scheme.mac_field(1), minisigs=())
+        view = next(iter(views.values()))
+        assert scheme.matching_blocks(view, sig) == 0

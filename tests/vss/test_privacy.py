@@ -1,0 +1,84 @@
+"""Statistical privacy tests for the VSS backends.
+
+VSS Privacy (paper §2.2): if the dealer is honest, the adversary's
+sharing-phase view is (statistically) independent of the secret.  We
+corrupt ``t`` parties passively, share two different secrets many
+times, and compare the corrupted coalition's received-share
+distributions.
+"""
+
+import random
+
+import pytest
+
+from repro.fields import gf2k
+from repro.network import PassiveAdversary, run_protocol
+from repro.vss import BGWVSS, IdealVSS, RB89VSS
+
+
+def _corrupt_share_values(scheme, secret, trials, seed):
+    """The corrupted coalition's share values across many dealings."""
+    f = scheme.field
+    values = []
+    corrupted = {scheme.n - 1}
+    for trial in range(trials):
+        session = scheme.new_session(random.Random(seed * 7919 + trial))
+
+        def party(pid, rng):
+            batch = yield from session.share_program(
+                pid, 0, [secret] if pid == 0 else None, rng, count=1
+            )
+            return batch
+
+        programs = {
+            pid: party(pid, random.Random(trial * 100 + pid))
+            for pid in range(scheme.n)
+        }
+        adv = PassiveAdversary(
+            corrupted,
+            {
+                pid: party(pid, random.Random(trial * 100 + pid))
+                for pid in corrupted
+            },
+        )
+        run_protocol(programs, adversary=adv)
+        batch = adv.results[scheme.n - 1]
+        values.append(batch[0].value)
+    return values
+
+
+@pytest.mark.parametrize(
+    "make_scheme",
+    [
+        lambda f: IdealVSS(f, n=4, t=1),
+        lambda f: BGWVSS(f, n=4, t=1),
+        lambda f: RB89VSS(f, n=5, t=2),
+    ],
+    ids=["ideal", "bgw", "rb89"],
+)
+def test_corrupt_share_distribution_independent_of_secret(make_scheme):
+    """The corrupted party's share covers the field identically for two
+    very different secrets (coverage test over a small field)."""
+    f = gf2k(4)  # 16 elements: coverage is checkable with a few hundred runs
+    scheme = make_scheme(f)
+    trials = 200
+    seen_a = set(_corrupt_share_values(scheme, f(0), trials, seed=1))
+    seen_b = set(_corrupt_share_values(scheme, f(9), trials, seed=2))
+    assert seen_a == set(range(16))
+    assert seen_b == set(range(16))
+
+
+def test_pre_reconstruction_view_has_no_secret_bgw():
+    """A single share (degree t >= 1) determines nothing: for a fixed
+    received share value, every secret remains possible.  We check the
+    converse direction by conditioning: over many dealings of secret s,
+    the share value takes (almost) every field value."""
+    f = gf2k(4)
+    scheme = BGWVSS(f, n=4, t=1)
+    values = _corrupt_share_values(scheme, f(5), trials=300, seed=3)
+    # Rough uniformity: each of the 16 values appears, none dominates.
+    from collections import Counter
+
+    counts = Counter(values)
+    assert set(counts) == set(range(16))
+    assert max(counts.values()) < 3 * 300 / 16

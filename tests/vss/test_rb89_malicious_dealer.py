@@ -1,0 +1,99 @@
+"""Malicious-dealer scenarios for the statistical VSS backend."""
+
+import random
+
+import pytest
+
+from repro.fields import Polynomial, gf2k
+from repro.network import RoundOutput, TamperingAdversary, run_protocol
+from repro.vss import DEALER_DISQUALIFIED, RB89VSS
+
+
+@pytest.fixture
+def scheme():
+    return RB89VSS(gf2k(16), n=5, t=2)
+
+
+def _run_with_dealer_tamper(scheme, tamper, secret=777, seed=0):
+    f = scheme.field
+    session = scheme.new_session(random.Random(seed))
+
+    def party(pid, rng):
+        batch = yield from session.share_program(
+            pid, 0, [f(secret)] if pid == 0 else None, rng, count=1
+        )
+        if batch is DEALER_DISQUALIFIED:
+            return DEALER_DISQUALIFIED
+        values = yield from session.open_program(pid, batch.views)
+        return values[0]
+
+    programs = {
+        pid: party(pid, random.Random(seed * 13 + pid))
+        for pid in range(scheme.n)
+    }
+    adv = TamperingAdversary(
+        {0}, {0: party(0, random.Random(seed * 13))}, tamper
+    )
+    return run_protocol(programs, adversary=adv)
+
+
+def _corrupt_row_tamper(victim, field):
+    """Round-1 tamper: hand the victim a shifted row (ICP data intact)."""
+
+    def tamper(pid, view, out):
+        if view.round_index != 0 or victim not in out.private:
+            return out
+        payload = out.private[victim]
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            return out
+        rows, tags = payload
+        bad_rows = [r + Polynomial(field, [1]) for r in rows]
+        private = dict(out.private)
+        private[victim] = (bad_rows, tags)
+        return RoundOutput(private=private, broadcast=out.broadcast)
+
+    return tamper
+
+
+class TestMaliciousDealer:
+    def test_tampered_row_resolved_by_complaints(self, scheme):
+        """The victim's crossings mismatch everyone; the (internally
+        honest) dealer resolves truthfully, the victim adopts its public
+        row, and the committed secret still reconstructs."""
+        f = scheme.field
+        result = _run_with_dealer_tamper(
+            scheme, _corrupt_row_tamper(victim=2, field=f), secret=777, seed=1
+        )
+        outs = [result.outputs[p] for p in range(1, scheme.n)]
+        assert all(o == outs[0] for o in outs)
+        assert outs[0] == f(777)
+        # Complaints forced extra (broadcast) rounds beyond the fast path.
+        assert result.metrics.rounds > 4
+        assert result.metrics.broadcast_rounds >= 1
+
+    def test_dealer_goes_silent_after_complaints(self, scheme):
+        """Tampered row + no resolution: public disqualification."""
+        f = scheme.field
+        row_tamper = _corrupt_row_tamper(victim=2, field=f)
+
+        def tamper(pid, view, out):
+            if view.round_index >= 3:  # the resolution round onwards
+                return RoundOutput.silent()
+            return row_tamper(pid, view, out)
+
+        result = _run_with_dealer_tamper(scheme, tamper, seed=2)
+        for pid in range(1, scheme.n):
+            assert result.outputs[pid] is DEALER_DISQUALIFIED
+
+    def test_verdict_agreement(self, scheme):
+        """Honest parties always agree on qualified-vs-disqualified."""
+        f = scheme.field
+        for seed in range(3):
+            result = _run_with_dealer_tamper(
+                scheme, _corrupt_row_tamper(victim=1 + seed, field=f), seed=seed + 5
+            )
+            verdicts = [
+                result.outputs[p] is DEALER_DISQUALIFIED
+                for p in range(1, scheme.n)
+            ]
+            assert len(set(verdicts)) == 1
