@@ -11,6 +11,8 @@ rounds
     Print the round-complexity comparison table (experiment E1).
 params
     Show paper-exact vs scaled parameters for a given n.
+lint
+    Run the protocol-aware static analyzer (see :mod:`repro.lint`).
 """
 
 from __future__ import annotations
@@ -74,12 +76,26 @@ def _cmd_params(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro import __version__
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forward everything verbatim (argparse.REMAINDER would choke on
+        # a leading option such as `repro lint --list-rules`).
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fast and unconditionally secure anonymous channel "
         "(PODC 2014) — reproduction CLI",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command")
 
     p = sub.add_parser("demo", help="run one anonymous transmission")
     p.add_argument("-n", type=int, default=5, help="number of parties")
@@ -100,7 +116,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("-n", type=int, default=5)
     p.set_defaults(fn=_cmd_params)
 
+    sub.add_parser(
+        "lint",
+        help="run the protocol-aware static analyzer (repro.lint)",
+        add_help=False,
+    )
+
     args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        print("repro: error: a subcommand is required "
+              "(see `python -m repro --help`)", file=sys.stderr)
+        return 2
     return args.fn(args)
 
 

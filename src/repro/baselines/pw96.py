@@ -18,7 +18,6 @@ compares only round counts.)
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from itertools import combinations
 

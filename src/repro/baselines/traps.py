@@ -29,7 +29,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.fields import Field, FieldElement
+from repro.fields import Field
 
 
 @dataclass

@@ -12,7 +12,6 @@ setup) is experiment E6's point.
 
 from __future__ import annotations
 
-from typing import Any
 
 from repro.network import ExecutionResult, Program, RoundOutput, run_protocol
 

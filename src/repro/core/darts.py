@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field as dc_field
-from typing import Iterable, Mapping, Sequence
+from typing import Sequence
 
 from repro.fields import Field, FieldElement
 

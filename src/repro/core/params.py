@@ -27,7 +27,6 @@ Every experiment reports which parameterization it ran.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.fields import GF2k, gf2k
@@ -63,7 +62,7 @@ class AnonChanParams:
     d: int
     num_checks: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n < 2:
             raise ValueError("need at least two parties")
         if self.t < 0 or 2 * self.t >= self.n:

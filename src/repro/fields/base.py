@@ -25,7 +25,7 @@ class FieldElement:
 
     __slots__ = ("field", "value")
 
-    def __init__(self, field: "Field", value: int):
+    def __init__(self, field: "Field", value: int) -> None:
         object.__setattr__(self, "field", field)
         object.__setattr__(self, "value", value)
 

@@ -47,7 +47,7 @@ class GF2k(Field):
     #: Largest k for which full log/exp tables are built (2^k entries).
     TABLE_MAX_K = 16
 
-    def __init__(self, k: int, modulus: int | None = None):
+    def __init__(self, k: int, modulus: int | None = None) -> None:
         if k < 1:
             raise ValueError(f"extension degree must be >= 1, got {k}")
         if modulus is None:

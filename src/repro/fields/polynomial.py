@@ -24,7 +24,7 @@ class Polynomial:
 
     __slots__ = ("field", "coeffs")
 
-    def __init__(self, field: Field, coeffs: Iterable[FieldElement | int]):
+    def __init__(self, field: Field, coeffs: Iterable[FieldElement | int]) -> None:
         values = [
             c.value if isinstance(c, FieldElement) else field.encode(c)
             for c in coeffs

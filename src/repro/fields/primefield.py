@@ -66,7 +66,7 @@ def next_prime(n: int) -> int:
 class PrimeField(Field):
     """The finite field GF(p) for prime ``p``, encoded as ints ``[0, p)``."""
 
-    def __init__(self, p: int):
+    def __init__(self, p: int) -> None:
         if not is_prime(p):
             raise ValueError(f"{p} is not prime")
         self.p = p

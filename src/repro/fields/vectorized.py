@@ -11,9 +11,14 @@ it to deal large batches.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
 import numpy as np
 
 from .gf2k import GF2k
+
+if TYPE_CHECKING:
+    from numpy.typing import ArrayLike
 
 
 class VectorGF2k:
@@ -23,7 +28,7 @@ class VectorGF2k:
     element-wise with broadcasting.
     """
 
-    def __init__(self, field: GF2k):
+    def __init__(self, field: GF2k) -> None:
         if field._exp is None:
             raise ValueError(
                 f"{field.short_name} has no tables (k > {GF2k.TABLE_MAX_K}); "
@@ -36,14 +41,16 @@ class VectorGF2k:
         self._log = np.asarray(field._log, dtype=np.uint32)
 
     # -- conversions ------------------------------------------------------
-    def array(self, values) -> np.ndarray:
+    def array(self, values: ArrayLike) -> np.ndarray:
         """Coerce a sequence of raw encodings to the working dtype."""
         out = np.asarray(values, dtype=np.uint32)
         if out.size and int(out.max(initial=0)) >= self.order:
             raise ValueError("values out of field range")
         return out
 
-    def random(self, shape, rng) -> np.ndarray:
+    def random(
+        self, shape: int | tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
         """Uniform random array (``rng`` is ``numpy.random.Generator``)."""
         return rng.integers(0, self.order, size=shape, dtype=np.uint32)
 
@@ -98,7 +105,9 @@ class VectorGF2k:
             acc = np.bitwise_xor(self.scale(acc, x), coeffs[:, j])
         return acc
 
-    def eval_at_points(self, coeffs: np.ndarray, xs) -> np.ndarray:
+    def eval_at_points(
+        self, coeffs: np.ndarray, xs: Iterable[int | np.integer]
+    ) -> np.ndarray:
         """Evaluate many polynomials at several points.
 
         Returns shape ``(m, len(xs))`` — exactly the share table a VSS

@@ -1,0 +1,43 @@
+"""Protocol-aware static analysis for the AnonChan reproduction.
+
+``repro.lint`` walks Python sources with :mod:`ast` and enforces the
+code-level invariants the paper's proofs take for granted:
+
+- **RL001/RL002** — all randomness flows through threaded, seeded
+  ``random.Random`` instances (replayable runs; no OS entropy).
+- **RL003** — field-element values never pass through floats.
+- **RL004** — shares/pads/permutations never reach print/log/trace
+  sinks outside ``__main__``.
+- **RL005** — protocol layers import the :mod:`repro.network` API,
+  never the simulator module directly.
+- **RL101–RL103** — generic hygiene (mutable defaults, bare except,
+  future annotations).
+
+Run it with ``python -m repro.lint src/repro`` or ``python -m repro
+lint``.  Per-line suppressions: ``# repro-lint: disable=RL001``; a
+committed baseline (``.repro-lint-baseline.json``) absorbs
+pre-existing findings.  See ``docs/LINT.md``.
+"""
+
+from .baseline import DEFAULT_BASELINE_NAME, load_baseline, write_baseline
+from .config import LintConfig
+from .context import ModuleContext
+from .engine import LintResult, iter_python_files, lint_file, lint_paths
+from .findings import Finding
+from .rules import Rule, all_rules, rule_ids
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "rule_ids",
+    "write_baseline",
+]

@@ -1,0 +1,65 @@
+"""Committed-baseline support.
+
+A baseline file records pre-existing findings so that adopting a new
+rule does not force a flag-day cleanup: baselined findings are reported
+separately and do not fail the run.  Matching ignores line numbers
+(see :meth:`repro.lint.findings.Finding.baseline_key`) and is
+multiplicity-aware — a baseline entry absorbs at most one live finding
+per occurrence recorded.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+BaselineKey = tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> Counter[BaselineKey]:
+    """Load a baseline file into a multiset of finding keys."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: invalid baseline JSON ({exc})") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    keys: Counter[BaselineKey] = Counter()
+    for entry in data["findings"]:
+        keys[(entry["rule"], entry["path"], entry["message"])] += 1
+    return keys
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, line-free)."""
+    keys = sorted(f.baseline_key() for f in findings)
+    entries = [
+        {"rule": rule, "path": path_, "message": message}
+        for rule, path_, message in keys
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_baselined(
+    findings: Sequence[Finding], baseline: Counter[BaselineKey]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, baselined)."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

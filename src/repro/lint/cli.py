@@ -1,0 +1,183 @@
+"""Command-line interface for repro-lint.
+
+Usage::
+
+    python -m repro.lint [paths ...] [--format text|json] [options]
+    python -m repro lint [paths ...]      # same, via the package CLI
+
+Exit status: 0 when no new findings, 1 when findings remain after
+suppressions and baseline, 2 on usage or I/O errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import DEFAULT_BASELINE_NAME, write_baseline
+from .config import LintConfig
+from .engine import LintResult, lint_paths
+from .rules import all_rules, rule_ids
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Protocol-aware static analysis for the AnonChan "
+        "reproduction (reproducibility, field safety, secret flow, "
+        "layering).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro if present)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help=f"baseline file (default: nearest {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report baselined findings as failures too",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _parse_rule_set(spec: str | None) -> frozenset[str] | None:
+    if spec is None:
+        return None
+    return frozenset(r.strip() for r in spec.split(",") if r.strip())
+
+
+def _default_paths() -> list[Path]:
+    candidate = Path("src/repro")
+    if candidate.is_dir():
+        return [candidate]
+    raise FileNotFoundError(
+        "no paths given and ./src/repro does not exist; pass explicit paths"
+    )
+
+
+def _render_text(result: LintResult, stream) -> None:
+    for finding in result.findings:
+        print(finding.format_text(), file=stream)
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_checked} file(s)"
+    )
+    extras = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    print(summary, file=stream)
+
+
+def _render_json(result: LintResult, stream) -> None:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": len(result.baselined),
+        "suppressed": result.suppressed,
+        "counts": _rule_counts(result),
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def _rule_counts(result: LintResult) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    select = _parse_rule_set(args.select)
+    ignore = _parse_rule_set(args.ignore) or frozenset()
+    known = set(rule_ids()) | {"RL000"}
+    unknown = ((select or frozenset()) | ignore) - known
+    if unknown:
+        print(
+            f"repro.lint: error: unknown rule id(s): "
+            f"{', '.join(sorted(unknown))} (see --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = LintConfig(
+        select=select,
+        ignore=ignore,
+        baseline_path=args.baseline,
+        use_baseline=not (args.no_baseline or args.write_baseline),
+    )
+    try:
+        paths = list(args.paths) or _default_paths()
+        result = lint_paths(paths, config)
+    except (FileNotFoundError, ValueError, OSError) as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or Path(DEFAULT_BASELINE_NAME)
+        write_baseline(target, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        _render_json(result, sys.stdout)
+    else:
+        _render_text(result, sys.stdout)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

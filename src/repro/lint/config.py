@@ -1,0 +1,44 @@
+"""Lint run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .baseline import DEFAULT_BASELINE_NAME
+
+
+@dataclass
+class LintConfig:
+    """Options controlling one lint run."""
+
+    #: Only run these rule ids (None = all registered rules).
+    select: frozenset[str] | None = None
+    #: Never run these rule ids.
+    ignore: frozenset[str] = frozenset()
+    #: Baseline file; ``None`` means auto-discover (see :meth:`resolve_baseline`).
+    baseline_path: Path | None = None
+    #: Whether to subtract baselined findings at all.
+    use_baseline: bool = True
+    #: Filenames excluded from linting.
+    exclude_names: frozenset[str] = frozenset()
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        return self.select is None or rule_id in self.select
+
+    def resolve_baseline(self, start: Path) -> Path | None:
+        """Find the baseline file: explicit path, else search upward."""
+        if not self.use_baseline:
+            return None
+        if self.baseline_path is not None:
+            return self.baseline_path if self.baseline_path.exists() else None
+        probe = start.resolve()
+        if probe.is_file():
+            probe = probe.parent
+        for directory in [probe, *probe.parents]:
+            candidate = directory / DEFAULT_BASELINE_NAME
+            if candidate.exists():
+                return candidate
+        return None

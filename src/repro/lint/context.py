@@ -1,0 +1,97 @@
+"""Per-module analysis context shared by all rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Walks the path components looking for the last ``repro`` package
+    root (or any directory chain containing ``__init__.py`` would be
+    overkill — the repo has a single ``src`` layout).  Falls back to
+    the bare stem for loose files such as test fixtures.
+    """
+    parts = list(path.parts)
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = list(parts[idx:-1]) + [path.stem]
+        return ".".join(dotted)
+    return path.stem
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to analyze one parsed module."""
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: line ranges (inclusive) inside ``if __name__ == "__main__":`` guards
+    main_guard_ranges: list[tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def from_source(
+        cls, path: Path, source: str, display_path: str | None = None
+    ) -> "ModuleContext":
+        tree = ast.parse(source, filename=str(path))
+        ctx = cls(
+            path=path,
+            display_path=display_path or str(path),
+            module=module_name_for(path),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+        ctx.main_guard_ranges = _main_guard_ranges(tree)
+        return ctx
+
+    @property
+    def is_main_module(self) -> bool:
+        """Whether the module is a ``__main__`` entry point."""
+        return self.module.rsplit(".", 1)[-1] == "__main__"
+
+    def in_main_guard(self, line: int) -> bool:
+        return any(lo <= line <= hi for lo, hi in self.main_guard_ranges)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+def _is_main_guard_test(test: ast.expr) -> bool:
+    """Match ``__name__ == "__main__"`` (either operand order)."""
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return False
+    if not isinstance(test.ops[0], ast.Eq):
+        return False
+    operands = [test.left, test.comparators[0]]
+    has_name = any(
+        isinstance(op, ast.Name) and op.id == "__name__" for op in operands
+    )
+    has_lit = any(
+        isinstance(op, ast.Constant) and op.value == "__main__" for op in operands
+    )
+    return has_name and has_lit
+
+
+def _main_guard_ranges(tree: ast.Module) -> list[tuple[int, int]]:
+    ranges: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _is_main_guard_test(node.test):
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            ranges.append((node.lineno, end))
+    return ranges

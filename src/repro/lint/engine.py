@@ -1,0 +1,103 @@
+"""File walker and rule runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import load_baseline, split_baselined
+from .config import LintConfig
+from .context import ModuleContext
+from .findings import Finding
+from .rules import all_rules
+from .suppressions import Suppressions
+
+#: Rule id used for unparseable files (cannot be suppressed in-file).
+PARSE_ERROR_RULE = "RL000"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"{path}: not a Python file or directory")
+    return sorted(files)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(path: Path, config: LintConfig) -> tuple[list[Finding], int]:
+    """Lint one file; returns (findings, suppressed-count)."""
+    source = path.read_text(encoding="utf-8")
+    display = _display_path(path)
+    try:
+        ctx = ModuleContext.from_source(path, source, display_path=display)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1),
+            rule=PARSE_ERROR_RULE,
+            message=f"syntax error: {exc.msg}",
+        )
+        return [finding], 0
+    suppressions = Suppressions.scan(source)
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule in all_rules():
+        if not config.rule_enabled(rule.rule_id):
+            continue
+        for finding in rule.check(ctx):
+            if suppressions.suppresses(finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def lint_paths(paths: Sequence[Path], config: LintConfig) -> LintResult:
+    """Lint every Python file under ``paths`` and apply the baseline."""
+    result = LintResult()
+    raw: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        if file_path.name in config.exclude_names:
+            continue
+        findings, suppressed = lint_file(file_path, config)
+        raw.extend(findings)
+        result.suppressed += suppressed
+        result.files_checked += 1
+    raw.sort()
+    baseline_file = config.resolve_baseline(
+        paths[0] if paths else Path.cwd()
+    )
+    if baseline_file is not None:
+        baseline = load_baseline(baseline_file)
+        result.findings, result.baselined = split_baselined(raw, baseline)
+    else:
+        result.findings = raw
+    return result

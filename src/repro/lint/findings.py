@@ -1,0 +1,37 @@
+"""Finding records produced by the lint engine.
+
+A :class:`Finding` pins one rule violation to a file and line.  The
+*baseline key* deliberately omits the line number so that committed
+baselines survive unrelated edits above the flagged statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching (line numbers drift)."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

@@ -1,0 +1,52 @@
+"""Rule registry for repro-lint.
+
+Each rule is a class with a ``rule_id``, a one-line ``summary``, and a
+``check(ctx)`` generator yielding :class:`~repro.lint.findings.Finding`
+records for one parsed module.  Rules register themselves via the
+:func:`register` decorator; :func:`all_rules` instantiates the full
+registry in rule-id order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Type
+
+from ..context import ModuleContext
+from ..findings import Finding
+
+
+class Rule(ABC):
+    """One static-analysis check."""
+
+    rule_id: str
+    summary: str
+
+    @abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``."""
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Instantiate every registered rule, sorted by id."""
+    # Import rule modules for their registration side effects.
+    from . import fieldsafety, generic, layering, randomness, secrecy  # noqa: F401
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    from . import fieldsafety, generic, layering, randomness, secrecy  # noqa: F401
+
+    return sorted(_REGISTRY)

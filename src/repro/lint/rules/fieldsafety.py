@@ -1,0 +1,166 @@
+"""RL003 — no float coercion of field elements.
+
+Field elements are integer encodings in GF(2^kappa) or GF(p); any trip
+through Python floats (``float(x)``, true division of ``.value``
+encodings, mixing with float literals) silently destroys algebraic
+structure — ``(a / b) * b != a`` once rounding enters.  The rule is
+heuristic: it tracks names annotated as ``FieldElement`` (parameters,
+``x: FieldElement = ...`` assignments), names bound from field-element
+producers (``field.element(...)``, ``field.zero()``, ...), and a small
+naming convention (``fe``, ``*_fe``, ``*_elem``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from . import Rule, register
+
+_FE_NAME_RE = re.compile(r"(^|_)(fe|felem|elem)$")
+
+#: Field methods whose return value is a FieldElement.
+_FE_PRODUCERS = {
+    "element",
+    "zero",
+    "one",
+    "random",
+    "random_nonzero",
+    "inverse",
+}
+
+
+def _annotation_is_field_element(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "FieldElement"
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr == "FieldElement"
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.strip("'\"") == "FieldElement"
+    return False
+
+
+def _field_element_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names statically known (or conventionally named) as field elements."""
+    names: set[str] = set()
+    args = func.args
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *filter(None, [args.vararg, args.kwarg]),
+    ]:
+        if _annotation_is_field_element(arg.annotation) or _FE_NAME_RE.search(
+            arg.arg
+        ):
+            names.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_is_field_element(node.annotation):
+                names.add(node.target.id)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if _FE_NAME_RE.search(target.id):
+                names.add(target.id)
+            elif (
+                isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Attribute)
+                and node.value.func.attr in _FE_PRODUCERS
+            ):
+                names.add(target.id)
+    return names
+
+
+def _is_fe_expr(node: ast.expr, fe_names: set[str]) -> bool:
+    """``fe`` or ``fe.value`` for a tracked name."""
+    if isinstance(node, ast.Name):
+        return node.id in fe_names
+    if isinstance(node, ast.Attribute) and node.attr == "value":
+        return isinstance(node.value, ast.Name) and node.value.id in fe_names
+    return False
+
+
+def _is_fe_value_attr(node: ast.expr, fe_names: set[str]) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "value"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in fe_names
+    )
+
+
+@register
+class FloatOnFieldElementRule(Rule):
+    """RL003: float arithmetic must never touch field-element values."""
+
+    rule_id = "RL003"
+    summary = (
+        "float()/true-division/float-literal arithmetic on field-element "
+        "values destroys GF structure; use field ops or // on encodings"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            fe_names = _field_element_names(func)
+            if not fe_names:
+                continue
+            yield from self._check_function(ctx, func, fe_names)
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        fe_names: set[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+                and len(node.args) == 1
+                and _is_fe_expr(node.args[0], fe_names)
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "float() on a field element loses the GF encoding; "
+                    "keep arithmetic in the field",
+                )
+            elif isinstance(node, ast.BinOp):
+                yield from self._check_binop(ctx, node, fe_names)
+
+    def _check_binop(
+        self, ctx: ModuleContext, node: ast.BinOp, fe_names: set[str]
+    ) -> Iterator[Finding]:
+        left, right = node.left, node.right
+        if isinstance(node.op, ast.Div) and (
+            _is_fe_value_attr(left, fe_names) or _is_fe_value_attr(right, fe_names)
+        ):
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "true division on a field-element .value encoding yields a "
+                "float; use // or the field's div()",
+            )
+            return
+        float_const = any(
+            isinstance(op, ast.Constant) and isinstance(op.value, float)
+            for op in (left, right)
+        )
+        fe_operand = any(_is_fe_expr(op, fe_names) for op in (left, right))
+        if float_const and fe_operand:
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "mixing a float literal with a field element; field "
+                "arithmetic is exact — floats are not",
+            )

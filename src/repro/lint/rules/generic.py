@@ -1,0 +1,101 @@
+"""RL101–RL103 — generic Python hygiene.
+
+Not protocol-specific, but each has bitten distributed-protocol code
+before: shared mutable defaults alias state across parties (RL101),
+bare ``except:`` swallows the very assertion failures the Byzantine
+tests rely on (RL102), and ``from __future__ import annotations``
+keeps annotations lazy so protocol modules stay import-cycle-free
+(RL103).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from . import Rule, register
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "Counter"}
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RL101: no mutable default arguments."""
+
+    rule_id = "RL101"
+    summary = "mutable default argument is shared across calls (and parties)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield ctx.finding(
+                        self.rule_id,
+                        default,
+                        f"mutable default in {func.name}(); default to None "
+                        "and allocate inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+        )
+
+
+@register
+class BareExceptRule(Rule):
+    """RL102: no bare ``except:`` clauses."""
+
+    rule_id = "RL102"
+    summary = "bare except swallows KeyboardInterrupt and protocol assertions"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "bare except: catch a specific exception type",
+                )
+
+
+@register
+class FutureAnnotationsRule(Rule):
+    """RL103: modules that define functions/classes import future annotations."""
+
+    rule_id = "RL103"
+    summary = "missing `from __future__ import annotations` in a defining module"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        has_defs = any(
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            for node in ast.walk(ctx.tree)
+        )
+        if not has_defs:
+            return
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "__future__"
+                and any(alias.name == "annotations" for alias in node.names)
+            ):
+                return
+        yield ctx.finding(
+            self.rule_id,
+            ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+            "add `from __future__ import annotations` (lazy annotations "
+            "keep protocol modules cycle-free and cheap to import)",
+        )

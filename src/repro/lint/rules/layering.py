@@ -1,0 +1,87 @@
+"""RL005 — architectural layering.
+
+Protocol logic (``repro.core``, ``repro.vss``, ``repro.byzantine``)
+runs *on top of* the network abstraction exported by
+:mod:`repro.network` (``Program``, ``RoundOutput``, ``run_protocol``);
+reaching into ``repro.network.simulator`` directly couples protocol
+code to one scheduler implementation and blocks the planned async /
+sharded backends.  Relative imports are resolved against the module's
+package before matching.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from . import Rule, register
+
+#: module-prefix -> forbidden import prefixes
+LAYERING: dict[str, tuple[str, ...]] = {
+    "repro.core": ("repro.network.simulator",),
+    "repro.vss": ("repro.network.simulator",),
+    "repro.byzantine": ("repro.network.simulator",),
+}
+
+
+def _resolve_relative(module: str, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted name for a (possibly relative) ImportFrom."""
+    if node.level == 0:
+        return node.module
+    package_parts = module.split(".")[:-1]
+    if node.level - 1 > len(package_parts):
+        return None
+    base = package_parts[: len(package_parts) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _prefix_match(name: str, prefix: str) -> bool:
+    return name == prefix or name.startswith(prefix + ".")
+
+
+@register
+class LayeringRule(Rule):
+    """RL005: protocol layers import repro.network's API, not its simulator."""
+
+    rule_id = "RL005"
+    summary = (
+        "layering: core/vss/byzantine must import the repro.network API, "
+        "never repro.network.simulator directly"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        forbidden: tuple[str, ...] = ()
+        for layer, targets in LAYERING.items():
+            if _prefix_match(ctx.module, layer):
+                forbidden = targets
+                break
+        if not forbidden:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    for target in forbidden:
+                        if _prefix_match(alias.name, target):
+                            yield ctx.finding(
+                                self.rule_id,
+                                node,
+                                f"import {alias.name}: go through the "
+                                "repro.network package API instead",
+                            )
+            elif isinstance(node, ast.ImportFrom):
+                resolved = _resolve_relative(ctx.module, node)
+                if resolved is None:
+                    continue
+                for target in forbidden:
+                    if _prefix_match(resolved, target):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"from {resolved} import ...: go through the "
+                            "repro.network package API instead",
+                        )
+                        break

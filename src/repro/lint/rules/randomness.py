@@ -1,0 +1,178 @@
+"""RL001 / RL002 — randomness discipline.
+
+Every benchmark, adversary strategy, and protocol execution in this
+repo is replayable because all sampling flows through explicitly
+threaded ``random.Random`` instances.  RL001 rejects calls on the
+*module-global* RNG (``random.randint`` and friends share hidden
+process-wide state); RL002 rejects nondeterministic entropy sources
+(``secrets``, ``os.urandom``, ``SystemRandom``, ``uuid4``, seeding
+from wall-clock time) inside the reproduction package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from . import Rule, register
+
+#: Names importable from :mod:`random` that do NOT touch global state.
+_RANDOM_OK = {"Random", "SystemRandom"}
+
+#: time-module attributes that make seeds wall-clock dependent.
+_TIME_SOURCES = {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter"}
+
+
+def _module_aliases(tree: ast.Module, module: str) -> set[str]:
+    """Names the given top-level module is bound to via ``import``."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or module)
+                elif alias.name.startswith(module + ".") and alias.asname is None:
+                    aliases.add(module)
+    return aliases
+
+
+@register
+class GlobalRandomRule(Rule):
+    """RL001: no calls through the global ``random`` module RNG."""
+
+    rule_id = "RL001"
+    summary = (
+        "global-RNG use: draw randomness from a threaded random.Random "
+        "instance, never the random module's hidden global state"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = _module_aliases(ctx.tree, "random")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name not in _RANDOM_OK:
+                            yield ctx.finding(
+                                self.rule_id,
+                                node,
+                                f"from random import {alias.name} binds the "
+                                "module-global RNG; import Random and thread "
+                                "a seeded instance instead",
+                            )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id in aliases
+                    and node.attr not in _RANDOM_OK
+                ):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"random.{node.attr} uses the module-global RNG; "
+                        "use a named random.Random instance threaded through "
+                        "the call chain",
+                    )
+
+
+@register
+class NondeterministicEntropyRule(Rule):
+    """RL002: no OS/wall-clock entropy inside the reproduction package."""
+
+    rule_id = "RL002"
+    summary = (
+        "nondeterministic entropy (secrets / os.urandom / SystemRandom / "
+        "uuid4 / time-based seeds) breaks replayable runs"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        os_aliases = _module_aliases(ctx.tree, "os")
+        time_aliases = _module_aliases(ctx.tree, "time")
+        uuid_aliases = _module_aliases(ctx.tree, "uuid")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "secrets" or alias.name.startswith("secrets."):
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            "the secrets module draws OS entropy; seeded "
+                            "random.Random keeps runs reproducible",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "secrets":
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "the secrets module draws OS entropy; seeded "
+                        "random.Random keeps runs reproducible",
+                    )
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name == "SystemRandom":
+                            yield ctx.finding(
+                                self.rule_id,
+                                node,
+                                "SystemRandom is not seedable; use "
+                                "random.Random",
+                            )
+                elif node.module == "uuid":
+                    for alias in node.names:
+                        if alias.name in {"uuid1", "uuid4"}:
+                            yield ctx.finding(
+                                self.rule_id,
+                                node,
+                                f"uuid.{alias.name} is nondeterministic; "
+                                "derive identifiers from the run seed",
+                            )
+            elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                base, attr = node.value.id, node.attr
+                if base in os_aliases and attr == "urandom":
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "os.urandom draws OS entropy; use a seeded "
+                        "random.Random",
+                    )
+                elif attr == "SystemRandom":
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "SystemRandom is not seedable; use random.Random",
+                    )
+                elif base in uuid_aliases and attr in {"uuid1", "uuid4"}:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"uuid.{attr} is nondeterministic; derive "
+                        "identifiers from the run seed",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_time_seed(ctx, node, time_aliases)
+
+    def _check_time_seed(
+        self, ctx: ModuleContext, call: ast.Call, time_aliases: set[str]
+    ) -> Iterator[Finding]:
+        """Flag ``Random(time.time())`` / ``rng.seed(time.time_ns())``."""
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name not in {"Random", "seed"}:
+            return
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for sub in ast.walk(arg):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id in time_aliases
+                    and sub.attr in _TIME_SOURCES
+                ):
+                    yield ctx.finding(
+                        self.rule_id,
+                        sub,
+                        f"seeding from time.{sub.attr} makes runs "
+                        "unrepeatable; take the seed as a parameter",
+                    )

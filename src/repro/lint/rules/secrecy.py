@@ -1,0 +1,122 @@
+"""RL004 — secret material must not reach observable sinks.
+
+The privacy proof (Theorem 1) assumes shares, one-time pads, and the
+receiver's permutations are seen only by their owners; a stray
+``print(shares)`` or a share dumped into a trace/log during debugging
+is exactly the kind of leak that survives into benchmarks.  The rule
+flags calls to ``print``, ``logging``-style methods, and trace
+``record*`` sinks whose arguments mention an identifier with a
+secret-looking token (``share``, ``secret``, ``pad``, ``perm``,
+``permutation``).  ``__main__`` modules and ``if __name__ ==
+"__main__"`` blocks are exempt (demo output is their purpose), as is
+anything wrapped in ``len(...)`` — sizes are public.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import Finding
+from . import Rule, register
+
+_SECRET_TOKENS = {
+    "share",
+    "shares",
+    "secret",
+    "secrets",
+    "pad",
+    "pads",
+    "perm",
+    "perms",
+    "permutation",
+    "permutations",
+}
+
+_LOG_METHODS = {
+    "debug",
+    "info",
+    "warning",
+    "warn",
+    "error",
+    "critical",
+    "exception",
+    "log",
+}
+
+_TRACE_METHODS = {"record", "record_round", "record_event", "trace"}
+
+_TOKEN_SPLIT = re.compile(r"[_\d]+")
+
+
+def _is_secret_identifier(name: str) -> bool:
+    return any(tok in _SECRET_TOKENS for tok in _TOKEN_SPLIT.split(name.lower()))
+
+
+def _sink_kind(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "print":
+            return "print"
+        if func.id in _TRACE_METHODS:
+            return func.id
+        return None
+    if isinstance(func, ast.Attribute):
+        if func.attr in _LOG_METHODS:
+            # logging.info(...), logger.debug(...), self._log.warning(...)
+            return f"logging .{func.attr}()"
+        if func.attr in _TRACE_METHODS:
+            return f"trace .{func.attr}()"
+    return None
+
+
+def _secret_names_in(expr: ast.expr) -> Iterator[str]:
+    """Secret-looking identifiers in ``expr``, skipping len(...) subtrees."""
+    stack: list[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "len"
+        ):
+            continue
+        if isinstance(node, ast.Name) and _is_secret_identifier(node.id):
+            yield node.id
+        elif isinstance(node, ast.Attribute) and _is_secret_identifier(node.attr):
+            yield node.attr
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class SecretLeakRule(Rule):
+    """RL004: share/pad/permutation identifiers must not hit output sinks."""
+
+    rule_id = "RL004"
+    summary = (
+        "secret-flow hygiene: shares, pads, and permutations must not "
+        "reach print/logging/trace sinks outside __main__"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.is_main_module:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = _sink_kind(node)
+            if sink is None or ctx.in_main_guard(node.lineno):
+                continue
+            leaked: list[str] = []
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                leaked.extend(_secret_names_in(arg))
+            if leaked:
+                names = ", ".join(sorted(set(leaked)))
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"secret-looking identifier(s) {names} reach {sink}; "
+                    "secret material must stay out of observable output",
+                )

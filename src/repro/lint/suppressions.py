@@ -1,0 +1,58 @@
+"""Per-line and per-file suppression comments.
+
+Syntax (anywhere in a comment)::
+
+    x = random.random()        # repro-lint: disable=RL001
+    y = foo()                  # repro-lint: disable=RL001,RL003
+    # repro-lint: disable-file=RL004
+    # repro-lint: disable=all
+
+``disable`` applies to findings reported on the same physical line;
+``disable-file`` applies to the whole file.  ``all`` suppresses every
+rule.  Suppressions are counted and reported so dead ones are visible.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+ALL = "all"
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives for one file."""
+
+    file_rules: set[str] = field(default_factory=set)
+    line_rules: dict[int, set[str]] = field(default_factory=dict)
+
+    def suppresses(self, finding: Finding) -> bool:
+        if ALL in self.file_rules or finding.rule in self.file_rules:
+            return True
+        rules = self.line_rules.get(finding.line)
+        if rules is None:
+            return False
+        return ALL in rules or finding.rule in rules
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        supp = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            for match in _SUPPRESS_RE.finditer(line):
+                rules = {
+                    r.strip().lower() if r.strip().lower() == ALL else r.strip()
+                    for r in match.group("rules").split(",")
+                }
+                if match.group("scope"):
+                    supp.file_rules |= rules
+                else:
+                    supp.line_rules.setdefault(lineno, set()).update(rules)
+        return supp

@@ -13,7 +13,7 @@ corrupted parties' outputs are fixed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from .messages import RoundInput, RoundOutput

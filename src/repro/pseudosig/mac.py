@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.fields import Field, FieldElement, GF2k, gf2k
+from repro.fields import Field, FieldElement, GF2k
 
 
 @dataclass(frozen=True)

@@ -30,11 +30,11 @@ Two setup paths are provided:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 
 from repro.fields import FieldElement, GF2k, gf2k
 
-from .mac import MACKey, mac_sign, mac_verify, pack_key, unpack_key
+from .mac import MACKey, mac_sign, pack_key, unpack_key
 
 
 @dataclass

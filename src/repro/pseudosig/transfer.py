@@ -90,7 +90,6 @@ def targeted_partial_signature(
     accept-then-reject break.  With the anonymous setup this targeting
     is information-theoretically impossible.
     """
-    from repro.fields import FieldElement
     from .mac import mac_sign
 
     if rng is None:

@@ -85,7 +85,6 @@ def _try_decode(
     Solve for ``E`` (monic, degree ``e``) and ``Q`` (degree ``<= degree + e``)
     with ``Q(x_i) = y_i * E(x_i)`` for all ``i``; then ``P = Q / E``.
     """
-    n = len(xs)
     num_q = degree + e + 1  # unknown coefficients of Q
     num_e = e  # unknown coefficients of E (leading coeff fixed to 1)
     matrix: list[list[int]] = []

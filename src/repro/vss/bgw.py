@@ -41,7 +41,6 @@ from .base import (
     ReconstructionError,
     SharedBatch,
     ShareView,
-    VSSCost,
     VSSScheme,
     VSSSession,
 )

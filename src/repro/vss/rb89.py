@@ -157,7 +157,6 @@ class RB89VSSSession(VSSSession):
 
         # ---- round 1: dealer distributes rows + ICP material -------------
         aux_tags: dict[int, ICPTag] = {}  # per verifier j: auxiliary tag
-        aux_values: dict[int, int] = {}
         my_tags: dict[int, list[ICPTag]] = {}  # per verifier j, per secret
         if pid == dealer:
             if secrets is None:

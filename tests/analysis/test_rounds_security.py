@@ -1,6 +1,5 @@
 """Tests for round-complexity models and error budgets."""
 
-import pytest
 
 from repro.analysis import (
     anonchan_rounds,

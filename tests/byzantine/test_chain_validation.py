@@ -1,6 +1,5 @@
 """Adversarial chain-validation tests for Dolev–Strong."""
 
-import random
 
 from repro.byzantine import (
     DEFAULT_VALUE,

@@ -1,13 +1,11 @@
 """Integration tests for protocol AnonChan (Theorem 1's properties)."""
 
 import random
-from collections import Counter
 
 import pytest
 
 from repro.core import (
     AnonChan,
-    Permutation,
     honest_input_multiset,
     non_malleability_shape_holds,
     reliability_holds,

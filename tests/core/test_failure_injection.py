@@ -14,12 +14,10 @@ from repro.core import (
     AnonChan,
     honest_input_multiset,
     reliability_holds,
-    run_anonchan,
     scaled_parameters,
 )
 from repro.network import (
     Adversary,
-    PassiveAdversary,
     RoundOutput,
     SilentAdversary,
     TamperingAdversary,

@@ -15,7 +15,6 @@ from repro.core import (
     validate_index_list_opening,
     validate_permutation_opening,
 )
-from repro.core.layout import ProverMaterial
 
 
 @pytest.fixture

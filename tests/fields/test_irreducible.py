@@ -10,7 +10,6 @@ from repro.fields import (
     gf2_gcd,
     gf2_mod,
     gf2_mul,
-    gf2_mulmod,
     gf2_powmod,
     irreducible_polynomial,
     is_irreducible,

@@ -1,0 +1,36 @@
+"""Shared helpers for the lint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Finding, LintConfig, lint_file
+
+
+@pytest.fixture
+def run_rules(tmp_path):
+    """Lint a source snippet as if it lived at a given package path.
+
+    Returns the list of findings for one selected rule; the fake path
+    (default ``repro/core/mod.py``) controls module-name-sensitive
+    rules (RL004 __main__ exemption, RL005 layering).
+    """
+
+    def _run(
+        source: str,
+        rule: str,
+        rel_path: str = "repro/core/mod.py",
+    ) -> list[Finding]:
+        target = tmp_path / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        config = LintConfig(select=frozenset({rule}), use_baseline=False)
+        findings, _ = lint_file(target, config)
+        return findings
+
+    return _run
+
+
+REPO_ROOT = Path(__file__).resolve().parents[2]

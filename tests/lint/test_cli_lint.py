@@ -1,0 +1,116 @@
+"""CLI-level tests: JSON schema, baseline workflow, repo self-lint."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import DEFAULT_BASELINE_NAME, load_baseline
+from repro.lint.cli import JSON_SCHEMA_VERSION, main
+
+from .conftest import REPO_ROOT
+
+BAD_SOURCE = """\
+from __future__ import annotations
+import random
+
+def sample() -> int:
+    return random.randint(0, 7)
+"""
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    target = tmp_path / "repro" / "core" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(BAD_SOURCE, encoding="utf-8")
+    return target
+
+
+def test_self_lint_repo_is_clean(capsys):
+    """`python -m repro.lint src/repro` exits 0 on the repo itself."""
+    src = REPO_ROOT / "src" / "repro"
+    assert src.is_dir()
+    exit_code = main([str(src), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert payload["findings"] == []
+    assert payload["files_checked"] > 50
+
+
+def test_json_output_schema(bad_file, capsys):
+    exit_code = main([str(bad_file), "--format", "json", "--no-baseline"])
+    assert exit_code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert set(payload) == {
+        "version",
+        "files_checked",
+        "findings",
+        "baselined",
+        "suppressed",
+        "counts",
+    }
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "path", "line", "col", "message"}
+    assert finding["rule"] == "RL001"
+    assert finding["line"] == 5
+    assert payload["counts"] == {"RL001": 1}
+
+
+def test_text_output_includes_location(bad_file, capsys):
+    exit_code = main([str(bad_file), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "bad.py:5:" in out and "RL001" in out
+
+
+def test_baseline_roundtrip(bad_file, tmp_path, capsys):
+    baseline = tmp_path / DEFAULT_BASELINE_NAME
+    assert main([str(bad_file), "--write-baseline", "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    entries = load_baseline(baseline)
+    assert sum(entries.values()) == 1
+
+    # Baselined finding no longer fails the run...
+    assert main([str(bad_file), "--baseline", str(baseline)]) == 0
+    # ...but --no-baseline surfaces it again.
+    assert main([str(bad_file), "--no-baseline"]) == 1
+
+
+def test_baseline_does_not_absorb_new_findings(bad_file, tmp_path, capsys):
+    baseline = tmp_path / DEFAULT_BASELINE_NAME
+    assert main([str(bad_file), "--write-baseline", "--baseline", str(baseline)]) == 0
+    bad_file.write_text(
+        BAD_SOURCE + "\n\ndef more() -> float:\n    return random.random()\n",
+        encoding="utf-8",
+    )
+    assert main([str(bad_file), "--baseline", str(baseline)]) == 1
+
+
+def test_select_and_ignore(bad_file, capsys):
+    assert main([str(bad_file), "--select", "RL002", "--no-baseline"]) == 0
+    assert main([str(bad_file), "--ignore", "RL001", "--no-baseline"]) == 0
+    assert main([str(bad_file), "--select", "RL001", "--no-baseline"]) == 1
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                    "RL101", "RL102", "RL103"):
+        assert rule_id in out
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.py")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_syntax_error_reported_as_finding(tmp_path, capsys):
+    target = tmp_path / "broken.py"
+    target.write_text("def oops(:\n", encoding="utf-8")
+    assert main([str(target), "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"][0]["rule"] == "RL000"

@@ -6,7 +6,6 @@ from repro.network import (
     Adversary,
     PassiveAdversary,
     ProtocolViolation,
-    RoundInput,
     RoundOutput,
     SilentAdversary,
     TamperingAdversary,
@@ -227,7 +226,6 @@ class TestAdversaries:
         assert result.outputs[0][2] == 7  # adversary echoed the honest sum
 
     def test_rushing_cannot_see_honest_private_traffic(self):
-        n = 3
         seen = []
 
         def secret_exchange(pid):

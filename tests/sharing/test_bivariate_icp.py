@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.fields import gf2k
 from repro.sharing import (
-    ICPKey,
     SymmetricBivariate,
     forgery_probability,
     icp_combine,

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import __version__
+from repro.__main__ import main
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+def test_no_subcommand_is_usage_error(capsys):
+    assert main([]) == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err and "subcommand is required" in err
+
+
+def test_unknown_subcommand_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["frobnicate"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_rounds_subcommand_prints_table(capsys):
+    assert main(["rounds"]) == 0
+    out = capsys.readouterr().out
+    assert "protocol" in out and "GGOR14 (this paper)" in out
+
+
+def test_params_subcommand(capsys):
+    assert main(["params", "-n", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "paper-exact" in out and "scaled" in out
+
+
+def test_lint_subcommand_forwards_arguments(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n", encoding="utf-8")
+    assert main(["lint", str(clean), "--no-baseline"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out

@@ -18,7 +18,6 @@ from repro.vss import BGWVSS, IdealVSS, RB89VSS
 
 def _corrupt_share_values(scheme, secret, trials, seed):
     """The corrupted coalition's share values across many dealings."""
-    f = scheme.field
     values = []
     corrupted = {scheme.n - 1}
     for trial in range(trials):

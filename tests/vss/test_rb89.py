@@ -25,7 +25,6 @@ def scheme():
 
 def _run_single(scheme, secrets, adversary=None, seed=0):
     session = scheme.new_session(random.Random(seed))
-    f = scheme.field
 
     def party(pid, rng):
         batch = yield from session.share_program(

@@ -16,7 +16,6 @@ values16 = st.integers(min_value=0, max_value=2**16 - 1)
 
 def _share_open(scheme, secrets, seed):
     session = scheme.new_session(random.Random(seed))
-    f = scheme.field
 
     def party(pid, rng):
         batch = yield from session.share_program(
