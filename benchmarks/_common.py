@@ -2,15 +2,22 @@
 
 Every experiment prints its table (the artifact being reproduced) and
 appends it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md
-can quote measured numbers.
+can quote measured numbers.  :func:`report` additionally writes the
+machine-readable twin ``benchmarks/results/BENCH_<experiment>.json``
+(headers, rows, notes, plus any ``extra`` payload such as the
+:func:`phase_breakdown` of a traced run) so downstream tooling never
+has to scrape the text tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+BENCH_JSON_VERSION = 1
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -31,8 +38,15 @@ def report(
     headers: Sequence[str],
     rows: Sequence[Sequence],
     notes: str = "",
+    extra: dict | None = None,
 ) -> str:
-    """Print the experiment table and persist it under results/."""
+    """Print the experiment table and persist it under results/.
+
+    Writes both the human-readable ``<experiment>.txt`` and the
+    machine-readable ``BENCH_<experiment>.json``; ``extra`` carries
+    structured side-data (e.g. per-phase breakdowns from a traced run)
+    into the JSON artifact only.
+    """
     table = format_table(headers, rows)
     body = f"== {experiment}: {title} ==\n{table}"
     if notes:
@@ -42,4 +56,37 @@ def report(
     path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
     with open(path, "w") as fh:
         fh.write(body + "\n")
+    payload = {
+        "version": BENCH_JSON_VERSION,
+        "experiment": experiment,
+        "title": title,
+        "headers": [str(h) for h in headers],
+        "rows": [[_jsonable(c) for c in row] for row in rows],
+        "notes": notes,
+    }
+    if extra:
+        payload["extra"] = extra
+    json_path = os.path.join(RESULTS_DIR, f"BENCH_{experiment}.json")
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return body
+
+
+def _jsonable(cell):
+    """Table cells as JSON scalars (field elements etc. via str)."""
+    if isinstance(cell, (bool, int, float, str)) or cell is None:
+        return cell
+    return str(cell)
+
+
+def phase_breakdown(tracer) -> dict:
+    """Per-phase/per-party cost dict of a traced run (for ``extra``).
+
+    ``tracer`` is a :class:`repro.obs.Tracer` that observed one
+    execution; the result is the JSON-stable form of
+    :class:`repro.obs.RunMetrics`.
+    """
+    from repro.obs import RunMetrics
+
+    return RunMetrics.from_events(tracer.events).to_dict()

@@ -16,19 +16,22 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import report
+from _common import phase_breakdown, report
 
 from repro.analysis import comparison_table
 from repro.core import run_anonchan, scaled_parameters
+from repro.obs import Tracer
 from repro.vss import GGOR13_COST, RB89_COST, IdealVSS, VSSCost
 from repro.vss.costs import RAB94_COST
 
 
-def _measure_rounds(n: int, cost: VSSCost, seed: int = 0) -> tuple[int, int]:
+def _measure_rounds(
+    n: int, cost: VSSCost, seed: int = 0, tracer: Tracer | None = None
+) -> tuple[int, int]:
     params = scaled_parameters(n=n, d=6, num_checks=3, kappa=16, margin=6)
     vss = IdealVSS(params.field, params.n, params.t, cost=cost)
     messages = {i: params.field(100 + i) for i in range(n)}
-    result = run_anonchan(params, vss, messages, seed=seed)
+    result = run_anonchan(params, vss, messages, seed=seed, tracer=tracer)
     assert result.outputs[0].output is not None
     return result.metrics.rounds, result.metrics.broadcast_rounds
 
@@ -53,6 +56,8 @@ def test_e1_measured_rounds_across_vss(benchmark):
         return rows
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
+    tracer = Tracer()
+    _measure_rounds(5, GGOR13_COST, tracer=tracer)
     report(
         "e1_measured",
         "AnonChan measured rounds (= r_VSS-share + 5, independent of n)",
@@ -60,6 +65,7 @@ def test_e1_measured_rounds_across_vss(benchmark):
         rows,
         notes="paper claim: round complexity essentially r_VSS-share;\n"
               "the +5 overhead is constant in n, kappa, and the VSS choice.",
+        extra={"phase_breakdown": phase_breakdown(tracer)},
     )
     for _profile, _n, share, total, _ in rows:
         assert total == share + 5

@@ -12,10 +12,11 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import report
+from _common import phase_breakdown, report
 
 from repro.baselines import MaximalDisruption, run_pw96
 from repro.core import run_anonchan, scaled_parameters
+from repro.obs import Tracer
 from repro.vss import GGOR13_COST, RB89_COST, IdealVSS
 
 
@@ -40,6 +41,16 @@ def test_e2_broadcast_rounds(benchmark):
         return rows
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # One traced run pins *where* the broadcasts happen: the JSON
+    # artifact shows every broadcast round inside the VSS sharing phase.
+    params = scaled_parameters(n=5, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+    tracer = Tracer()
+    run_anonchan(
+        params, vss, {i: params.field(50 + i) for i in range(5)},
+        seed=5, tracer=tracer,
+    )
+    breakdown = phase_breakdown(tracer)
     report(
         "e2_broadcast",
         "Physical-broadcast rounds for one anonymous-channel execution",
@@ -47,8 +58,16 @@ def test_e2_broadcast_rounds(benchmark):
         rows,
         notes="paper claim: 2 broadcast rounds total with the GGOR13 VSS,\n"
               "independent of n; PW96 grows quadratically under attack.",
+        extra={"phase_breakdown": breakdown},
     )
     ggor = [(n, bc) for (p, n, bc, _) in rows if p == "AnonChan+GGOR13"]
     assert all(bc == 2 for _n, bc in ggor)
+    by_phase = {p["phase"]: p for p in breakdown["phases"]}
+    assert by_phase["step 1: VSS-Share"]["broadcast_rounds"] == 2
+    assert all(
+        p["broadcast_rounds"] == 0
+        for name, p in by_phase.items()
+        if name != "step 1: VSS-Share"
+    )
     pw = {n: bc for (p, n, bc, _) in rows if p.startswith("PW96")}
     assert pw[7] > pw[3]

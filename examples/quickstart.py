@@ -5,17 +5,37 @@ Five parties each send one message to a designated receiver P*; the
 receiver learns the *multiset* of messages but nothing about who sent
 what — even though one party actively tries to jam the channel.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--trace trace.jsonl]
+
+With ``--trace`` the run is instrumented by :mod:`repro.obs`: the
+span/round event stream is exported as JSONL and the per-phase report
+is printed (CI validates that artifact against the trace schema).
 """
 
+import argparse
 import random
+import sys
+from typing import Sequence
 
 from repro.core import run_anonchan, scaled_parameters
 from repro.core.adversaries import jamming_material
 from repro.vss import GGOR13_COST, IdealVSS
 
 
-def main() -> None:
+def main(argv: Sequence[str] = ()) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="instrument the run and export the event stream as JSONL",
+    )
+    args = parser.parse_args(list(argv))
+
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
     # 1. Pick parameters: n parties, t < n/2 corruptions, laptop-scale
     #    dart-vector sizes (see repro.core.params for the paper-exact ones).
     params = scaled_parameters(n=5, d=8, num_checks=5, kappa=16)
@@ -44,7 +64,7 @@ def main() -> None:
     attack = {4: jamming_material(params, rng)}
 
     result = run_anonchan(params, vss, messages, receiver=0, seed=42,
-                          corrupt_materials=attack)
+                          corrupt_materials=attack, tracer=tracer)
 
     receiver_output = result.outputs[0]
     print(f"\nrounds used:            {result.metrics.rounds} "
@@ -60,6 +80,13 @@ def main() -> None:
     jammed = 4 not in receiver_output.passed
     print(f"\njammer caught by cut-and-choose: {jammed}")
 
+    if tracer is not None:
+        from repro.obs import RunReport, write_jsonl
+
+        count = write_jsonl(tracer.events, args.trace)
+        print(f"\ntrace: {count} events -> {args.trace}")
+        print(RunReport.from_events(tracer.events).render_text())
+
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1:])

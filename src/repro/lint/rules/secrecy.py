@@ -4,12 +4,15 @@ The privacy proof (Theorem 1) assumes shares, one-time pads, and the
 receiver's permutations are seen only by their owners; a stray
 ``print(shares)`` or a share dumped into a trace/log during debugging
 is exactly the kind of leak that survives into benchmarks.  The rule
-flags calls to ``print``, ``logging``-style methods, and trace
-``record*`` sinks whose arguments mention an identifier with a
-secret-looking token (``share``, ``secret``, ``pad``, ``perm``,
-``permutation``).  ``__main__`` modules and ``if __name__ ==
-"__main__"`` blocks are exempt (demo output is their purpose), as is
-anything wrapped in ``len(...)`` — sizes are public.
+flags calls to ``print``, ``logging``-style methods, trace ``record*``
+sinks, and the :mod:`repro.obs` event-emission API (``span`` /
+``annotate`` / ``emit`` / ``run_start`` / ``run_end`` — everything that
+writes trace-event payloads, which end up in exported JSONL artifacts)
+whose arguments mention an identifier with a secret-looking token
+(``share``, ``secret``, ``pad``, ``perm``, ``permutation``).
+``__main__`` modules and ``if __name__ == "__main__"`` blocks are
+exempt (demo output is their purpose), as is anything wrapped in
+``len(...)`` — sizes are public.
 """
 
 from __future__ import annotations
@@ -48,6 +51,17 @@ _LOG_METHODS = {
 
 _TRACE_METHODS = {"record", "record_round", "record_event", "trace"}
 
+#: The repro.obs event-emission API: everything here writes attributes
+#: into trace events, which are exported as JSONL artifacts — a leak
+#: through them is as observable as a print.
+_OBS_EMIT_METHODS = {
+    "span",
+    "annotate",
+    "emit",
+    "run_start",
+    "run_end",
+}
+
 _TOKEN_SPLIT = re.compile(r"[_\d]+")
 
 
@@ -69,6 +83,9 @@ def _sink_kind(call: ast.Call) -> str | None:
             return f"logging .{func.attr}()"
         if func.attr in _TRACE_METHODS:
             return f"trace .{func.attr}()"
+        if func.attr in _OBS_EMIT_METHODS:
+            # tracer.annotate(...), tr.span(...), tracer.run_start(...)
+            return f"obs event .{func.attr}()"
     return None
 
 

@@ -52,7 +52,24 @@ class ProtocolMetrics:
         self.field_elements_sent += elements
 
     def merge(self, other: "ProtocolMetrics") -> "ProtocolMetrics":
-        """Sequential composition: costs add up."""
+        """Sequential composition: costs add up.
+
+        ``extra`` entries are carried over from both operands; numeric
+        values shared by both add up (they are costs too), any other
+        collision keeps ``other``'s value (later execution wins).
+        """
+        extra = dict(self.extra)
+        for key, value in other.extra.items():
+            mine = extra.get(key)
+            if (
+                isinstance(mine, (int, float))
+                and isinstance(value, (int, float))
+                and not isinstance(mine, bool)
+                and not isinstance(value, bool)
+            ):
+                extra[key] = mine + value
+            else:
+                extra[key] = value
         return ProtocolMetrics(
             rounds=self.rounds + other.rounds,
             broadcast_rounds=self.broadcast_rounds + other.broadcast_rounds,
@@ -61,6 +78,7 @@ class ProtocolMetrics:
             field_elements_sent=(
                 self.field_elements_sent + other.field_elements_sent
             ),
+            extra=extra,
         )
 
     def summary(self) -> str:

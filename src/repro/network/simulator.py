@@ -20,12 +20,15 @@ Guarantees enforced by construction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from .adversary import Adversary, RushedView
 from .messages import RoundInput, RoundOutput, payload_size
 from .metrics import ProtocolMetrics
 from .program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> network)
+    from repro.obs import Tracer
 
 
 @dataclass
@@ -57,6 +60,7 @@ def run_protocol(
     adversary: Adversary | None = None,
     max_rounds: int = 100_000,
     count_elements: bool = True,
+    tracer: "Tracer | None" = None,
 ) -> ExecutionResult:
     """Execute a synchronous protocol to completion.
 
@@ -75,6 +79,13 @@ def run_protocol(
         When ``False``, skip the per-payload bandwidth recursion
         (``field_elements_sent`` stays 0); rounds/broadcasts/message
         counts are unaffected.  Useful for large experiment sweeps.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When attached, every
+        completed round is reported with its broadcaster set and a
+        per-sending-party message/element breakdown (attributed to the
+        tracer's current span/phase).  ``None`` — the default — keeps
+        the untraced hot path untouched: the only cost is this one
+        ``is not None`` check per round.
 
     Returns
     -------
@@ -166,6 +177,35 @@ def run_protocol(
             private_messages=delivered,
             elements=elements,
         )
+        if tracer is not None:
+            fanout = max(len(programs) - 1, 1)
+            per_party: dict[int, dict[str, Any]] = {}
+            for sender, out in all_outputs.items():
+                sent = sum(1 for r in out.private if r in inboxes)
+                volume = 0
+                if count_elements:
+                    volume = sum(
+                        size_cache.get(id(p)) or payload_size(p)
+                        for r, p in out.private.items()
+                        if r in inboxes
+                    )
+                    if out.broadcast is not None:
+                        volume += payload_size(out.broadcast) * fanout
+                if sent or volume or out.broadcast is not None:
+                    per_party[sender] = {
+                        "messages": sent,
+                        "elements": volume,
+                        "broadcast": out.broadcast is not None,
+                    }
+            tracer.record_round(
+                round_index,
+                broadcasters=sorted(broadcasts),
+                messages=delivered,
+                elements=elements,
+                per_party={
+                    str(pid): per_party[pid] for pid in sorted(per_party)
+                },
+            )
 
         round_inputs = {
             pid: RoundInput(private=inboxes[pid], broadcast=broadcasts)

@@ -1,0 +1,61 @@
+"""Observability for protocol executions: spans, events, reports.
+
+The subsystem turns one simulated execution into a structured,
+machine-readable artifact:
+
+- :class:`Tracer` — nestable spans + per-round structured events
+  (:class:`TraceEvent`); :data:`NULL_TRACER` is the no-op fast path.
+- :class:`RunMetrics` — per-phase / per-party aggregation;
+  :meth:`RunMetrics.to_protocol_metrics` derives the legacy flat
+  :class:`~repro.network.metrics.ProtocolMetrics` view.
+- :mod:`repro.obs.export` — JSONL round-trip + schema validation.
+- :class:`RunReport` — observed schedule vs the static
+  :func:`repro.core.trace.round_schedule` prediction, with divergence
+  flagging.
+
+Event payloads carry only sizes, counts, ids, and timings — never
+shares, pads, permutations, or messages.  The policy is enforced at
+runtime by :func:`repro.obs.events.ensure_public_attrs` and statically
+by lint rule RL004 (``docs/OBSERVABILITY.md`` documents both).
+"""
+
+from .events import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    SecrecyViolation,
+    TraceEvent,
+    ensure_public_attrs,
+)
+from .export import (
+    canonical_lines,
+    read_jsonl,
+    validate_events,
+    validate_file,
+    without_timings,
+    write_jsonl,
+)
+from .metrics import PartyMetrics, PhaseMetrics, RunMetrics
+from .report import ObservedRound, RunReport
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "TraceEvent",
+    "EVENT_KINDS",
+    "SCHEMA_VERSION",
+    "SecrecyViolation",
+    "ensure_public_attrs",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RunMetrics",
+    "PhaseMetrics",
+    "PartyMetrics",
+    "RunReport",
+    "ObservedRound",
+    "write_jsonl",
+    "read_jsonl",
+    "validate_events",
+    "validate_file",
+    "canonical_lines",
+    "without_timings",
+]

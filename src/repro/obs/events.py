@@ -1,0 +1,135 @@
+"""Structured trace events and the event-payload secrecy policy.
+
+One protocol execution traced by :class:`repro.obs.Tracer` produces an
+ordered stream of :class:`TraceEvent` records.  Events carry *only*
+public observables — round indices, phase names, party ids, message
+counts, field-element volumes, and monotonic timings.  Shares, pads,
+permutations, messages, and any other secret material must never enter
+an event payload: :func:`ensure_public_attrs` rejects every value that
+is not a plain JSON scalar/container at emission time, and lint rule
+RL004 additionally flags secret-looking identifiers flowing into the
+emission API statically (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Trace format version, embedded in every ``run_start`` event.
+SCHEMA_VERSION = 1
+
+#: The closed set of event kinds a tracer emits.
+EVENT_KINDS = frozenset(
+    {"run_start", "span_start", "span_end", "round", "note", "run_end"}
+)
+
+_PUBLIC_SCALARS = (bool, int, float, str, type(None))
+
+
+class SecrecyViolation(TypeError):
+    """A trace-event attribute carried a non-public value."""
+
+
+def _check_public(value: Any, path: str) -> None:
+    if isinstance(value, _PUBLIC_SCALARS):
+        return
+    if isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _check_public(item, f"{path}[{i}]")
+        return
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SecrecyViolation(
+                    f"trace attribute {path} has non-string key {key!r}; "
+                    "key ids by str(...) so events stay JSON-stable"
+                )
+            _check_public(item, f"{path}.{key}")
+        return
+    raise SecrecyViolation(
+        f"trace attribute {path} is {type(value).__name__}, not a public "
+        "scalar/list/dict; event payloads may carry only sizes, counts, "
+        "ids, and timings — never protocol values"
+    )
+
+
+def ensure_public_attrs(attrs: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate and copy an attribute mapping for inclusion in an event.
+
+    Raises :class:`SecrecyViolation` for anything that is not built from
+    JSON scalars, lists/tuples, and string-keyed mappings.  Field
+    elements, share views, dart vectors, and similar protocol objects
+    all fail this check by construction.
+    """
+    out: dict[str, Any] = {}
+    for key, value in attrs.items():
+        _check_public(value, key)
+        out[key] = value
+    return out
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record of the trace stream.
+
+    Attributes
+    ----------
+    seq:
+        Position in the stream (0-based, dense, strictly increasing).
+    kind:
+        One of :data:`EVENT_KINDS`.
+    name:
+        Span name / annotation label / ``"round"`` / ``"run"``.
+    round_index:
+        The synchronous round the event belongs to: for ``round`` events
+        the completed round, for span/note events the next round to
+        execute, ``None`` when no round context applies.
+    phase:
+        Innermost open span name at emission time (``None`` outside any
+        span).  ``round`` events use this for phase attribution.
+    depth:
+        Span-nesting depth at emission time.
+    t_ns:
+        Monotonic timestamp (``time.perf_counter_ns`` by default).  The
+        only non-deterministic field; comparisons and determinism tests
+        strip it via :func:`repro.obs.export.without_timings`.
+    attrs:
+        Public observables only (see :func:`ensure_public_attrs`).
+    """
+
+    seq: int
+    kind: str
+    name: str
+    round_index: int | None
+    phase: str | None
+    depth: int
+    t_ns: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form, stable for JSONL export."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "round": self.round_index,
+            "phase": self.phase,
+            "depth": self.depth,
+            "t_ns": self.t_ns,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict` (used by the JSONL reader)."""
+        return cls(
+            seq=data["seq"],
+            kind=data["kind"],
+            name=data["name"],
+            round_index=data["round"],
+            phase=data["phase"],
+            depth=data["depth"],
+            t_ns=data["t_ns"],
+            attrs=dict(data.get("attrs", {})),
+        )

@@ -1,0 +1,160 @@
+"""JSONL export, import, and schema validation for trace streams.
+
+One event per line, keys sorted, so traces diff cleanly and the
+determinism tests can compare byte-for-byte after
+:func:`without_timings`.  :func:`validate_events` is the schema check CI
+runs against every uploaded trace artifact — it is deliberately
+dependency-free (no jsonschema) and reports *all* violations instead of
+stopping at the first.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .events import EVENT_KINDS, TraceEvent
+
+#: Keys every event dict must carry, with their accepted types.
+_REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
+    "seq": (int,),
+    "kind": (str,),
+    "name": (str,),
+    "round": (int, type(None)),
+    "phase": (str, type(None)),
+    "depth": (int,),
+    "t_ns": (int,),
+    "attrs": (dict,),
+}
+
+#: Attrs every ``round`` event must carry.
+_ROUND_ATTRS: dict[str, tuple[type, ...]] = {
+    "broadcasters": (list,),
+    "messages": (int,),
+    "elements": (int,),
+}
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> int:
+    """Write a trace stream to ``path``; returns the event count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Read a trace stream written by :func:`write_jsonl`."""
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+            events.append(TraceEvent.from_dict(data))
+    return events
+
+
+def without_timings(event: dict[str, Any]) -> dict[str, Any]:
+    """The event dict minus its wall-clock field.
+
+    Everything else in a trace is a deterministic function of seed and
+    parameters; this is the canonical form the determinism tests and
+    trace diffs compare.
+    """
+    return {key: value for key, value in event.items() if key != "t_ns"}
+
+
+def canonical_lines(events: Iterable[TraceEvent]) -> list[str]:
+    """Deterministic JSONL lines (timestamps stripped, keys sorted)."""
+    return [
+        json.dumps(without_timings(ev.to_dict()), sort_keys=True)
+        for ev in events
+    ]
+
+
+def validate_events(events: Sequence[TraceEvent]) -> list[str]:
+    """Schema-check a trace stream; returns human-readable violations.
+
+    Checks performed:
+
+    - field presence and types on every event;
+    - ``kind`` drawn from the closed kind set;
+    - ``seq`` dense and strictly increasing from 0;
+    - ``round`` events carry broadcaster/message/element attrs and
+      strictly increasing round indices;
+    - span_start/span_end properly nested (LIFO) and balanced;
+    - at most one ``run_start`` (first event) and one ``run_end`` (last).
+    """
+    errors: list[str] = []
+    span_stack: list[str] = []
+    last_round = -1
+    for position, ev in enumerate(events):
+        data = ev.to_dict()
+        where = f"event {position}"
+        for key, types in _REQUIRED_FIELDS.items():
+            if not isinstance(data.get(key), types):
+                errors.append(
+                    f"{where}: field {key!r} missing or not "
+                    f"{'/'.join(t.__name__ for t in types)}"
+                )
+        if ev.kind not in EVENT_KINDS:
+            errors.append(f"{where}: unknown kind {ev.kind!r}")
+            continue
+        if ev.seq != position:
+            errors.append(f"{where}: seq {ev.seq} != position {position}")
+        if ev.kind == "run_start" and position != 0:
+            errors.append(f"{where}: run_start must be the first event")
+        if ev.kind == "run_end" and position != len(events) - 1:
+            errors.append(f"{where}: run_end must be the last event")
+        if ev.kind == "span_start":
+            span_stack.append(ev.name)
+        elif ev.kind == "span_end":
+            if not span_stack:
+                errors.append(f"{where}: span_end {ev.name!r} without start")
+            elif span_stack[-1] != ev.name:
+                errors.append(
+                    f"{where}: span_end {ev.name!r} closes "
+                    f"{span_stack[-1]!r} (spans must nest)"
+                )
+                span_stack.pop()
+            else:
+                span_stack.pop()
+        elif ev.kind == "round":
+            if not isinstance(ev.round_index, int):
+                errors.append(f"{where}: round event without round index")
+            else:
+                if ev.round_index != last_round + 1:
+                    errors.append(
+                        f"{where}: round index {ev.round_index} not "
+                        f"consecutive after {last_round}"
+                    )
+                last_round = ev.round_index
+            for key, types in _ROUND_ATTRS.items():
+                if not isinstance(ev.attrs.get(key), types):
+                    errors.append(
+                        f"{where}: round attr {key!r} missing or not "
+                        f"{'/'.join(t.__name__ for t in types)}"
+                    )
+    for name in span_stack:
+        errors.append(f"end of stream: span {name!r} never closed")
+    return errors
+
+
+def validate_file(path: str | Path) -> list[str]:
+    """Read and schema-check one JSONL trace file."""
+    try:
+        events = read_jsonl(path)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        return [str(exc)]
+    if not events:
+        return [f"{path}: empty trace"]
+    return validate_events(events)

@@ -1,0 +1,166 @@
+"""Per-phase and per-party metric aggregation over a trace stream.
+
+:class:`RunMetrics` supersedes the flat
+:class:`~repro.network.metrics.ProtocolMetrics` aggregate with two extra
+dimensions — protocol phase (innermost span) and sending party — while
+keeping the flat view available as a *derived* projection
+(:meth:`RunMetrics.to_protocol_metrics`), so every existing caller of
+``ExecutionResult.metrics`` keeps working and tests can assert the two
+accountings agree exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.network.metrics import ProtocolMetrics
+
+from .events import TraceEvent
+
+#: Phase bucket for rounds executed outside any span.
+UNATTRIBUTED = "(no span)"
+
+
+@dataclass
+class PhaseMetrics:
+    """Costs attributed to one protocol phase (one span name)."""
+
+    phase: str
+    rounds: int = 0
+    broadcast_rounds: int = 0
+    broadcasts_sent: int = 0
+    private_messages: int = 0
+    field_elements_sent: int = 0
+    wall_ns: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "rounds": self.rounds,
+            "broadcast_rounds": self.broadcast_rounds,
+            "broadcasts_sent": self.broadcasts_sent,
+            "private_messages": self.private_messages,
+            "field_elements_sent": self.field_elements_sent,
+            "wall_ns": self.wall_ns,
+        }
+
+
+@dataclass
+class PartyMetrics:
+    """Costs attributed to one sending party."""
+
+    pid: int
+    broadcasts_sent: int = 0
+    private_messages: int = 0
+    field_elements_sent: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "pid": self.pid,
+            "broadcasts_sent": self.broadcasts_sent,
+            "private_messages": self.private_messages,
+            "field_elements_sent": self.field_elements_sent,
+        }
+
+
+@dataclass
+class RunMetrics:
+    """Phase- and party-resolved cost accounting of one traced run.
+
+    ``phases`` preserves first-observation order (the execution order of
+    the protocol's steps); ``parties`` is sorted by party id.
+    """
+
+    phases: list[PhaseMetrics] = field(default_factory=list)
+    parties: list[PartyMetrics] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "RunMetrics":
+        """Aggregate a trace stream (round + span + run events)."""
+        phases: dict[str, PhaseMetrics] = {}
+        parties: dict[int, PartyMetrics] = {}
+        open_spans: list[tuple[str, int]] = []
+        meta: dict = {}
+        for ev in events:
+            if ev.kind == "run_start":
+                meta = dict(ev.attrs)
+            elif ev.kind == "span_start":
+                open_spans.append((ev.name, ev.t_ns))
+            elif ev.kind == "span_end":
+                if open_spans and open_spans[-1][0] == ev.name:
+                    _, started = open_spans.pop()
+                    pm = phases.get(ev.name)
+                    if pm is None:
+                        pm = phases[ev.name] = PhaseMetrics(phase=ev.name)
+                    pm.wall_ns += ev.t_ns - started
+            elif ev.kind == "round":
+                name = ev.phase if ev.phase is not None else UNATTRIBUTED
+                pm = phases.get(name)
+                if pm is None:
+                    pm = phases[name] = PhaseMetrics(phase=name)
+                broadcasters = ev.attrs.get("broadcasters", [])
+                pm.rounds += 1
+                if broadcasters:
+                    pm.broadcast_rounds += 1
+                    pm.broadcasts_sent += len(broadcasters)
+                pm.private_messages += ev.attrs.get("messages", 0)
+                pm.field_elements_sent += ev.attrs.get("elements", 0)
+                for key, stats in ev.attrs.get("per_party", {}).items():
+                    pid = int(key)
+                    party = parties.get(pid)
+                    if party is None:
+                        party = parties[pid] = PartyMetrics(pid=pid)
+                    if stats.get("broadcast"):
+                        party.broadcasts_sent += 1
+                    party.private_messages += stats.get("messages", 0)
+                    party.field_elements_sent += stats.get("elements", 0)
+        return cls(
+            phases=list(phases.values()),
+            parties=[parties[pid] for pid in sorted(parties)],
+            meta=meta,
+        )
+
+    def phase(self, name: str) -> PhaseMetrics:
+        """The metrics bucket for one phase (KeyError when absent)."""
+        for pm in self.phases:
+            if pm.phase == name:
+                return pm
+        raise KeyError(name)
+
+    @property
+    def rounds(self) -> int:
+        return sum(pm.rounds for pm in self.phases)
+
+    @property
+    def broadcast_rounds(self) -> int:
+        return sum(pm.broadcast_rounds for pm in self.phases)
+
+    def to_protocol_metrics(self) -> ProtocolMetrics:
+        """The flat aggregate, as a derived view.
+
+        Equals the simulator's own :class:`ProtocolMetrics` for the same
+        execution (asserted by the observability test suite).
+        """
+        return ProtocolMetrics(
+            rounds=self.rounds,
+            broadcast_rounds=self.broadcast_rounds,
+            broadcasts_sent=sum(pm.broadcasts_sent for pm in self.phases),
+            private_messages=sum(pm.private_messages for pm in self.phases),
+            field_elements_sent=sum(
+                pm.field_elements_sent for pm in self.phases
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-stable form (the benchmarks' phase-breakdown artifact)."""
+        return {
+            "phases": [pm.to_dict() for pm in self.phases],
+            "parties": [party.to_dict() for party in self.parties],
+            "totals": {
+                "rounds": self.rounds,
+                "broadcast_rounds": self.broadcast_rounds,
+            },
+            "meta": self.meta,
+        }

@@ -1,0 +1,228 @@
+"""Run reports: observed schedule vs the static prediction.
+
+The paper's quantitative claims are schedule-shaped — total rounds
+``r_VSS-share + 5`` (E1) and broadcast rounds only inside the VSS
+sharing phase (E2).  :class:`RunReport` checks them *dynamically*: it
+takes the event stream of one traced execution, reconstructs the
+observed per-round schedule, and diffs it against the
+:func:`repro.core.trace.round_schedule` prediction embedded in the
+``run_start`` event, flagging every divergence in phase name, broadcast
+usage, or totals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .events import SCHEMA_VERSION, TraceEvent
+from .metrics import RunMetrics
+
+#: Version of the report JSON layout.
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ObservedRound:
+    """What one executed round looked like on the wire."""
+
+    index: int
+    phase: str | None
+    broadcasters: tuple[int, ...]
+    messages: int
+    elements: int
+
+    @property
+    def uses_broadcast(self) -> bool:
+        return bool(self.broadcasters)
+
+
+@dataclass
+class RunReport:
+    """Observed execution, prediction, and their diff."""
+
+    observed: list[ObservedRound]
+    metrics: RunMetrics
+    predicted: list[dict] = field(default_factory=list)
+    predicted_rounds: int | None = None
+    predicted_broadcast_rounds: int | None = None
+    divergences: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_events(cls, events: Sequence[TraceEvent]) -> "RunReport":
+        """Build the report (and its divergence list) from a stream."""
+        observed: list[ObservedRound] = []
+        for ev in events:
+            if ev.kind == "round":
+                observed.append(
+                    ObservedRound(
+                        index=ev.round_index if ev.round_index is not None else -1,
+                        phase=ev.phase,
+                        broadcasters=tuple(ev.attrs.get("broadcasters", [])),
+                        messages=ev.attrs.get("messages", 0),
+                        elements=ev.attrs.get("elements", 0),
+                    )
+                )
+        metrics = RunMetrics.from_events(events)
+        meta = metrics.meta
+        report = cls(
+            observed=observed,
+            metrics=metrics,
+            predicted=list(meta.get("predicted_schedule", [])),
+            predicted_rounds=meta.get("predicted_rounds"),
+            predicted_broadcast_rounds=meta.get("predicted_broadcast_rounds"),
+        )
+        report.divergences = report._diff()
+        return report
+
+    # -- comparison --------------------------------------------------------
+    def _diff(self) -> list[str]:
+        problems: list[str] = []
+        if self.predicted:
+            for obs, pred in zip(self.observed, self.predicted):
+                if obs.phase != pred.get("phase"):
+                    problems.append(
+                        f"round {obs.index}: observed phase {obs.phase!r}, "
+                        f"predicted {pred.get('phase')!r}"
+                    )
+                if obs.uses_broadcast != bool(pred.get("uses_broadcast")):
+                    problems.append(
+                        f"round {obs.index}: broadcast "
+                        f"{'used' if obs.uses_broadcast else 'unused'}, "
+                        f"predicted the opposite"
+                    )
+            if len(self.observed) != len(self.predicted):
+                problems.append(
+                    f"observed {len(self.observed)} rounds, predicted "
+                    f"schedule has {len(self.predicted)}"
+                )
+        if (
+            self.predicted_rounds is not None
+            and len(self.observed) != self.predicted_rounds
+        ):
+            problems.append(
+                f"observed {len(self.observed)} total rounds, predicted "
+                f"{self.predicted_rounds}"
+            )
+        observed_bc = sum(1 for r in self.observed if r.uses_broadcast)
+        if (
+            self.predicted_broadcast_rounds is not None
+            and observed_bc != self.predicted_broadcast_rounds
+        ):
+            problems.append(
+                f"observed {observed_bc} broadcast rounds, predicted "
+                f"{self.predicted_broadcast_rounds}"
+            )
+        return problems
+
+    @property
+    def matches_prediction(self) -> bool:
+        """True when the observed schedule equals the static prediction."""
+        return not self.divergences
+
+    # -- rendering ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        observed_bc = sum(1 for r in self.observed if r.uses_broadcast)
+        return {
+            "version": REPORT_VERSION,
+            "schema_version": self.metrics.meta.get(
+                "schema_version", SCHEMA_VERSION
+            ),
+            "meta": self.metrics.meta,
+            "totals": {
+                "observed_rounds": len(self.observed),
+                "observed_broadcast_rounds": observed_bc,
+                "predicted_rounds": self.predicted_rounds,
+                "predicted_broadcast_rounds": self.predicted_broadcast_rounds,
+                "matches_prediction": self.matches_prediction,
+            },
+            "phases": [pm.to_dict() for pm in self.metrics.phases],
+            "parties": [party.to_dict() for party in self.metrics.parties],
+            "rounds": [
+                {
+                    "index": r.index,
+                    "phase": r.phase,
+                    "uses_broadcast": r.uses_broadcast,
+                    "broadcasters": list(r.broadcasters),
+                    "messages": r.messages,
+                    "elements": r.elements,
+                }
+                for r in self.observed
+            ],
+            "divergences": list(self.divergences),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Human-readable report: phase table + schedule diff verdict."""
+        meta = self.metrics.meta
+        lines = []
+        header = "AnonChan run report"
+        if meta:
+            header += (
+                f" — n={meta.get('n')}, t={meta.get('t')}, "
+                f"vss={meta.get('vss')}, seed={meta.get('seed')}"
+            )
+        lines.append(header)
+        observed_bc = sum(1 for r in self.observed if r.uses_broadcast)
+        lines.append(
+            f"totals: {len(self.observed)} rounds "
+            f"(predicted {self.predicted_rounds}), "
+            f"{observed_bc} broadcast rounds "
+            f"(predicted {self.predicted_broadcast_rounds})"
+        )
+        lines.append("")
+        headers = [
+            "phase", "rounds", "bc-rounds", "bcasts", "msgs", "elements",
+            "wall-ms",
+        ]
+        rows = [
+            [
+                pm.phase,
+                str(pm.rounds),
+                str(pm.broadcast_rounds),
+                str(pm.broadcasts_sent),
+                str(pm.private_messages),
+                str(pm.field_elements_sent),
+                f"{pm.wall_ns / 1e6:.2f}",
+            ]
+            for pm in self.metrics.phases
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("")
+        lines.append("schedule check (observed vs core.trace.round_schedule):")
+        for obs in self.observed:
+            pred = (
+                self.predicted[obs.index]
+                if obs.index < len(self.predicted)
+                else None
+            )
+            marker = "B" if obs.uses_broadcast else " "
+            verdict = "ok" if pred and obs.phase == pred.get("phase") and (
+                obs.uses_broadcast == bool(pred.get("uses_broadcast"))
+            ) else "DIVERGES" if pred else "unpredicted"
+            lines.append(
+                f"  [{obs.index:>2}] {marker} {str(obs.phase):<38} {verdict}"
+            )
+        if self.divergences:
+            lines.append("")
+            lines.append("DIVERGENCES:")
+            for problem in self.divergences:
+                lines.append(f"  - {problem}")
+        else:
+            lines.append("")
+            lines.append(
+                "observed schedule matches the static prediction exactly."
+            )
+        return "\n".join(lines)

@@ -235,6 +235,59 @@ def test_rl004_flags_logging_sink(run_rules):
     assert len(run_rules(source, "RL004")) == 1
 
 
+def test_rl004_flags_obs_event_sink(run_rules):
+    source = _src(
+        """
+        from __future__ import annotations
+
+        def instrument(tracer, shares):
+            tracer.annotate("step", data=shares)
+        """
+    )
+    findings = run_rules(source, "RL004")
+    assert len(findings) == 1
+    assert "obs event .annotate()" in findings[0].message
+
+
+def test_rl004_allows_counts_in_obs_events(run_rules):
+    source = _src(
+        """
+        from __future__ import annotations
+
+        def instrument(tracer, shares):
+            tracer.annotate("step", count=len(shares))
+        """
+    )
+    assert run_rules(source, "RL004") == []
+
+
+def test_rl004_flags_secret_in_span_attrs(run_rules):
+    source = _src(
+        """
+        from __future__ import annotations
+
+        def deal(tracer, permutation):
+            with tracer.span("shuffle", order=permutation):
+                pass
+        """
+    )
+    findings = run_rules(source, "RL004")
+    assert len(findings) == 1
+    assert "obs event .span()" in findings[0].message
+
+
+def test_rl004_flags_secret_in_run_start(run_rules):
+    source = _src(
+        """
+        from __future__ import annotations
+
+        def start(tracer, pads):
+            tracer.run_start(material=pads)
+        """
+    )
+    assert len(run_rules(source, "RL004")) == 1
+
+
 # -- RL005: layering ------------------------------------------------------
 
 RL005_BAD = "from repro.network.simulator import Simulator\n"

@@ -99,6 +99,19 @@ class TestMetrics:
         assert m.broadcast_rounds == 1
         assert "rounds=7" in m.summary()
 
+    def test_merge_carries_extra(self):
+        from repro.network import ProtocolMetrics
+
+        a = ProtocolMetrics(rounds=1, extra={"a": 1, "note": "x", "ok": True})
+        b = ProtocolMetrics(rounds=1, extra={"a": 2, "b": 3, "note": "y"})
+        merged = a.merge(b)
+        # Numeric extras shared by both operands add (bools excluded);
+        # everything else keeps the right-hand operand's value.
+        assert merged.extra == {"a": 3, "b": 3, "note": "y", "ok": True}
+        # Neither operand is mutated.
+        assert a.extra == {"a": 1, "note": "x", "ok": True}
+        assert b.extra == {"a": 2, "b": 3, "note": "y"}
+
     def test_max_rounds_guard(self):
         def forever():
             while True:

@@ -1,0 +1,146 @@
+"""Acceptance tests: dynamic verification of the paper's E1/E2 claims.
+
+The static :func:`repro.core.trace.round_schedule` *predicts* the
+schedule; these tests assert a traced execution *observes* exactly it —
+per-phase round counts, per-phase broadcast-round counts, and the
+totals ``r_VSS-share + 5`` (E1) and ``share_broadcast_rounds`` (E2) —
+and that the event stream is a deterministic function of seed and
+parameters, honest or attacked.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import AnonymousChannel, run_anonchan, scaled_parameters
+from repro.core.adversaries import jamming_material
+from repro.core.trace import (
+    round_schedule,
+    total_broadcast_rounds,
+    total_rounds,
+)
+from repro.obs import RunMetrics, RunReport, Tracer, canonical_lines
+from repro.vss import GGOR13_COST, RB89_COST, IdealVSS
+
+
+def _setup(n: int = 5, cost=GGOR13_COST):
+    params = scaled_parameters(n=n, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=cost)
+    messages = {i: params.field(100 + i) for i in range(n)}
+    return params, vss, messages
+
+
+def _trace(params, vss, messages, seed=0, corrupt_materials=None) -> Tracer:
+    tracer = Tracer()
+    result = run_anonchan(
+        params, vss, messages, seed=seed,
+        corrupt_materials=corrupt_materials, tracer=tracer,
+    )
+    assert result.outputs[0].output is not None
+    return tracer
+
+
+@pytest.mark.parametrize("cost", [GGOR13_COST, RB89_COST])
+def test_observed_schedule_matches_prediction_exactly(cost):
+    """E1/E2 dynamically: observed == round_schedule, phase by phase."""
+    params, vss, messages = _setup(cost=cost)
+    tracer = _trace(params, vss, messages)
+    rm = RunMetrics.from_events(tracer.events)
+
+    predicted = round_schedule(params, vss.cost)
+    predicted_rounds_by_phase = Counter(r.phase for r in predicted)
+    predicted_bc_by_phase = Counter(
+        r.phase for r in predicted if r.uses_broadcast
+    )
+
+    observed_rounds_by_phase = {
+        pm.phase: pm.rounds for pm in rm.phases if pm.rounds
+    }
+    observed_bc_by_phase = {
+        pm.phase: pm.broadcast_rounds
+        for pm in rm.phases
+        if pm.broadcast_rounds
+    }
+    assert observed_rounds_by_phase == dict(predicted_rounds_by_phase)
+    assert observed_bc_by_phase == dict(predicted_bc_by_phase)
+
+    # E1: total rounds = r_VSS-share + 5, observed, not just predicted.
+    assert rm.rounds == total_rounds(params, vss.cost)
+    assert rm.rounds == vss.cost.share_rounds + 5
+    # E2: every broadcast round sits inside the VSS sharing phase.
+    assert rm.broadcast_rounds == total_broadcast_rounds(params, vss.cost)
+    assert (
+        rm.phase("step 1: VSS-Share").broadcast_rounds
+        == vss.cost.share_broadcast_rounds
+    )
+
+    report = RunReport.from_events(tracer.events)
+    assert report.matches_prediction, report.divergences
+
+
+def test_schedule_holds_under_jamming_attack():
+    """A Byzantine prover changes outcomes, never the schedule shape."""
+    params, vss, messages = _setup()
+    attack = {4: jamming_material(params, random.Random(11))}
+    tracer = _trace(params, vss, messages, seed=3, corrupt_materials=attack)
+    report = RunReport.from_events(tracer.events)
+    assert report.matches_prediction, report.divergences
+    meta = RunMetrics.from_events(tracer.events).meta
+    assert meta["corrupted"] == [4]
+    assert meta["trace_owner"] == 0  # lowest honest party carries spans
+
+
+def test_trace_determinism_same_seed():
+    """Same seed + params => identical event stream modulo timestamps."""
+    params, vss, messages = _setup()
+    first = _trace(params, vss, messages, seed=5)
+    params2, vss2, messages2 = _setup()
+    second = _trace(params2, vss2, messages2, seed=5)
+    assert canonical_lines(first.events) == canonical_lines(second.events)
+
+
+def test_trace_determinism_under_active_adversary():
+    params, vss, messages = _setup()
+    streams = []
+    for _ in range(2):
+        p, v, m = _setup()
+        attack = {4: jamming_material(p, random.Random(9))}
+        streams.append(
+            canonical_lines(
+                _trace(p, v, m, seed=8, corrupt_materials=attack).events
+            )
+        )
+    assert streams[0] == streams[1]
+
+
+def test_different_seeds_differ_somewhere():
+    """The canonical stream is seed-sensitive (it carries real data)."""
+    params, vss, messages = _setup()
+    a = canonical_lines(_trace(params, vss, messages, seed=1).events)
+    b = canonical_lines(_trace(params, vss, messages, seed=2).events)
+    assert a != b
+
+
+def test_untraced_run_unchanged_by_instrumentation():
+    """tracer=None keeps byte-identical metrics (the no-op fast path)."""
+    params, vss, messages = _setup()
+    plain = run_anonchan(params, vss, messages, seed=4)
+    traced_tracer = Tracer()
+    traced = run_anonchan(
+        params, vss, messages, seed=4, tracer=traced_tracer
+    )
+    assert plain.metrics == traced.metrics
+    assert plain.outputs[0].output == traced.outputs[0].output
+    assert traced_tracer.events  # and the trace actually recorded
+
+
+def test_facade_send_accepts_tracer():
+    tracer = Tracer()
+    chan = AnonymousChannel(n=5)
+    report = chan.send({0: 10, 1: 20, 2: 30, 3: 40, 4: 50}, tracer=tracer)
+    rm = RunMetrics.from_events(tracer.events)
+    assert rm.rounds == report.rounds
+    assert rm.broadcast_rounds == report.broadcast_rounds

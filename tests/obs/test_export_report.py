@@ -1,0 +1,127 @@
+"""JSONL round-trip, schema validation, and report rendering/diffing."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.core import run_anonchan, scaled_parameters
+from repro.obs import (
+    RunReport,
+    Tracer,
+    canonical_lines,
+    read_jsonl,
+    validate_events,
+    validate_file,
+    without_timings,
+    write_jsonl,
+)
+from repro.vss import GGOR13_COST, IdealVSS
+
+from .test_tracer import fixed_clock
+
+
+def _traced_run(seed: int = 7) -> Tracer:
+    params = scaled_parameters(n=5, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+    messages = {i: params.field(100 + i) for i in range(5)}
+    tracer = Tracer()
+    run_anonchan(params, vss, messages, seed=seed, tracer=tracer)
+    return tracer
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = _traced_run()
+    path = tmp_path / "trace.jsonl"
+    count = write_jsonl(tracer.events, path)
+    assert count == len(tracer.events)
+    loaded = read_jsonl(path)
+    assert loaded == tracer.events
+
+
+def test_traced_run_passes_schema_validation(tmp_path):
+    tracer = _traced_run()
+    assert validate_events(tracer.events) == []
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(tracer.events, path)
+    assert validate_file(path) == []
+
+
+def test_validation_flags_corrupted_streams():
+    tracer = Tracer(clock=fixed_clock())
+    tracer.run_start(n=3)
+    with tracer.span("phase"):
+        tracer.record_round(0, messages=1)
+    tracer.run_end()
+    # events = [run_start, span_start, round, span_end, run_end]
+    events = list(tracer.events)
+
+    missing_seq = [events[0], events[2], events[3], events[4]]
+    assert any("seq" in e for e in validate_events(missing_seq))
+
+    bad_kind = [dataclasses.replace(events[0], kind="bogus")] + events[1:]
+    assert any("unknown kind" in e for e in validate_events(bad_kind))
+
+    unbalanced = [events[0], events[1], events[2], events[4]]
+    assert any("never closed" in e for e in validate_events(unbalanced))
+
+    late_start = [events[1], events[0], events[2], events[3], events[4]]
+    assert any(
+        "run_start must be the first" in e for e in validate_events(late_start)
+    )
+
+
+def test_validation_flags_non_consecutive_rounds():
+    tracer = Tracer(clock=fixed_clock())
+    tracer.record_round(0, messages=1)
+    tracer.record_round(2, messages=1)
+    errors = validate_events(tracer.events)
+    assert any("not consecutive" in e for e in errors)
+
+
+def test_without_timings_strips_only_the_clock():
+    tracer = _traced_run()
+    data = tracer.events[0].to_dict()
+    stripped = without_timings(data)
+    assert "t_ns" not in stripped
+    assert set(data) - set(stripped) == {"t_ns"}
+
+
+def test_report_matches_prediction_and_renders():
+    tracer = _traced_run()
+    report = RunReport.from_events(tracer.events)
+    assert report.matches_prediction
+    assert report.divergences == []
+    text = report.render_text()
+    assert "matches the static prediction exactly" in text
+    assert "step 3a: cut-and-choose openings" in text
+    payload = json.loads(report.to_json())
+    assert payload["totals"]["matches_prediction"] is True
+    assert payload["totals"]["observed_rounds"] == GGOR13_COST.share_rounds + 5
+    assert payload["totals"]["observed_broadcast_rounds"] == 2
+
+
+def test_report_flags_divergence():
+    tracer = _traced_run()
+    events = list(tracer.events)
+    # Tamper with the observed stream: pretend the challenge round
+    # used the broadcast channel.
+    tampered = []
+    for ev in events:
+        if ev.kind == "round" and ev.phase == "step 2: challenge":
+            attrs = dict(ev.attrs)
+            attrs["broadcasters"] = [0]
+            ev = dataclasses.replace(ev, attrs=attrs)
+        tampered.append(ev)
+    report = RunReport.from_events(tampered)
+    assert not report.matches_prediction
+    assert any("broadcast" in d for d in report.divergences)
+    assert "DIVERGES" in report.render_text()
+
+
+def test_canonical_lines_are_deterministic_json():
+    tracer = _traced_run()
+    lines = canonical_lines(tracer.events)
+    assert len(lines) == len(tracer.events)
+    for line in lines:
+        assert "t_ns" not in json.loads(line)

@@ -1,0 +1,102 @@
+"""RunMetrics aggregation and the derived ProtocolMetrics view."""
+
+from __future__ import annotations
+
+from repro.core import run_anonchan, scaled_parameters
+from repro.network.metrics import ProtocolMetrics
+from repro.obs import RunMetrics, Tracer
+from repro.vss import GGOR13_COST, IdealVSS
+
+from .test_tracer import fixed_clock
+
+
+def _traced_run(n: int = 5, seed: int = 3) -> tuple[Tracer, ProtocolMetrics]:
+    params = scaled_parameters(n=n, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+    messages = {i: params.field(100 + i) for i in range(n)}
+    tracer = Tracer()
+    result = run_anonchan(params, vss, messages, seed=seed, tracer=tracer)
+    return tracer, result.metrics
+
+
+def test_manual_aggregation_by_phase_and_party():
+    tracer = Tracer(clock=fixed_clock())
+    with tracer.span("alpha"):
+        tracer.record_round(
+            0, broadcasters=[0], messages=2, elements=10,
+            per_party={"0": {"messages": 2, "elements": 10, "broadcast": True}},
+        )
+        tracer.record_round(
+            1, broadcasters=[], messages=4, elements=6,
+            per_party={"1": {"messages": 4, "elements": 6, "broadcast": False}},
+        )
+    with tracer.span("beta"):
+        tracer.record_round(
+            2, broadcasters=[0, 1], messages=0, elements=8,
+            per_party={
+                "0": {"messages": 0, "elements": 4, "broadcast": True},
+                "1": {"messages": 0, "elements": 4, "broadcast": True},
+            },
+        )
+    rm = RunMetrics.from_events(tracer.events)
+
+    alpha = rm.phase("alpha")
+    assert (alpha.rounds, alpha.broadcast_rounds) == (2, 1)
+    assert alpha.broadcasts_sent == 1
+    assert alpha.private_messages == 6
+    assert alpha.field_elements_sent == 16
+    assert alpha.wall_ns > 0
+
+    beta = rm.phase("beta")
+    assert (beta.rounds, beta.broadcast_rounds) == (1, 1)
+    assert beta.broadcasts_sent == 2
+
+    parties = {p.pid: p for p in rm.parties}
+    assert parties[0].broadcasts_sent == 2
+    assert parties[0].private_messages == 2
+    assert parties[1].broadcasts_sent == 1
+    assert parties[1].field_elements_sent == 10
+
+    flat = rm.to_protocol_metrics()
+    assert flat == ProtocolMetrics(
+        rounds=3,
+        broadcast_rounds=2,
+        broadcasts_sent=3,
+        private_messages=6,
+        field_elements_sent=24,
+    )
+
+
+def test_rounds_outside_spans_fall_into_unattributed_bucket():
+    tracer = Tracer(clock=fixed_clock())
+    tracer.record_round(0, messages=1)
+    rm = RunMetrics.from_events(tracer.events)
+    assert [pm.phase for pm in rm.phases] == ["(no span)"]
+
+
+def test_derived_view_equals_simulator_metrics_exactly():
+    """The flat ProtocolMetrics is a pure projection of the trace."""
+    tracer, flat = _traced_run()
+    derived = RunMetrics.from_events(tracer.events).to_protocol_metrics()
+    assert derived == flat
+
+
+def test_per_party_totals_sum_to_run_totals():
+    tracer, flat = _traced_run()
+    rm = RunMetrics.from_events(tracer.events)
+    assert sum(p.private_messages for p in rm.parties) == flat.private_messages
+    assert (
+        sum(p.field_elements_sent for p in rm.parties)
+        == flat.field_elements_sent
+    )
+    assert sum(p.broadcasts_sent for p in rm.parties) == flat.broadcasts_sent
+
+
+def test_to_dict_is_json_shaped():
+    import json
+
+    tracer, _ = _traced_run()
+    payload = RunMetrics.from_events(tracer.events).to_dict()
+    encoded = json.dumps(payload)
+    assert "step 1: VSS-Share" in encoded
+    assert payload["totals"]["rounds"] == GGOR13_COST.share_rounds + 5

@@ -1,0 +1,111 @@
+"""Tracer unit tests: spans, event structure, secrecy enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fields import gf2k
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    SecrecyViolation,
+    Tracer,
+)
+
+
+def fixed_clock():
+    """A deterministic monotonic clock for timestamp-sensitive tests."""
+    state = {"t": 0}
+
+    def clock() -> int:
+        state["t"] += 1000
+        return state["t"]
+
+    return clock
+
+
+def test_span_nesting_and_phase_attribution():
+    tracer = Tracer(clock=fixed_clock())
+    with tracer.span("outer"):
+        assert tracer.current_phase == "outer"
+        with tracer.span("inner"):
+            assert tracer.current_phase == "inner"
+            tracer.record_round(0, broadcasters=[1, 3], messages=7, elements=9)
+        assert tracer.current_phase == "outer"
+    assert tracer.current_phase is None
+
+    kinds = [ev.kind for ev in tracer.events]
+    assert kinds == ["span_start", "span_start", "round", "span_end", "span_end"]
+    round_ev = tracer.events[2]
+    assert round_ev.phase == "inner"
+    assert round_ev.round_index == 0
+    assert round_ev.attrs["broadcasters"] == [1, 3]
+    assert round_ev.attrs["messages"] == 7
+    assert round_ev.attrs["elements"] == 9
+    assert [ev.depth for ev in tracer.events] == [0, 1, 2, 1, 0]
+
+
+def test_seq_dense_and_round_counter_advances():
+    tracer = Tracer(clock=fixed_clock())
+    tracer.run_start(n=3)
+    tracer.record_round(0)
+    tracer.record_round(1)
+    with tracer.span("late"):
+        pass
+    assert [ev.seq for ev in tracer.events] == list(range(len(tracer.events)))
+    # Span events after two rounds carry the *next* round index.
+    span_start = next(ev for ev in tracer.events if ev.kind == "span_start")
+    assert span_start.round_index == 2
+
+
+def test_run_start_carries_schema_version():
+    tracer = Tracer(clock=fixed_clock())
+    tracer.run_start(n=5)
+    assert tracer.events[0].attrs["schema_version"] >= 1
+    assert tracer.events[0].attrs["n"] == 5
+
+
+def test_secret_values_rejected_at_emission():
+    tracer = Tracer(clock=fixed_clock())
+    element = gf2k(16)(3)
+    with pytest.raises(SecrecyViolation):
+        tracer.annotate("leak", value=element)
+    with pytest.raises(SecrecyViolation):
+        tracer.annotate("leak", values=[element])
+    with pytest.raises(SecrecyViolation):
+        tracer.annotate("leak", nested={"deep": [element]})
+    # Nothing is half-emitted on rejection.
+    assert tracer.events == []
+
+
+def test_non_string_dict_keys_rejected():
+    tracer = Tracer(clock=fixed_clock())
+    with pytest.raises(SecrecyViolation):
+        tracer.annotate("bad", per_party={1: 2})
+
+
+def test_public_observables_accepted():
+    tracer = Tracer(clock=fixed_clock())
+    tracer.annotate(
+        "ok",
+        count=3,
+        ids=[0, 1, 2],
+        ratio=0.5,
+        label="phase",
+        flag=True,
+        missing=None,
+        per_party={"0": {"messages": 2}},
+    )
+    assert tracer.events[0].attrs["count"] == 3
+
+
+def test_null_tracer_is_inert_and_reusable():
+    assert NULL_TRACER.enabled is False
+    with NULL_TRACER.span("anything", junk=1) as span:
+        assert span is not None
+    NULL_TRACER.annotate("x", y=2)
+    NULL_TRACER.run_start()
+    NULL_TRACER.run_end()
+    NULL_TRACER.record_round(0, broadcasters=[1])
+    # Same no-op span object every time: the fast path allocates nothing.
+    assert NullTracer().span("a") is NullTracer().span("b")

@@ -40,6 +40,47 @@ def test_params_subcommand(capsys):
     assert "paper-exact" in out and "scaled" in out
 
 
+def test_trace_run_prints_matching_report(capsys):
+    assert main(["trace-run", "-n", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "matches the static prediction exactly" in out
+    assert "step 1: VSS-Share" in out
+
+
+def test_trace_run_exports_valid_jsonl(tmp_path, capsys):
+    from repro.obs import validate_file
+
+    trace = tmp_path / "trace.jsonl"
+    assert main(["trace-run", "-n", "5", "--jam", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    assert validate_file(trace) == []
+
+
+def test_trace_run_json_output(capsys):
+    import json
+
+    assert main(["trace-run", "-n", "5", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["totals"]["matches_prediction"] is True
+
+
+def test_report_subcommand_round_trips(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["trace-run", "-n", "5", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(trace), "--validate"]) == 0
+    assert "schema ok" in capsys.readouterr().out
+    assert main(["report", str(trace)]) == 0
+    assert "matches the static prediction" in capsys.readouterr().out
+
+
+def test_report_rejects_malformed_trace(tmp_path, capsys):
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text('{"seq": 0, "kind": "nope"}\n', encoding="utf-8")
+    assert main(["report", str(bogus)]) == 1
+    assert "schema violation" in capsys.readouterr().err
+
+
 def test_lint_subcommand_forwards_arguments(tmp_path, capsys):
     clean = tmp_path / "clean.py"
     clean.write_text("X = 1\n", encoding="utf-8")

@@ -27,6 +27,24 @@ def test_quickstart_runs(capsys):
     assert "jammer caught by cut-and-choose: True" in out
 
 
+def test_quickstart_trace_flag_writes_valid_jsonl(tmp_path, capsys):
+    from repro.obs import validate_file
+
+    path = EXAMPLES / "quickstart.py"
+    spec = importlib.util.spec_from_file_location("example_quickstart_t", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    trace = tmp_path / "quickstart.jsonl"
+    try:
+        spec.loader.exec_module(module)
+        module.main(["--trace", str(trace)])
+    finally:
+        sys.modules.pop(spec.name, None)
+    out = capsys.readouterr().out
+    assert "matches the static prediction exactly" in out
+    assert validate_file(trace) == []
+
+
 def test_anonymous_voting_runs(capsys):
     _run_example("anonymous_voting")
     out = capsys.readouterr().out
