@@ -7,6 +7,12 @@ machine-readable twin ``benchmarks/results/BENCH_<experiment>.json``
 (headers, rows, notes, plus any ``extra`` payload such as the
 :func:`phase_breakdown` of a traced run) so downstream tooling never
 has to scrape the text tables.
+
+The Eµ (``emu_*``) and Ec (``ec_*``) experiments are the performance
+trajectory of the repo, so their JSON artifacts are *also*
+written/refreshed at the repository root as canonical ``BENCH_*.json``
+files (CI uploads them as artifacts); everything else stays under
+``benchmarks/results/`` only.
 """
 
 from __future__ import annotations
@@ -16,6 +22,13 @@ import os
 from typing import Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Repository root, for the canonical copies of the perf-trajectory
+#: experiments.
+ROOT_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Experiment-name prefixes whose BENCH json is mirrored at the root.
+ROOT_BENCH_PREFIXES = ("emu_", "ec_")
 
 BENCH_JSON_VERSION = 1
 
@@ -67,9 +80,13 @@ def report(
     if extra:
         payload["extra"] = extra
     json_path = os.path.join(RESULTS_DIR, f"BENCH_{experiment}.json")
-    with open(json_path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    paths = [json_path]
+    if experiment.startswith(ROOT_BENCH_PREFIXES):
+        paths.append(os.path.join(ROOT_DIR, f"BENCH_{experiment}.json"))
+    for path in paths:
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return body
 
 

@@ -14,9 +14,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import report
+from _common import phase_breakdown, report
 
 from repro.core import paper_parameters, run_anonchan, scaled_parameters
+from repro.obs import Tracer
 from repro.vss import IdealVSS
 
 
@@ -53,6 +54,68 @@ def test_ec_measured_bandwidth(benchmark):
     # Sanity: costs grow with n (superlinear: more dealers x longer vectors).
     elements = [r[5] for r in rows]
     assert all(a < b for a, b in zip(elements, elements[1:]))
+
+
+def test_ec_sharing_backend_speedup(benchmark):
+    """End-to-end AnonChan wall time: scalar vs vectorized sharing.
+
+    Both backends must produce byte-identical protocol transcripts (the
+    backend is purely an execution-speed knob); the vectorized run is
+    traced so the JSON artifact carries its per-phase breakdown.
+    """
+    import time
+
+    rows = []
+    breakdowns = {}
+
+    def run():
+        rows.clear()
+        for n in (4, 5, 6):
+            params_by_backend = {
+                backend: scaled_parameters(
+                    n=n, d=6, num_checks=3, kappa=16, margin=6,
+                    sharing_backend=backend,
+                )
+                for backend in ("scalar", "vectorized")
+            }
+            timings = {}
+            outputs = {}
+            for backend, params in params_by_backend.items():
+                vss = IdealVSS(params.field, params.n, params.t)
+                messages = {i: params.field(10 + i) for i in range(n)}
+                tracer = Tracer() if backend == "vectorized" else None
+                t0 = time.perf_counter()
+                res = run_anonchan(params, vss, messages, seed=n, tracer=tracer)
+                timings[backend] = time.perf_counter() - t0
+                outputs[backend] = [
+                    (sorted(out.output.items()) if out.output is not None else None)
+                    for out in res.outputs.values()
+                ]
+                if tracer is not None:
+                    breakdowns[f"n={n}"] = phase_breakdown(tracer)
+            assert outputs["scalar"] == outputs["vectorized"]
+            rows.append(
+                (n,
+                 round(timings["scalar"], 3),
+                 round(timings["vectorized"], 3),
+                 round(timings["scalar"] / timings["vectorized"], 2))
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ec_backend_speedup",
+        "AnonChan end-to-end: scalar vs vectorized sharing backend "
+        "(scaled parameters)",
+        ["n", "scalar s", "vectorized s", "speedup"],
+        rows,
+        notes="identical protocol outputs asserted per run; the vectorized\n"
+              "column includes tracing overhead (its phase breakdown is in\n"
+              "the JSON artifact under extra.phase_breakdown).",
+        extra={"phase_breakdown": breakdowns},
+    )
+    # The backends must agree; speed is reported, not asserted (the
+    # simulator's Python overhead dominates at the small scaled sizes).
 
 
 def test_ec_paper_parameter_scale(benchmark):

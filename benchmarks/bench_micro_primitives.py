@@ -3,13 +3,21 @@
 Field arithmetic, interpolation, Berlekamp–Welch decoding, VSS
 share/reconstruct throughput, and one end-to-end AnonChan execution.
 These are the knobs that set the wall-clock scale of every experiment.
+
+``test_micro_batch_sharing_speedup`` additionally publishes the
+canonical ``BENCH_emu_batch_sharing.json`` (root-level, via
+``_common.report``) recording the batched-vs-scalar dealing +
+reconstruction speedup.
 """
 
 import random
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import report
 
 from repro.fields import Polynomial, gf2k, interpolate_at
 from repro.sharing import ShamirScheme, berlekamp_welch
@@ -87,6 +95,64 @@ def test_micro_shamir_share(benchmark):
     scheme = ShamirScheme(f, n=9, t=4)
     rng = random.Random(2)
     benchmark(lambda: scheme.share(f(123), rng))
+
+
+def test_micro_batch_sharing_speedup(benchmark):
+    """Batched dealing + reconstruction vs the scalar reference path.
+
+    Measures the raw matrix form (``share_matrix`` /
+    ``reconstruct_matrix``) — the form the VSS hot path consumes —
+    against per-secret ``share`` + ``reconstruct_all``.  The acceptance
+    bar is a >= 5x speedup at paper-scale batch sizes (a dealer at even
+    the scaled parameters shares on the order of 10^3 values; the
+    paper-exact parameters are orders of magnitude beyond that).
+    """
+    f = gf2k(16)
+    n, t = 7, 3
+    scalar = ShamirScheme(f, n, t, backend="scalar")
+    batched = ShamirScheme(f, n, t, backend="vectorized")
+    xs = [p.value for p in batched.points]
+    rows = []
+
+    def run():
+        rows.clear()
+        for batch in (256, 1024, 4096, 16384):
+            ints = [(i * 131) % f.order for i in range(batch)]
+            secrets = [f(v) for v in ints]
+
+            t0 = time.perf_counter()
+            dealt = [scalar.share(s, random.Random(i)) for i, s in enumerate(secrets)]
+            opened_scalar = [scalar.reconstruct_all(r).value for r in dealt]
+            t_scalar = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            table = batched.share_matrix(ints, random.Random(0))
+            opened_batched = batched.reconstruct_matrix(table, xs)
+            t_batched = time.perf_counter() - t0
+
+            assert opened_scalar == opened_batched == ints
+            rows.append(
+                (batch,
+                 round(t_scalar * 1e3, 2),
+                 round(t_batched * 1e3, 2),
+                 round(t_scalar / t_batched, 2))
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "emu_batch_sharing",
+        "Batched vs scalar Shamir dealing + reconstruction "
+        "(GF(2^16), n=7, t=3)",
+        ["batch", "scalar ms", "batched ms", "speedup"],
+        rows,
+        notes="scalar = per-secret share() + reconstruct_all();\n"
+              "batched = share_matrix() + reconstruct_matrix() through the\n"
+              "numpy vector backend (the form the VSS hot path consumes).",
+    )
+    # Acceptance: >= 5x at paper-scale batch sizes.
+    paper_scale = [r for r in rows if r[0] >= 4096]
+    assert paper_scale and all(r[3] >= 5.0 for r in paper_scale), rows
 
 
 def test_micro_ideal_vss_batch_share(benchmark):

@@ -45,7 +45,6 @@ from repro.network import (
 from repro.obs import NULL_TRACER, Tracer
 from repro.vss import (
     DEALER_DISQUALIFIED,
-    ReconstructionError,
     VSSScheme,
     combine_views,
 )
@@ -268,6 +267,7 @@ class AnonChan:
 
         pass_sorted = sorted(passed)
         payloads = []
+        step4_views: list = []
         if pass_sorted:
             for k in range(params.ell):
                 x_view = combine_views(
@@ -282,6 +282,8 @@ class AnonChan:
                         for i in pass_sorted
                     ]
                 )
+                step4_views.append(x_view)
+                step4_views.append(a_view)
                 payloads.append(session.reveal_payload(pid, x_view))
                 payloads.append(session.reveal_payload(pid, a_view))
 
@@ -292,24 +294,28 @@ class AnonChan:
             for sender, payload in inbox.private.items():
                 if isinstance(payload, list) and len(payload) == len(payloads):
                     collected[sender] = payload
+            # Batched "internally simulate VSS-Rec": both halves of all
+            # l coordinates are verified and recombined in one call
+            # (the VSS layer's numpy fast path); corrupted coordinates
+            # come back as None and zero out that coordinate only.
+            opened = session.reconstruct_private_batch(
+                collected,
+                count=len(payloads),
+                verifier=pid,
+                views=step4_views if step4_views else None,
+            )
             xs, tags = [], []
             failed = 0
             for k in range(params.ell):
-                try:
-                    xs.append(
-                        session.verify_and_combine(
-                            {s: p[2 * k] for s, p in collected.items()}
-                        )
-                    )
-                    tags.append(
-                        session.verify_and_combine(
-                            {s: p[2 * k + 1] for s, p in collected.items()}
-                        )
-                    )
-                except (ReconstructionError, IndexError):
+                x_val = opened[2 * k] if 2 * k + 1 < len(opened) else None
+                tag_val = opened[2 * k + 1] if 2 * k + 1 < len(opened) else None
+                if x_val is None or tag_val is None:
                     xs.append(field.zero())
                     tags.append(field.zero())
                     failed += 1
+                else:
+                    xs.append(x_val)
+                    tags.append(tag_val)
             final_vector = vector_from_opened(field, xs, tags)
             output = extract_output(params, final_vector)
             tr.annotate("receiver-output", failed_coordinates=failed)
@@ -361,6 +367,12 @@ def run_anonchan(
     """
     protocol = AnonChan(params, vss, receiver=receiver)
     session = vss.new_session(random.Random(seed ^ 0x5EED))
+    if params.sharing_backend != "auto":
+        # An explicit params-level backend choice overrides the VSS
+        # session's default; "auto" defers to the scheme's own policy.
+        configure_backend = getattr(session, "configure_backend", None)
+        if configure_backend is not None:
+            configure_backend(params.sharing_backend)
 
     def prog(pid: int, material=None, tracer: Tracer | None = None) -> Program:
         return protocol.party_program(

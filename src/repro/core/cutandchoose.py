@@ -78,24 +78,34 @@ def stage2_plan_bit0(
 ) -> Stage2Plan:
     """Views of ``u = pi_j(v) - w_j`` (both halves of every coordinate).
 
-    ``u[k] = v[pi_j(k)] - w_j[k]``; in our characteristic-2 field the
-    difference is computed via the generic ``scale(-1)`` so the code
-    stays field-agnostic.
+    ``u[k] = v[pi_j(k)] - w_j[k]``; the difference is computed via the
+    generic ``scale(-1)`` so the code stays field-agnostic, but in a
+    characteristic-2 field ``-1 == 1`` and the scaling is skipped —
+    these plans cover ``2 l`` view combinations per (prover, check), so
+    the no-op copies were measurable.
     """
-    field = layout.params.field
-    minus_one = field(field.neg(field.encode(1)))
+    negate = _negate_fn(layout)
     views = []
     for k in range(layout.ell):
         src = perm(k)
         views.append(
             batch_views[layout.vec_x(src)]
-            + batch_views[layout.w_x(j, k)].scale(minus_one)
+            + negate(batch_views[layout.w_x(j, k)])
         )
         views.append(
             batch_views[layout.vec_a(src)]
-            + batch_views[layout.w_a(j, k)].scale(minus_one)
+            + negate(batch_views[layout.w_a(j, k)])
         )
     return Stage2Plan(views=views)
+
+
+def _negate_fn(layout: DealerLayout):
+    """View negation for the layout's field (identity in char 2)."""
+    field = layout.params.field
+    minus_one = field(field.neg(field.encode(1)))
+    if minus_one.value == field.encode(1):
+        return lambda view: view
+    return lambda view: view.scale(minus_one)
 
 
 def stage2_plan_bit1(
@@ -109,8 +119,7 @@ def stage2_plan_bit1(
     Order: for each non-listed k ascending, (x half, tag half); then for
     consecutive listed pairs, the differences of both halves.
     """
-    field = layout.params.field
-    minus_one = field(field.neg(field.encode(1)))
+    negate = _negate_fn(layout)
     listed = set(index_list)
     views: list[ShareView] = []
     for k in range(layout.ell):
@@ -121,11 +130,11 @@ def stage2_plan_bit1(
     for prev, cur in zip(index_list, list(index_list)[1:]):
         views.append(
             batch_views[layout.w_x(j, cur)]
-            + batch_views[layout.w_x(j, prev)].scale(minus_one)
+            + negate(batch_views[layout.w_x(j, prev)])
         )
         views.append(
             batch_views[layout.w_a(j, cur)]
-            + batch_views[layout.w_a(j, prev)].scale(minus_one)
+            + negate(batch_views[layout.w_a(j, prev)])
         )
     return Stage2Plan(views=views)
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.fields import GF2k, gf2k
+from repro.fields import VECTOR_BACKEND_MODES, GF2k, gf2k
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,13 @@ class AnonChanParams:
     num_checks:
         Number of re-randomized copies ``w_j`` per prover == number of
         challenge bits consumed (paper: ``kappa``).
+    sharing_backend:
+        Batch-kernel policy of the sharing/VSS layer: ``"auto"``
+        (default) uses the numpy kernels for large batches when the
+        field supports them, ``"vectorized"`` requires them,
+        ``"scalar"`` forces the pure-Python reference path.  Purely an
+        execution-speed knob — every backend produces identical
+        protocol behavior (asserted by tests).
     """
 
     n: int
@@ -61,6 +68,7 @@ class AnonChanParams:
     ell: int
     d: int
     num_checks: int
+    sharing_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -78,6 +86,11 @@ class AnonChanParams:
             )
         if (1 << self.kappa) <= max(self.n, self.ell):
             raise ValueError("field too small for party count / vector length")
+        if self.sharing_backend not in VECTOR_BACKEND_MODES:
+            raise ValueError(
+                f"unknown sharing backend {self.sharing_backend!r}, "
+                f"expected one of {VECTOR_BACKEND_MODES}"
+            )
 
     @property
     def field(self) -> GF2k:
@@ -118,7 +131,12 @@ class AnonChanParams:
         return 2.0 ** (-self.num_checks)
 
 
-def paper_parameters(n: int, t: int | None = None, kappa: int | None = None) -> AnonChanParams:
+def paper_parameters(
+    n: int,
+    t: int | None = None,
+    kappa: int | None = None,
+    sharing_backend: str = "auto",
+) -> AnonChanParams:
     """The exact parameters from the proof of Theorem 1.
 
     ``kappa`` defaults to the paper's minimum ``2n``, *raised if needed*
@@ -142,6 +160,7 @@ def paper_parameters(n: int, t: int | None = None, kappa: int | None = None) -> 
         ell=4 * n**6 * kappa,
         d=n**4 * kappa,
         num_checks=kappa,
+        sharing_backend=sharing_backend,
     )
 
 
@@ -152,6 +171,7 @@ def scaled_parameters(
     num_checks: int = 6,
     kappa: int = 16,
     margin: int = 8,
+    sharing_backend: str = "auto",
 ) -> AnonChanParams:
     """Laptop-scale parameters preserving the guarantees' structure.
 
@@ -164,7 +184,13 @@ def scaled_parameters(
         t = (n - 1) // 2
     ell = max(margin * max(n - 1, 1) * d, d + 1)
     return AnonChanParams(
-        n=n, t=t, kappa=kappa, ell=ell, d=d, num_checks=num_checks
+        n=n,
+        t=t,
+        kappa=kappa,
+        ell=ell,
+        d=d,
+        num_checks=num_checks,
+        sharing_backend=sharing_backend,
     )
 
 

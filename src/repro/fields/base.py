@@ -14,6 +14,12 @@ import random
 from abc import ABC, abstractmethod
 from typing import Iterable, Sequence
 
+#: Valid batch-backend selection modes used across the sharing stack:
+#: ``"auto"`` picks the numpy kernels when the field supports them,
+#: ``"vectorized"`` requires them, ``"scalar"`` forces the pure-Python
+#: reference path (see :mod:`repro.fields.vectorized`).
+VECTOR_BACKEND_MODES: tuple[str, ...] = ("auto", "vectorized", "scalar")
+
 
 class FieldElement:
     """An immutable element of a finite field.

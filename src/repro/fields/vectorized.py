@@ -1,32 +1,236 @@
-"""Vectorized GF(2^k) arithmetic over numpy arrays.
+"""Vectorized finite-field arithmetic over numpy arrays.
 
 The experiments shuffle hundreds of thousands of field elements (every
-coordinate of every dart vector is VSS-shared).  For table-backed
-fields (``k <= GF2k.TABLE_MAX_K``) the log/exp tables turn
-multiplication into integer gathers, which numpy executes tens of times
-faster than a Python loop.  :class:`VectorGF2k` exposes the same
-add/mul/Horner operations on whole arrays; the ideal VSS backend uses
-it to deal large batches.
+coordinate of every dart vector is VSS-shared), and at paper scale
+(``ell ~ n^6 kappa``) the simulator deals and reconstructs that many
+Shamir sharings per execution.  Scalar Python loops are the wall; the
+backends here turn the two hot kernels of the sharing stack into a
+handful of numpy operations:
+
+- **batch polynomial evaluation** (dealing): evaluate ``m`` sharing
+  polynomials at all party points at once, Vandermonde-style
+  (:meth:`VectorBackend.batch_eval`), and
+- **batch interpolation at zero** (reconstruction): recombine ``m``
+  rows of shares against one set of cached Lagrange coefficients
+  (:meth:`VectorBackend.interpolate_at_zero_batch`).
+
+Two substrates are supported: table-backed ``GF(2^k)``
+(:class:`VectorGF2k` — log/exp tables turn multiplication into integer
+gathers) and word-sized prime fields (:class:`VectorPrimeField` —
+``uint64`` modular arithmetic).  :func:`vector_backend` picks the right
+one for a given field, or raises ``ValueError`` when the field has no
+vectorized substrate (callers then fall back to the scalar reference
+path, which stays authoritative: property tests assert exact
+agreement).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
+from .base import Field
 from .gf2k import GF2k
+from .primefield import PrimeField
 
 if TYPE_CHECKING:
     from numpy.typing import ArrayLike
 
 
-class VectorGF2k:
+class VectorBackend:
+    """Shared batch kernels over element-wise field primitives.
+
+    Subclasses fix the array ``dtype`` and implement ``add``, ``mul``,
+    ``scale``, ``neg`` and ``reduce_sum``; everything else (Horner
+    evaluation, Vandermonde tables, batched interpolation at zero) is
+    derived here and therefore identical across substrates.  All arrays
+    hold raw field encodings.
+    """
+
+    field: Field
+    order: int
+    dtype: type
+
+    # -- conversions ------------------------------------------------------
+    def array(self, values: "ArrayLike") -> np.ndarray:
+        """Coerce a sequence of raw encodings to the working dtype."""
+        out = np.asarray(values, dtype=self.dtype)
+        if out.size and int(out.max(initial=0)) >= self.order:
+            raise ValueError("values out of field range")
+        return out
+
+    def random(
+        self, shape: int | tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Uniform random array (``rng`` is ``numpy.random.Generator``)."""
+        return rng.integers(0, self.order, size=shape, dtype=self.dtype)
+
+    # -- element-wise primitives (substrate-specific) ---------------------
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise field addition."""
+        raise NotImplementedError
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise field multiplication (with broadcasting)."""
+        raise NotImplementedError
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        """Element-wise additive inverse."""
+        raise NotImplementedError
+
+    def inv(self, a: np.ndarray) -> np.ndarray:
+        """Element-wise multiplicative inverse; raises on zeros."""
+        raise NotImplementedError
+
+    def reduce_sum(self, a: np.ndarray, axis: int) -> np.ndarray:
+        """Field sum along one axis."""
+        raise NotImplementedError
+
+    def scale(self, a: np.ndarray, scalar: int) -> np.ndarray:
+        """Multiply an array by one scalar encoding."""
+        return self.mul(np.asarray(a, dtype=self.dtype), self.dtype(scalar))
+
+    # -- polynomial evaluation -------------------------------------------
+    def horner_eval(self, coeffs: np.ndarray, x: int) -> np.ndarray:
+        """Evaluate many polynomials at one point.
+
+        ``coeffs`` has shape ``(m, deg + 1)``, low-degree first; returns
+        the length-``m`` array of evaluations at encoding ``x``.
+        """
+        coeffs = np.asarray(coeffs, dtype=self.dtype)
+        if coeffs.ndim != 2:
+            raise ValueError("coeffs must be 2-D (one row per polynomial)")
+        acc = np.zeros(coeffs.shape[0], dtype=self.dtype)
+        for j in range(coeffs.shape[1] - 1, -1, -1):
+            acc = self.add(self.scale(acc, x), coeffs[:, j])
+        return acc
+
+    def eval_at_points(
+        self, coeffs: np.ndarray, xs: Iterable[int | np.integer]
+    ) -> np.ndarray:
+        """Evaluate many polynomials at several points (Horner per point).
+
+        Returns shape ``(m, len(xs))`` — exactly the share table a VSS
+        dealer needs (one row per secret, one column per party point).
+        """
+        xs_list = [int(x) for x in xs]
+        columns = [self.horner_eval(coeffs, x) for x in xs_list]
+        return np.stack(columns, axis=1)
+
+    def vandermonde(self, xs: Sequence[int], degree: int) -> np.ndarray:
+        """The Vandermonde table ``V[i, j] = xs[i]^j`` for ``j <= degree``.
+
+        Computed once and cached by callers (the evaluation points of a
+        sharing scheme are fixed), it turns dealing into
+        :meth:`batch_eval`'s accumulate-of-products.
+        """
+        if degree < 0:
+            raise ValueError(f"degree must be >= 0, got {degree}")
+        xs_arr = self.array(xs)
+        if xs_arr.ndim != 1:
+            raise ValueError("xs must be 1-D")
+        table = np.empty((xs_arr.shape[0], degree + 1), dtype=self.dtype)
+        column = np.full(
+            xs_arr.shape[0], self.field.encode(1), dtype=self.dtype
+        )
+        table[:, 0] = column
+        for j in range(1, degree + 1):
+            column = self.mul(column, xs_arr)
+            table[:, j] = column
+        return table
+
+    def batch_eval(
+        self,
+        coeffs: np.ndarray,
+        xs: Sequence[int] | None = None,
+        *,
+        vandermonde: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Evaluate ``m`` polynomials at the same points in one pass.
+
+        ``coeffs`` has shape ``(m, deg + 1)`` (low-degree first); the
+        points come either from ``xs`` or from a precomputed
+        :meth:`vandermonde` table.  Returns shape ``(m, num_points)``:
+        ``out[r, i] = sum_j coeffs[r, j] * xs[i]^j``.
+        """
+        coeffs = np.asarray(coeffs, dtype=self.dtype)
+        if coeffs.ndim != 2:
+            raise ValueError("coeffs must be 2-D (one row per polynomial)")
+        if vandermonde is None:
+            if xs is None:
+                raise ValueError("need either xs or a vandermonde table")
+            vandermonde = self.vandermonde(xs, coeffs.shape[1] - 1)
+        if vandermonde.shape[1] != coeffs.shape[1]:
+            raise ValueError(
+                f"vandermonde width {vandermonde.shape[1]} does not match "
+                f"{coeffs.shape[1]} coefficients"
+            )
+        out = np.zeros((coeffs.shape[0], vandermonde.shape[0]), dtype=self.dtype)
+        for j in range(coeffs.shape[1]):
+            out = self.add(
+                out, self.mul(coeffs[:, j, None], vandermonde[None, :, j])
+            )
+        return out
+
+    # -- interpolation ----------------------------------------------------
+    def lagrange_at_zero(self, xs: Sequence[int]) -> np.ndarray:
+        """Lagrange coefficients at 0 for the (distinct) points ``xs``.
+
+        The coefficient set is tiny (one entry per party) and computed
+        once per point set, so it reuses the scalar reference
+        implementation; the batch work happens in
+        :meth:`interpolate_at_zero_batch`.
+        """
+        from .polynomial import lagrange_coefficients
+
+        coeffs = lagrange_coefficients(self.field, [int(x) for x in xs], 0)
+        return self.array([c.value for c in coeffs])
+
+    def interpolate_at_zero_batch(
+        self,
+        xs: Sequence[int],
+        ys: np.ndarray,
+        *,
+        lagrange: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Reconstruct ``m`` secrets from shares at common points.
+
+        ``ys`` has shape ``(m, len(xs))``: row ``r`` holds the share
+        values of secret ``r`` at the evaluation points ``xs`` (same
+        order for every row).  Returns the length-``m`` array of
+        interpolations at zero — the batched form of Shamir
+        reconstruction.
+        """
+        ys = np.asarray(ys, dtype=self.dtype)
+        if ys.ndim != 2:
+            raise ValueError("ys must be 2-D (one row per secret)")
+        if lagrange is None:
+            lagrange = self.lagrange_at_zero(xs)
+        if ys.shape[1] != lagrange.shape[0]:
+            raise ValueError(
+                f"rows of {ys.shape[1]} shares do not match "
+                f"{lagrange.shape[0]} evaluation points"
+            )
+        return self.reduce_sum(self.mul(ys, lagrange[None, :]), axis=1)
+
+    def dot(self, coeffs: np.ndarray, values: np.ndarray) -> int:
+        """Field dot product of two 1-D arrays (Lagrange recombination)."""
+        prod = self.mul(
+            np.asarray(coeffs, dtype=self.dtype),
+            np.asarray(values, dtype=self.dtype),
+        )
+        return int(self.reduce_sum(prod, axis=0))
+
+
+class VectorGF2k(VectorBackend):
     """Array operations over a table-backed binary field.
 
-    All arrays hold raw encodings as ``uint32``; operations are
-    element-wise with broadcasting.
+    All arrays hold raw encodings as ``uint32``; multiplication is a
+    pair of log-table gathers plus one exp-table gather.
     """
+
+    dtype = np.uint32
 
     def __init__(self, field: GF2k) -> None:
         if field._exp is None:
@@ -40,25 +244,16 @@ class VectorGF2k:
         self._exp = np.asarray(field._exp, dtype=np.uint32)
         self._log = np.asarray(field._log, dtype=np.uint32)
 
-    # -- conversions ------------------------------------------------------
-    def array(self, values: ArrayLike) -> np.ndarray:
-        """Coerce a sequence of raw encodings to the working dtype."""
-        out = np.asarray(values, dtype=np.uint32)
-        if out.size and int(out.max(initial=0)) >= self.order:
-            raise ValueError("values out of field range")
-        return out
-
-    def random(
-        self, shape: int | tuple[int, ...], rng: np.random.Generator
-    ) -> np.ndarray:
-        """Uniform random array (``rng`` is ``numpy.random.Generator``)."""
-        return rng.integers(0, self.order, size=shape, dtype=np.uint32)
-
     # -- arithmetic -------------------------------------------------------
     @staticmethod
-    def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:  # type: ignore[override]
         """Element-wise field addition (XOR)."""
         return np.bitwise_xor(a, b)
+
+    @staticmethod
+    def neg(a: np.ndarray) -> np.ndarray:  # type: ignore[override]
+        """Characteristic 2: negation is the identity."""
+        return np.asarray(a, dtype=np.uint32)
 
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Element-wise field multiplication via log/exp gathers."""
@@ -91,36 +286,79 @@ class VectorGF2k:
             raise ZeroDivisionError("inverse of zero in vectorized field op")
         return self._exp[self._group - self._log[a].astype(np.int64)]
 
-    def horner_eval(self, coeffs: np.ndarray, x: int) -> np.ndarray:
-        """Evaluate many polynomials at one point.
+    def reduce_sum(self, a: np.ndarray, axis: int) -> np.ndarray:
+        """Field sum along one axis (XOR reduction)."""
+        return np.bitwise_xor.reduce(a, axis=axis)
 
-        ``coeffs`` has shape ``(m, deg + 1)``, low-degree first; returns
-        the length-``m`` array of evaluations at encoding ``x``.
-        """
-        coeffs = np.asarray(coeffs, dtype=np.uint32)
-        if coeffs.ndim != 2:
-            raise ValueError("coeffs must be 2-D (one row per polynomial)")
-        acc = np.zeros(coeffs.shape[0], dtype=np.uint32)
-        for j in range(coeffs.shape[1] - 1, -1, -1):
-            acc = np.bitwise_xor(self.scale(acc, x), coeffs[:, j])
-        return acc
 
-    def eval_at_points(
-        self, coeffs: np.ndarray, xs: Iterable[int | np.integer]
-    ) -> np.ndarray:
-        """Evaluate many polynomials at several points.
+class VectorPrimeField(VectorBackend):
+    """Array operations over a word-sized prime field.
 
-        Returns shape ``(m, len(xs))`` — exactly the share table a VSS
-        dealer needs (one row per secret, one column per party point).
-        """
-        xs = [int(x) for x in xs]
-        columns = [self.horner_eval(coeffs, x) for x in xs]
-        return np.stack(columns, axis=1)
+    Arrays hold raw encodings as ``uint64``; the prime must satisfy
+    ``p < 2^31`` so products (and row sums of products) stay inside
+    ``uint64`` without intermediate reduction.
+    """
 
-    def dot(self, coeffs: np.ndarray, values: np.ndarray) -> int:
-        """Field dot product of two 1-D arrays (Lagrange recombination)."""
-        prod = self.mul(coeffs, values)
-        acc = 0
-        for v in prod.tolist():
-            acc ^= v
-        return acc
+    #: Largest prime for which uint64 modular arithmetic cannot overflow.
+    MAX_PRIME = 1 << 31
+
+    dtype = np.uint64
+
+    def __init__(self, field: PrimeField) -> None:
+        if field.p >= self.MAX_PRIME:
+            raise ValueError(
+                f"{field.short_name} too large for uint64 vectorized "
+                f"arithmetic (need p < 2^31)"
+            )
+        self.field = field
+        self.order = field.order
+        self._p = np.uint64(field.p)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        return (a + b) % self._p
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64)
+        return (self._p - a) % self._p
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        return (a * b) % self._p
+
+    def inv(self, a: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64) % self._p
+        if (a == 0).any():
+            raise ZeroDivisionError("inverse of zero in vectorized field op")
+        # Fermat: a^(p-2) by square-and-multiply on the whole array.
+        out = np.ones_like(a)
+        base = a
+        e = self.field.p - 2
+        while e:
+            if e & 1:
+                out = (out * base) % self._p
+            base = (base * base) % self._p
+            e >>= 1
+        return out
+
+    def reduce_sum(self, a: np.ndarray, axis: int) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64)
+        return a.sum(axis=axis, dtype=np.uint64) % self._p
+
+
+def vector_backend(field: Field) -> VectorBackend:
+    """The vectorized backend for ``field``.
+
+    Raises ``ValueError`` when the field has no vectorized substrate
+    (tableless ``GF(2^k)``, huge primes, exotic fields); callers treat
+    that as "use the scalar reference path".
+    """
+    if isinstance(field, GF2k):
+        return VectorGF2k(field)
+    if isinstance(field, PrimeField):
+        return VectorPrimeField(field)
+    raise ValueError(
+        f"no vectorized backend for {getattr(field, 'short_name', field)!r}"
+    )

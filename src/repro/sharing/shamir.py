@@ -6,6 +6,16 @@ polynomial and hands party ``P_i`` the evaluation ``f(alpha_i)``.  Any
 shares of a (public) linear combination of secrets are the same linear
 combination of the shares — is what the paper's step 4 relies on to sum
 the dart vectors "for free".
+
+Two execution paths coexist: the scalar reference path (``share``,
+``reconstruct``; plain Python field arithmetic, the implementation the
+tests treat as ground truth) and a batched path
+(:meth:`ShamirScheme.share_vector_batched`,
+:meth:`ShamirScheme.reconstruct_batch`) that deals and opens whole
+arrays of secrets through the numpy kernels of
+:mod:`repro.fields.vectorized`.  The batched path consumes the dealing
+``rng`` in exactly the same order as the scalar path, so for a fixed
+seed both produce identical shares.
 """
 
 from __future__ import annotations
@@ -15,12 +25,16 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.fields import (
+    VECTOR_BACKEND_MODES,
     Field,
     FieldElement,
     Polynomial,
     interpolate_at,
     lagrange_coefficients,
 )
+
+#: Valid values for the ``backend`` argument of :class:`ShamirScheme`.
+BACKEND_MODES = VECTOR_BACKEND_MODES
 
 
 @dataclass(frozen=True)
@@ -52,9 +66,16 @@ class ShamirScheme:
     t:
         Degree of the sharing polynomial; any ``t`` shares are
         independent of the secret, ``t + 1`` reconstruct it.
+    backend:
+        Batch-kernel selection: ``"auto"`` (default) uses the numpy
+        backend when the field supports one, ``"vectorized"`` requires
+        it (``ValueError`` if unavailable), ``"scalar"`` forces the
+        pure-Python reference path.
     """
 
-    def __init__(self, field: Field, n: int, t: int):
+    def __init__(
+        self, field: Field, n: int, t: int, backend: str = "auto"
+    ):
         if n < 1:
             raise ValueError(f"need at least one party, got n={n}")
         if not 0 <= t < n:
@@ -63,11 +84,43 @@ class ShamirScheme:
             raise ValueError(
                 f"field of order {field.order} too small for n={n} parties"
             )
+        if backend not in BACKEND_MODES:
+            raise ValueError(
+                f"unknown backend {backend!r}, expected one of {BACKEND_MODES}"
+            )
         self.field = field
         self.n = n
         self.t = t
+        self.backend = backend
         self.points = [field(i) for i in range(1, n + 1)]
         self._recon_coeffs_full = lagrange_coefficients(field, self.points, 0)
+        self._coeff_by_x = {
+            point.value: coeff.value
+            for point, coeff in zip(self.points, self._recon_coeffs_full)
+        }
+        self._vector = None
+        self._vector_checked = False
+        self._vandermonde = None
+        self._lagrange_cache: dict[tuple[int, ...], list[int]] = {}
+        if backend == "vectorized":
+            from repro.fields.vectorized import vector_backend
+
+            self._vector = vector_backend(field)  # raises if unsupported
+            self._vector_checked = True
+
+    def _vector_backend(self):
+        """Lazily construct the numpy backend per the ``backend`` mode."""
+        if self.backend == "scalar":
+            return None
+        if not self._vector_checked:
+            self._vector_checked = True
+            try:
+                from repro.fields.vectorized import vector_backend
+
+                self._vector = vector_backend(self.field)
+            except (ValueError, ImportError):
+                self._vector = None
+        return self._vector
 
     # -- dealing ---------------------------------------------------------
     def share(
@@ -87,41 +140,242 @@ class ShamirScheme:
     def share_vector(
         self, secrets: Sequence[FieldElement], rng: random.Random
     ) -> list[list[Share]]:
-        """Deal many secrets in parallel: result[k][i] is P_i's k-th share."""
-        return [self.share(s, rng) for s in secrets]
+        """Deal many secrets in parallel: result[k][i] is P_i's k-th share.
+
+        Dispatches to :meth:`share_vector_batched`, which produces
+        shares identical to dealing each secret with :meth:`share` on
+        the same rng stream (and falls back to exactly that loop when
+        no vector backend is available).
+        """
+        return self.share_vector_batched(secrets, rng)
+
+    def share_matrix(
+        self, secrets: Sequence[int], rng: random.Random
+    ) -> "list[list[int]]":
+        """Raw batched dealing: row ``k`` holds secret ``k``'s n share values.
+
+        Operates on raw encodings (no ``Share`` wrappers) — this is the
+        form the VSS hot path consumes.  The rng stream is consumed
+        exactly as by :meth:`share`: ``t + 1`` draws per secret, the
+        first overwritten by the secret.
+        """
+        order = self.field.order
+        randrange = rng.randrange
+        coeff_rows = []
+        for secret in secrets:
+            coeffs = [randrange(order) for _ in range(self.t + 1)]
+            coeffs[0] = secret
+            coeff_rows.append(coeffs)
+        return self.evaluate_matrix(coeff_rows)
+
+    def evaluate_matrix(
+        self, coeff_rows: Sequence[Sequence[int]]
+    ) -> "list[list[int]]":
+        """Evaluate coefficient rows at all n party points (batched)."""
+        if not coeff_rows:
+            return []
+        vec = self._vector_backend()
+        if vec is None:
+            field = self.field
+            add, mul = field.add, field.mul
+            xs = [p.value for p in self.points]
+            table = []
+            for coeffs in coeff_rows:
+                row = []
+                for x in xs:
+                    acc = 0
+                    for c in reversed(coeffs):  # Horner
+                        acc = add(mul(acc, x), c)
+                    row.append(acc)
+                table.append(row)
+            return table
+        import numpy as np
+
+        if self._vandermonde is None:
+            self._vandermonde = vec.vandermonde(
+                [p.value for p in self.points], self.t
+            )
+        out = vec.batch_eval(
+            np.asarray(coeff_rows, dtype=vec.dtype),
+            vandermonde=self._vandermonde,
+        )
+        return out.tolist()
+
+    def share_vector_batched(
+        self, secrets: Sequence[FieldElement], rng: random.Random
+    ) -> list[list[Share]]:
+        """Batched :meth:`share_vector`: same API, same outputs.
+
+        All sharing polynomials are evaluated at all party points in a
+        handful of numpy operations (one Vandermonde accumulation)
+        instead of a Python loop per secret.
+        """
+        field = self.field
+        table = self.share_matrix([s.value for s in secrets], rng)
+        points = self.points
+        return [
+            [
+                Share(x, FieldElement(field, int(v)))
+                for x, v in zip(points, row)
+            ]
+            for row in table
+        ]
 
     # -- reconstruction ----------------------------------------------------
+    def _distinct_shares(self, shares: Sequence[Share]) -> list[Share]:
+        """Validate and deduplicate shares by evaluation point.
+
+        Duplicate points carrying the same value collapse to one share;
+        conflicting values for one point are a malformed share list and
+        raise ``ValueError`` (previously this surfaced as a deep
+        ``interpolate_at`` error, or passed silently).
+        """
+        by_x: dict[int, int] = {}
+        unique: list[Share] = []
+        for share in shares:
+            xv = share.x.value
+            prev = by_x.get(xv)
+            if prev is None:
+                by_x[xv] = share.y.value
+                unique.append(share)
+            elif prev != share.y.value:
+                raise ValueError(
+                    f"conflicting shares at evaluation point {share.x!r}"
+                )
+        return unique
+
     def reconstruct(self, shares: Sequence[Share]) -> FieldElement:
         """Interpolate the secret from ``>= t + 1`` shares.
 
-        No error handling: shares are taken at face value.  Use
+        Shares are deduplicated by evaluation point first (conflicting
+        duplicates raise ``ValueError``); beyond that they are taken at
+        face value.  Use
         :func:`repro.sharing.reedsolomon.berlekamp_welch` (via
         :meth:`reconstruct_robust` of the VSS layer) when some shares
         may be corrupted.
         """
-        if len(shares) < self.t + 1:
+        unique = self._distinct_shares(shares)
+        if len(unique) < self.t + 1:
             raise ValueError(
-                f"need at least {self.t + 1} shares, got {len(shares)}"
+                f"need at least {self.t + 1} shares at distinct points, "
+                f"got {len(unique)} (from {len(shares)} shares)"
             )
-        pts = [(s.x, s.y) for s in shares[: self.t + 1]]
+        pts = [(s.x, s.y) for s in unique[: self.t + 1]]
         return interpolate_at(self.field, pts, 0)
 
     def reconstruct_all(self, shares: Sequence[Share]) -> FieldElement:
-        """Reconstruct from exactly all n shares using cached coefficients."""
+        """Reconstruct from all n shares using cached coefficients.
+
+        Shares may arrive in any order: each is matched to its cached
+        Lagrange coefficient by evaluation point.  Shares at unexpected
+        or repeated points raise ``ValueError`` (previously a permuted
+        share list silently reconstructed the wrong secret).
+        """
         if len(shares) != self.n:
             raise ValueError(f"expected {self.n} shares, got {len(shares)}")
         f = self.field
+        coeff_by_x = self._coeff_by_x
+        seen = set()
         acc = 0
-        for coeff, share in zip(self._recon_coeffs_full, shares):
-            acc = f.add(acc, f.mul(coeff.value, share.y.value))
+        for share in shares:
+            xv = share.x.value
+            coeff = coeff_by_x.get(xv)
+            if coeff is None:
+                raise ValueError(
+                    f"share at unexpected evaluation point {share.x!r}"
+                )
+            if xv in seen:
+                raise ValueError(
+                    f"duplicate share for evaluation point {share.x!r}"
+                )
+            seen.add(xv)
+            acc = f.add(acc, f.mul(coeff, share.y.value))
         return FieldElement(f, acc)
 
+    def _lagrange_at_zero(self, xs: tuple[int, ...]) -> list[int]:
+        """Cached Lagrange-at-zero coefficients for one point set."""
+        coeffs = self._lagrange_cache.get(xs)
+        if coeffs is None:
+            coeffs = [
+                c.value for c in lagrange_coefficients(self.field, xs, 0)
+            ]
+            self._lagrange_cache[xs] = coeffs
+        return coeffs
+
+    def reconstruct_matrix(
+        self, rows: Sequence[Sequence[int]], xs: Sequence[int]
+    ) -> "list[int]":
+        """Raw batched reconstruction: one secret per row of share values.
+
+        ``rows[k][i]`` is the share value at evaluation point ``xs[i]``
+        (the same, distinct, ``>= t + 1`` points for every row).  The
+        Lagrange coefficients are computed once and all rows are
+        recombined in one vectorized dot product — this is the form the
+        VSS hot path consumes (no ``Share`` wrappers).
+        """
+        xs = tuple(xs)
+        if len(set(xs)) != len(xs):
+            raise ValueError("duplicate evaluation points in share rows")
+        if len(xs) < self.t + 1:
+            raise ValueError(
+                f"need at least {self.t + 1} shares per row, got {len(xs)}"
+            )
+        coeffs = self._lagrange_at_zero(xs)
+        vec = self._vector_backend()
+        if vec is None:
+            add, mul = self.field.add, self.field.mul
+            results = []
+            for row in rows:
+                acc = 0
+                for c, y in zip(coeffs, row):
+                    acc = add(acc, mul(c, y))
+                results.append(acc)
+            return results
+        import numpy as np
+
+        ys = np.asarray(rows, dtype=vec.dtype)
+        out = vec.interpolate_at_zero_batch(xs, ys, lagrange=vec.array(coeffs))
+        return out.tolist()
+
+    def reconstruct_batch(
+        self, share_rows: Sequence[Sequence[Share]]
+    ) -> list[FieldElement]:
+        """Reconstruct many sharings at once (batched interpolation).
+
+        Every row must hold shares at the *same* evaluation points in
+        the same order (any ordering, at least ``t + 1`` distinct
+        points); the Lagrange coefficients are computed once and all
+        rows are recombined in one vectorized dot product.  Agrees
+        exactly with per-row :meth:`reconstruct` /
+        :meth:`reconstruct_all`.
+        """
+        if not share_rows:
+            return []
+        xs = tuple(s.x.value for s in share_rows[0])
+        for row in share_rows[1:]:
+            if tuple(s.x.value for s in row) != xs:
+                raise ValueError(
+                    "all rows must hold shares at the same evaluation "
+                    "points in the same order"
+                )
+        field = self.field
+        values = self.reconstruct_matrix(
+            [[s.y.value for s in row] for row in share_rows], xs
+        )
+        return [FieldElement(field, int(v)) for v in values]
+
     def consistent(self, shares: Sequence[Share]) -> bool:
-        """True iff the given shares all lie on one degree <= t polynomial."""
-        if len(shares) <= self.t + 1:
+        """True iff the given shares all lie on one degree <= t polynomial.
+
+        Shares are deduplicated by evaluation point first; conflicting
+        duplicates raise ``ValueError`` (previously they could slip
+        through the ``len(shares) <= t + 1`` early return unnoticed).
+        """
+        unique = self._distinct_shares(shares)
+        if len(unique) <= self.t + 1:
             return True
-        pts = [(s.x, s.y) for s in shares[: self.t + 1]]
-        for share in shares[self.t + 1 :]:
+        pts = [(s.x, s.y) for s in unique[: self.t + 1]]
+        for share in unique[self.t + 1 :]:
             if interpolate_at(self.field, pts, share.x) != share.y:
                 return False
         return True

@@ -154,6 +154,39 @@ class VSSSession(ABC):
         """A view of the constant 0 (identity for linear combination)."""
         raise NotImplementedError
 
+    def reconstruct_private_batch(
+        self,
+        columns: Mapping[int, Sequence[Any]],
+        count: int,
+        verifier: int | None = None,
+        views: Sequence[ShareView] | None = None,
+    ) -> list[FieldElement | None]:
+        """Robustly reconstruct ``count`` values from payload columns.
+
+        ``columns`` maps each sender to its list of ``count`` reveal
+        payloads (senders with malformed column lengths must be
+        filtered by the caller).  This is the batch form of the paper's
+        step-4 private reconstruction: the designated receiver runs it
+        locally on privately received payloads.  Positions where no
+        value is identifiable yield ``None`` instead of raising, so one
+        corrupted coordinate cannot abort the whole opening.  ``views``
+        optionally carries the verifier's own share views for backends
+        with a batched fast path; this generic implementation ignores
+        it.
+        """
+        results: list[FieldElement | None] = []
+        for k in range(count):
+            try:
+                results.append(
+                    self.verify_and_combine(
+                        {s: column[k] for s, column in columns.items()},
+                        verifier=verifier,
+                    )
+                )
+            except (ReconstructionError, IndexError):
+                results.append(None)
+        return results
+
     # -- canonical public opening -------------------------------------------
     def open_program(self, pid: int, views: Sequence[ShareView]) -> Program:
         """Publicly reconstruct several values in one round.

@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
-from repro.fields import FieldElement
+from repro.fields import VECTOR_BACKEND_MODES, FieldElement
 from repro.network import Program, RoundOutput
 
 from .base import (
@@ -49,6 +49,14 @@ REFUSE = RefuseType()
 
 #: Terms of a linear combination: serial -> raw coefficient encoding.
 Terms = tuple[tuple[int, int], ...]
+
+#: Smallest batch for which the numpy dealing path beats the scalar one
+#: (array setup costs dominate below it); ``"vectorized"`` mode ignores
+#: the threshold so tests can force the kernels on tiny batches.
+VECTOR_DEAL_MIN = 32
+
+#: Same, for batched openings/reconstructions.
+VECTOR_OPEN_MIN = 64
 
 
 @dataclass(frozen=True)
@@ -98,21 +106,72 @@ class IdealVSSSession(VSSSession):
         self._batch_lengths: dict[tuple[int, int], int] = {}
         self._counters: dict[tuple[int, int], int] = {}
         self._lagrange_cache: dict[tuple[int, ...], list[int]] = {}
+        self._backend_mode = scheme.backend
         self._vector = None
         self._vector_checked = False
+        self._vandermonde = None  # cached powers of the points 0..n
         self._evals_np = None  # cached numpy view of _evals
+        if self._backend_mode == "vectorized":
+            from repro.fields.vectorized import vector_backend
+
+            self._vector = vector_backend(scheme.field)  # raises if unsupported
+            self._vector_checked = True
+
+    def configure_backend(self, mode: str) -> None:
+        """Select the batch-kernel policy for this session.
+
+        ``"auto"`` (default) uses the numpy kernels for large batches on
+        fields that support them, ``"vectorized"`` requires and always
+        uses them (``ValueError`` if the field has no vectorized
+        substrate), ``"scalar"`` forces the pure-Python reference path.
+        """
+        if mode not in VECTOR_BACKEND_MODES:
+            raise ValueError(
+                f"unknown backend {mode!r}, expected one of "
+                f"{VECTOR_BACKEND_MODES}"
+            )
+        if mode == "vectorized":
+            from repro.fields.vectorized import vector_backend
+
+            self._vector = vector_backend(self.scheme.field)
+            self._vector_checked = True
+        self._backend_mode = mode
 
     def _vector_backend(self):
-        """Lazily construct the numpy backend (table-backed fields only)."""
+        """Lazily construct the numpy backend per the session's mode."""
+        if self._backend_mode == "scalar":
+            return None
         if not self._vector_checked:
             self._vector_checked = True
             try:
-                from repro.fields.vectorized import VectorGF2k
+                from repro.fields.vectorized import vector_backend
 
-                self._vector = VectorGF2k(self.scheme.field)
-            except (ValueError, AttributeError, ImportError):
+                self._vector = vector_backend(self.scheme.field)
+            except (ValueError, ImportError):
                 self._vector = None
         return self._vector
+
+    def _use_vector(self, batch_size: int, threshold: int):
+        """The backend to use for a batch of ``batch_size``, or ``None``."""
+        vec = self._vector_backend()
+        if vec is None:
+            return None
+        if self._backend_mode != "vectorized" and batch_size < threshold:
+            return None
+        return vec
+
+    def _lagrange_at_zero(self, xs: tuple[int, ...]) -> list[int]:
+        """Cached Lagrange-at-zero coefficients for one point set."""
+        coeffs = self._lagrange_cache.get(xs)
+        if coeffs is None:
+            from repro.fields import lagrange_coefficients
+
+            coeffs = [
+                c.value
+                for c in lagrange_coefficients(self.scheme.field, xs, 0)
+            ]
+            self._lagrange_cache[xs] = coeffs
+        return coeffs
 
     # -- functionality internals ------------------------------------------
     def _deal(
@@ -139,14 +198,18 @@ class IdealVSSSession(VSSSession):
             [secret.value] + [randrange(order) for _ in range(t)]
             for secret in secrets
         ]
-        vec = self._vector_backend()
-        if vec is not None and len(coeff_rows) >= 32:
-            # Large batch on a table-backed field: evaluate all sharing
-            # polynomials at all party points in a few numpy gathers.
+        vec = self._use_vector(len(coeff_rows), VECTOR_DEAL_MIN)
+        if vec is not None:
+            # Large batch on a vectorizable field: evaluate all sharing
+            # polynomials at all party points against the cached
+            # Vandermonde table in a few numpy operations.
             import numpy as np
 
-            table = vec.eval_at_points(
-                np.asarray(coeff_rows, dtype=np.uint32), points
+            if self._vandermonde is None:
+                self._vandermonde = vec.vandermonde(points, t)
+            table = vec.batch_eval(
+                np.asarray(coeff_rows, dtype=vec.dtype),
+                vandermonde=self._vandermonde,
             )
             self._evals.extend(row.tolist() for row in table)
         else:
@@ -236,7 +299,6 @@ class IdealVSSSession(VSSSession):
         """
         from repro.network import RoundOutput
 
-        vec = self._vector_backend()
         n = self.scheme.n
         payloads = [self.reveal_payload(pid, v) for v in views]
         inbox = yield RoundOutput(
@@ -246,9 +308,41 @@ class IdealVSSSession(VSSSession):
         for sender, payload in inbox.private.items():
             if isinstance(payload, (list, tuple)) and len(payload) == len(views):
                 columns.append((sender, payload))
+        return self._reconstruct_columns(columns, views, pid, strict=True)
 
-        if vec is None or len(views) < 64:
-            return self._combine_columns(columns, views, pid)
+    def reconstruct_private_batch(
+        self,
+        columns: Mapping[int, Any],
+        count: int,
+        verifier: int | None = None,
+        views=None,
+    ) -> list[FieldElement | None]:
+        """Batch private reconstruction (paper step 4) — numpy fast path.
+
+        When the reconstructing party supplies its own ``views`` (it
+        always holds shares of the values being opened), the batched
+        verification/recombination of :meth:`open_program` is reused;
+        positions that miss quorum fall back to the generic logic and
+        yield ``None`` on failure instead of raising.
+        """
+        if views is not None and len(views) == count:
+            cols = [(s, column) for s, column in columns.items()]
+            return self._reconstruct_columns(cols, views, verifier, strict=False)
+        return super().reconstruct_private_batch(
+            columns, count, verifier=verifier, views=views
+        )
+
+    def _reconstruct_columns(self, columns, views, pid, strict):
+        """Verify and recombine payload columns against the verifier's views.
+
+        ``strict`` controls failure handling: ``True`` propagates
+        :class:`ReconstructionError` (public openings must abort),
+        ``False`` substitutes ``None`` per failed position (private
+        step-4 reconstruction tolerates corrupted coordinates).
+        """
+        vec = self._use_vector(len(views), VECTOR_OPEN_MIN)
+        if vec is None:
+            return self._combine_columns(columns, views, pid, strict)
 
         import numpy as np
 
@@ -262,24 +356,30 @@ class IdealVSSSession(VSSSession):
                 serials.append(serial)
                 coeffs.append(coeff)
         if self._evals_np is None or self._evals_np.shape[0] != len(self._evals):
-            self._evals_np = np.asarray(self._evals, dtype=np.uint32)
+            self._evals_np = np.asarray(self._evals, dtype=vec.dtype)
         evals_arr = self._evals_np
         serial_idx = np.asarray(serials, dtype=np.int64)
-        coeff_arr = np.asarray(coeffs, dtype=np.uint32)
+        coeff_arr = np.asarray(coeffs, dtype=vec.dtype)
         # Segment boundaries per value (terms were appended in k order).
         ks_arr = np.asarray(ks, dtype=np.int64)
         boundaries = np.searchsorted(ks_arr, np.arange(len(views)))
+        counts = np.diff(np.append(boundaries, len(ks)))
 
         def expected_for_point(x_index: int) -> np.ndarray:
             if len(serial_idx) == 0:
-                return np.zeros(len(views), dtype=np.uint32)
+                return np.zeros(len(views), dtype=vec.dtype)
             prod = vec.mul(evals_arr[serial_idx, x_index], coeff_arr)
-            segments = np.bitwise_xor.reduceat(prod, boundaries)
-            # reduceat misbehaves for empty segments (views with no
-            # terms); patch those to zero.
-            out = np.zeros(len(views), dtype=np.uint32)
-            counts = np.diff(np.append(boundaries, len(prod)))
-            out[counts > 0] = segments[counts > 0]
+            # Per-view field sums of the term products; reduceat
+            # misbehaves for empty segments (views with no terms), so
+            # patch those to zero.
+            out = np.zeros(len(views), dtype=vec.dtype)
+            nonempty = counts > 0
+            if vec.dtype is np.uint32:
+                segments = np.bitwise_xor.reduceat(prod, boundaries)
+                out[nonempty] = segments[nonempty]
+            else:
+                segments = np.add.reduceat(prod, boundaries) % vec.field.order
+                out[nonempty] = segments[nonempty]
             return out
 
         expected_terms = [v.terms for v in views]
@@ -302,42 +402,52 @@ class IdealVSSSession(VSSSession):
                 ):
                     row.append((point, payload[2]))
 
-        results = []
-        for k in range(len(views)):
+        results: list[FieldElement | None] = [None] * num_views
+        # Group quorum positions by their accepted point set so each
+        # distinct set pays for one Lagrange computation and one
+        # batched recombination.
+        by_points: dict[tuple[int, ...], list[int]] = {}
+        for k in range(num_views):
             pts = accepted[k]
             if len(pts) < quorum:
                 # Rare/adversarial: defer to the generic logic.
+                try:
+                    results[k] = self.verify_and_combine(
+                        {sender: column[k] for sender, column in columns},
+                        verifier=pid,
+                    )
+                except ReconstructionError:
+                    if strict:
+                        raise
+                    results[k] = None
+                continue
+            by_points.setdefault(tuple(p[0] for p in pts), []).append(k)
+        for xs, group in by_points.items():
+            lag = vec.array(self._lagrange_at_zero(xs))
+            ys = np.asarray(
+                [[value for _, value in accepted[k]] for k in group],
+                dtype=vec.dtype,
+            )
+            opened = vec.interpolate_at_zero_batch(xs, ys, lagrange=lag)
+            for k, value in zip(group, opened.tolist()):
+                results[k] = FieldElement(field, int(value))
+        return results
+
+    def _combine_columns(self, columns, views, pid, strict=True):
+        """Scalar path shared with the base class's semantics."""
+        results = []
+        for k in range(len(views)):
+            try:
                 results.append(
                     self.verify_and_combine(
                         {sender: column[k] for sender, column in columns},
                         verifier=pid,
                     )
                 )
-                continue
-            xs = tuple(p[0] for p in pts)
-            lag = self._lagrange_cache.get(xs)
-            if lag is None:
-                from repro.fields import lagrange_coefficients
-
-                lag = [c.value for c in lagrange_coefficients(field, xs, 0)]
-                self._lagrange_cache[xs] = lag
-            add, mul = field.add, field.mul
-            acc = 0
-            for (_, value), c in zip(pts, lag):
-                acc = add(acc, mul(c, value))
-            results.append(FieldElement(field, acc))
-        return results
-
-    def _combine_columns(self, columns, views, pid):
-        """Scalar path shared with the base class's semantics."""
-        results = []
-        for k in range(len(views)):
-            results.append(
-                self.verify_and_combine(
-                    {sender: column[k] for sender, column in columns},
-                    verifier=pid,
-                )
-            )
+            except (ReconstructionError, IndexError):
+                if strict:
+                    raise
+                results.append(None)
         return results
 
     def reveal_payload(self, pid: int, view: ShareView) -> Any:
@@ -402,12 +512,7 @@ class IdealVSSSession(VSSSession):
             if len(pts) < quorum:
                 continue
             xs = tuple(p[0] for p in pts)
-            coeffs = self._lagrange_cache.get(xs)
-            if coeffs is None:
-                from repro.fields import lagrange_coefficients
-
-                coeffs = [c.value for c in lagrange_coefficients(field, xs, 0)]
-                self._lagrange_cache[xs] = coeffs
+            coeffs = self._lagrange_at_zero(xs)
             acc = 0
             for (_, value), c in zip(pts, coeffs):
                 acc = add(acc, mul(c, value))
@@ -418,12 +523,30 @@ class IdealVSSSession(VSSSession):
 
 
 class IdealVSS(VSSScheme):
-    """Ideal linear VSS with a pluggable round/broadcast cost profile."""
+    """Ideal linear VSS with a pluggable round/broadcast cost profile.
 
-    def __init__(self, field, n: int, t: int, cost: VSSCost | None = None):
+    ``backend`` picks the batch-kernel policy of new sessions (see
+    :meth:`IdealVSSSession.configure_backend`); per-session overrides
+    remain possible via that method.
+    """
+
+    def __init__(
+        self,
+        field,
+        n: int,
+        t: int,
+        cost: VSSCost | None = None,
+        backend: str = "auto",
+    ):
         if cost is None:
             cost = VSSCost(share_rounds=1, share_broadcast_rounds=0)
+        if backend not in VECTOR_BACKEND_MODES:
+            raise ValueError(
+                f"unknown backend {backend!r}, expected one of "
+                f"{VECTOR_BACKEND_MODES}"
+            )
         super().__init__(field, n, t, cost)
+        self.backend = backend
 
     def new_session(self, rng: random.Random) -> IdealVSSSession:
         return IdealVSSSession(self)

@@ -89,6 +89,36 @@ class TestHonestExecution:
         assert res.outputs[0].output is None
 
 
+class TestSharingBackends:
+    """The backend knob changes execution speed, never protocol behavior."""
+
+    def test_backends_produce_identical_executions(self):
+        results = {}
+        for backend in ("scalar", "vectorized"):
+            params = scaled_parameters(
+                n=4, d=6, num_checks=3, kappa=16, sharing_backend=backend
+            )
+            vss = IdealVSS(params.field, params.n, params.t)
+            res = run_anonchan(params, vss, _messages(params), seed=11)
+            results[backend] = (
+                res.outputs[0].output,
+                {pid: out.passed for pid, out in res.outputs.items()},
+                {pid: out.challenge for pid, out in res.outputs.items()},
+                res.metrics.rounds,
+            )
+        assert results["scalar"] == results["vectorized"]
+        assert results["scalar"][0] is not None
+
+    def test_explicit_vss_backend_not_clobbered_by_auto(self):
+        params = scaled_parameters(n=4, d=6, num_checks=3, kappa=16)
+        assert params.sharing_backend == "auto"
+        vss = IdealVSS(params.field, params.n, params.t, backend="scalar")
+        res = run_anonchan(params, vss, _messages(params), seed=12)
+        assert res.outputs[0].output == honest_input_multiset(
+            list(_messages(params).values())
+        )
+
+
 class TestAttacks:
     def test_jamming_is_caught(self, params, vss):
         """The classic DC-net jammer is disqualified; reliability holds."""

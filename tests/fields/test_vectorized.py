@@ -1,17 +1,30 @@
-"""Tests for numpy-vectorized GF(2^k) arithmetic."""
+"""Tests for numpy-vectorized field arithmetic (GF(2^k) and primes)."""
 
 import random
 
 import numpy as np
 import pytest
 
-from repro.fields import Polynomial, gf2k
-from repro.fields.vectorized import VectorGF2k
+from repro.fields import Polynomial, PrimeField, gf2k, lagrange_coefficients
+from repro.fields.vectorized import (
+    VectorGF2k,
+    VectorPrimeField,
+    vector_backend,
+)
 
 
 @pytest.fixture(scope="module")
 def vec():
     return VectorGF2k(gf2k(16))
+
+
+@pytest.fixture(
+    scope="module",
+    params=[gf2k(16), PrimeField(65521)],
+    ids=lambda f: f.short_name,
+)
+def backend(request):
+    return vector_backend(request.param)
 
 
 class TestConstruction:
@@ -100,6 +113,138 @@ class TestPolynomialEvaluation:
         for x, y in zip(a, b):
             expected ^= f.mul(x, y)
         assert vec.dot(vec.array(a), vec.array(b)) == expected
+
+
+class TestFactory:
+    def test_gf2k_backend(self):
+        assert isinstance(vector_backend(gf2k(16)), VectorGF2k)
+
+    def test_prime_backend(self):
+        assert isinstance(vector_backend(PrimeField(97)), VectorPrimeField)
+
+    def test_tableless_gf2k_rejected(self):
+        with pytest.raises(ValueError):
+            vector_backend(gf2k(32))
+
+    def test_huge_prime_rejected(self):
+        with pytest.raises(ValueError):
+            vector_backend(PrimeField(2**31 + 11))
+
+    def test_boundary_prime_accepted(self):
+        vec = vector_backend(PrimeField(2**31 - 1))
+        assert int(vec.mul(vec.array([2**31 - 2]), vec.array([2**31 - 2]))[0]) == (
+            (2**31 - 2) ** 2
+        ) % (2**31 - 1)
+
+
+class TestPrimeFieldAgreement:
+    """The uint64 prime substrate must agree with the scalar field."""
+
+    @pytest.fixture(scope="class")
+    def pvec(self):
+        return VectorPrimeField(PrimeField(65521))
+
+    def test_add_mul_neg(self, pvec):
+        f = pvec.field
+        rng = random.Random(14)
+        a = [rng.randrange(f.order) for _ in range(300)]
+        b = [rng.randrange(f.order) for _ in range(300)]
+        adds = pvec.add(pvec.array(a), pvec.array(b)).tolist()
+        muls = pvec.mul(pvec.array(a), pvec.array(b)).tolist()
+        negs = pvec.neg(pvec.array(a)).tolist()
+        for x, y, s, m, ng in zip(a, b, adds, muls, negs):
+            assert s == f.add(x, y)
+            assert m == f.mul(x, y)
+            assert ng == f.neg(x)
+
+    def test_inv(self, pvec):
+        f = pvec.field
+        a = [1, 2, 3, 65520, 12345]
+        for x, y in zip(a, pvec.inv(pvec.array(a)).tolist()):
+            assert f.mul(x, y) == 1
+
+    def test_inv_zero_raises(self, pvec):
+        with pytest.raises(ZeroDivisionError):
+            pvec.inv(pvec.array([1, 0]))
+
+    def test_reduce_sum(self, pvec):
+        rows = [[60000, 60000, 60000], [1, 2, 3]]
+        out = pvec.reduce_sum(pvec.array(rows), axis=1).tolist()
+        assert out == [(3 * 60000) % pvec.field.p, 6]
+
+
+class TestBatchKernels:
+    """Vandermonde eval + interpolation-at-zero across both substrates."""
+
+    def test_vandermonde_entries(self, backend):
+        f = backend.field
+        xs = [1, 2, 3, 5]
+        table = backend.vandermonde(xs, 3)
+        assert table.shape == (4, 4)
+        for i, x in enumerate(xs):
+            power = f.encode(1)
+            for j in range(4):
+                assert int(table[i, j]) == power
+                power = f.mul(power, x)
+
+    def test_vandermonde_negative_degree(self, backend):
+        with pytest.raises(ValueError):
+            backend.vandermonde([1, 2], -1)
+
+    def test_batch_eval_matches_polynomial(self, backend):
+        f = backend.field
+        rng = random.Random(15)
+        polys = [Polynomial.random(f, 3, rng) for _ in range(25)]
+        coeffs = backend.array(
+            [[p.coefficient(j).value for j in range(4)] for p in polys]
+        )
+        xs = [1, 2, 3, 4, 5]
+        out = backend.batch_eval(coeffs, xs)
+        assert out.shape == (25, 5)
+        for r, p in enumerate(polys):
+            for i, x in enumerate(xs):
+                assert int(out[r, i]) == p(x).value
+
+    def test_batch_eval_cached_vandermonde(self, backend):
+        coeffs = backend.array([[1, 2], [3, 4]])
+        xs = [1, 2, 3]
+        table = backend.vandermonde(xs, 1)
+        direct = backend.batch_eval(coeffs, xs)
+        cached = backend.batch_eval(coeffs, vandermonde=table)
+        assert direct.tolist() == cached.tolist()
+
+    def test_batch_eval_width_mismatch(self, backend):
+        table = backend.vandermonde([1, 2], 1)
+        with pytest.raises(ValueError):
+            backend.batch_eval(backend.array([[1, 2, 3]]), vandermonde=table)
+
+    def test_batch_eval_needs_points(self, backend):
+        with pytest.raises(ValueError):
+            backend.batch_eval(backend.array([[1]]))
+
+    def test_lagrange_at_zero_matches_scalar(self, backend):
+        f = backend.field
+        xs = [1, 2, 4, 7]
+        got = backend.lagrange_at_zero(xs).tolist()
+        assert got == [c.value for c in lagrange_coefficients(f, xs, 0)]
+
+    def test_interpolate_at_zero_batch(self, backend):
+        f = backend.field
+        rng = random.Random(16)
+        polys = [Polynomial.random(f, 2, rng) for _ in range(30)]
+        xs = [1, 2, 3]
+        ys = backend.array([[p(x).value for x in xs] for p in polys])
+        out = backend.interpolate_at_zero_batch(xs, ys)
+        for p, v in zip(polys, out.tolist()):
+            assert v == p(0).value
+
+    def test_interpolate_shape_mismatch(self, backend):
+        with pytest.raises(ValueError):
+            backend.interpolate_at_zero_batch([1, 2], backend.array([[1, 2, 3]]))
+
+    def test_interpolate_1d_rejected(self, backend):
+        with pytest.raises(ValueError):
+            backend.interpolate_at_zero_batch([1, 2], backend.array([1, 2]))
 
 
 class TestIdealVSSIntegration:

@@ -81,6 +81,94 @@ class TestShareReconstruct:
             assert scheme.reconstruct_all(row) == secret
 
 
+class TestShareOrderAndDuplicates:
+    """Regressions: shares arriving out of order or duplicated."""
+
+    def test_reconstruct_all_reordered_shares(self):
+        """Regression: a permuted share list must not change the secret.
+
+        Previously ``reconstruct_all`` zipped shares against the cached
+        coefficients positionally, so reversing the 5 shares of 42 over
+        GF(97) silently reconstructed 55.
+        """
+        f = PrimeField(97)
+        scheme = ShamirScheme(f, n=5, t=2)
+        shares = scheme.share(f(42), random.Random(0))
+        assert scheme.reconstruct_all(list(reversed(shares))) == f(42)
+
+    def test_reconstruct_all_any_permutation(self, scheme):
+        rng = random.Random(20)
+        secret = scheme.field(31337)
+        shares = scheme.share(secret, rng)
+        for _ in range(10):
+            rng.shuffle(shares)
+            assert scheme.reconstruct_all(shares) == secret
+
+    def test_reconstruct_all_unexpected_point(self, scheme):
+        rng = random.Random(21)
+        shares = scheme.share(scheme.field(1), rng)
+        f = scheme.field
+        bad = Share(f(scheme.n + 1), shares[0].y)
+        with pytest.raises(ValueError, match="unexpected"):
+            scheme.reconstruct_all(shares[:-1] + [bad])
+
+    def test_reconstruct_all_duplicate_point(self, scheme):
+        rng = random.Random(22)
+        shares = scheme.share(scheme.field(1), rng)
+        with pytest.raises(ValueError, match="duplicate"):
+            scheme.reconstruct_all(shares[:-1] + [shares[0]])
+
+    def test_reconstruct_benign_duplicates_collapse(self, scheme):
+        rng = random.Random(23)
+        secret = scheme.field(909)
+        shares = scheme.share(secret, rng)
+        doubled = shares[: scheme.t + 1] + shares[: scheme.t + 1]
+        assert scheme.reconstruct(doubled) == secret
+
+    def test_reconstruct_conflicting_duplicate_raises(self, scheme):
+        rng = random.Random(24)
+        shares = scheme.share(scheme.field(5), rng)
+        forged = Share(shares[0].x, shares[0].y + scheme.field(1))
+        with pytest.raises(ValueError, match="conflicting"):
+            scheme.reconstruct(shares + [forged])
+
+    def test_reconstruct_duplicates_do_not_count_toward_quorum(self, scheme):
+        rng = random.Random(25)
+        shares = scheme.share(scheme.field(5), rng)
+        # t+1 copies of one share are still a single distinct point.
+        with pytest.raises(ValueError, match="distinct"):
+            scheme.reconstruct([shares[0]] * (scheme.t + 1))
+
+    def test_consistent_conflicting_duplicate_raises(self, scheme):
+        rng = random.Random(26)
+        shares = scheme.share(scheme.field(5), rng)
+        forged = Share(shares[0].x, shares[0].y + scheme.field(1))
+        with pytest.raises(ValueError, match="conflicting"):
+            scheme.consistent(shares + [forged])
+
+    def test_consistent_benign_duplicates(self, scheme):
+        rng = random.Random(27)
+        shares = scheme.share(scheme.field(5), rng)
+        assert scheme.consistent(shares + shares)
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ShamirScheme(gf2k(16), n=5, t=2, backend="numpy")
+
+    def test_vectorized_requires_supported_field(self):
+        # gf2k(32) is tableless: no vectorized substrate.
+        with pytest.raises(ValueError):
+            ShamirScheme(gf2k(32), n=5, t=2, backend="vectorized")
+
+    def test_auto_falls_back_to_scalar(self):
+        scheme = ShamirScheme(gf2k(32), n=5, t=2, backend="auto")
+        rng = random.Random(28)
+        secret = scheme.field(1 << 20)
+        assert scheme.reconstruct_all(scheme.share(secret, rng)) == secret
+
+
 class TestPrivacy:
     def test_t_shares_are_uniform(self):
         """Any t shares of distinct secrets have identical distributions.

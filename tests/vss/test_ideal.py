@@ -125,6 +125,123 @@ class TestLinearity:
             _ = session.zero_view(0) + session.zero_view(1)
 
 
+class TestBackends:
+    """Backend selection: identical semantics, different execution."""
+
+    def test_invalid_scheme_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            IdealVSS(gf2k(16), n=5, t=2, backend="gpu")
+
+    def test_configure_backend_validates(self, scheme):
+        session = scheme.new_session(random.Random(0))
+        with pytest.raises(ValueError, match="backend"):
+            session.configure_backend("gpu")
+
+    def test_configure_vectorized_on_unsupported_field(self):
+        # gf2k(32) is tableless: no vectorized substrate.
+        session = IdealVSS(gf2k(32), n=5, t=2).new_session(random.Random(0))
+        with pytest.raises(ValueError):
+            session.configure_backend("vectorized")
+
+    def test_vectorized_scheme_on_unsupported_field(self):
+        scheme = IdealVSS(gf2k(32), n=5, t=2, backend="vectorized")
+        with pytest.raises(ValueError):
+            scheme.new_session(random.Random(0))
+
+    def test_auto_on_unsupported_field_falls_back(self):
+        f = gf2k(32)
+        scheme = IdealVSS(f, n=5, t=2)  # auto: silently scalar
+        result, _ = share_and_open(scheme, {0: [f(v) for v in range(40)]})
+        for out in result.outputs.values():
+            assert out[0] == [f(v) for v in range(40)]
+
+    @pytest.mark.parametrize("count", [1, 100])
+    def test_open_backends_agree(self, count):
+        f = gf2k(16)
+        secrets = {0: [f((v * 7 + 1) % f.order) for v in range(count)]}
+        outputs = {}
+        for backend in ("scalar", "vectorized"):
+            scheme = IdealVSS(f, n=5, t=2, backend=backend)
+            result, _ = share_and_open(scheme, secrets)
+            outputs[backend] = {
+                pid: out[0] for pid, out in result.outputs.items()
+            }
+        assert outputs["scalar"] == outputs["vectorized"]
+        assert outputs["scalar"][0] == secrets[0]
+
+
+class TestPrivateBatchReconstruction:
+    """The batch form of the paper's step-4 private reconstruction."""
+
+    def _share_batch(self, scheme, values, seed=1):
+        from repro.network import run_protocol
+
+        f = scheme.field
+        secrets = [f(v) for v in values]
+        session = scheme.new_session(random.Random(seed))
+
+        def party(pid, rng):
+            batch = yield from session.share_program(
+                pid, 0, secrets if pid == 0 else None, rng,
+                count=len(secrets),
+            )
+            return batch
+
+        result = run_protocol(
+            {pid: party(pid, random.Random(pid)) for pid in range(scheme.n)}
+        )
+        columns = {
+            pid: [session.reveal_payload(pid, v) for v in batch.views]
+            for pid, batch in result.outputs.items()
+        }
+        receiver_views = list(result.outputs[0].views)
+        return session, columns, receiver_views, secrets
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_honest_columns_reconstruct(self, backend):
+        scheme = IdealVSS(gf2k(16), n=5, t=2, backend=backend)
+        session, columns, views, secrets = self._share_batch(
+            scheme, range(70)
+        )
+        opened = session.reconstruct_private_batch(
+            columns, count=len(secrets), verifier=0, views=views
+        )
+        assert opened == secrets
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_corrupted_position_yields_none(self, backend):
+        scheme = IdealVSS(gf2k(16), n=5, t=2, backend=backend)
+        session, columns, views, secrets = self._share_batch(
+            scheme, range(70)
+        )
+        # A minority of forged payloads at position 3 is corrected...
+        for pid in (1, 2):
+            sender, terms, value = columns[pid][3]
+            columns[pid][3] = (sender, terms, value ^ 1)
+        opened = session.reconstruct_private_batch(
+            columns, count=len(secrets), verifier=0, views=views
+        )
+        assert opened == secrets
+        # ...but losing the quorum (3 of 5 forged) only kills position 3.
+        sender, terms, value = columns[3][3]
+        columns[3][3] = (sender, terms, value ^ 1)
+        opened = session.reconstruct_private_batch(
+            columns, count=len(secrets), verifier=0, views=views
+        )
+        assert opened[3] is None
+        assert opened[:3] + opened[4:] == secrets[:3] + secrets[4:]
+
+    def test_generic_path_without_views(self):
+        scheme = IdealVSS(gf2k(16), n=5, t=2)
+        session, columns, _views, secrets = self._share_batch(
+            scheme, range(10)
+        )
+        opened = session.reconstruct_private_batch(
+            columns, count=len(secrets), verifier=0
+        )
+        assert opened == secrets
+
+
 class TestVerification:
     """The functionality enforces what real VSS guarantees w.h.p."""
 
