@@ -79,6 +79,9 @@ def report(
     }
     if extra:
         payload["extra"] = extra
+    profile = _active_profile_summary()
+    if profile is not None:
+        payload.setdefault("extra", {})["profile"] = profile
     json_path = os.path.join(RESULTS_DIR, f"BENCH_{experiment}.json")
     paths = [json_path]
     if experiment.startswith(ROOT_BENCH_PREFIXES):
@@ -88,6 +91,24 @@ def report(
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
     return body
+
+
+def _active_profile_summary() -> dict | None:
+    """Op-counter summary of the active profiler, if one is enabled.
+
+    Benchmarks that run under :func:`repro.obs.profiled` get their
+    compute-op totals embedded in the JSON artifact's ``extra.profile``
+    automatically; unprofiled runs (the default) embed nothing.
+    """
+    try:
+        from repro.obs.profiler import get_profiler
+    except ImportError:  # repro not importable: plain table reporting
+        return None
+    profiler = get_profiler()
+    if not profiler.enabled:
+        return None
+    summary = profiler.summary()
+    return summary if summary["total_ops"] else None
 
 
 def _jsonable(cell):

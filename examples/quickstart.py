@@ -5,11 +5,14 @@ Five parties each send one message to a designated receiver P*; the
 receiver learns the *multiset* of messages but nothing about who sent
 what — even though one party actively tries to jam the channel.
 
-Run:  python examples/quickstart.py [--trace trace.jsonl]
+Run:  python examples/quickstart.py [--trace trace.jsonl] [--profile out.folded]
 
 With ``--trace`` the run is instrumented by :mod:`repro.obs`: the
 span/round event stream is exported as JSONL and the per-phase report
 is printed (CI validates that artifact against the trace schema).
+With ``--profile`` the compute-layer op profiler rides along and the
+collapsed-stack flamegraph (``component;op;phase count`` lines) is
+written to the given path — feed it to any standard flamegraph tool.
 """
 
 import argparse
@@ -28,13 +31,24 @@ def main(argv: Sequence[str] = ()) -> None:
         "--trace", metavar="PATH", default=None,
         help="instrument the run and export the event stream as JSONL",
     )
+    parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="profile compute ops and write collapsed-stack flamegraph lines",
+    )
     args = parser.parse_args(list(argv))
 
     tracer = None
-    if args.trace is not None:
+    if args.trace is not None or args.profile is not None:
+        # The profiler needs a tracer for phase attribution, so
+        # --profile implies an (unexported) trace.
         from repro.obs import Tracer
 
         tracer = Tracer()
+    profiler = None
+    if args.profile is not None:
+        from repro.obs import OpProfiler
+
+        profiler = OpProfiler(tracer)
 
     # 1. Pick parameters: n parties, t < n/2 corruptions, laptop-scale
     #    dart-vector sizes (see repro.core.params for the paper-exact ones).
@@ -64,7 +78,8 @@ def main(argv: Sequence[str] = ()) -> None:
     attack = {4: jamming_material(params, rng)}
 
     result = run_anonchan(params, vss, messages, receiver=0, seed=42,
-                          corrupt_materials=attack, tracer=tracer)
+                          corrupt_materials=attack, tracer=tracer,
+                          profiler=profiler)
 
     receiver_output = result.outputs[0]
     print(f"\nrounds used:            {result.metrics.rounds} "
@@ -80,12 +95,22 @@ def main(argv: Sequence[str] = ()) -> None:
     jammed = 4 not in receiver_output.passed
     print(f"\njammer caught by cut-and-choose: {jammed}")
 
-    if tracer is not None:
+    if args.trace is not None:
         from repro.obs import RunReport, write_jsonl
 
         count = write_jsonl(tracer.events, args.trace)
         print(f"\ntrace: {count} events -> {args.trace}")
         print(RunReport.from_events(tracer.events).render_text())
+
+    if profiler is not None:
+        from repro.obs import write_flamegraph
+
+        count = write_flamegraph(profiler.records(), args.profile)
+        total = profiler.total()
+        attributed = profiler.attributed_fraction()
+        print(f"\nprofile: {total} compute ops "
+              f"({attributed:.1%} attributed to a phase), "
+              f"{count} flamegraph lines -> {args.profile}")
 
 
 if __name__ == "__main__":

@@ -14,8 +14,19 @@ params
 trace-run
     Run one instrumented execution (see :mod:`repro.obs`), print the
     run report, and optionally export the JSONL event stream.
+profile-run
+    Like trace-run, but with the compute-layer op profiler attached
+    (see :mod:`repro.obs.profiler`): the exported trace carries schema-v2
+    ``prof`` events and ``--flamegraph`` writes collapsed-stack lines.
 report
     Validate and render a previously exported JSONL trace.
+flamegraph
+    Convert an exported trace's ``prof`` events to collapsed-stack
+    lines for standard flamegraph renderers.
+bench-check
+    Compare current ``BENCH_*.json`` payloads against committed
+    baselines and exit non-zero on perf regressions
+    (see :mod:`repro.obs.bench`).
 lint
     Run the protocol-aware static analyzer (see :mod:`repro.lint`).
 """
@@ -117,6 +128,57 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
     return 0 if report.matches_prediction else 1
 
 
+def _cmd_profile_run(args: argparse.Namespace) -> int:
+    from repro.core import run_anonchan, scaled_parameters
+    from repro.core.adversaries import jamming_material
+    from repro.obs import (
+        OpProfiler,
+        RunReport,
+        Tracer,
+        write_flamegraph,
+        write_jsonl,
+    )
+    from repro.vss import PROFILES, IdealVSS
+
+    import random
+
+    params = scaled_parameters(n=args.n)
+    profile = PROFILES[args.vss]
+    vss = IdealVSS(params.field, params.n, params.t, cost=profile.cost)
+    messages = {i: params.field(100 + i) for i in range(args.n)}
+    corrupt = None
+    if args.jam:
+        corrupt = {
+            args.n - 1: jamming_material(params, random.Random(args.seed))
+        }
+    tracer = Tracer()
+    profiler = OpProfiler(tracer)
+    run_anonchan(
+        params,
+        vss,
+        messages,
+        seed=args.seed,
+        corrupt_materials=corrupt,
+        tracer=tracer,
+        profiler=profiler,
+    )
+    report = RunReport.from_events(tracer.events)
+    if args.out:
+        count = write_jsonl(tracer.events, args.out)
+        print(f"wrote {count} events to {args.out}", file=sys.stderr)
+    if args.flamegraph:
+        count = write_flamegraph(profiler.records(), args.flamegraph)
+        print(
+            f"wrote {count} collapsed-stack lines to {args.flamegraph}",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.matches_prediction else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import RunReport, read_jsonl, validate_file
 
@@ -136,6 +198,98 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         print(report.render_text())
     return 0 if report.matches_prediction else 1
+
+
+def _cmd_flamegraph(args: argparse.Namespace) -> int:
+    from repro.obs import flamegraph_lines, read_jsonl, records_from_events
+
+    try:
+        events = read_jsonl(args.trace)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"{args.trace}: {exc}", file=sys.stderr)
+        return 2
+    records = records_from_events(events)
+    if not records:
+        print(
+            f"{args.trace}: no prof events (profile with "
+            "`python -m repro profile-run --out ...`)",
+            file=sys.stderr,
+        )
+        return 1
+    lines = flamegraph_lines(records)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        print(f"wrote {len(lines)} collapsed-stack lines to {args.out}",
+              file=sys.stderr)
+    else:
+        try:
+            print("\n".join(lines))
+        except BrokenPipeError:  # downstream `| head` closed the pipe
+            return 0
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    import glob
+    from pathlib import Path
+
+    from repro.obs.bench import compare_payloads, load_bench
+
+    files = args.files or sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        print("bench-check: no BENCH_*.json files found", file=sys.stderr)
+        return 2
+    baseline_root = Path(args.baseline)
+    failed = structural = compared = 0
+    for current_path in files:
+        name = Path(current_path).name
+        baseline_path = (
+            baseline_root / name if baseline_root.is_dir() else baseline_root
+        )
+        if not baseline_path.exists():
+            print(f"{name}: no baseline at {baseline_path}, skipping",
+                  file=sys.stderr)
+            continue
+        try:
+            comparison = compare_payloads(
+                load_bench(baseline_path),
+                load_bench(current_path),
+                threshold=args.threshold,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"{name}: {exc}", file=sys.stderr)
+            structural += 1
+            continue
+        compared += 1
+        print(comparison.render_table())
+        regressions = comparison.regressions
+        if regressions:
+            failed += 1
+            for delta in regressions:
+                print(
+                    f"  REGRESSION {comparison.experiment}/{delta.metric}: "
+                    f"{delta.baseline:g} -> {delta.current:g} "
+                    f"({delta.rel_delta:+.1%}, threshold "
+                    f"±{args.threshold:.0%})"
+                )
+        print()
+    if structural:
+        return 2
+    if compared == 0:
+        print("bench-check: nothing compared (no baselines found)",
+              file=sys.stderr)
+        return 0
+    if failed:
+        verdict = f"bench-check: {failed}/{compared} experiment(s) regressed"
+        if args.warn_only:
+            print(verdict + " (warn-only mode, not failing)", file=sys.stderr)
+            return 0
+        print(verdict, file=sys.stderr)
+        return 1
+    print(f"bench-check: {compared} experiment(s) within thresholds",
+          file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -196,6 +350,24 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_trace_run)
 
     p = sub.add_parser(
+        "profile-run",
+        help="trace-run with the compute-layer op profiler attached",
+    )
+    p.add_argument("-n", type=int, default=5, help="number of parties")
+    p.add_argument("--vss", default="GGOR13",
+                   choices=["RB89", "Rab94", "GGOR13", "BGW-impl", "RB89-impl"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jam", action="store_true",
+                   help="corrupt one party as a jammer")
+    p.add_argument("--out", metavar="PATH",
+                   help="export the schema-v2 event stream as JSONL")
+    p.add_argument("--flamegraph", metavar="PATH",
+                   help="write collapsed-stack lines (component;op;phase)")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON instead of text")
+    p.set_defaults(fn=_cmd_profile_run)
+
+    p = sub.add_parser(
         "report",
         help="validate and render an exported JSONL trace",
     )
@@ -205,6 +377,29 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON instead of text")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "flamegraph",
+        help="convert a trace's prof events to collapsed-stack lines",
+    )
+    p.add_argument("trace", help="JSONL trace file (from profile-run --out)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write lines here instead of stdout")
+    p.set_defaults(fn=_cmd_flamegraph)
+
+    p = sub.add_parser(
+        "bench-check",
+        help="compare BENCH_*.json against baselines; non-zero on regression",
+    )
+    p.add_argument("files", nargs="*",
+                   help="current BENCH_*.json files (default: ./BENCH_*.json)")
+    p.add_argument("--baseline", default=".bench-baseline", metavar="DIR",
+                   help="baseline dir (or single file) to compare against")
+    p.add_argument("--threshold", type=float, default=0.20,
+                   help="relative regression threshold (default 0.20)")
+    p.add_argument("--warn-only", action="store_true",
+                   help="report regressions but exit 0")
+    p.set_defaults(fn=_cmd_bench_check)
 
     sub.add_parser(
         "lint",

@@ -42,7 +42,7 @@ from repro.network import (
     parallel,
     run_protocol,
 )
-from repro.obs import NULL_TRACER, Tracer
+from repro.obs import NULL_TRACER, OpProfiler, Tracer, profiled
 from repro.vss import (
     DEALER_DISQUALIFIED,
     VSSScheme,
@@ -352,6 +352,7 @@ def run_anonchan(
     receiver_perms: Sequence[Permutation] | None = None,
     count_elements: bool = True,
     tracer: Tracer | None = None,
+    profiler: "OpProfiler | None" = None,
 ) -> ExecutionResult:
     """Convenience runner for one AnonChan execution.
 
@@ -363,7 +364,10 @@ def run_anonchan(
     emits ``run_start`` (with the statically predicted schedule) and
     ``run_end`` events, attaches the tracer's spans to the
     lowest-numbered *honest* party, and passes it to the simulator for
-    per-round accounting.
+    per-round accounting.  ``profiler`` counts compute ops for the
+    execution (installed globally and on the protocol field for the
+    run's duration); its records are folded into the trace as ``prof``
+    events right before ``run_end``.
     """
     protocol = AnonChan(params, vss, receiver=receiver)
     session = vss.new_session(random.Random(seed ^ 0x5EED))
@@ -438,12 +442,27 @@ def run_anonchan(
         for pid in range(params.n)
     }
 
-    result = run_protocol(
-        programs,
-        adversary=adversary,
-        count_elements=count_elements,
-        tracer=tracer,
-    )
+    if profiler is not None:
+        if profiler.tracer is None:
+            # Phase attribution needs the run's tracer; wire it up when
+            # the caller did not do so explicitly.
+            profiler.tracer = tracer
+        with profiled(profiler, params.field):
+            result = run_protocol(
+                programs,
+                adversary=adversary,
+                count_elements=count_elements,
+                tracer=tracer,
+            )
+        if tracer is not None:
+            tracer.record_profile(profiler.records())
+    else:
+        result = run_protocol(
+            programs,
+            adversary=adversary,
+            count_elements=count_elements,
+            tracer=tracer,
+        )
     if tracer is not None:
         tracer.run_end(
             rounds=result.metrics.rounds,

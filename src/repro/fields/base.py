@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.profiler import NullProfiler, OpProfiler
 
 #: Valid batch-backend selection modes used across the sharing stack:
 #: ``"auto"`` picks the numpy kernels when the field supports them,
@@ -134,6 +137,10 @@ class Field(ABC):
     #: Short display name used in ``repr`` of elements.
     short_name: str
 
+    #: Scalar encoding ops wrapped by :meth:`instrument`.  Subclasses
+    #: narrow or extend this to match their genuinely-scalar hot ops.
+    _PROFILE_OPS: tuple[str, ...] = ("add", "sub", "neg", "mul", "inv", "pow")
+
     # -- raw arithmetic on encodings ----------------------------------
     @abstractmethod
     def add(self, a: int, b: int) -> int:
@@ -214,6 +221,48 @@ class Field(ABC):
         for item in items:
             acc = self.add(acc, item.value)
         return FieldElement(self, acc)
+
+    # -- profiling -----------------------------------------------------
+    def instrument(
+        self,
+        profiler: "OpProfiler | NullProfiler",
+        component: str = "fields",
+    ) -> Callable[[], None]:
+        """Count every scalar op of this field instance on ``profiler``.
+
+        Installs *instance-attribute* wrappers around the methods named
+        in :attr:`_PROFILE_OPS` — each call records one
+        ``component/op`` increment before delegating to the original
+        bound method.  Because the wrappers live in the instance dict,
+        an uninstrumented field (the default, including the
+        module-cached instances of :func:`repro.fields.gf2k.gf2k`) pays
+        literally nothing: the class methods run untouched.
+
+        Returns an undo callable that removes the wrappers; always call
+        it (or use :func:`repro.obs.profiler.profiled`, which does so in
+        a ``finally``) so cached fields never stay instrumented.
+        """
+        installed: list[str] = []
+
+        def _wrap(op: str, orig: Callable) -> Callable:
+            def wrapper(*args: int) -> int:
+                profiler.count(component, op)
+                return orig(*args)
+
+            return wrapper
+
+        for op in type(self)._PROFILE_OPS:
+            if op in self.__dict__:  # already instrumented: refuse to stack
+                continue
+            orig = getattr(self, op)
+            setattr(self, op, _wrap(op, orig))
+            installed.append(op)
+
+        def undo() -> None:
+            for op in installed:
+                self.__dict__.pop(op, None)
+
+        return undo
 
     # -- identity ------------------------------------------------------
     def __eq__(self, other: object) -> bool:

@@ -47,6 +47,11 @@ class GF2k(Field):
     #: Largest k for which full log/exp tables are built (2^k entries).
     TABLE_MAX_K = 16
 
+    #: Ops counted by :meth:`Field.instrument`.  ``neg`` is excluded:
+    #: characteristic 2 makes it the identity, so counting it would
+    #: inflate the op profile with free operations.
+    _PROFILE_OPS = ("add", "sub", "mul", "inv", "pow")
+
     def __init__(self, k: int, modulus: int | None = None) -> None:
         if k < 1:
             raise ValueError(f"extension degree must be >= 1, got {k}")

@@ -66,6 +66,9 @@ def next_prime(n: int) -> int:
 class PrimeField(Field):
     """The finite field GF(p) for prime ``p``, encoded as ints ``[0, p)``."""
 
+    #: Ops counted by :meth:`Field.instrument` (all scalar ops cost here).
+    _PROFILE_OPS = ("add", "sub", "neg", "mul", "inv", "pow")
+
     def __init__(self, p: int) -> None:
         if not is_prime(p):
             raise ValueError(f"{p} is not prime")

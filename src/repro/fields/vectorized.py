@@ -30,6 +30,8 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.profiler import get_profiler
+
 from .base import Field
 from .gf2k import GF2k
 from .primefield import PrimeField
@@ -101,6 +103,14 @@ class VectorBackend:
         coeffs = np.asarray(coeffs, dtype=self.dtype)
         if coeffs.ndim != 2:
             raise ValueError("coeffs must be 2-D (one row per polynomial)")
+        prof = get_profiler()
+        if prof.enabled:
+            # numpy kernels never route through field.mul, so the field
+            # ops they replace are accounted analytically (one
+            # mul + add per coefficient per polynomial for Horner).
+            prof.observe("vec", "horner_eval", coeffs.shape[0])
+            prof.count("fields", "mul", coeffs.shape[0] * coeffs.shape[1])
+            prof.count("fields", "add", coeffs.shape[0] * coeffs.shape[1])
         acc = np.zeros(coeffs.shape[0], dtype=self.dtype)
         for j in range(coeffs.shape[1] - 1, -1, -1):
             acc = self.add(self.scale(acc, x), coeffs[:, j])
@@ -166,6 +176,12 @@ class VectorBackend:
                 f"vandermonde width {vandermonde.shape[1]} does not match "
                 f"{coeffs.shape[1]} coefficients"
             )
+        prof = get_profiler()
+        if prof.enabled:
+            work = coeffs.shape[0] * coeffs.shape[1] * vandermonde.shape[0]
+            prof.observe("vec", "batch_eval", coeffs.shape[0])
+            prof.count("fields", "mul", work)
+            prof.count("fields", "add", work)
         out = np.zeros((coeffs.shape[0], vandermonde.shape[0]), dtype=self.dtype)
         for j in range(coeffs.shape[1]):
             out = self.add(
@@ -212,10 +228,22 @@ class VectorBackend:
                 f"rows of {ys.shape[1]} shares do not match "
                 f"{lagrange.shape[0]} evaluation points"
             )
+        prof = get_profiler()
+        if prof.enabled:
+            m, npoints = ys.shape
+            prof.observe("vec", "interpolate_at_zero_batch", m)
+            prof.count("fields", "mul", m * npoints)
+            prof.count("fields", "add", m * max(0, npoints - 1))
         return self.reduce_sum(self.mul(ys, lagrange[None, :]), axis=1)
 
     def dot(self, coeffs: np.ndarray, values: np.ndarray) -> int:
         """Field dot product of two 1-D arrays (Lagrange recombination)."""
+        prof = get_profiler()
+        if prof.enabled:
+            size = int(np.asarray(coeffs).shape[0])
+            prof.count("vec", "dot")
+            prof.count("fields", "mul", size)
+            prof.count("fields", "add", max(0, size - 1))
         prod = self.mul(
             np.asarray(coeffs, dtype=self.dtype),
             np.asarray(values, dtype=self.dtype),

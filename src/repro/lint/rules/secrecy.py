@@ -53,13 +53,19 @@ _TRACE_METHODS = {"record", "record_round", "record_event", "trace"}
 
 #: The repro.obs event-emission API: everything here writes attributes
 #: into trace events, which are exported as JSONL artifacts — a leak
-#: through them is as observable as a print.
+#: through them is as observable as a print.  The op-profiler
+#: (``repro.obs.profiler``) labels/records surface the same way —
+#: ``count``/``observe`` arguments land in ``prof`` events and
+#: flamegraph lines — so its API is a sink too.
 _OBS_EMIT_METHODS = {
     "span",
     "annotate",
     "emit",
     "run_start",
     "run_end",
+    "count",
+    "observe",
+    "record_profile",
 }
 
 _TOKEN_SPLIT = re.compile(r"[_\d]+")

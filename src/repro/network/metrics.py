@@ -43,7 +43,18 @@ class ProtocolMetrics:
         private_messages: int,
         elements: int,
     ) -> None:
-        """Account one completed round."""
+        """Account one completed round.
+
+        All three counts are occurrences of real events, so negative
+        values can only come from a bookkeeping bug upstream — reject
+        them loudly instead of silently corrupting the totals.
+        """
+        if broadcasters < 0 or private_messages < 0 or elements < 0:
+            raise ValueError(
+                "round counts must be non-negative, got "
+                f"broadcasters={broadcasters}, "
+                f"private_messages={private_messages}, elements={elements}"
+            )
         self.rounds += 1
         if broadcasters:
             self.broadcast_rounds += 1

@@ -12,6 +12,11 @@ machine-readable artifact:
 - :class:`RunReport` — observed schedule vs the static
   :func:`repro.core.trace.round_schedule` prediction, with divergence
   flagging.
+- :mod:`repro.obs.profiler` — deterministic op counters for the compute
+  layers (:class:`OpProfiler` / :data:`NULL_PROFILER`), with phase
+  attribution via the active tracer and flamegraph export.
+- :mod:`repro.obs.bench` — baseline/regression comparison over the
+  canonical ``BENCH_*.json`` artifacts.
 
 Event payloads carry only sizes, counts, ids, and timings — never
 shares, pads, permutations, or messages.  The policy is enforced at
@@ -19,9 +24,17 @@ runtime by :func:`repro.obs.events.ensure_public_attrs` and statically
 by lint rule RL004 (``docs/OBSERVABILITY.md`` documents both).
 """
 
+from .bench import (
+    BenchComparison,
+    MetricDelta,
+    compare_files,
+    compare_payloads,
+    load_bench,
+)
 from .events import (
     EVENT_KINDS,
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     SecrecyViolation,
     TraceEvent,
     ensure_public_attrs,
@@ -35,6 +48,17 @@ from .export import (
     write_jsonl,
 )
 from .metrics import PartyMetrics, PhaseMetrics, RunMetrics
+from .profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    OpProfiler,
+    flamegraph_lines,
+    get_profiler,
+    profiled,
+    records_from_events,
+    set_profiler,
+    write_flamegraph,
+)
 from .report import ObservedRound, RunReport
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -42,6 +66,7 @@ __all__ = [
     "TraceEvent",
     "EVENT_KINDS",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "SecrecyViolation",
     "ensure_public_attrs",
     "Tracer",
@@ -58,4 +83,18 @@ __all__ = [
     "validate_file",
     "canonical_lines",
     "without_timings",
+    "OpProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "get_profiler",
+    "set_profiler",
+    "profiled",
+    "flamegraph_lines",
+    "write_flamegraph",
+    "records_from_events",
+    "MetricDelta",
+    "BenchComparison",
+    "load_bench",
+    "compare_payloads",
+    "compare_files",
 ]

@@ -1,0 +1,251 @@
+"""Baseline/regression engine over the canonical ``BENCH_*.json`` format.
+
+Every benchmark writes its result table through
+:func:`benchmarks._common.report` as ``{version, experiment, title,
+headers, rows, notes, extra?}``.  This module turns those artifacts into
+a perf-regression gate: load a *current* payload and a *committed
+baseline*, extract the numeric metrics, compute per-metric relative
+deltas with direction-aware semantics, render a trend table, and report
+whether anything regressed beyond a configurable threshold.
+
+Metric model
+------------
+A metric is one numeric cell, identified as ``"{row[0]}/{header}"`` —
+the first column labels the row (a parameter point such as ``n`` or a
+case name), the header labels the quantity.  Only ``int``/``float``
+cells count (``bool`` and formatted strings like ``"1,296"`` are
+informational).  Direction comes from the header, by whole-token match:
+
+- tokens ``ms``, ``ns``, ``us``, ``s``, ``time``, ``wall``, ``seconds``
+  → lower is better;
+- tokens ``speedup``, ``throughput``, ``ops`` → higher is better;
+- anything else → informational: tracked and shown, never a regression
+  (parameter columns like ``n`` or ``kappa`` land here).
+
+``python -m repro bench-check`` is the CLI front end; CI runs it
+warn-only against the committed baselines after refreshing benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Relative slowdown tolerated before a metric counts as regressed.
+DEFAULT_THRESHOLD = 0.20
+
+_LOWER_BETTER_TOKENS = frozenset(
+    {"ms", "ns", "us", "s", "sec", "secs", "seconds", "time", "wall"}
+)
+_HIGHER_BETTER_TOKENS = frozenset(
+    {"speedup", "throughput", "ops", "rate"}
+)
+
+_TOKEN_SEPARATORS = str.maketrans({c: " " for c in "()[]{}/,:×x·"})
+
+
+def metric_direction(header: str) -> str | None:
+    """``"lower"``, ``"higher"``, or ``None`` (informational).
+
+    Matching is by whole token so ``"ms"`` does not fire inside
+    ``"items"`` — ``"share ms (scalar)"`` → lower-better, ``"speedup"``
+    → higher-better, ``"n"`` → informational.
+    """
+    tokens = {
+        tok for tok in header.lower().translate(_TOKEN_SEPARATORS).split()
+    }
+    if tokens & _LOWER_BETTER_TOKENS:
+        return "lower"
+    if tokens & _HIGHER_BETTER_TOKENS:
+        return "higher"
+    return None
+
+
+def iter_metrics(payload: Mapping[str, Any]) -> dict[str, float]:
+    """The numeric metrics of one BENCH payload, keyed ``row0/header``.
+
+    Non-numeric cells (formatted strings, bools) are skipped; duplicate
+    row labels keep the first occurrence (stable against accidental
+    collisions).
+    """
+    headers = payload.get("headers", [])
+    metrics: dict[str, float] = {}
+    for row in payload.get("rows", []):
+        if not row:
+            continue
+        row_label = str(row[0])
+        for header, cell in zip(headers[1:], row[1:]):
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                continue
+            key = f"{row_label}/{header}"
+            if key not in metrics:
+                metrics[key] = float(cell)
+    return metrics
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Baseline-vs-current comparison of one metric."""
+
+    metric: str
+    baseline: float
+    current: float
+    direction: str | None  # "lower" | "higher" | None (informational)
+
+    @property
+    def rel_delta(self) -> float:
+        """(current - baseline) / |baseline|; ±inf when baseline is 0."""
+        if self.baseline == 0:
+            if self.current == 0:
+                return 0.0
+            return float("inf") if self.current > 0 else float("-inf")
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    def regressed(self, threshold: float = DEFAULT_THRESHOLD) -> bool:
+        """True when the metric moved the *bad* way past the threshold."""
+        if self.direction == "lower":
+            return self.rel_delta > threshold
+        if self.direction == "higher":
+            return self.rel_delta < -threshold
+        return False
+
+    def improved(self, threshold: float = DEFAULT_THRESHOLD) -> bool:
+        """True when the metric moved the *good* way past the threshold."""
+        if self.direction == "lower":
+            return self.rel_delta < -threshold
+        if self.direction == "higher":
+            return self.rel_delta > threshold
+        return False
+
+
+@dataclass
+class BenchComparison:
+    """All metric deltas of one experiment, plus schema drift."""
+
+    experiment: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+    missing: list[str] = field(default_factory=list)  # in baseline only
+    added: list[str] = field(default_factory=list)  # in current only
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed(self.threshold)]
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.improved(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render_table(self) -> str:
+        """Human-readable trend/delta table for one experiment."""
+        lines = [
+            f"{self.experiment}: {len(self.deltas)} metrics vs baseline "
+            f"(threshold ±{self.threshold:.0%})"
+        ]
+        headers = ["metric", "baseline", "current", "delta", "verdict"]
+        rows = []
+        for d in sorted(self.deltas, key=lambda d: d.metric):
+            if d.regressed(self.threshold):
+                verdict = "REGRESSED"
+            elif d.improved(self.threshold):
+                verdict = "improved"
+            elif d.direction is None:
+                verdict = "info"
+            else:
+                verdict = "ok"
+            rows.append(
+                [
+                    d.metric,
+                    f"{d.baseline:g}",
+                    f"{d.current:g}",
+                    f"{d.rel_delta:+.1%}" if abs(d.rel_delta) != float("inf")
+                    else "new-from-zero",
+                    verdict,
+                ]
+            )
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for key in self.missing:
+            lines.append(f"  missing from current run: {key}")
+        for key in self.added:
+            lines.append(f"  new metric (no baseline): {key}")
+        return "\n".join(lines)
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """Load and shape-check one ``BENCH_*.json`` payload."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: BENCH payload is not a JSON object")
+    for key in ("experiment", "headers", "rows"):
+        if key not in payload:
+            raise ValueError(f"{path}: BENCH payload missing {key!r}")
+    return payload
+
+
+def compare_payloads(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """Compare two payloads of the *same* experiment.
+
+    Raises :class:`ValueError` on an experiment-name mismatch (comparing
+    unrelated benchmarks is always a bug, never a regression).
+    """
+    base_exp = baseline.get("experiment")
+    cur_exp = current.get("experiment")
+    if base_exp != cur_exp:
+        raise ValueError(
+            f"experiment mismatch: baseline {base_exp!r} vs current {cur_exp!r}"
+        )
+    base_metrics = iter_metrics(baseline)
+    cur_metrics = iter_metrics(current)
+    directions = {
+        f"{row[0]}/{header}": metric_direction(header)
+        for row in current.get("rows", [])
+        if row
+        for header in current.get("headers", [])[1:]
+    }
+    deltas = [
+        MetricDelta(
+            metric=key,
+            baseline=base_metrics[key],
+            current=cur_metrics[key],
+            direction=directions.get(key, metric_direction(key.rsplit("/", 1)[-1])),
+        )
+        for key in sorted(base_metrics)
+        if key in cur_metrics
+    ]
+    return BenchComparison(
+        experiment=str(cur_exp),
+        deltas=deltas,
+        threshold=threshold,
+        missing=sorted(set(base_metrics) - set(cur_metrics)),
+        added=sorted(set(cur_metrics) - set(base_metrics)),
+    )
+
+
+def compare_files(
+    baseline_path: str | Path,
+    current_path: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """:func:`compare_payloads` over two files on disk."""
+    return compare_payloads(
+        load_bench(baseline_path), load_bench(current_path), threshold
+    )

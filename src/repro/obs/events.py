@@ -17,11 +17,16 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 #: Trace format version, embedded in every ``run_start`` event.
-SCHEMA_VERSION = 1
+#: v2 adds ``prof`` events (op-profiler counter records, see
+#: :mod:`repro.obs.profiler`); v1 traces remain readable and valid.
+SCHEMA_VERSION = 2
+
+#: Versions :func:`repro.obs.export.validate_events` accepts on read.
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
 
 #: The closed set of event kinds a tracer emits.
 EVENT_KINDS = frozenset(
-    {"run_start", "span_start", "span_end", "round", "note", "run_end"}
+    {"run_start", "span_start", "span_end", "round", "note", "prof", "run_end"}
 )
 
 _PUBLIC_SCALARS = (bool, int, float, str, type(None))

@@ -14,7 +14,7 @@ import json
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
-from .events import EVENT_KINDS, TraceEvent
+from .events import EVENT_KINDS, SUPPORTED_SCHEMA_VERSIONS, TraceEvent
 
 #: Keys every event dict must carry, with their accepted types.
 _REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
@@ -33,6 +33,13 @@ _ROUND_ATTRS: dict[str, tuple[type, ...]] = {
     "broadcasters": (list,),
     "messages": (int,),
     "elements": (int,),
+}
+
+#: Attrs every ``prof`` event (schema v2 op-counter record) must carry.
+_PROF_ATTRS: dict[str, tuple[type, ...]] = {
+    "component": (str,),
+    "op": (str,),
+    "count": (int,),
 }
 
 
@@ -91,6 +98,10 @@ def validate_events(events: Sequence[TraceEvent]) -> list[str]:
     - ``seq`` dense and strictly increasing from 0;
     - ``round`` events carry broadcaster/message/element attrs and
       strictly increasing round indices;
+    - ``prof`` events carry component/op/count attrs with a
+      non-negative count (schema v2; a v1 trace simply has none);
+    - ``run_start``'s ``schema_version`` (when present) is a supported
+      version — v1 (legacy, no prof events) or v2;
     - span_start/span_end properly nested (LIFO) and balanced;
     - at most one ``run_start`` (first event) and one ``run_end`` (last).
     """
@@ -111,8 +122,15 @@ def validate_events(events: Sequence[TraceEvent]) -> list[str]:
             continue
         if ev.seq != position:
             errors.append(f"{where}: seq {ev.seq} != position {position}")
-        if ev.kind == "run_start" and position != 0:
-            errors.append(f"{where}: run_start must be the first event")
+        if ev.kind == "run_start":
+            if position != 0:
+                errors.append(f"{where}: run_start must be the first event")
+            version = ev.attrs.get("schema_version")
+            if version is not None and version not in SUPPORTED_SCHEMA_VERSIONS:
+                errors.append(
+                    f"{where}: unsupported schema_version {version!r} "
+                    f"(supported: {sorted(SUPPORTED_SCHEMA_VERSIONS)})"
+                )
         if ev.kind == "run_end" and position != len(events) - 1:
             errors.append(f"{where}: run_end must be the last event")
         if ev.kind == "span_start":
@@ -144,6 +162,16 @@ def validate_events(events: Sequence[TraceEvent]) -> list[str]:
                         f"{where}: round attr {key!r} missing or not "
                         f"{'/'.join(t.__name__ for t in types)}"
                     )
+        elif ev.kind == "prof":
+            for key, types in _PROF_ATTRS.items():
+                if not isinstance(ev.attrs.get(key), types):
+                    errors.append(
+                        f"{where}: prof attr {key!r} missing or not "
+                        f"{'/'.join(t.__name__ for t in types)}"
+                    )
+            count = ev.attrs.get("count")
+            if isinstance(count, int) and count < 0:
+                errors.append(f"{where}: prof count {count} is negative")
     for name in span_stack:
         errors.append(f"end of stream: span {name!r} never closed")
     return errors

@@ -12,7 +12,7 @@ accountings agree exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.network.metrics import ProtocolMetrics
 
@@ -45,6 +45,19 @@ class PhaseMetrics:
             "wall_ns": self.wall_ns,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PhaseMetrics":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        return cls(
+            phase=data["phase"],
+            rounds=data.get("rounds", 0),
+            broadcast_rounds=data.get("broadcast_rounds", 0),
+            broadcasts_sent=data.get("broadcasts_sent", 0),
+            private_messages=data.get("private_messages", 0),
+            field_elements_sent=data.get("field_elements_sent", 0),
+            wall_ns=data.get("wall_ns", 0),
+        )
+
 
 @dataclass
 class PartyMetrics:
@@ -62,6 +75,16 @@ class PartyMetrics:
             "private_messages": self.private_messages,
             "field_elements_sent": self.field_elements_sent,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PartyMetrics":
+        """Inverse of :meth:`to_dict` (round-trips exactly)."""
+        return cls(
+            pid=data["pid"],
+            broadcasts_sent=data.get("broadcasts_sent", 0),
+            private_messages=data.get("private_messages", 0),
+            field_elements_sent=data.get("field_elements_sent", 0),
+        )
 
 
 @dataclass
@@ -164,3 +187,19 @@ class RunMetrics:
             },
             "meta": self.meta,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunMetrics":
+        """Inverse of :meth:`to_dict`.
+
+        The derived ``totals`` block is recomputed from the phase rows,
+        not trusted from the input.
+        """
+        return cls(
+            phases=[PhaseMetrics.from_dict(pm) for pm in data.get("phases", [])],
+            parties=[
+                PartyMetrics.from_dict(party)
+                for party in data.get("parties", [])
+            ],
+            meta=dict(data.get("meta", {})),
+        )

@@ -1,0 +1,297 @@
+"""Compute-layer op profiler: deterministic counters for the hot paths.
+
+The tracer (:mod:`repro.obs.tracer`) sees *rounds and bytes*; this
+module sees *compute*.  An :class:`OpProfiler` is a registry of
+counters and value histograms keyed by ``(component, op)`` — e.g.
+``fields/mul``, ``shamir/batch_eval``, ``vss/deal_scalar_fallback`` —
+that the instrumented compute layers (:mod:`repro.fields`,
+:mod:`repro.sharing.shamir`, :mod:`repro.vss.ideal`) feed while a run
+executes.  Each increment is attributed to the innermost open span of
+the profiler's :class:`~repro.obs.tracer.Tracer` (the *phase*), which
+is what lets a run answer "where do the field multiplications go?".
+
+Mirroring :data:`~repro.obs.tracer.NULL_TRACER`, the disabled path is a
+module-level :data:`NULL_PROFILER` whose hooks are constant-time no-ops:
+instrumented call sites fetch the active profiler via
+:func:`get_profiler` once per *batch kernel* (never per element) and the
+scalar per-op field counters only exist while :meth:`Field.instrument
+<repro.fields.base.Field.instrument>` wrappers are installed — an
+uninstrumented run executes the original methods untouched.
+
+Counters are deterministic functions of seed and parameters (no
+timestamps), so profiles diff cleanly across runs.  Export paths:
+
+- :meth:`OpProfiler.records` / :meth:`Tracer.record_profile
+  <repro.obs.tracer.Tracer.record_profile>` — ``prof`` events in the
+  schema-v2 JSONL trace;
+- :func:`flamegraph_lines` / :func:`write_flamegraph` — collapsed-stack
+  ``component;op;phase count`` lines consumable by standard flamegraph
+  tools (``flamegraph.pl``, speedscope, inferno);
+- :meth:`OpProfiler.summary` — the condensed dict the benchmarks embed
+  in ``BENCH_*.json`` ``extra`` payloads.
+
+Like the tracer emission API, the profiler label/emission API is a
+secrecy sink: lint rule RL004 statically flags secret-looking
+identifiers flowing into ``count``/``observe``/``record_profile``.
+Counts and sizes are public; values never are.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.fields.base import Field
+
+    from .events import TraceEvent
+    from .tracer import Tracer
+
+#: Phase bucket for counts recorded outside any tracer span (matches
+#: :data:`repro.obs.metrics.UNATTRIBUTED` for rounds).
+UNATTRIBUTED = "(no span)"
+
+
+class NullProfiler:
+    """The do-nothing profiler: every hook is a constant-time no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def count(self, component: str, op: str, n: int = 1) -> None:
+        return None
+
+    def observe(self, component: str, op: str, value: int) -> None:
+        return None
+
+
+#: Shared no-op instance; :func:`get_profiler` returns it by default.
+NULL_PROFILER = NullProfiler()
+
+
+def _bucket(value: int) -> int:
+    """Histogram bucket for ``value``: 0 or the next power of two >= it."""
+    if value <= 0:
+        return 0
+    return 1 << max(0, value - 1).bit_length()
+
+
+class OpProfiler:
+    """Deterministic op-counter registry with phase attribution.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; each increment is
+        attributed to its innermost open span at count time (``None``
+        when no span is open or no tracer is attached).
+    """
+
+    enabled = True
+
+    def __init__(self, tracer: "Tracer | None" = None):
+        self.tracer = tracer
+        # (component, op, phase-or-None) -> running count
+        self._counts: dict[tuple[str, str, str | None], int] = {}
+        # (component, op, phase-or-None) -> {bucket: occurrences}
+        self._hists: dict[tuple[str, str, str | None], dict[int, int]] = {}
+
+    # -- recording (treated as a secrecy sink by lint rule RL004) ------
+    def _phase(self) -> str | None:
+        tracer = self.tracer
+        return tracer.current_phase if tracer is not None else None
+
+    def count(self, component: str, op: str, n: int = 1) -> None:
+        """Add ``n`` occurrences of ``component/op`` to the active phase."""
+        if n < 0:
+            raise ValueError(
+                f"op counter {component}/{op} incremented by negative {n}"
+            )
+        key = (component, op, self._phase())
+        self._counts[key] = self._counts.get(key, 0) + n
+
+    def observe(self, component: str, op: str, value: int) -> None:
+        """Record one observation of a (public) size/magnitude ``value``.
+
+        Values land in power-of-two buckets, so histograms stay compact
+        and deterministic; the counter itself also advances by one
+        occurrence (the histogram refines it, never replaces it).
+        """
+        key = (component, op, self._phase())
+        self._counts[key] = self._counts.get(key, 0) + 1
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = {}
+        bucket = _bucket(int(value))
+        hist[bucket] = hist.get(bucket, 0) + 1
+
+    # -- queries -------------------------------------------------------
+    def total(self, component: str | None = None, op: str | None = None) -> int:
+        """Total count, optionally filtered by component and/or op."""
+        return sum(
+            count
+            for (comp, name, _phase), count in self._counts.items()
+            if (component is None or comp == component)
+            and (op is None or name == op)
+        )
+
+    def attributed_fraction(
+        self, component: str | None = None, op: str | None = None
+    ) -> float:
+        """Fraction of (filtered) counts attributed to a named phase.
+
+        Returns 1.0 for an empty selection (nothing is unattributed).
+        """
+        total = attributed = 0
+        for (comp, name, phase), count in self._counts.items():
+            if component is not None and comp != component:
+                continue
+            if op is not None and name != op:
+                continue
+            total += count
+            if phase is not None:
+                attributed += count
+        return attributed / total if total else 1.0
+
+    def records(self) -> list[dict[str, Any]]:
+        """Stable, JSON-safe counter records (one per (component, op, phase)).
+
+        This is the payload of the schema-v2 ``prof`` trace events:
+        ``component``, ``op``, ``phase`` (``None`` when unattributed),
+        ``count``, and — for observed values — ``buckets`` mapping the
+        stringified power-of-two upper bound to its occurrence count.
+        """
+        out = []
+        for key in sorted(
+            self._counts, key=lambda k: (k[0], k[1], k[2] or "")
+        ):
+            component, op, phase = key
+            record: dict[str, Any] = {
+                "component": component,
+                "op": op,
+                "phase": phase,
+                "count": self._counts[key],
+            }
+            hist = self._hists.get(key)
+            if hist:
+                record["buckets"] = {
+                    str(bucket): hist[bucket] for bucket in sorted(hist)
+                }
+            out.append(record)
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        """Condensed profile for ``BENCH_*.json`` ``extra`` payloads."""
+        totals: dict[str, int] = {}
+        for (component, op, _phase), count in self._counts.items():
+            label = f"{component}/{op}"
+            totals[label] = totals.get(label, 0) + count
+        return {
+            "totals": {label: totals[label] for label in sorted(totals)},
+            "total_ops": sum(totals.values()),
+            "attributed_fraction": round(self.attributed_fraction(), 6),
+        }
+
+    def flamegraph_lines(self) -> list[str]:
+        """Collapsed-stack lines for this profiler (see module docstring)."""
+        return flamegraph_lines(self.records())
+
+
+# -- the active profiler ----------------------------------------------------
+
+_ACTIVE: NullProfiler | OpProfiler = NULL_PROFILER
+
+
+def get_profiler() -> NullProfiler | OpProfiler:
+    """The currently installed profiler (:data:`NULL_PROFILER` by default)."""
+    return _ACTIVE
+
+
+def set_profiler(
+    profiler: NullProfiler | OpProfiler | None,
+) -> NullProfiler | OpProfiler:
+    """Install ``profiler`` (``None`` = disable); returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler if profiler is not None else NULL_PROFILER
+    return previous
+
+
+@contextmanager
+def profiled(
+    profiler: OpProfiler, *fields: "Field"
+) -> Iterator[OpProfiler]:
+    """Install ``profiler`` for the dynamic extent of the block.
+
+    Also installs per-call scalar op counters on each given field
+    (:meth:`Field.instrument <repro.fields.base.Field.instrument>`);
+    both the global registration and the field wrappers are undone on
+    exit, even on error, so cached field instances never stay
+    instrumented.
+    """
+    previous = set_profiler(profiler)
+    undos = [f.instrument(profiler) for f in fields]
+    try:
+        yield profiler
+    finally:
+        for undo in reversed(undos):
+            undo()
+        set_profiler(previous)
+
+
+# -- export helpers ---------------------------------------------------------
+
+def records_from_events(events: Iterable["TraceEvent"]) -> list[dict[str, Any]]:
+    """Extract the ``prof`` records embedded in a (v2) trace stream."""
+    return [dict(ev.attrs) for ev in events if ev.kind == "prof"]
+
+
+def flamegraph_lines(records: Sequence[Mapping[str, Any]]) -> list[str]:
+    """Collapsed-stack ``component;op;phase count`` lines.
+
+    One line per counter record, frames separated by ``;``, the sample
+    count after the final space — the format every standard flamegraph
+    renderer (``flamegraph.pl``, inferno, speedscope) consumes.
+    Unattributed counts use the ``(no span)`` frame.
+    """
+    lines = []
+    for record in records:
+        phase = record.get("phase") or UNATTRIBUTED
+        count = int(record.get("count", 0))
+        lines.append(
+            f"{record.get('component', '?')};{record.get('op', '?')};"
+            f"{phase} {count}"
+        )
+    return lines
+
+
+def write_flamegraph(
+    records: Sequence[Mapping[str, Any]], path: Any
+) -> int:
+    """Write collapsed-stack lines to ``path``; returns the line count."""
+    lines = flamegraph_lines(records)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line)
+            fh.write("\n")
+    return len(lines)
+
+
+def attributed_fraction_of_records(
+    records: Sequence[Mapping[str, Any]],
+    component: str | None = None,
+    op: str | None = None,
+) -> float:
+    """:meth:`OpProfiler.attributed_fraction` over exported records."""
+    total = attributed = 0
+    for record in records:
+        if component is not None and record.get("component") != component:
+            continue
+        if op is not None and record.get("op") != op:
+            continue
+        count = int(record.get("count", 0))
+        total += count
+        if record.get("phase") is not None:
+            attributed += count
+    return attributed / total if total else 1.0

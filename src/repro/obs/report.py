@@ -48,13 +48,17 @@ class RunReport:
     predicted_rounds: int | None = None
     predicted_broadcast_rounds: int | None = None
     divergences: list[str] = field(default_factory=list)
+    profile: list[dict] = field(default_factory=list)
 
     @classmethod
     def from_events(cls, events: Sequence[TraceEvent]) -> "RunReport":
         """Build the report (and its divergence list) from a stream."""
         observed: list[ObservedRound] = []
+        profile: list[dict] = []
         for ev in events:
-            if ev.kind == "round":
+            if ev.kind == "prof":
+                profile.append(dict(ev.attrs))
+            elif ev.kind == "round":
                 observed.append(
                     ObservedRound(
                         index=ev.round_index if ev.round_index is not None else -1,
@@ -72,6 +76,7 @@ class RunReport:
             predicted=list(meta.get("predicted_schedule", [])),
             predicted_rounds=meta.get("predicted_rounds"),
             predicted_broadcast_rounds=meta.get("predicted_broadcast_rounds"),
+            profile=profile,
         )
         report.divergences = report._diff()
         return report
@@ -150,6 +155,7 @@ class RunReport:
                 }
                 for r in self.observed
             ],
+            "profile": [dict(record) for record in self.profile],
             "divergences": list(self.divergences),
         }
 
@@ -215,6 +221,21 @@ class RunReport:
             lines.append(
                 f"  [{obs.index:>2}] {marker} {str(obs.phase):<38} {verdict}"
             )
+        if self.profile:
+            lines.append("")
+            lines.append("op profile (component/op by phase):")
+            top = sorted(
+                self.profile,
+                key=lambda r: (-int(r.get("count", 0)), str(r.get("op"))),
+            )
+            for record in top[:20]:
+                phase = record.get("phase") or "(no span)"
+                lines.append(
+                    f"  {record.get('component')}/{record.get('op'):<28} "
+                    f"{int(record.get('count', 0)):>12}  {phase}"
+                )
+            if len(top) > 20:
+                lines.append(f"  ... {len(top) - 20} more counters")
         if self.divergences:
             lines.append("")
             lines.append("DIVERGENCES:")

@@ -69,6 +69,9 @@ class NullTracer:
     ) -> None:
         return None
 
+    def record_profile(self, records: Sequence[dict[str, Any]]) -> None:
+        return None
+
 
 #: Shared no-op instance for ``tracer or NULL_TRACER`` call sites.
 NULL_TRACER = NullTracer()
@@ -189,3 +192,22 @@ class Tracer:
             attrs["per_party"] = per_party
         self._push("round", "round", attrs, round_index, self.current_phase)
         self._next_round = round_index + 1
+
+    def record_profile(self, records: Sequence[dict[str, Any]]) -> None:
+        """Fold op-profiler counter records into the stream (schema v2).
+
+        One ``prof`` event per record, named ``component/op``, carrying
+        the record verbatim in ``attrs`` (component, op, phase, count,
+        optional buckets — all public by construction, but still passed
+        through :func:`~repro.obs.events.ensure_public_attrs`).  Callers
+        emit these *before* ``run_end`` so the terminator stays last.
+        """
+        for record in records:
+            name = f"{record.get('component', '?')}/{record.get('op', '?')}"
+            self._push(
+                "prof",
+                name,
+                dict(record),
+                None,
+                record.get("phase"),
+            )

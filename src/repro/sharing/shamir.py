@@ -32,6 +32,7 @@ from repro.fields import (
     interpolate_at,
     lagrange_coefficients,
 )
+from repro.obs.profiler import get_profiler
 
 #: Valid values for the ``backend`` argument of :class:`ShamirScheme`.
 BACKEND_MODES = VECTOR_BACKEND_MODES
@@ -166,6 +167,10 @@ class ShamirScheme:
             coeffs = [randrange(order) for _ in range(self.t + 1)]
             coeffs[0] = secret
             coeff_rows.append(coeffs)
+        prof = get_profiler()
+        if prof.enabled:
+            prof.count("shamir", "deal", len(coeff_rows))
+            prof.observe("shamir", "deal_batch", len(coeff_rows))
         return self.evaluate_matrix(coeff_rows)
 
     def evaluate_matrix(
@@ -175,7 +180,13 @@ class ShamirScheme:
         if not coeff_rows:
             return []
         vec = self._vector_backend()
+        prof = get_profiler()
         if vec is None:
+            if prof.enabled:
+                # field.add/field.mul below route through the per-op
+                # instrumented field methods, so fields/* is not counted
+                # here — only the fallback marker is.
+                prof.count("shamir", "eval_scalar_fallback", len(coeff_rows))
             field = self.field
             add, mul = field.add, field.mul
             xs = [p.value for p in self.points]
@@ -191,6 +202,8 @@ class ShamirScheme:
             return table
         import numpy as np
 
+        if prof.enabled:
+            prof.count("shamir", "batch_eval", len(coeff_rows))
         if self._vandermonde is None:
             self._vandermonde = vec.vandermonde(
                 [p.value for p in self.points], self.t
@@ -322,7 +335,10 @@ class ShamirScheme:
             )
         coeffs = self._lagrange_at_zero(xs)
         vec = self._vector_backend()
+        prof = get_profiler()
         if vec is None:
+            if prof.enabled:
+                prof.count("shamir", "reconstruct_scalar_fallback", len(rows))
             add, mul = self.field.add, self.field.mul
             results = []
             for row in rows:
@@ -333,6 +349,8 @@ class ShamirScheme:
             return results
         import numpy as np
 
+        if prof.enabled:
+            prof.count("shamir", "reconstruct_batch", len(rows))
         ys = np.asarray(rows, dtype=vec.dtype)
         out = vec.interpolate_at_zero_batch(xs, ys, lagrange=vec.array(coeffs))
         return out.tolist()

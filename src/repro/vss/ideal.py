@@ -25,6 +25,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.fields import VECTOR_BACKEND_MODES, FieldElement
 from repro.network import Program, RoundOutput
+from repro.obs.profiler import get_profiler
 
 from .base import (
     DEALER_DISQUALIFIED,
@@ -199,12 +200,16 @@ class IdealVSSSession(VSSSession):
             for secret in secrets
         ]
         vec = self._use_vector(len(coeff_rows), VECTOR_DEAL_MIN)
+        prof = get_profiler()
         if vec is not None:
             # Large batch on a vectorizable field: evaluate all sharing
             # polynomials at all party points against the cached
             # Vandermonde table in a few numpy operations.
             import numpy as np
 
+            if prof.enabled:
+                prof.count("vss", "deal_batched", len(coeff_rows))
+                prof.observe("vss", "deal_batch_size", len(coeff_rows))
             if self._vandermonde is None:
                 self._vandermonde = vec.vandermonde(points, t)
             table = vec.batch_eval(
@@ -213,6 +218,10 @@ class IdealVSSSession(VSSSession):
             )
             self._evals.extend(row.tolist() for row in table)
         else:
+            if prof.enabled:
+                # field.add/field.mul below hit the instrumented field
+                # methods, so fields/* is counted there, not here.
+                prof.count("vss", "deal_scalar_fallback", len(coeff_rows))
             add, mul = field.add, field.mul
             for coeffs in coeff_rows:
                 evals = []
@@ -341,10 +350,17 @@ class IdealVSSSession(VSSSession):
         step-4 reconstruction tolerates corrupted coordinates).
         """
         vec = self._use_vector(len(views), VECTOR_OPEN_MIN)
+        prof = get_profiler()
         if vec is None:
+            if prof.enabled:
+                prof.count("vss", "open_scalar_fallback", len(views))
             return self._combine_columns(columns, views, pid, strict)
 
         import numpy as np
+
+        if prof.enabled:
+            prof.count("vss", "open_batched", len(views))
+            prof.observe("vss", "open_batch_size", len(views))
 
         field = self.scheme.field
         quorum = self.scheme.t + 1
@@ -368,6 +384,11 @@ class IdealVSSSession(VSSSession):
         def expected_for_point(x_index: int) -> np.ndarray:
             if len(serial_idx) == 0:
                 return np.zeros(len(views), dtype=vec.dtype)
+            if prof.enabled:
+                # Raw kernel (not batch_eval), so the replaced field ops
+                # are accounted analytically: one mul + add per term.
+                prof.count("fields", "mul", int(serial_idx.shape[0]))
+                prof.count("fields", "add", int(serial_idx.shape[0]))
             prod = vec.mul(evals_arr[serial_idx, x_index], coeff_arr)
             # Per-view field sums of the term products; reduceat
             # misbehaves for empty segments (views with no terms), so
@@ -467,6 +488,7 @@ class IdealVSSSession(VSSSession):
         least ``t + 1`` accepted payloads is reconstructed by Lagrange
         interpolation of the accepted points.
         """
+        get_profiler().count("vss", "verify_and_combine")
         field = self.scheme.field
         quorum = self.scheme.t + 1
         groups: dict[Terms, list[tuple[int, int]]] = {}

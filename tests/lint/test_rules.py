@@ -288,6 +288,57 @@ def test_rl004_flags_secret_in_run_start(run_rules):
     assert len(run_rules(source, "RL004")) == 1
 
 
+def test_rl004_flags_secret_flowing_into_profiler_count(run_rules):
+    source = _src(
+        """
+        from __future__ import annotations
+
+        def deal(profiler, shares):
+            profiler.count("shamir", "deal", shares)
+        """
+    )
+    findings = run_rules(source, "RL004")
+    assert len(findings) == 1
+    assert ".count()" in findings[0].message
+
+
+def test_rl004_flags_secret_flowing_into_profiler_observe(run_rules):
+    source = _src(
+        """
+        from __future__ import annotations
+
+        def deal(profiler, pad):
+            profiler.observe("vec", "batch", pad)
+        """
+    )
+    assert len(run_rules(source, "RL004")) == 1
+
+
+def test_rl004_flags_secret_flowing_into_record_profile(run_rules):
+    source = _src(
+        """
+        from __future__ import annotations
+
+        def export(tracer, permutation):
+            tracer.record_profile(permutation)
+        """
+    )
+    assert len(run_rules(source, "RL004")) == 1
+
+
+def test_rl004_allows_len_of_secret_in_profiler_calls(run_rules):
+    source = _src(
+        """
+        from __future__ import annotations
+
+        def deal(profiler, shares):
+            profiler.count("shamir", "deal", len(shares))
+            profiler.observe("shamir", "deal_batch", len(shares))
+        """
+    )
+    assert run_rules(source, "RL004") == []
+
+
 # -- RL005: layering ------------------------------------------------------
 
 RL005_BAD = "from repro.network.simulator import Simulator\n"

@@ -112,6 +112,31 @@ class TestMetrics:
         assert a.extra == {"a": 1, "note": "x", "ok": True}
         assert b.extra == {"a": 2, "b": 3, "note": "y"}
 
+    def test_merge_bool_numeric_collision_keeps_later_value(self):
+        from repro.network import ProtocolMetrics
+
+        # bool is an int subclass, but flags are not costs: a collision
+        # between a bool and a number must NOT add them (True + 1 == 2
+        # would silently corrupt the ledger) — later execution wins.
+        a = ProtocolMetrics(extra={"flag": True, "count": 1})
+        b = ProtocolMetrics(extra={"flag": 1, "count": False})
+        assert a.merge(b).extra == {"flag": 1, "count": False}
+        assert b.merge(a).extra == {"flag": True, "count": 1}
+
+    def test_record_round_rejects_negative_counts(self):
+        import pytest
+
+        from repro.network import ProtocolMetrics
+
+        m = ProtocolMetrics()
+        for bad in [(-1, 0, 0), (0, -2, 0), (0, 0, -3)]:
+            with pytest.raises(ValueError, match="non-negative"):
+                m.record_round(*bad)
+        # Rejected rounds leave the ledger untouched.
+        assert m == ProtocolMetrics()
+        m.record_round(0, 0, 0)
+        assert m.rounds == 1
+
     def test_max_rounds_guard(self):
         def forever():
             while True:

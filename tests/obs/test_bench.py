@@ -1,0 +1,223 @@
+"""The BENCH_*.json baseline/regression engine (repro.obs.bench)."""
+
+from __future__ import annotations
+
+import copy
+import glob
+import json
+import os
+
+import pytest
+
+from repro.obs.bench import (
+    DEFAULT_THRESHOLD,
+    BenchComparison,
+    MetricDelta,
+    compare_files,
+    compare_payloads,
+    iter_metrics,
+    load_bench,
+    metric_direction,
+)
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _payload(**overrides) -> dict:
+    base = {
+        "version": 1,
+        "experiment": "emu_demo",
+        "title": "demo",
+        "headers": ["batch", "scalar ms", "batched ms", "speedup", "n"],
+        "rows": [
+            [256, 8.8, 1.7, 5.2, 7],
+            [1024, 34.0, 3.5, 9.7, 7],
+        ],
+        "notes": "",
+    }
+    base.update(overrides)
+    return base
+
+
+# -- direction heuristics --------------------------------------------------
+
+@pytest.mark.parametrize(
+    "header, expected",
+    [
+        ("scalar ms", "lower"),
+        ("batched ms", "lower"),
+        ("wall s", "lower"),
+        ("time (s)", "lower"),
+        ("share ms (scalar)", "lower"),
+        ("speedup", "higher"),
+        ("throughput", "higher"),
+        ("ops", "higher"),
+        ("n", None),
+        ("kappa", None),
+        ("items", None),  # 'ms' must not fire as a substring
+        ("rounds", None),
+        ("elements", None),
+    ],
+)
+def test_metric_direction(header, expected):
+    assert metric_direction(header) == expected
+
+
+# -- metric extraction -----------------------------------------------------
+
+def test_iter_metrics_skips_strings_and_bools():
+    payload = _payload(
+        headers=["case", "ms", "total", "ok"],
+        rows=[["a", 1.5, "1,296", True]],
+    )
+    assert iter_metrics(payload) == {"a/ms": 1.5}
+
+
+def test_iter_metrics_keeps_first_duplicate_row_label():
+    payload = _payload(
+        headers=["case", "ms"],
+        rows=[["a", 1.0], ["a", 99.0]],
+    )
+    assert iter_metrics(payload) == {"a/ms": 1.0}
+
+
+# -- MetricDelta semantics -------------------------------------------------
+
+def test_rel_delta_and_regression_thresholds():
+    d = MetricDelta("256/batched ms", baseline=10.0, current=12.5,
+                    direction="lower")
+    assert d.rel_delta == pytest.approx(0.25)
+    assert d.regressed(0.20) and not d.improved(0.20)
+    assert not d.regressed(0.30)
+
+    faster = MetricDelta("256/batched ms", 10.0, 7.0, "lower")
+    assert faster.improved(0.20) and not faster.regressed(0.20)
+
+    slower_speedup = MetricDelta("256/speedup", 10.0, 7.0, "higher")
+    assert slower_speedup.regressed(0.20) and not slower_speedup.improved(0.20)
+
+    info = MetricDelta("256/n", 7.0, 70.0, None)
+    assert not info.regressed(0.20) and not info.improved(0.20)
+
+
+def test_zero_baseline_yields_infinite_delta_not_crash():
+    d = MetricDelta("x/ms", 0.0, 5.0, "lower")
+    assert d.rel_delta == float("inf")
+    assert d.regressed()
+    assert MetricDelta("x/ms", 0.0, 0.0, "lower").rel_delta == 0.0
+
+
+# -- payload comparison ----------------------------------------------------
+
+def test_identical_payloads_pass():
+    comparison = compare_payloads(_payload(), _payload())
+    assert comparison.ok
+    assert comparison.regressions == []
+    assert comparison.missing == [] and comparison.added == []
+    assert len(comparison.deltas) == 8  # 2 rows x 4 numeric columns
+
+
+def test_injected_slowdown_is_detected():
+    current = _payload()
+    current["rows"] = copy.deepcopy(current["rows"])
+    current["rows"][1][2] = 3.5 * 1.25  # 1024/batched ms +25%
+    comparison = compare_payloads(_payload(), current)
+    assert not comparison.ok
+    (regression,) = comparison.regressions
+    assert regression.metric == "1024/batched ms"
+    assert regression.rel_delta == pytest.approx(0.25)
+    assert "REGRESSED" in comparison.render_table()
+
+
+def test_improved_speedup_is_not_a_regression():
+    current = _payload()
+    current["rows"] = copy.deepcopy(current["rows"])
+    current["rows"][0][3] = 5.2 * 2  # speedup doubled: improvement
+    comparison = compare_payloads(_payload(), current)
+    assert comparison.ok
+    assert [d.metric for d in comparison.improvements] == ["256/speedup"]
+    assert "improved" in comparison.render_table()
+
+
+def test_informational_columns_never_regress():
+    current = _payload()
+    current["rows"] = copy.deepcopy(current["rows"])
+    current["rows"][0][4] = 700  # n exploded — informational only
+    assert compare_payloads(_payload(), current).ok
+
+
+def test_experiment_mismatch_raises():
+    with pytest.raises(ValueError, match="experiment mismatch"):
+        compare_payloads(_payload(), _payload(experiment="other"))
+
+
+def test_missing_and_added_metrics_are_reported():
+    current = _payload(rows=[[256, 8.8, 1.7, 5.2, 7], [4096, 1.0, 1.0, 1.0, 7]])
+    comparison = compare_payloads(_payload(), current)
+    assert comparison.missing == [
+        "1024/batched ms", "1024/n", "1024/scalar ms", "1024/speedup",
+    ]
+    assert comparison.added == [
+        "4096/batched ms", "4096/n", "4096/scalar ms", "4096/speedup",
+    ]
+    assert comparison.ok  # drift is reported, not a regression
+    table = comparison.render_table()
+    assert "missing from current run" in table
+    assert "new metric (no baseline)" in table
+
+
+def test_threshold_is_configurable():
+    current = _payload()
+    current["rows"] = copy.deepcopy(current["rows"])
+    current["rows"][0][1] = 8.8 * 1.10  # +10%
+    assert compare_payloads(_payload(), current).ok  # default 20%
+    assert not compare_payloads(_payload(), current, threshold=0.05).ok
+
+
+# -- file layer ------------------------------------------------------------
+
+def test_load_bench_shape_checks(tmp_path):
+    bogus = tmp_path / "BENCH_x.json"
+    bogus.write_text(json.dumps({"experiment": "x"}), encoding="utf-8")
+    with pytest.raises(ValueError, match="missing 'headers'"):
+        load_bench(bogus)
+    bogus.write_text(json.dumps([1, 2]), encoding="utf-8")
+    with pytest.raises(ValueError, match="not a JSON object"):
+        load_bench(bogus)
+
+
+def test_compare_files_round_trip(tmp_path):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(_payload()), encoding="utf-8")
+    current = _payload()
+    current["rows"] = copy.deepcopy(current["rows"])
+    current["rows"][0][2] = 1.7 * 2  # batched ms doubled
+    cur.write_text(json.dumps(current), encoding="utf-8")
+    comparison = compare_files(base, cur, threshold=DEFAULT_THRESHOLD)
+    assert [d.metric for d in comparison.regressions] == ["256/batched ms"]
+
+
+def test_committed_baselines_pass_against_themselves():
+    """Every root BENCH_*.json compares clean against itself."""
+    paths = sorted(glob.glob(os.path.join(ROOT, "BENCH_*.json")))
+    assert paths, "repo must ship root BENCH_*.json baselines"
+    for path in paths:
+        comparison = compare_files(path, path)
+        assert comparison.ok, path
+        assert comparison.regressions == []
+
+
+def test_committed_baselines_contain_directional_metrics():
+    """The perf-trajectory artifacts expose at least one gated metric."""
+    path = os.path.join(ROOT, "BENCH_emu_batch_sharing.json")
+    payload = load_bench(path)
+    directions = {
+        metric_direction(header) for header in payload["headers"][1:]
+    }
+    assert "lower" in directions  # the ms columns are real gates
+
+
+def test_render_table_without_deltas_is_still_renderable():
+    table = BenchComparison(experiment="empty").render_table()
+    assert "empty: 0 metrics" in table

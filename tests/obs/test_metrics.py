@@ -100,3 +100,40 @@ def test_to_dict_is_json_shaped():
     encoded = json.dumps(payload)
     assert "step 1: VSS-Share" in encoded
     assert payload["totals"]["rounds"] == GGOR13_COST.share_rounds + 5
+
+
+def test_phase_and_party_metrics_round_trip_through_dicts():
+    from repro.obs import PartyMetrics, PhaseMetrics
+
+    pm = PhaseMetrics(phase="step 2: challenge", rounds=3, broadcast_rounds=1,
+                      broadcasts_sent=5, private_messages=7,
+                      field_elements_sent=11, wall_ns=13)
+    assert PhaseMetrics.from_dict(pm.to_dict()) == pm
+
+    party = PartyMetrics(pid=2, broadcasts_sent=1, private_messages=4,
+                         field_elements_sent=9)
+    assert PartyMetrics.from_dict(party.to_dict()) == party
+
+    # Missing optional counters default to zero.
+    assert PhaseMetrics.from_dict({"phase": "x"}) == PhaseMetrics(phase="x")
+    assert PartyMetrics.from_dict({"pid": 0}) == PartyMetrics(pid=0)
+
+
+def test_run_metrics_round_trip_through_dicts():
+    tracer, _ = _traced_run()
+    rm = RunMetrics.from_events(tracer.events)
+    restored = RunMetrics.from_dict(rm.to_dict())
+    assert restored == rm
+    # And the JSON form itself is a fixed point.
+    assert restored.to_dict() == rm.to_dict()
+
+
+def test_run_metrics_from_dict_recomputes_totals():
+    # The derived totals block is recomputed from the phase rows, never
+    # trusted: a tampered totals entry does not survive the round trip.
+    tracer, _ = _traced_run()
+    payload = RunMetrics.from_events(tracer.events).to_dict()
+    payload["totals"]["rounds"] = 10_000
+    restored = RunMetrics.from_dict(payload)
+    assert restored.rounds == sum(pm["rounds"] for pm in payload["phases"])
+    assert restored.to_dict()["totals"]["rounds"] != 10_000

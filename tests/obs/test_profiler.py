@@ -1,0 +1,303 @@
+"""The op profiler: counters, phase attribution, exports, schema v2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import run_anonchan, scaled_parameters
+from repro.fields import gf2k
+from repro.obs import (
+    NULL_PROFILER,
+    OpProfiler,
+    Tracer,
+    flamegraph_lines,
+    get_profiler,
+    profiled,
+    records_from_events,
+    set_profiler,
+    validate_events,
+    write_flamegraph,
+)
+from repro.obs.profiler import UNATTRIBUTED, attributed_fraction_of_records
+from repro.vss import GGOR13_COST, IdealVSS
+
+
+# -- counting and phase attribution ---------------------------------------
+
+def test_count_accumulates_per_component_op():
+    prof = OpProfiler()
+    prof.count("fields", "mul")
+    prof.count("fields", "mul", 4)
+    prof.count("fields", "add", 2)
+    assert prof.total("fields", "mul") == 5
+    assert prof.total("fields", "add") == 2
+    assert prof.total("fields") == 7
+    assert prof.total() == 7
+    assert prof.total("shamir") == 0
+
+
+def test_negative_count_is_rejected():
+    prof = OpProfiler()
+    with pytest.raises(ValueError, match="fields/mul"):
+        prof.count("fields", "mul", -1)
+    assert prof.total() == 0  # rejected increment left no trace
+
+
+def test_counts_attributed_to_innermost_open_span():
+    tracer = Tracer()
+    prof = OpProfiler(tracer)
+    prof.count("fields", "mul")  # before any span: unattributed
+    with tracer.span("outer"):
+        prof.count("fields", "mul", 2)
+        with tracer.span("inner"):
+            prof.count("fields", "mul", 3)
+    by_phase = {
+        (r["phase"], r["count"])
+        for r in prof.records()
+        if r["op"] == "mul"
+    }
+    assert by_phase == {(None, 1), ("outer", 2), ("inner", 3)}
+    assert prof.total("fields", "mul") == 6
+    assert prof.attributed_fraction("fields", "mul") == pytest.approx(5 / 6)
+
+
+def test_attributed_fraction_of_empty_selection_is_one():
+    assert OpProfiler().attributed_fraction() == 1.0
+    assert OpProfiler().attributed_fraction("fields", "mul") == 1.0
+
+
+def test_observe_buckets_values_into_powers_of_two():
+    prof = OpProfiler()
+    for value in (0, 1, 2, 3, 4, 5, 1000):
+        prof.observe("vec", "batch", value)
+    (record,) = prof.records()
+    # observe also advances the plain counter, one per observation
+    assert record["count"] == 7
+    assert record["buckets"] == {
+        "0": 1,    # 0
+        "1": 1,    # 1
+        "2": 1,    # 2
+        "4": 2,    # 3, 4
+        "8": 1,    # 5
+        "1024": 1, # 1000
+    }
+
+
+# -- records and flamegraph export ----------------------------------------
+
+def test_records_are_sorted_and_json_safe():
+    import json
+
+    tracer = Tracer()
+    prof = OpProfiler(tracer)
+    with tracer.span("z-phase"):
+        prof.count("vss", "deal_batched")
+    prof.count("fields", "mul", 10)
+    records = prof.records()
+    keys = [(r["component"], r["op"]) for r in records]
+    assert keys == sorted(keys)
+    json.dumps(records)  # JSON-safe by construction
+
+
+def test_flamegraph_lines_format_and_unattributed_frame(tmp_path):
+    tracer = Tracer()
+    prof = OpProfiler(tracer)
+    prof.count("fields", "mul", 7)
+    with tracer.span("step 2: challenge"):
+        prof.count("shamir", "batch_eval", 3)
+    lines = prof.flamegraph_lines()
+    assert f"fields;mul;{UNATTRIBUTED} 7" in lines
+    assert "shamir;batch_eval;step 2: challenge 3" in lines
+    # every line is exactly "frame;frame;frame <count>"
+    for line in lines:
+        stack, count = line.rsplit(" ", 1)
+        assert len(stack.split(";")) == 3
+        assert int(count) >= 0
+
+    out = tmp_path / "profile.folded"
+    assert write_flamegraph(prof.records(), out) == len(lines)
+    assert out.read_text(encoding="utf-8").splitlines() == lines
+    assert flamegraph_lines(prof.records()) == lines
+
+
+# -- the active-profiler registry and field instrumentation ---------------
+
+def test_get_profiler_defaults_to_null_profiler():
+    assert get_profiler() is NULL_PROFILER
+    assert not NULL_PROFILER.enabled
+    # the null hooks are safe to call unconditionally
+    NULL_PROFILER.count("fields", "mul", 100)
+    NULL_PROFILER.observe("vec", "batch", 5)
+
+
+def test_profiled_installs_and_restores_global_and_field_wrappers():
+    field = gf2k(8)
+    prof = OpProfiler()
+    assert "mul" not in field.__dict__
+    with profiled(prof, field):
+        assert get_profiler() is prof
+        assert "mul" in field.__dict__  # instance-attr wrapper installed
+        field.mul(3, 5)
+        field.add(1, 2)
+    assert get_profiler() is NULL_PROFILER
+    assert "mul" not in field.__dict__  # wrappers removed on exit
+    assert prof.total("fields", "mul") == 1
+    assert prof.total("fields", "add") == 1
+
+
+def test_profiled_restores_on_error():
+    field = gf2k(8)
+    prof = OpProfiler()
+    with pytest.raises(RuntimeError):
+        with profiled(prof, field):
+            raise RuntimeError("boom")
+    assert get_profiler() is NULL_PROFILER
+    assert "mul" not in field.__dict__
+
+
+def test_instrument_refuses_to_stack():
+    field = gf2k(8)
+    prof = OpProfiler()
+    undo1 = field.instrument(prof)
+    undo2 = field.instrument(prof)  # second install is a no-op
+    field.mul(2, 3)
+    assert prof.total("fields", "mul") == 1  # counted once, not twice
+    undo2()
+    undo1()
+    assert "mul" not in field.__dict__
+
+
+def test_instrumented_ops_still_compute_correctly():
+    field = gf2k(8)
+    expected = field.mul(7, 9)
+    prof = OpProfiler()
+    with profiled(prof, field):
+        assert field.mul(7, 9) == expected
+        assert field.inv(field.inv(5)) == 5
+
+
+def test_gf2k_profile_ops_exclude_neg():
+    # In characteristic 2, neg is the identity — not a real op.
+    assert "neg" not in gf2k(8)._PROFILE_OPS
+    assert "mul" in gf2k(8)._PROFILE_OPS
+
+
+def test_set_profiler_returns_previous():
+    prof = OpProfiler()
+    previous = set_profiler(prof)
+    try:
+        assert previous is NULL_PROFILER
+        assert get_profiler() is prof
+    finally:
+        set_profiler(None)
+    assert get_profiler() is NULL_PROFILER
+
+
+# -- summary ---------------------------------------------------------------
+
+def test_summary_folds_phases_into_per_op_totals():
+    tracer = Tracer()
+    prof = OpProfiler(tracer)
+    prof.count("fields", "mul", 1)
+    with tracer.span("alpha"):
+        prof.count("fields", "mul", 3)
+    summary = prof.summary()
+    assert summary["totals"] == {"fields/mul": 4}
+    assert summary["total_ops"] == 4
+    assert summary["attributed_fraction"] == pytest.approx(0.75)
+
+
+# -- trace integration: schema v2 -----------------------------------------
+
+def _profiled_run(n: int = 5, seed: int = 3):
+    params = scaled_parameters(n=n, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+    messages = {i: params.field(100 + i) for i in range(n)}
+    tracer = Tracer()
+    profiler = OpProfiler(tracer)
+    result = run_anonchan(
+        params, vss, messages, seed=seed, tracer=tracer, profiler=profiler
+    )
+    return tracer, profiler, result
+
+
+def test_profiled_run_emits_valid_schema_v2_trace():
+    tracer, profiler, _ = _profiled_run()
+    assert validate_events(tracer.events) == []
+    assert tracer.events[0].attrs["schema_version"] == 2
+    prof_events = [ev for ev in tracer.events if ev.kind == "prof"]
+    assert prof_events, "profiled run must embed prof events"
+    # prof events sit before the run_end terminator
+    assert tracer.events[-1].kind == "run_end"
+    assert all(ev.seq < tracer.events[-1].seq for ev in prof_events)
+
+
+def test_records_round_trip_through_trace_events():
+    tracer, profiler, _ = _profiled_run()
+    assert records_from_events(tracer.events) == profiler.records()
+    assert attributed_fraction_of_records(
+        records_from_events(tracer.events), "fields", "mul"
+    ) == pytest.approx(profiler.attributed_fraction("fields", "mul"))
+
+
+def test_field_muls_overwhelmingly_attributed_to_named_phases():
+    """The issue's acceptance bar: >= 95% of fields/mul land in a phase."""
+    _, profiler, _ = _profiled_run()
+    assert profiler.total("fields", "mul") > 0
+    assert profiler.attributed_fraction("fields", "mul") >= 0.95
+    phases = {
+        r["phase"]
+        for r in profiler.records()
+        if r["component"] == "fields" and r["phase"] is not None
+    }
+    assert any(p.startswith("step 1") for p in phases)
+
+
+def test_profiler_is_deterministic_across_runs():
+    _, prof_a, result_a = _profiled_run(seed=5)
+    _, prof_b, result_b = _profiled_run(seed=5)
+    assert prof_a.records() == prof_b.records()
+    assert result_a.metrics == result_b.metrics
+
+
+def test_v1_traces_without_prof_events_still_validate():
+    tracer = Tracer()
+    tracer.run_start(schema_version=1, n=5)
+    with tracer.span("alpha"):
+        tracer.record_round(0, messages=1, elements=2)
+    tracer.run_end(rounds=1)
+    assert validate_events(tracer.events) == []
+
+
+def test_unknown_schema_version_is_a_violation():
+    tracer = Tracer()
+    tracer.run_start(schema_version=99)
+    tracer.run_end()
+    errors = validate_events(tracer.events)
+    assert any("unsupported schema_version 99" in err for err in errors)
+
+
+def test_prof_event_with_negative_count_is_a_violation():
+    from repro.obs.events import TraceEvent
+
+    events = [
+        TraceEvent(0, "run_start", "run", None, None, 0, 1,
+                   {"schema_version": 2}),
+        TraceEvent(1, "prof", "fields/mul", None, None, 0, 2,
+                   {"component": "fields", "op": "mul", "count": -3}),
+        TraceEvent(2, "run_end", "run", None, None, 0, 3, {}),
+    ]
+    errors = validate_events(events)
+    assert any("prof count -3 is negative" in err for err in errors)
+
+
+def test_prof_event_missing_attrs_is_a_violation():
+    from repro.obs.events import TraceEvent
+
+    events = [
+        TraceEvent(0, "prof", "fields/mul", None, None, 0, 1,
+                   {"component": "fields"}),
+    ]
+    errors = validate_events(events)
+    assert any("prof attr 'op'" in err for err in errors)
+    assert any("prof attr 'count'" in err for err in errors)

@@ -86,3 +86,138 @@ def test_lint_subcommand_forwards_arguments(tmp_path, capsys):
     clean.write_text("X = 1\n", encoding="utf-8")
     assert main(["lint", str(clean), "--no-baseline"]) == 0
     assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_profile_run_exports_v2_trace_and_flamegraph(tmp_path, capsys):
+    from repro.obs import read_jsonl, validate_file
+
+    trace = tmp_path / "trace.jsonl"
+    folded = tmp_path / "profile.folded"
+    assert main([
+        "profile-run", "-n", "5",
+        "--out", str(trace), "--flamegraph", str(folded),
+    ]) == 0
+    capsys.readouterr()
+    assert validate_file(trace) == []
+    events = read_jsonl(trace)
+    assert events[0].attrs["schema_version"] == 2
+    assert any(ev.kind == "prof" for ev in events)
+    lines = folded.read_text(encoding="utf-8").splitlines()
+    assert lines and all(" " in line for line in lines)
+    assert any(line.startswith("fields;mul;") for line in lines)
+
+
+def test_flamegraph_subcommand_matches_profile_run_output(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    folded = tmp_path / "direct.folded"
+    assert main([
+        "profile-run", "-n", "5",
+        "--out", str(trace), "--flamegraph", str(folded),
+    ]) == 0
+    capsys.readouterr()
+    # to stdout
+    assert main(["flamegraph", str(trace)]) == 0
+    stdout_lines = capsys.readouterr().out.splitlines()
+    assert stdout_lines == folded.read_text(encoding="utf-8").splitlines()
+    # to a file
+    out = tmp_path / "from-trace.folded"
+    assert main(["flamegraph", str(trace), "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert out.read_bytes() == folded.read_bytes()
+
+
+def test_flamegraph_on_profileless_trace_fails(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["trace-run", "-n", "5", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["flamegraph", str(trace)]) == 1
+    assert "no prof events" in capsys.readouterr().err
+
+
+def test_flamegraph_on_unreadable_trace_is_structural_error(tmp_path, capsys):
+    assert main(["flamegraph", str(tmp_path / "missing.jsonl")]) == 2
+    assert capsys.readouterr().err
+
+
+def _bench_payload(ms: float) -> str:
+    import json
+
+    return json.dumps({
+        "version": 1,
+        "experiment": "emu_demo",
+        "title": "demo",
+        "headers": ["batch", "batched ms"],
+        "rows": [[256, ms]],
+        "notes": "",
+    })
+
+
+def test_bench_check_passes_identical_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline"
+    baseline.mkdir()
+    (baseline / "BENCH_emu_demo.json").write_text(_bench_payload(2.0))
+    current = tmp_path / "BENCH_emu_demo.json"
+    current.write_text(_bench_payload(2.0))
+    assert main([
+        "bench-check", "--baseline", str(baseline), str(current),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "within thresholds" in captured.err
+    assert "emu_demo" in captured.out
+
+
+def test_bench_check_detects_injected_slowdown(tmp_path, capsys):
+    baseline = tmp_path / "baseline"
+    baseline.mkdir()
+    (baseline / "BENCH_emu_demo.json").write_text(_bench_payload(2.0))
+    current = tmp_path / "BENCH_emu_demo.json"
+    current.write_text(_bench_payload(2.0 * 1.25))  # +25% > 20% threshold
+    assert main([
+        "bench-check", "--baseline", str(baseline), str(current),
+    ]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION emu_demo/256/batched ms" in captured.out
+    assert "regressed" in captured.err
+    # ...unless the threshold is loosened or warn-only is on.
+    assert main([
+        "bench-check", "--baseline", str(baseline),
+        "--threshold", "0.5", str(current),
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "bench-check", "--baseline", str(baseline), "--warn-only",
+        str(current),
+    ]) == 0
+    assert "warn-only" in capsys.readouterr().err
+
+
+def test_bench_check_structural_error_exits_2(tmp_path, capsys):
+    baseline = tmp_path / "baseline"
+    baseline.mkdir()
+    (baseline / "BENCH_emu_demo.json").write_text('{"experiment": "other"}')
+    current = tmp_path / "BENCH_emu_demo.json"
+    current.write_text(_bench_payload(2.0))
+    assert main([
+        "bench-check", "--baseline", str(baseline), str(current),
+    ]) == 2
+    assert capsys.readouterr().err
+
+
+def test_bench_check_missing_baseline_skips(tmp_path, capsys):
+    current = tmp_path / "BENCH_emu_demo.json"
+    current.write_text(_bench_payload(2.0))
+    assert main([
+        "bench-check", "--baseline", str(tmp_path / "nowhere"), str(current),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "skipping" in captured.err
+    assert "nothing compared" in captured.err
+
+
+def test_bench_check_committed_baselines_self_compare(capsys, monkeypatch):
+    import os
+
+    monkeypatch.chdir(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    # The repository root doubles as both baseline dir and current run.
+    assert main(["bench-check", "--baseline", "."]) == 0
+    assert "within thresholds" in capsys.readouterr().err
