@@ -27,6 +27,10 @@ bench-check
     Compare current ``BENCH_*.json`` payloads against committed
     baselines and exit non-zero on perf regressions
     (see :mod:`repro.obs.bench`).
+conformance
+    Run a protocol-conformance campaign: seed-swept adversarial
+    configurations checked against the paper's invariants, with
+    automatic shrinking of violations (see :mod:`repro.testkit`).
 lint
     Run the protocol-aware static analyzer (see :mod:`repro.lint`).
 """
@@ -400,6 +404,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--warn-only", action="store_true",
                    help="report regressions but exit 0")
     p.set_defaults(fn=_cmd_bench_check)
+
+    p = sub.add_parser(
+        "conformance",
+        help="run a protocol-conformance campaign (repro.testkit)",
+    )
+    from repro.testkit.cli import cmd_conformance, configure_parser
+
+    configure_parser(p)
+    p.set_defaults(fn=cmd_conformance)
 
     sub.add_parser(
         "lint",

@@ -1,0 +1,64 @@
+"""Protocol-conformance testkit: seed-swept adversarial campaigns.
+
+The paper's security story is analytic — Claim 1 (an improper vector
+survives cut-and-choose w.p. exactly ``2^-num_checks``) and Claim 2
+(the hypergeometric collision bound behind Reliability).  This
+subsystem validates it *empirically and systematically*: it enumerates
+campaign grids over
+
+    adversary strategy x network fault x field substrate x (n, t, d, l, kappa)
+
+with deterministic per-config seeds (:mod:`repro.testkit.config`),
+runs every configuration through :func:`repro.core.run_anonchan`
+(:mod:`repro.testkit.runner`), and evaluates a registry of *invariant
+checkers* derived from the paper (:mod:`repro.testkit.invariants`).
+On any violation the failing configuration is *shrunk* along each axis
+to a locally-minimal reproducer (:mod:`repro.testkit.shrink`), and the
+whole campaign is emitted as a JSON report embedding a working repro
+command line (:mod:`repro.testkit.report`).
+
+Entry point: ``python -m repro conformance`` (see
+:mod:`repro.testkit.cli` and ``docs/TESTING.md``).
+"""
+
+from .axes import FAULTS, STRATEGIES, FaultSpec, StrategySpec
+from .config import CampaignConfig, derive_seed
+from .grids import GRIDS, grid_configs
+from .invariants import (
+    DEFAULT_ALPHA,
+    CheckOutcome,
+    ConfigEvidence,
+    InvariantChecker,
+    TrialOutcome,
+    binomial_tail,
+    default_registry,
+)
+from .report import CampaignReport, canonical_report_json, repro_command
+from .runner import ConfigResult, run_campaign, run_config
+from .shrink import ShrinkResult, shrink_config
+
+__all__ = [
+    "CampaignConfig",
+    "derive_seed",
+    "StrategySpec",
+    "FaultSpec",
+    "STRATEGIES",
+    "FAULTS",
+    "GRIDS",
+    "grid_configs",
+    "TrialOutcome",
+    "ConfigEvidence",
+    "CheckOutcome",
+    "InvariantChecker",
+    "binomial_tail",
+    "default_registry",
+    "DEFAULT_ALPHA",
+    "ConfigResult",
+    "run_config",
+    "run_campaign",
+    "ShrinkResult",
+    "shrink_config",
+    "CampaignReport",
+    "canonical_report_json",
+    "repro_command",
+]

@@ -1,0 +1,246 @@
+"""The adversary-strategy and network-fault axes of the campaign grid.
+
+Strategies wrap the catalogue of :mod:`repro.core.adversaries` (step-1
+material attacks) behind a uniform registry; faults wrap the tamper
+library of :mod:`repro.network.faults`.  Both registries are keyed by
+short stable names so campaign configs, reports, and repro command
+lines stay readable and forward-compatible.
+
+A strategy declares its *expected cut-and-choose survival probability*
+(under no network fault): exactly ``2^-num_checks`` for the improper
+strategies (Claim 1 is tight), ``1.0`` for the proper ones.  The
+invariant checkers key off these declarations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.adversaries import (
+    dependent_input_material,
+    guessing_cheater_material,
+    jamming_material,
+    targeted_material,
+    zero_material,
+)
+from repro.core.layout import ProverMaterial
+from repro.core.params import AnonChanParams
+from repro.network.faults import (
+    Tamper,
+    compose_tampers,
+    crash_after,
+    drop_messages,
+    flip_integers,
+    garble_everything,
+)
+from repro.vss.base import VSSCost
+
+MaterialBuilder = Callable[
+    [AnonChanParams, int, random.Random], "ProverMaterial | None"
+]
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """One adversary strategy: how corrupted provers commit in step 1.
+
+    ``survival_p(params)`` is the exact probability that the committed
+    vector survives cut-and-choose in a fault-free run (``None`` when
+    no such closed form is claimed).  ``improper`` marks strategies
+    whose committed vector would break ``|Y| <= n`` if it survived.
+    """
+
+    name: str
+    description: str
+    build: MaterialBuilder
+    improper: bool = False
+    min_d: int = 1
+
+    def survival_p(self, params: AnonChanParams) -> float:
+        if self.improper:
+            return params.cheater_survival_bound()
+        return 1.0
+
+
+def _honest(params: AnonChanParams, pid: int, rng: random.Random) -> None:
+    return None
+
+
+def _guessing(
+    params: AnonChanParams, pid: int, rng: random.Random
+) -> ProverMaterial:
+    f = params.field
+    return guessing_cheater_material(params, [f(1), f(2)], rng)
+
+
+def _jamming(
+    params: AnonChanParams, pid: int, rng: random.Random
+) -> ProverMaterial:
+    return jamming_material(params, rng)
+
+
+def _zero(
+    params: AnonChanParams, pid: int, rng: random.Random
+) -> ProverMaterial:
+    return zero_material(params, rng)
+
+
+def _targeted(
+    params: AnonChanParams, pid: int, rng: random.Random
+) -> ProverMaterial:
+    indices = list(range(params.d))
+    return targeted_material(params, params.field(7), indices, rng)
+
+
+def _dependent(
+    params: AnonChanParams, pid: int, rng: random.Random
+) -> ProverMaterial:
+    return dependent_input_material(params, params.field(5), rng)
+
+
+#: name -> strategy (the adversary axis).  "honest" means the corrupted
+#: parties run the unmodified protocol (useful as the fault axis' base).
+STRATEGIES: dict[str, StrategySpec] = {
+    spec.name: spec
+    for spec in [
+        StrategySpec(
+            name="honest",
+            description="corrupted parties follow the protocol verbatim",
+            build=_honest,
+        ),
+        StrategySpec(
+            name="guessing-cheater",
+            description=(
+                "optimal improper-vector cheater: guesses every "
+                "challenge bit (Claim 1's tight bound)"
+            ),
+            build=_guessing,
+            improper=True,
+            min_d=2,
+        ),
+        StrategySpec(
+            name="jamming",
+            description="dense random vector (DC-net jammer), bit-0 only",
+            build=_jamming,
+            improper=True,
+        ),
+        StrategySpec(
+            name="zero",
+            description="all-zero vector: passes both branches, adds nothing",
+            build=_zero,
+        ),
+        StrategySpec(
+            name="targeted",
+            description="proper vector at adversary-chosen indices",
+            build=_targeted,
+        ),
+        StrategySpec(
+            name="dependent-input",
+            description="proper vector replaying a known message value",
+            build=_dependent,
+        ),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One network-fault model, applied to corrupted parties' outputs.
+
+    ``build(params, cost, rng)`` returns the tamper function (or
+    ``None`` for the fault-free cell); crash points are resolved
+    against the VSS cost profile at build time so "mid" and "late"
+    track the actual round schedule.
+    """
+
+    name: str
+    description: str
+    build: Callable[
+        [AnonChanParams, VSSCost, random.Random], "Tamper | None"
+    ]
+
+
+def _no_fault(
+    params: AnonChanParams, cost: VSSCost, rng: random.Random
+) -> None:
+    return None
+
+
+def _drop_half(
+    params: AnonChanParams, cost: VSSCost, rng: random.Random
+) -> Tamper:
+    return drop_messages(0.5, rng)
+
+
+def _crash_share(
+    params: AnonChanParams, cost: VSSCost, rng: random.Random
+) -> Tamper:
+    return crash_after(0)  # silent from round zero: never deals
+
+
+def _crash_mid(
+    params: AnonChanParams, cost: VSSCost, rng: random.Random
+) -> Tamper:
+    return crash_after(cost.share_rounds)  # deals honestly, then dies
+
+
+def _crash_late(
+    params: AnonChanParams, cost: VSSCost, rng: random.Random
+) -> Tamper:
+    return crash_after(cost.share_rounds + 4)  # dies before the transfer
+
+
+def _flip(
+    params: AnonChanParams, cost: VSSCost, rng: random.Random
+) -> Tamper:
+    return flip_integers(0x7)
+
+
+def _garble(
+    params: AnonChanParams, cost: VSSCost, rng: random.Random
+) -> Tamper:
+    return garble_everything()
+
+
+def _drop_flip(
+    params: AnonChanParams, cost: VSSCost, rng: random.Random
+) -> Tamper:
+    return compose_tampers(drop_messages(0.3, rng), flip_integers(1))
+
+
+#: name -> fault (the network-fault axis).
+FAULTS: dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in [
+        FaultSpec("none", "fault-free network behaviour", _no_fault),
+        FaultSpec(
+            "drop-half",
+            "drop each outgoing private payload w.p. 1/2",
+            _drop_half,
+        ),
+        FaultSpec(
+            "crash-share",
+            "silent from round zero (masked by ideal-VSS redundancy)",
+            _crash_share,
+        ),
+        FaultSpec(
+            "crash-mid",
+            "deal honestly, then crash right after the sharing phase",
+            _crash_mid,
+        ),
+        FaultSpec(
+            "crash-late",
+            "crash just before the private transfer to the receiver",
+            _crash_late,
+        ),
+        FaultSpec("flip", "XOR a bit mask into every integer payload", _flip),
+        FaultSpec("garble", "replace every payload with junk", _garble),
+        FaultSpec(
+            "drop+flip",
+            "drop 30% of payloads and bit-flip the rest",
+            _drop_flip,
+        ),
+    ]
+}

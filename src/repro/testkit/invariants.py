@@ -1,0 +1,438 @@
+"""The invariant-checker registry: the paper's claims as executable checks.
+
+Each checker looks at the evidence gathered from one campaign config
+(:class:`ConfigEvidence`: per-trial outcomes plus one traced run) and
+returns a :class:`CheckOutcome`.  Statistical invariants use an *exact
+binomial tolerance*: with ``T`` seeded trials and a per-trial failure
+(or survival) bound ``p`` from the paper's analysis, the checker flags
+a violation only when the observed count has binomial tail probability
+below ``alpha`` — astronomically unlikely under the claim, virtually
+certain under a real regression (e.g., a deterministic delivery bug
+fails all ``T`` trials, whose tail is ``p^T``).
+
+Registry (see docs/TESTING.md):
+
+- ``claim1-survival`` — improper vectors survive cut-and-choose at rate
+  ``2^-num_checks`` (Claim 1, two-sided: too *few* survivals is also a
+  bug — it would mean the proof rejects what it must accept).
+- ``claim2-delivery`` — honest messages are delivered except w.p.
+  bounded by the hypergeometric collision tail (Claim 2) plus the
+  cheater-survival and tag-collision terms.
+- ``output-bound`` — ``|Y| <= n`` in every trial without a surviving
+  improper vector (threshold >= 2; at threshold 1 any collision makes
+  garbage output, so the check would be vacuous).
+- ``proper-pass`` — proper committed vectors always survive the proof
+  in fault-free runs (the other direction of Claim 1).
+- ``agreement`` — all honest parties agree on the qualified set, the
+  PASS set, and the challenge.
+- ``anonymity`` — permutation-indistinguishability over traced receiver
+  views: swapping two honest senders' inputs (same seed) leaves the
+  receiver's multiset and all public traffic accounting unchanged.
+- ``schedule-conformance`` — the traced run matches the static
+  :func:`repro.core.trace.round_schedule` prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.hypergeometric import hypergeometric_tail, log_binomial
+from repro.core.params import AnonChanParams
+
+from .axes import STRATEGIES
+from .config import CampaignConfig
+
+#: Default statistical tolerance: a checker cries wolf only on events
+#: this unlikely under the paper's bounds.  Campaigns are fully seeded,
+#: so a passing grid stays passing byte-for-byte until code changes.
+DEFAULT_ALPHA = 1e-5
+
+
+def binomial_tail(trials: int, p: float, k: int) -> float:
+    """Exact upper tail ``Pr[Bin(trials, p) >= k]`` via log-space pmf."""
+    if k <= 0:
+        return 1.0
+    if k > trials:
+        return 0.0
+    if p <= 0.0:
+        return 0.0
+    if p >= 1.0:
+        return 1.0
+    log_p, log_q = math.log(p), math.log1p(-p)
+    return min(
+        1.0,
+        math.fsum(
+            math.exp(log_binomial(trials, i) + i * log_p + (trials - i) * log_q)
+            for i in range(k, trials + 1)
+        ),
+    )
+
+
+def binomial_lower_tail(trials: int, p: float, k: int) -> float:
+    """Exact lower tail ``Pr[Bin(trials, p) <= k]``."""
+    if k < 0:
+        return 0.0
+    if k >= trials:
+        return 1.0
+    return min(1.0, 1.0 - binomial_tail(trials, p, k + 1) + 1e-15)
+
+
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Compact, public-only record of one seeded protocol execution."""
+
+    trial: int
+    seed: int
+    challenge: int
+    qualified: tuple[int, ...]
+    surviving: tuple[int, ...]  # corrupted parties in the final PASS set
+    honest_delivered: bool
+    output_total: int
+    agreement: bool
+    anonymity_ok: bool | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trial": self.trial,
+            "seed": self.seed,
+            "challenge": self.challenge,
+            "qualified": list(self.qualified),
+            "surviving": list(self.surviving),
+            "honest_delivered": self.honest_delivered,
+            "output_total": self.output_total,
+            "agreement": self.agreement,
+            "anonymity_ok": self.anonymity_ok,
+        }
+
+
+@dataclass
+class ConfigEvidence:
+    """Everything the checkers see about one executed config."""
+
+    config: CampaignConfig
+    params: AnonChanParams
+    corrupted: tuple[int, ...]
+    trials: list[TrialOutcome]
+    schedule_ok: bool | None = None
+    schedule_divergences: list[str] = field(default_factory=list)
+
+    @property
+    def honest_count(self) -> int:
+        return self.config.n - len(self.corrupted)
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One checker's verdict on one config."""
+
+    invariant: str
+    applicable: bool
+    passed: bool
+    stats: dict[str, Any]
+    message: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "applicable": self.applicable,
+            "passed": self.passed,
+            "stats": self.stats,
+            "message": self.message,
+        }
+
+
+class InvariantChecker:
+    """Base class: subclasses set ``name`` and implement ``evaluate``."""
+
+    name = "abstract"
+    description = ""
+
+    def evaluate(self, ev: ConfigEvidence) -> CheckOutcome:
+        raise NotImplementedError
+
+    # helpers -----------------------------------------------------------
+    def _skip(self, reason: str, **stats: Any) -> CheckOutcome:
+        return CheckOutcome(
+            invariant=self.name,
+            applicable=False,
+            passed=True,
+            stats={"skipped": reason, **stats},
+        )
+
+    def _verdict(
+        self, passed: bool, message: str | None = None, **stats: Any
+    ) -> CheckOutcome:
+        return CheckOutcome(
+            invariant=self.name,
+            applicable=True,
+            passed=passed,
+            stats=stats,
+            message=None if passed else message,
+        )
+
+
+class Claim1Survival(InvariantChecker):
+    """Empirical cut-and-choose survival rate vs the exact ``2^-kappa``."""
+
+    name = "claim1-survival"
+    description = (
+        "improper vectors survive cut-and-choose at rate 2^-num_checks "
+        "(two-sided exact binomial tolerance)"
+    )
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        self.alpha = alpha
+
+    def evaluate(self, ev: ConfigEvidence) -> CheckOutcome:
+        spec = STRATEGIES[ev.config.strategy]
+        if not spec.improper:
+            return self._skip("strategy commits a proper vector")
+        if ev.config.fault != "none":
+            return self._skip("network faults perturb the survival rate")
+        if len(ev.corrupted) != 1:
+            return self._skip("needs exactly one corrupted prover")
+        p = spec.survival_p(ev.params)
+        trials = len(ev.trials)
+        survived = sum(1 for t in ev.trials if t.surviving)
+        upper = binomial_tail(trials, p, survived)
+        lower = binomial_lower_tail(trials, p, survived)
+        tail = min(upper, lower)
+        passed = tail >= self.alpha / 2
+        return self._verdict(
+            passed,
+            message=(
+                f"observed {survived}/{trials} survivals vs expected rate "
+                f"{p:g} (two-sided tail {tail:.3g} < alpha/2 "
+                f"{self.alpha / 2:.3g})"
+            ),
+            trials=trials,
+            survived=survived,
+            expected_rate=p,
+            observed_rate=survived / trials,
+            tail_probability=tail,
+            alpha=self.alpha,
+        )
+
+
+class Claim2Delivery(InvariantChecker):
+    """Honest-output delivery under the Claim 2 collision budget."""
+
+    name = "claim2-delivery"
+    description = (
+        "honest messages are delivered except w.p. bounded by the "
+        "hypergeometric collision tail + cheater survival + tag collisions"
+    )
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        self.alpha = alpha
+
+    def _per_trial_bound(self, ev: ConfigEvidence) -> float:
+        params = ev.params
+        spec = STRATEGIES[ev.config.strategy]
+        # A sender's message is lost once more than d - ceil(d/2) of its
+        # darts collide with the other senders' (at most (n-1)d marked
+        # cells); the exact hypergeometric tail is tighter than the
+        # Chvatal bound at campaign scale.
+        k_loss = params.d - params.threshold_count + 1
+        marked = min((params.n - 1) * params.d, params.ell)
+        p_coll = hypergeometric_tail(params.ell, marked, params.d, k_loss)
+        p = ev.honest_count * p_coll
+        p += params.n**2 / (2.0**params.kappa)  # tag collisions
+        if spec.improper:
+            # A surviving improper vector may jam everything.
+            p += len(ev.corrupted) * spec.survival_p(params)
+        return min(1.0, p)
+
+    def evaluate(self, ev: ConfigEvidence) -> CheckOutcome:
+        p = self._per_trial_bound(ev)
+        if p >= 0.5:
+            return self._skip(
+                "per-trial failure bound is vacuous at this scale",
+                per_trial_bound=p,
+            )
+        trials = len(ev.trials)
+        failures = sum(1 for t in ev.trials if not t.honest_delivered)
+        tail = binomial_tail(trials, p, failures)
+        passed = tail >= self.alpha
+        return self._verdict(
+            passed,
+            message=(
+                f"{failures}/{trials} trials lost an honest message; "
+                f"binomial tail {tail:.3g} under per-trial bound {p:.3g} "
+                f"is below alpha {self.alpha:.3g}"
+            ),
+            trials=trials,
+            failures=failures,
+            per_trial_bound=p,
+            tail_probability=tail,
+            alpha=self.alpha,
+        )
+
+
+class OutputBound(InvariantChecker):
+    """``|Y| <= n`` whenever no improper vector survived the proof."""
+
+    name = "output-bound"
+    description = (
+        "the receiver's multiset has at most n elements in every trial "
+        "without a surviving improper vector"
+    )
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        self.alpha = alpha
+
+    def evaluate(self, ev: ConfigEvidence) -> CheckOutcome:
+        params = ev.params
+        if params.threshold_count < 2:
+            return self._skip(
+                "threshold ceil(d/2) = 1: any collision mints garbage "
+                "output, the bound is only meaningful for d >= 3"
+            )
+        spec = STRATEGIES[ev.config.strategy]
+        considered = [
+            t
+            for t in ev.trials
+            if not (spec.improper and t.surviving)
+        ]
+        if not considered:
+            return self._skip("every trial had a surviving improper vector")
+        # Spurious output needs >= ceil(d/2) >= 2 *identical* random
+        # garbage pairs: both kappa-bit halves (message and tag) must
+        # match, so one coincidence costs 2^-2kappa; union over the at
+        # most (n d)^2 coordinate pairs that could collide.
+        p = min(
+            1.0, (params.n * params.d) ** 2 * 2.0 ** (-2 * params.kappa)
+        )
+        failures = sum(1 for t in considered if t.output_total > params.n)
+        tail = binomial_tail(len(considered), p, failures)
+        passed = tail >= self.alpha
+        return self._verdict(
+            passed,
+            message=(
+                f"{failures}/{len(considered)} trials output more than "
+                f"n={params.n} messages without a surviving improper vector"
+            ),
+            trials=len(considered),
+            failures=failures,
+            per_trial_bound=p,
+            tail_probability=tail,
+            alpha=self.alpha,
+        )
+
+
+class ProperPass(InvariantChecker):
+    """Proper vectors always survive the proof in fault-free runs."""
+
+    name = "proper-pass"
+    description = (
+        "a proper committed vector is never disqualified by "
+        "cut-and-choose in a fault-free run (completeness of the proof)"
+    )
+
+    def evaluate(self, ev: ConfigEvidence) -> CheckOutcome:
+        spec = STRATEGIES[ev.config.strategy]
+        if spec.improper:
+            return self._skip("strategy commits an improper vector")
+        if ev.config.fault != "none":
+            return self._skip("network faults can disqualify any prover")
+        if not ev.corrupted:
+            return self._skip("no corrupted prover to track")
+        expected = tuple(sorted(ev.corrupted))
+        bad = [
+            t.trial
+            for t in ev.trials
+            if tuple(sorted(t.surviving)) != expected
+        ]
+        return self._verdict(
+            not bad,
+            message=(
+                f"proper prover(s) disqualified in trials {bad} "
+                f"(strategy {ev.config.strategy!r})"
+            ),
+            trials=len(ev.trials),
+            failing_trials=bad,
+        )
+
+
+class Agreement(InvariantChecker):
+    """All honest parties agree on qualified/PASS/challenge."""
+
+    name = "agreement"
+    description = (
+        "honest parties agree on the qualified set, the PASS set, and "
+        "the opened challenge in every trial"
+    )
+
+    def evaluate(self, ev: ConfigEvidence) -> CheckOutcome:
+        bad = [t.trial for t in ev.trials if not t.agreement]
+        return self._verdict(
+            not bad,
+            message=f"honest parties disagreed in trials {bad}",
+            trials=len(ev.trials),
+            failing_trials=bad,
+        )
+
+
+class Anonymity(InvariantChecker):
+    """Receiver view is invariant under permuting honest inputs."""
+
+    name = "anonymity"
+    description = (
+        "swapping two honest senders' messages (same seed) leaves the "
+        "receiver's multiset and the public traffic accounting unchanged"
+    )
+
+    def evaluate(self, ev: ConfigEvidence) -> CheckOutcome:
+        checked = [t for t in ev.trials if t.anonymity_ok is not None]
+        if not checked:
+            return self._skip("no trial ran the permuted twin execution")
+        bad = [t.trial for t in checked if not t.anonymity_ok]
+        return self._verdict(
+            not bad,
+            message=(
+                f"receiver view distinguished permuted honest inputs in "
+                f"trials {bad}"
+            ),
+            trials=len(checked),
+            failing_trials=bad,
+        )
+
+
+class ScheduleConformance(InvariantChecker):
+    """The traced run matches the static round-schedule prediction."""
+
+    name = "schedule-conformance"
+    description = (
+        "the observed per-round schedule of a traced execution matches "
+        "repro.core.trace.round_schedule (phases, broadcasts, totals)"
+    )
+
+    def evaluate(self, ev: ConfigEvidence) -> CheckOutcome:
+        if ev.schedule_ok is None:
+            return self._skip("no traced trial for this config")
+        return self._verdict(
+            ev.schedule_ok,
+            message="; ".join(ev.schedule_divergences) or "schedule diverged",
+            divergences=list(ev.schedule_divergences),
+        )
+
+
+def default_registry(
+    alpha: float = DEFAULT_ALPHA,
+) -> dict[str, InvariantChecker]:
+    """The standard checker registry, in evaluation order."""
+    checkers: list[InvariantChecker] = [
+        Claim1Survival(alpha),
+        Claim2Delivery(alpha),
+        OutputBound(alpha),
+        ProperPass(),
+        Agreement(),
+        Anonymity(),
+        ScheduleConformance(),
+    ]
+    return {c.name: c for c in checkers}

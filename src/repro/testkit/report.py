@@ -1,0 +1,232 @@
+"""Campaign reports: JSON evidence with embedded repro command lines.
+
+A :class:`CampaignReport` serializes one conformance campaign — every
+config's checker verdicts, the per-trial evidence of violating cells,
+the shrink traces, and for each violation a shell command that re-runs
+exactly that cell (same config JSON, same campaign seed) so a failure
+found by CI or the nightly sweep reproduces locally with one paste.
+
+Reports are deterministic modulo two volatile fields (``generated_at``
+and ``duration_ms``); :func:`canonical_report_json` strips them
+recursively, so two campaigns with the same grid and seed compare
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Any
+
+from .config import CampaignConfig
+from .runner import ConfigResult
+from .shrink import ShrinkResult
+
+#: Version of the campaign-report JSON layout.
+CAMPAIGN_REPORT_VERSION = 1
+
+#: Report fields that vary run-to-run and are excluded from the
+#: canonical (comparison) form.
+VOLATILE_FIELDS = frozenset({"generated_at", "duration_ms"})
+
+
+def repro_command(
+    config: CampaignConfig,
+    campaign_seed: int = 0,
+    selftest_break: str | None = None,
+) -> str:
+    """A shell command that re-runs exactly this campaign cell."""
+    parts = [
+        "python",
+        "-m",
+        "repro",
+        "conformance",
+        "--config",
+        config.to_json(),
+        "--seed",
+        str(campaign_seed),
+        "--no-shrink",
+    ]
+    if selftest_break:
+        parts += ["--selftest-break", selftest_break]
+    return " ".join(shlex.quote(p) for p in parts)
+
+
+def _strip_volatile(node: Any) -> Any:
+    if isinstance(node, dict):
+        return {
+            k: _strip_volatile(v)
+            for k, v in node.items()
+            if k not in VOLATILE_FIELDS
+        }
+    if isinstance(node, list):
+        return [_strip_volatile(v) for v in node]
+    return node
+
+
+def canonical_report_json(report: "CampaignReport | dict[str, Any]") -> str:
+    """The report as key-sorted JSON with volatile fields removed.
+
+    Two campaigns over the same grid and seed produce byte-identical
+    canonical JSON; the determinism tests (and any caching layer)
+    compare this form.
+    """
+    data = report.to_dict() if isinstance(report, CampaignReport) else report
+    return json.dumps(_strip_volatile(data), indent=2, sort_keys=True)
+
+
+@dataclass
+class CampaignReport:
+    """One campaign: grid, verdicts, evidence, shrinks, repro lines."""
+
+    grid: str
+    campaign_seed: int
+    results: list[ConfigResult]
+    skipped: list[CampaignConfig] = dc_field(default_factory=list)
+    shrinks: list[ShrinkResult] = dc_field(default_factory=list)
+    budget: int | None = None
+    selftest_break: str | None = None
+    generated_at: str = ""
+    duration_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.generated_at:
+            self.generated_at = time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def violating(self) -> list[ConfigResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violating
+
+    @property
+    def total_runs(self) -> int:
+        return sum(r.runs for r in self.results)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        configs = []
+        for result in self.results:
+            entry = result.to_dict(include_trials=not result.ok)
+            if not result.ok:
+                entry["repro"] = repro_command(
+                    result.config, self.campaign_seed, self.selftest_break
+                )
+            configs.append(entry)
+        shrinks = []
+        for shrink in self.shrinks:
+            entry = shrink.to_dict()
+            entry["repro"] = repro_command(
+                shrink.minimal, self.campaign_seed, self.selftest_break
+            )
+            shrinks.append(entry)
+        return {
+            "version": CAMPAIGN_REPORT_VERSION,
+            "grid": self.grid,
+            "campaign_seed": self.campaign_seed,
+            "budget": self.budget,
+            "selftest_break": self.selftest_break,
+            "generated_at": self.generated_at,
+            "duration_ms": round(self.duration_ms, 3),
+            "totals": {
+                "configs": len(self.results),
+                "skipped": len(self.skipped),
+                "runs": self.total_runs,
+                "violating_configs": len(self.violating),
+                "ok": self.ok,
+            },
+            "configs": configs,
+            "skipped": [c.to_dict() for c in self.skipped],
+            "shrinks": shrinks,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """Human-readable campaign summary for the CLI."""
+        lines = [
+            f"conformance campaign — grid={self.grid} "
+            f"seed={self.campaign_seed}",
+            f"configs: {len(self.results)} run, {len(self.skipped)} "
+            f"skipped (budget), {self.total_runs} protocol executions, "
+            f"{self.duration_ms / 1e3:.1f}s",
+        ]
+        if self.selftest_break:
+            lines.append(
+                f"NOTE: self-test checker {self.selftest_break!r} injected "
+                "(always fails; for exercising the shrink/repro pipeline)"
+            )
+        lines.append("")
+        for result in self.results:
+            mark = "ok " if result.ok else "FAIL"
+            suffix = ""
+            if not result.ok:
+                suffix = "  <- " + ", ".join(
+                    o.invariant for o in result.violations
+                )
+            lines.append(
+                f"  [{mark}] {result.config.name:<40} "
+                f"trials={result.config.trials:<4}{suffix}"
+            )
+        claim1 = [
+            (r, o)
+            for r in self.results
+            for o in r.outcomes
+            if o.invariant == "claim1-survival" and o.applicable
+        ]
+        if claim1:
+            lines.append("")
+            lines.append(
+                "claim 1 survival (observed vs 2^-num_checks, "
+                "exact binomial tolerance):"
+            )
+            for result, outcome in claim1:
+                stats = outcome.stats
+                lines.append(
+                    f"  {result.config.name:<40} "
+                    f"{stats['survived']:>4}/{stats['trials']:<4} "
+                    f"observed={stats['observed_rate']:.4f} "
+                    f"expected={stats['expected_rate']:.4f} "
+                    f"tail={stats['tail_probability']:.3g}"
+                )
+        for result in self.violating:
+            lines.append("")
+            lines.append(f"VIOLATION in {result.config.name}:")
+            for outcome in result.violations:
+                lines.append(f"  - {outcome.invariant}: {outcome.message}")
+            lines.append(
+                "  repro: "
+                + repro_command(
+                    result.config, self.campaign_seed, self.selftest_break
+                )
+            )
+        for shrink in self.shrinks:
+            lines.append("")
+            lines.append(
+                f"shrunk {shrink.original.name} "
+                f"({shrink.invariant}, {shrink.attempts} attempts):"
+            )
+            for step in shrink.steps:
+                lines.append(f"  * {step}")
+            lines.append(f"  minimal: {shrink.minimal.key()}")
+            lines.append(
+                "  repro: "
+                + repro_command(
+                    shrink.minimal, self.campaign_seed, self.selftest_break
+                )
+            )
+        lines.append("")
+        lines.append(
+            "verdict: "
+            + ("all invariants hold" if self.ok else "INVARIANT VIOLATIONS")
+        )
+        return "\n".join(lines)

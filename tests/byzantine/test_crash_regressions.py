@@ -1,0 +1,101 @@
+"""Crash-fault regressions for the agreement layer (ISSUE 5).
+
+Sweeps ``crash_after(r)`` over *every* round index of phase-king and
+Dolev–Strong: a party that goes silent mid-protocol is the classic
+benign fault, and both algorithms must keep agreement at their
+resilience bounds (``t < n/4`` for phase-king, ``t < n/2`` for
+Dolev–Strong over ideal signatures — both within the ``t < n/3``
+regime the satellite task names) no matter *when* the crash lands.
+"""
+
+import pytest
+
+from repro.byzantine import (
+    DEFAULT_VALUE,
+    IdealSignatures,
+    dolev_strong_program,
+    phase_king_program,
+    run_dolev_strong,
+    run_phase_king,
+)
+from repro.network import crash_after, faulty_adversary
+
+# phase-king at n=5, t=1: (t+1) phases x 2 rounds = 4 rounds.
+PK_N, PK_T = 5, 1
+PK_ROUNDS = (PK_T + 1) * 2
+
+# Dolev–Strong at n=4, t=1: t + 1 = 2 rounds.
+DS_N, DS_T = 4, 1
+DS_ROUNDS = DS_T + 1
+
+
+def _phase_king_with_crash(crashed: int, crash_round: int, values):
+    adv = faulty_adversary(
+        {crashed},
+        {crashed: phase_king_program(
+            crashed, PK_N, PK_T, values.get(crashed, 0)
+        )},
+        crash_after(crash_round),
+    )
+    return run_phase_king(PK_N, PK_T, values, adversary=adv)
+
+
+class TestPhaseKingCrashSweep:
+    @pytest.mark.parametrize("crash_round", range(PK_ROUNDS))
+    def test_agreement_when_the_king_crashes(self, crash_round):
+        """Party 0 is the first phase's king — the worst crash victim."""
+        values = {pid: pid % 2 for pid in range(PK_N)}
+        res = _phase_king_with_crash(0, crash_round, values)
+        decisions = set(res.outputs.values())
+        assert len(decisions) == 1, f"disagreement: {res.outputs}"
+        assert decisions.pop() in (0, 1)
+
+    @pytest.mark.parametrize("crash_round", range(PK_ROUNDS))
+    def test_agreement_when_a_subject_crashes(self, crash_round):
+        values = {pid: pid % 2 for pid in range(PK_N)}
+        res = _phase_king_with_crash(PK_N - 1, crash_round, values)
+        decisions = set(res.outputs.values())
+        assert len(decisions) == 1, f"disagreement: {res.outputs}"
+
+    @pytest.mark.parametrize("crash_round", range(PK_ROUNDS))
+    @pytest.mark.parametrize("crashed", [0, PK_N - 1])
+    def test_validity_with_unanimous_honest_input(self, crashed, crash_round):
+        """When every honest party starts with 1, they decide 1 —
+        a crashing minority cannot flip a unanimous input."""
+        values = {pid: 1 for pid in range(PK_N)}
+        res = _phase_king_with_crash(crashed, crash_round, values)
+        assert all(v == 1 for v in res.outputs.values()), res.outputs
+
+
+def _dolev_strong_with_crash(crashed: int, crash_round: int, sender=0,
+                             value="msg"):
+    signatures = IdealSignatures()
+    adv = faulty_adversary(
+        {crashed},
+        {crashed: dolev_strong_program(
+            crashed, DS_N, DS_T, sender,
+            value if crashed == sender else None, signatures,
+        )},
+        crash_after(crash_round),
+    )
+    return run_dolev_strong(
+        DS_N, DS_T, sender, value, signatures=signatures, adversary=adv
+    )
+
+
+class TestDolevStrongCrashSweep:
+    @pytest.mark.parametrize("crash_round", range(DS_ROUNDS))
+    def test_agreement_when_the_sender_crashes(self, crash_round):
+        res = _dolev_strong_with_crash(0, crash_round, sender=0)
+        decisions = set(res.outputs.values())
+        assert len(decisions) == 1, f"disagreement: {res.outputs}"
+        # A sender silent from round zero yields the default value.
+        if crash_round == 0:
+            assert decisions == {DEFAULT_VALUE}
+
+    @pytest.mark.parametrize("crash_round", range(DS_ROUNDS))
+    def test_validity_when_a_relay_crashes(self, crash_round):
+        """A crashing non-sender cannot break validity: every honest
+        party still outputs the honest sender's value."""
+        res = _dolev_strong_with_crash(DS_N - 1, crash_round, sender=0)
+        assert all(v == "msg" for v in res.outputs.values()), res.outputs

@@ -1,0 +1,33 @@
+"""Suite-wide pytest configuration: the opt-in ``campaign`` tier.
+
+Test tiers (see docs/TESTING.md):
+
+- **tier 1** — the default ``pytest`` run: every unmarked test.
+- **tier 2** — ``slow``-marked smoke tests; included by default, can be
+  deselected with ``-m "not slow"``.
+- **tier 3** — ``campaign``-marked conformance campaigns (minutes of
+  protocol executions); *skipped by default*, opted in with
+  ``pytest --run-campaign`` (the CI nightly job does this).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-campaign",
+        action="store_true",
+        default=False,
+        help="run campaign-marked conformance tests (tier 3)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-campaign"):
+        return
+    skip = pytest.mark.skip(
+        reason="conformance campaign: opt in with --run-campaign"
+    )
+    for item in items:
+        if "campaign" in item.keywords:
+            item.add_marker(skip)

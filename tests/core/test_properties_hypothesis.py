@@ -17,15 +17,14 @@ from repro.core import (
 )
 from repro.fields import gf2k
 
+from tests.strategies import perm_len, perm_seed, sparse_vectors
+
 
 def _params(n=4, ell=24, d=4, checks=3):
     return AnonChanParams(n=n, t=1, kappa=16, ell=ell, d=d, num_checks=checks)
 
 
 # -- permutations ------------------------------------------------------------
-
-perm_seed = st.integers(min_value=0, max_value=10**9)
-perm_len = st.integers(min_value=1, max_value=40)
 
 
 @settings(max_examples=60)
@@ -63,20 +62,7 @@ def test_permutation_field_encoding_roundtrip(length, seed):
     assert Permutation.from_field_elements(p.to_field_elements(f)) == p
 
 
-# -- sparse vectors -----------------------------------------------------------
-
-
-@st.composite
-def sparse_vectors(draw, length=32):
-    f = gf2k(16)
-    count = draw(st.integers(min_value=0, max_value=5))
-    seed = draw(st.integers(min_value=0, max_value=10**9))
-    rng = random.Random(seed)
-    entries = {
-        k: (rng.randrange(f.order), rng.randrange(f.order))
-        for k in rng.sample(range(length), count)
-    }
-    return SparseVector(f, length, entries)
+# -- sparse vectors (shared strategy from tests.strategies) -------------------
 
 
 @settings(max_examples=60)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.network import (
     RoundOutput,
+    RushedView,
     compose_tampers,
     crash_after,
     drop_messages,
@@ -15,6 +16,10 @@ from repro.network import (
     only_in_rounds,
     run_protocol,
 )
+
+
+def _view(round_index=0):
+    return RushedView(round_index=round_index, broadcasts={}, to_corrupted={})
 
 
 def chatter(pid, n, rounds):
@@ -90,6 +95,46 @@ class TestGarbleAndFlip:
         assert res.outputs[0][1] == [0, 3, 2]
 
 
+class TestCrashAfterZeroDirect:
+    """crash_after(0): silent from round zero at the tamper level."""
+
+    def test_silences_private_and_broadcast_at_round_zero(self):
+        out = RoundOutput(private={0: (9, 9), 1: (9, 9)}, broadcast="hello")
+        silenced = crash_after(0)(2, _view(0), out)
+        assert silenced.private == {}
+        assert silenced.broadcast is None
+
+    def test_never_speaks_in_any_later_round(self):
+        t = crash_after(0)
+        out = RoundOutput(private={0: 1}, broadcast=2)
+        for r in range(5):
+            assert t(2, _view(r), out) == RoundOutput.silent()
+
+
+class TestDropBoundariesDirect:
+    """drop_messages at the 0.0 / 1.0 boundaries is exact, not just
+    probable: random() lies in [0, 1), so >= 0.0 always keeps and
+    >= 1.0 always drops — for every message, every round."""
+
+    def test_probability_zero_keeps_everything(self):
+        t = drop_messages(0.0, random.Random(123))
+        out = RoundOutput(private={j: (j, j) for j in range(50)})
+        for r in range(10):
+            assert t(9, _view(r), out).private == out.private
+
+    def test_probability_one_drops_everything(self):
+        t = drop_messages(1.0, random.Random(123))
+        out = RoundOutput(private={j: (j, j) for j in range(50)})
+        for r in range(10):
+            assert t(9, _view(r), out).private == {}
+
+    def test_boundaries_preserve_broadcast(self):
+        out = RoundOutput(private={0: 1}, broadcast="keepme")
+        for p in (0.0, 1.0):
+            t = drop_messages(p, random.Random(0))
+            assert t(9, _view(), out).broadcast == "keepme"
+
+
 class TestComposition:
     def test_only_in_rounds(self):
         res = _run(3, 3, {2}, only_in_rounds(garble_everything(), {1}))
@@ -102,6 +147,50 @@ class TestComposition:
         t = compose_tampers(flip_integers(0b01), flip_integers(0b10))
         out = t(0, None, RoundOutput(private={1: 0}))
         assert out.private[1] == 0b11
+
+    def test_compose_applies_left_to_right(self):
+        """Non-commutative tampers pin the ordering (XOR masks cannot:
+        they commute, so either order would pass the test above)."""
+
+        def double(pid, view, out):
+            return RoundOutput(
+                private={j: v * 2 for j, v in out.private.items()},
+                broadcast=out.broadcast,
+            )
+
+        def increment(pid, view, out):
+            return RoundOutput(
+                private={j: v + 1 for j, v in out.private.items()},
+                broadcast=out.broadcast,
+            )
+
+        start = RoundOutput(private={1: 3})
+        assert compose_tampers(double, increment)(
+            0, _view(), start
+        ).private[1] == 3 * 2 + 1
+        assert compose_tampers(increment, double)(
+            0, _view(), start
+        ).private[1] == (3 + 1) * 2
+
+    def test_compose_with_crash_is_not_commutative(self):
+        """crash-then-garble stays silent; garble-then-crash is also
+        silent — but drop-then-flip differs from flip-then-drop only in
+        rng stream, so use crash + a payload-adding tamper instead."""
+
+        def add_message(pid, view, out):
+            private = dict(out.private)
+            private[0] = "extra"
+            return RoundOutput(private=private, broadcast=out.broadcast)
+
+        start = RoundOutput(private={1: 3})
+        crashed_then_added = compose_tampers(crash_after(0), add_message)(
+            2, _view(0), start
+        )
+        added_then_crashed = compose_tampers(add_message, crash_after(0))(
+            2, _view(0), start
+        )
+        assert crashed_then_added.private == {0: "extra"}
+        assert added_then_crashed.private == {}
 
     def test_faults_against_anonchan(self):
         """Library faults drive a full protocol run (smoke)."""

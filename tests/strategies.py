@@ -1,0 +1,72 @@
+"""Shared Hypothesis strategies for the test suite.
+
+One place for the generators every property-based test needs — seeds,
+field values, permutations, sparse dart vectors, and protocol
+parameters — so individual test modules stop growing ad-hoc copies.
+Import from tests as::
+
+    from tests.strategies import seeds, sparse_vectors, anonchan_params
+
+(``tests`` is a package; pytest puts the repo root on ``sys.path``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.core import AnonChanParams, SparseVector
+from repro.fields import gf2k
+
+#: Generic rng seeds (also used for Permutation.random drawing).
+seeds = st.integers(min_value=0, max_value=10**9)
+
+#: Alias kept for the permutation tests' vocabulary.
+perm_seed = seeds
+
+#: Permutation / vector lengths small enough for exhaustive checks.
+perm_len = st.integers(min_value=1, max_value=40)
+
+#: Raw values of GF(2^16) elements.
+values16 = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+def field_elements(kappa: int = 16):
+    """Elements of GF(2^kappa), as a Hypothesis strategy."""
+    f = gf2k(kappa)
+    return st.builds(f, st.integers(min_value=0, max_value=f.order - 1))
+
+
+@st.composite
+def sparse_vectors(draw, length: int = 32, max_entries: int = 5):
+    """Sparse tagged vectors over GF(2^16) with up to ``max_entries``."""
+    f = gf2k(16)
+    count = draw(st.integers(min_value=0, max_value=max_entries))
+    seed = draw(seeds)
+    rng = random.Random(seed)
+    entries = {
+        k: (rng.randrange(f.order), rng.randrange(f.order))
+        for k in rng.sample(range(length), count)
+    }
+    return SparseVector(f, length, entries)
+
+
+@st.composite
+def anonchan_params(
+    draw,
+    max_n: int = 5,
+    max_d: int = 6,
+    max_checks: int = 4,
+    kappa: int = 16,
+):
+    """Valid laptop-scale :class:`AnonChanParams` across all axes."""
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    t = draw(st.integers(min_value=1, max_value=(n - 1) // 2))
+    d = draw(st.integers(min_value=2, max_value=max_d))
+    checks = draw(st.integers(min_value=1, max_value=max_checks))
+    margin = draw(st.integers(min_value=4, max_value=8))
+    ell = margin * (n - 1) * d
+    return AnonChanParams(
+        n=n, t=t, kappa=kappa, ell=ell, d=d, num_checks=checks
+    )

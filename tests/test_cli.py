@@ -221,3 +221,76 @@ def test_bench_check_committed_baselines_self_compare(capsys, monkeypatch):
     # The repository root doubles as both baseline dir and current run.
     assert main(["bench-check", "--baseline", "."]) == 0
     assert "within thresholds" in capsys.readouterr().err
+
+
+_TINY_CONFIG = (
+    '{"name": "cli-tiny", "n": 3, "t": 1, "d": 2, "ell": 16, "kappa": 8,'
+    ' "num_checks": 1, "trials": 1}'
+)
+
+
+def test_conformance_single_config_passes(capsys):
+    assert main(["conformance", "--config", _TINY_CONFIG]) == 0
+    captured = capsys.readouterr()
+    assert "cli-tiny" in captured.out
+    assert "all invariants hold" in captured.out
+
+
+def test_conformance_bad_config_is_usage_error(capsys):
+    assert main(["conformance", "--config", '{"n": 3}']) == 2
+    assert "bad --config" in capsys.readouterr().err
+    assert main(["conformance", "--config", "not json"]) == 2
+    assert "bad --config" in capsys.readouterr().err
+
+
+def test_conformance_selftest_name_collision_is_usage_error(capsys):
+    assert main([
+        "conformance", "--config", _TINY_CONFIG,
+        "--selftest-break", "agreement",
+    ]) == 2
+    assert "collides" in capsys.readouterr().err
+
+
+def test_conformance_selftest_break_fails_shrinks_and_reproduces(capsys):
+    import shlex
+
+    assert main([
+        "conformance", "--config", _TINY_CONFIG, "--selftest-break", "broken",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "broken" in out and "repro:" in out
+    # The embedded repro command must itself reproduce the violation.
+    repro_line = next(
+        line for line in out.splitlines() if "repro:" in line
+    )
+    argv = shlex.split(repro_line.split("repro:", 1)[1])
+    assert argv[:3] == ["python", "-m", "repro"]
+    capsys.readouterr()
+    assert main(argv[3:]) == 1
+    assert "broken" in capsys.readouterr().out
+
+
+def test_conformance_report_and_json_are_canonical(tmp_path, capsys):
+    import json
+
+    report_path = tmp_path / "report.json"
+    assert main([
+        "conformance", "--config", _TINY_CONFIG,
+        "--report", str(report_path), "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["totals"]["ok"] is True
+    assert payload["grid"] == "custom"
+    on_disk = json.loads(report_path.read_text(encoding="utf-8"))
+    # The canonical stdout JSON is the on-disk report minus volatile keys.
+    assert "generated_at" in on_disk and "generated_at" not in payload
+
+
+def test_conformance_budget_skips_configs(capsys):
+    assert main([
+        "conformance", "--grid", "mini", "--budget", "1", "--json",
+    ]) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["skipped"]

@@ -1,0 +1,194 @@
+"""Invariant checkers against synthetic evidence (no protocol runs)."""
+
+import math
+
+import pytest
+
+from repro.testkit import CampaignConfig, binomial_tail, default_registry
+from repro.testkit.invariants import (
+    ConfigEvidence,
+    TrialOutcome,
+    binomial_lower_tail,
+)
+
+
+def _evidence(trials, *, strategy="honest", fault="none", corrupt_count=0,
+              d=2, ell=16, num_checks=2, schedule_ok=None, divergences=()):
+    config = CampaignConfig(
+        name="synthetic", n=3, t=1, d=d, ell=ell, kappa=8,
+        num_checks=num_checks, strategy=strategy, fault=fault,
+        corrupt_count=corrupt_count, trials=len(trials),
+    )
+    corrupted = tuple(range(3 - corrupt_count, 3))
+    return ConfigEvidence(
+        config=config,
+        params=config.params(),
+        corrupted=corrupted,
+        trials=list(trials),
+        schedule_ok=schedule_ok,
+        schedule_divergences=list(divergences),
+    )
+
+
+def _trial(i, *, surviving=(), delivered=True, output_total=3,
+           agreement=True, anonymity_ok=None):
+    return TrialOutcome(
+        trial=i, seed=1000 + i, challenge=i, qualified=(0, 1, 2),
+        surviving=tuple(surviving), honest_delivered=delivered,
+        output_total=output_total, agreement=agreement,
+        anonymity_ok=anonymity_ok,
+    )
+
+
+class TestBinomialTail:
+    def test_exact_small_case(self):
+        # Pr[Bin(4, 1/2) >= 2] = 11/16
+        assert math.isclose(binomial_tail(4, 0.5, 2), 11 / 16)
+
+    def test_boundaries(self):
+        assert binomial_tail(10, 0.3, 0) == 1.0
+        assert binomial_tail(10, 0.3, 11) == 0.0
+        assert binomial_tail(10, 0.0, 1) == 0.0
+        assert binomial_tail(10, 1.0, 10) == 1.0
+
+    def test_lower_tail_complements_upper(self):
+        for k in range(11):
+            total = binomial_lower_tail(10, 0.4, k) + binomial_tail(
+                10, 0.4, k + 1
+            )
+            assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+    def test_deterministic_failure_is_astronomical(self):
+        # A real delivery bug fails all trials: tail = p^T.
+        assert binomial_tail(96, 0.3, 96) == pytest.approx(0.3**96)
+
+
+def _check(evidence, invariant):
+    registry = default_registry()
+    return registry[invariant].evaluate(evidence)
+
+
+class TestClaim1Checker:
+    def test_skips_proper_strategies(self):
+        out = _check(_evidence([_trial(0)]), "claim1-survival")
+        assert not out.applicable
+
+    def test_skips_under_faults(self):
+        ev = _evidence(
+            [_trial(0)], strategy="jamming", fault="drop-half",
+            corrupt_count=1,
+        )
+        assert not _check(ev, "claim1-survival").applicable
+
+    def test_accepts_on_target_rate(self):
+        # 24/96 survivals at num_checks=2 is exactly 2^-2.
+        trials = [
+            _trial(i, surviving=(2,) if i < 24 else ())
+            for i in range(96)
+        ]
+        ev = _evidence(trials, strategy="jamming", corrupt_count=1)
+        out = _check(ev, "claim1-survival")
+        assert out.applicable and out.passed
+
+    def test_flags_always_surviving_cheater(self):
+        """A broken cut-and-choose (cheater always passes) must fire."""
+        trials = [_trial(i, surviving=(2,)) for i in range(96)]
+        ev = _evidence(trials, strategy="jamming", corrupt_count=1)
+        out = _check(ev, "claim1-survival")
+        assert out.applicable and not out.passed
+        assert "observed 96/96" in out.message
+
+    def test_flags_never_surviving_cheater_two_sided(self):
+        """Claim 1 is tight: rejecting what must be accepted is a bug
+        too (e.g. the proof rejecting every honest-looking copy)."""
+        trials = [_trial(i) for i in range(96)]
+        ev = _evidence(trials, strategy="jamming", corrupt_count=1,
+                       num_checks=1)
+        out = _check(ev, "claim1-survival")
+        assert out.applicable and not out.passed
+
+
+class TestClaim2DeliveryChecker:
+    def test_vacuous_bound_skips(self):
+        # jamming at num_checks=1: survival term 1/2 makes the
+        # per-trial bound >= 0.5 — no statistical power, must skip.
+        ev = _evidence([_trial(0)], strategy="jamming", corrupt_count=1,
+                       num_checks=1)
+        out = _check(ev, "claim2-delivery")
+        assert not out.applicable
+
+    def test_accepts_full_delivery(self):
+        ev = _evidence([_trial(i) for i in range(20)])
+        out = _check(ev, "claim2-delivery")
+        assert out.applicable and out.passed
+
+    def test_flags_deterministic_loss(self):
+        ev = _evidence([_trial(i, delivered=False) for i in range(40)])
+        out = _check(ev, "claim2-delivery")
+        assert out.applicable and not out.passed
+        assert "40/40" in out.message
+
+
+class TestOutputBoundChecker:
+    def test_skips_at_threshold_one(self):
+        # d=2 -> ceil(d/2)=1: single collisions mint garbage, vacuous.
+        ev = _evidence([_trial(0, output_total=50)], d=2)
+        assert not _check(ev, "output-bound").applicable
+
+    def test_flags_spurious_output(self):
+        ev = _evidence([_trial(i, output_total=7) for i in range(8)], d=3)
+        out = _check(ev, "output-bound")
+        assert out.applicable and not out.passed
+
+    def test_ignores_trials_with_surviving_improper_vector(self):
+        """|Y| <= n is only promised when no improper vector survived."""
+        trials = [_trial(i, surviving=(2,), output_total=50)
+                  for i in range(8)]
+        ev = _evidence(trials, strategy="jamming", corrupt_count=1, d=3)
+        out = _check(ev, "output-bound")
+        assert not out.applicable  # every trial excluded
+
+
+class TestProperPassChecker:
+    def test_flags_disqualified_proper_prover(self):
+        trials = [_trial(0, surviving=(2,)), _trial(1, surviving=())]
+        ev = _evidence(trials, strategy="zero", corrupt_count=1)
+        out = _check(ev, "proper-pass")
+        assert out.applicable and not out.passed
+        assert out.stats["failing_trials"] == [1]
+
+    def test_skips_improper_strategies_and_faults(self):
+        ev = _evidence([_trial(0)], strategy="jamming", corrupt_count=1)
+        assert not _check(ev, "proper-pass").applicable
+        ev = _evidence([_trial(0)], fault="flip", corrupt_count=1)
+        assert not _check(ev, "proper-pass").applicable
+
+
+class TestHardCheckers:
+    def test_agreement(self):
+        good = _evidence([_trial(0), _trial(1)])
+        assert _check(good, "agreement").passed
+        bad = _evidence([_trial(0), _trial(1, agreement=False)])
+        out = _check(bad, "agreement")
+        assert out.applicable and not out.passed
+
+    def test_anonymity_skips_without_probe(self):
+        assert not _check(_evidence([_trial(0)]), "anonymity").applicable
+
+    def test_anonymity_flags_distinguishable_views(self):
+        ev = _evidence([_trial(0, anonymity_ok=False)])
+        out = _check(ev, "anonymity")
+        assert out.applicable and not out.passed
+
+    def test_schedule_conformance(self):
+        assert not _check(
+            _evidence([_trial(0)]), "schedule-conformance"
+        ).applicable
+        ok = _evidence([_trial(0)], schedule_ok=True)
+        assert _check(ok, "schedule-conformance").passed
+        bad = _evidence(
+            [_trial(0)], schedule_ok=False,
+            divergences=["round 3: broadcast used, predicted the opposite"],
+        )
+        out = _check(bad, "schedule-conformance")
+        assert not out.passed and "round 3" in out.message

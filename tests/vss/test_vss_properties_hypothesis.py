@@ -10,8 +10,7 @@ from repro.fields import gf2k
 from repro.network import run_protocol
 from repro.vss import BGWVSS, IdealVSS, RB89VSS, combine_views
 
-seeds = st.integers(min_value=0, max_value=10**9)
-values16 = st.integers(min_value=0, max_value=2**16 - 1)
+from tests.strategies import seeds, values16
 
 
 def _share_open(scheme, secrets, seed):
