@@ -33,6 +33,10 @@ conformance
     automatic shrinking of violations (see :mod:`repro.testkit`).
 lint
     Run the protocol-aware static analyzer (see :mod:`repro.lint`).
+flowcheck
+    ``lint --flow``: the whole-program secret-taint, call-graph
+    layering, and concurrency-readiness passes (see
+    :mod:`repro.lint.flow`).
 """
 
 from __future__ import annotations
@@ -307,6 +311,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "flowcheck":
+        # Shorthand for `lint --flow`: the whole-program secret-flow,
+        # layering, and concurrency-readiness passes.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(["--flow", *argv[1:]])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -417,6 +427,11 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser(
         "lint",
         help="run the protocol-aware static analyzer (repro.lint)",
+        add_help=False,
+    )
+    sub.add_parser(
+        "flowcheck",
+        help="run the whole-program flow passes (lint --flow)",
         add_help=False,
     )
 

@@ -108,7 +108,9 @@ class SparseVector:
     def __post_init__(self):
         for k, pair in list(self.entries.items()):
             if not 0 <= k < self.length:
-                raise ValueError(f"index {k} out of range [0, {self.length})")
+                # The failing index is a secret dart position: name the
+                # bound, not the value (exception text reaches logs).
+                raise ValueError(f"entry index out of range [0, {self.length})")
             if pair == (0, 0):
                 del self.entries[k]
 

@@ -13,10 +13,22 @@ code-level invariants the paper's proofs take for granted:
 - **RL101–RL103** — generic hygiene (mutable defaults, bare except,
   future annotations).
 
+``--flow`` adds the whole-program passes of :mod:`repro.lint.flow`,
+driven by the checked-in ``taint-spec.toml``:
+
+- **RL201–RL203** — interprocedural secret-taint tracking (direct,
+  cross-function via summaries, and into exception messages), with the
+  full source→sink path in every finding.
+- **RL210** — the cross-module layering lattice enforced over the
+  approximate call graph.
+- **RL301–RL303** — concurrency readiness: mutable globals, blocking
+  calls, and cross-party aliasing reachable from party code.
+
 Run it with ``python -m repro.lint src/repro`` or ``python -m repro
-lint``.  Per-line suppressions: ``# repro-lint: disable=RL001``; a
-committed baseline (``.repro-lint-baseline.json``) absorbs
-pre-existing findings.  See ``docs/LINT.md``.
+lint`` (``python -m repro flowcheck`` = ``lint --flow``).  Per-line
+suppressions: ``# repro-lint: disable=RL001``; a committed baseline
+(``.repro-lint-baseline.json``) absorbs pre-existing findings.
+``--format sarif`` emits SARIF 2.1.0.  See ``docs/LINT.md``.
 """
 
 from .baseline import DEFAULT_BASELINE_NAME, load_baseline, write_baseline

@@ -2,8 +2,9 @@
 
 Usage::
 
-    python -m repro.lint [paths ...] [--format text|json] [options]
+    python -m repro.lint [paths ...] [--format text|json|sarif] [options]
     python -m repro lint [paths ...]      # same, via the package CLI
+    python -m repro flowcheck [paths ...] # lint --flow shorthand
 
 Exit status: 0 when no new findings, 1 when findings remain after
 suppressions and baseline, 2 on usage or I/O errors.
@@ -40,9 +41,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the whole-program flow passes (secret taint, "
+        "call-graph layering, concurrency readiness)",
+    )
+    parser.add_argument(
+        "--taint-spec",
+        type=Path,
+        metavar="FILE",
+        help="flow spec file (default: nearest taint-spec.toml)",
     )
     parser.add_argument(
         "--select",
@@ -122,6 +135,13 @@ def _render_json(result: LintResult, stream) -> None:
     stream.write("\n")
 
 
+def _render_sarif(result: LintResult, stream) -> None:
+    from .sarif import to_sarif
+
+    json.dump(to_sarif(result), stream, indent=2)
+    stream.write("\n")
+
+
 def _rule_counts(result: LintResult) -> dict[str, int]:
     counts: dict[str, int] = {}
     for finding in result.findings:
@@ -133,14 +153,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    from .flow import FLOW_RULES, SpecError
+
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.summary}")
+        for rule_id, (_, description) in sorted(FLOW_RULES.items()):
+            print(f"{rule_id}  [flow] {description}")
         return 0
 
     select = _parse_rule_set(args.select)
     ignore = _parse_rule_set(args.ignore) or frozenset()
-    known = set(rule_ids()) | {"RL000"}
+    known = set(rule_ids()) | {"RL000"} | set(FLOW_RULES)
     unknown = ((select or frozenset()) | ignore) - known
     if unknown:
         print(
@@ -155,11 +179,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         ignore=ignore,
         baseline_path=args.baseline,
         use_baseline=not (args.no_baseline or args.write_baseline),
+        flow=args.flow,
+        taint_spec_path=args.taint_spec,
     )
     try:
         paths = list(args.paths) or _default_paths()
         result = lint_paths(paths, config)
-    except (FileNotFoundError, ValueError, OSError) as exc:
+    except (FileNotFoundError, ValueError, OSError, SpecError) as exc:
         print(f"repro.lint: error: {exc}", file=sys.stderr)
         return 2
 
@@ -174,6 +200,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.format == "json":
         _render_json(result, sys.stdout)
+    elif args.format == "sarif":
+        _render_sarif(result, sys.stdout)
     else:
         _render_text(result, sys.stdout)
     return result.exit_code

@@ -22,6 +22,12 @@ class LintConfig:
     use_baseline: bool = True
     #: Filenames excluded from linting.
     exclude_names: frozenset[str] = frozenset()
+    #: Also run the whole-program flow passes (:mod:`repro.lint.flow`).
+    flow: bool = False
+    #: Taint/layering/concurrency spec file; ``None`` auto-discovers a
+    #: ``taint-spec.toml`` next to the baseline (searching upward from
+    #: the linted paths), falling back to the packaged default spec.
+    taint_spec_path: Path | None = None
 
     def rule_enabled(self, rule_id: str) -> bool:
         if rule_id in self.ignore:

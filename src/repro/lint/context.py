@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from .findings import Finding
+from .suppressions import Suppressions
 
 
 def module_name_for(path: Path) -> str:
@@ -37,6 +38,9 @@ class ModuleContext:
     lines: list[str] = field(default_factory=list)
     #: line ranges (inclusive) inside ``if __name__ == "__main__":`` guards
     main_guard_ranges: list[tuple[int, int]] = field(default_factory=list)
+    #: parsed suppression comments, scanned once at construction so both
+    #: the per-file rules and the whole-program flow passes share them
+    suppressions: Suppressions = field(default_factory=Suppressions)
 
     @classmethod
     def from_source(
@@ -52,6 +56,7 @@ class ModuleContext:
             lines=source.splitlines(),
         )
         ctx.main_guard_ranges = _main_guard_ranges(tree)
+        ctx.suppressions = Suppressions.scan(source)
         return ctx
 
     @property

@@ -1,4 +1,13 @@
-"""File walker and rule runner."""
+"""Rule runner over a single-parse :class:`~repro.lint.project.Project`.
+
+The engine reads and parses each file exactly once (see
+:mod:`repro.lint.project`), then feeds the shared
+:class:`~repro.lint.context.ModuleContext` objects to every per-file
+rule and — when :attr:`LintConfig.flow` is set — to the whole-program
+flow passes.  Suppressions are scanned during parsing and applied
+uniformly to both rule families; the committed baseline subtracts
+pre-existing findings at the end.
+"""
 
 from __future__ import annotations
 
@@ -10,11 +19,23 @@ from .baseline import load_baseline, split_baselined
 from .config import LintConfig
 from .context import ModuleContext
 from .findings import Finding
+from .project import (
+    PARSE_ERROR_RULE,
+    Project,
+    display_path_for,
+    iter_python_files,
+    load_project,
+)
 from .rules import all_rules
-from .suppressions import Suppressions
 
-#: Rule id used for unparseable files (cannot be suppressed in-file).
-PARSE_ERROR_RULE = "RL000"
+__all__ = [
+    "PARSE_ERROR_RULE",
+    "LintResult",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_project",
+]
 
 
 @dataclass
@@ -31,30 +52,31 @@ class LintResult:
         return 1 if self.findings else 0
 
 
-def iter_python_files(paths: Sequence[Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    files: set[Path] = set()
-    for path in paths:
-        if path.is_dir():
-            files.update(p for p in path.rglob("*.py") if p.is_file())
-        elif path.suffix == ".py" and path.is_file():
-            files.add(path)
-        else:
-            raise FileNotFoundError(f"{path}: not a Python file or directory")
-    return sorted(files)
-
-
-def _display_path(path: Path) -> str:
-    try:
-        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
-    except ValueError:
-        return path.as_posix()
+def _check_context(
+    ctx: ModuleContext, config: LintConfig
+) -> tuple[list[Finding], int]:
+    """Run every enabled per-file rule over one parsed module."""
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule in all_rules():
+        if not config.rule_enabled(rule.rule_id):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.suppressions.suppresses(finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
 
 
 def lint_file(path: Path, config: LintConfig) -> tuple[list[Finding], int]:
-    """Lint one file; returns (findings, suppressed-count)."""
+    """Lint one file; returns (findings, suppressed-count).
+
+    Retained for single-file callers and tests; whole runs go through
+    :func:`lint_paths` so the parse is shared with the flow passes.
+    """
     source = path.read_text(encoding="utf-8")
-    display = _display_path(path)
+    display = display_path_for(path)
     try:
         ctx = ModuleContext.from_source(path, source, display_path=display)
     except SyntaxError as exc:
@@ -66,38 +88,44 @@ def lint_file(path: Path, config: LintConfig) -> tuple[list[Finding], int]:
             message=f"syntax error: {exc.msg}",
         )
         return [finding], 0
-    suppressions = Suppressions.scan(source)
-    findings: list[Finding] = []
-    suppressed = 0
-    for rule in all_rules():
-        if not config.rule_enabled(rule.rule_id):
-            continue
-        for finding in rule.check(ctx):
-            if suppressions.suppresses(finding):
-                suppressed += 1
+    return _check_context(ctx, config)
+
+
+def lint_project(project: Project, config: LintConfig) -> LintResult:
+    """Run per-file rules (and flow passes, if enabled) over a project."""
+    result = LintResult()
+    raw: list[Finding] = list(project.parse_failures)
+    for ctx in project.contexts:
+        findings, suppressed = _check_context(ctx, config)
+        raw.extend(findings)
+        result.suppressed += suppressed
+        result.files_checked += 1
+
+    if config.flow:
+        from .flow import run_flow
+
+        for finding in run_flow(project, config):
+            ctx = project.context_for_finding(finding)
+            if ctx is not None and ctx.suppressions.suppresses(finding):
+                result.suppressed += 1
             else:
-                findings.append(finding)
-    return findings, suppressed
+                raw.append(finding)
+
+    raw.sort()
+    result.findings = raw
+    return result
 
 
 def lint_paths(paths: Sequence[Path], config: LintConfig) -> LintResult:
     """Lint every Python file under ``paths`` and apply the baseline."""
-    result = LintResult()
-    raw: list[Finding] = []
-    for file_path in iter_python_files(paths):
-        if file_path.name in config.exclude_names:
-            continue
-        findings, suppressed = lint_file(file_path, config)
-        raw.extend(findings)
-        result.suppressed += suppressed
-        result.files_checked += 1
-    raw.sort()
+    project = load_project(paths, config)
+    result = lint_project(project, config)
     baseline_file = config.resolve_baseline(
         paths[0] if paths else Path.cwd()
     )
     if baseline_file is not None:
         baseline = load_baseline(baseline_file)
-        result.findings, result.baselined = split_baselined(raw, baseline)
-    else:
-        result.findings = raw
+        result.findings, result.baselined = split_baselined(
+            result.findings, baseline
+        )
     return result

@@ -1,0 +1,112 @@
+"""Whole-program secret-flow & concurrency-readiness analysis.
+
+Entry point for the flow rule family (RL2xx/RL3xx), run by the engine
+when ``LintConfig.flow`` is set.  Builds the approximate call graph
+once from the single-parse :class:`~repro.lint.project.Project`, loads
+the checked-in ``taint-spec.toml``, and runs three interprocedural
+passes:
+
+- :mod:`.taint` — secret-taint dataflow (RL201/RL202/RL203);
+- :mod:`.layering` — dependency lattice over call edges (RL210);
+- :mod:`.concurrency` — asyncio-readiness of party code (RL301-303).
+
+Findings reuse the ordinary :class:`~repro.lint.findings.Finding`
+machinery, so ``# repro-lint: disable=RL2xx`` comments and the
+committed baseline apply unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..project import Project
+from .concurrency import (
+    RULE_BLOCKING_CALL,
+    RULE_MUTABLE_GLOBAL,
+    RULE_SHARED_MUTABLE,
+    run_concurrency,
+)
+from .graph import ProjectGraph
+from .layering import RULE_LAYERING, run_layering
+from .spec import SPEC_FILENAME, FlowSpec, SpecError
+from .taint import RULE_DIRECT, RULE_EXCEPTION, RULE_INTERPROCEDURAL, run_taint
+
+__all__ = [
+    "FLOW_RULES",
+    "FlowSpec",
+    "ProjectGraph",
+    "SpecError",
+    "load_spec",
+    "run_flow",
+]
+
+#: rule id -> (short name, one-line description) — used by SARIF output
+#: and the docs; keep in sync with docs/LINT.md.
+FLOW_RULES: dict[str, tuple[str, str]] = {
+    RULE_DIRECT: (
+        "secret-reaches-sink",
+        "Secret-bearing value reaches an observable sink "
+        "(print/log/trace/profiler).",
+    ),
+    RULE_INTERPROCEDURAL: (
+        "secret-reaches-sink-interprocedural",
+        "Secret-bearing value reaches an observable sink through a "
+        "call chain.",
+    ),
+    RULE_EXCEPTION: (
+        "secret-in-exception",
+        "Secret-bearing value interpolated into an exception message.",
+    ),
+    RULE_LAYERING: (
+        "layering-violation",
+        "Call edge violates the [layering] dependency lattice of "
+        "taint-spec.toml.",
+    ),
+    RULE_MUTABLE_GLOBAL: (
+        "mutable-global-in-party-code",
+        "Mutable module-level state reachable from per-party protocol "
+        "code.",
+    ),
+    RULE_BLOCKING_CALL: (
+        "blocking-call-in-party-code",
+        "Blocking or wall-clock call reachable from per-party protocol "
+        "code.",
+    ),
+    RULE_SHARED_MUTABLE: (
+        "cross-party-aliasing",
+        "One mutable object shared across party programs constructed "
+        "in a loop.",
+    ),
+}
+
+
+def load_spec(config: LintConfig, project: Project) -> FlowSpec:
+    """Resolve the flow spec: explicit path, upward discovery from the
+    linted tree, then upward discovery from the package itself (the
+    repo-root ``taint-spec.toml`` in a source checkout)."""
+    if config.taint_spec_path is not None:
+        return FlowSpec.load(config.taint_spec_path)
+    for start in [ctx.path for ctx in project.contexts[:1]] + [Path(__file__)]:
+        spec = FlowSpec.discover(start)
+        if spec is not None:
+            return spec
+    raise SpecError(
+        f"no {SPEC_FILENAME} found above the linted paths; pass "
+        "--taint-spec or add one at the repository root"
+    )
+
+
+def run_flow(project: Project, config: LintConfig) -> list[Finding]:
+    """Run all whole-program passes; returns unsuppressed raw findings
+    (the engine applies suppressions and the baseline)."""
+    spec = load_spec(config, project)
+    graph = ProjectGraph(project)
+    findings: list[Finding] = []
+    findings += run_taint(graph, spec)
+    findings += run_layering(graph, spec)
+    findings += run_concurrency(graph, spec)
+    return sorted(
+        f for f in findings if config.rule_enabled(f.rule)
+    )

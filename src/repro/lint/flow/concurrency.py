@@ -1,0 +1,404 @@
+"""Concurrency-readiness pass (RL301/RL302/RL303).
+
+ROADMAP item 1 turns each party's program into an asyncio task.  This
+pass flags the three things that will break under that refactor:
+
+- **RL301** — module-level mutable state (container globals, or globals
+  rebound via ``global``) reachable from party-program code: shared
+  across concurrent parties, it is a data race and a cross-party
+  information leak.
+- **RL302** — blocking or wall-clock calls (``time.*``, file/socket
+  I/O) reachable from party code: they stall every party sharing the
+  event loop and break seed-replayability.
+- **RL303** — one mutable object constructed outside a loop and passed
+  into per-party program factories inside the loop, where the callee
+  mutates that parameter: all parties alias one object.
+
+Every finding message carries the call-graph path from the party root
+so the report is actionable without re-running the analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..findings import Finding
+from .graph import MODULE_BODY, FunctionInfo, ProjectGraph
+from .spec import FlowSpec
+
+RULE_MUTABLE_GLOBAL = "RL301"
+RULE_BLOCKING_CALL = "RL302"
+RULE_SHARED_MUTABLE = "RL303"
+
+_MUTABLE_BUILTINS = frozenset(
+    {"dict", "list", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+@dataclass(frozen=True)
+class _Global:
+    module: str
+    name: str
+    node: ast.stmt
+    info: FunctionInfo  # module-body pseudo-function (for ctx/paths)
+    reason: str
+
+
+def _render_path(path: tuple[str, ...]) -> str:
+    return " -> ".join(path)
+
+
+def _callee_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_mutable_initializer(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return _callee_name(value) in _MUTABLE_BUILTINS
+    return False
+
+
+def _module_roots(graph: ProjectGraph, spec: FlowSpec) -> set[str]:
+    roots: set[str] = set()
+    for qualname, info in graph.functions.items():
+        if info.qualname.endswith(f".{MODULE_BODY}"):
+            continue
+        if spec.concurrency.party_roots.matches(qualname, None, info.name):
+            roots.add(qualname)
+    return roots
+
+
+def _collect_globals(graph: ProjectGraph, spec: FlowSpec) -> dict[tuple[str, str], _Global]:
+    """(module, name) -> mutable module-global candidates."""
+    out: dict[tuple[str, str], _Global] = {}
+    rebound: set[tuple[str, str]] = set()
+    for qualname, info in graph.functions.items():
+        if info.node is None:
+            continue
+        for stmt in ast.walk(info.node):
+            if isinstance(stmt, ast.Global):
+                for name in stmt.names:
+                    rebound.add((_norm(info.module), name))
+    for qualname, info in graph.functions.items():
+        if not qualname.endswith(f".{MODULE_BODY}"):
+            continue
+        module = _norm(info.module)
+        for stmt in info.ctx.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__"):
+                    continue
+                full = f"{module}.{name}"
+                if full in spec.concurrency.allowed_globals:
+                    continue
+                if isinstance(value, ast.Call):
+                    ctor = _flatten(value.func)
+                    if ctor is not None:
+                        # Qualify through the module's import table so
+                        # `from contextvars import ContextVar` matches
+                        # the spec's `contextvars.ContextVar`.
+                        head, _, rest = ctor.partition(".")
+                        origin = graph.symbols.get(module, {}).get(head)
+                        if origin is not None:
+                            ctor = f"{origin}.{rest}" if rest else origin
+                    bare = _callee_name(value)
+                    if spec.concurrency.safe_global_types.matches(ctor, None, bare):
+                        continue
+                if _is_mutable_initializer(value):
+                    reason = "initialized to a mutable container"
+                elif (module, name) in rebound:
+                    reason = "rebound via `global` from function code"
+                else:
+                    continue
+                out[(module, name)] = _Global(
+                    module=module, name=name, node=stmt, info=info, reason=reason
+                )
+    return out
+
+
+def _norm(module: str) -> str:
+    if module.endswith(".__init__"):
+        return module[: -len(".__init__")]
+    return module
+
+
+def _flatten(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _names_referenced(info: FunctionInfo) -> tuple[set[str], set[str]]:
+    """(loaded-or-stored names, names declared ``global``)."""
+    used: set[str] = set()
+    declared: set[str] = set()
+    node = info.node
+    if node is None:
+        return used, declared
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            used.add(sub.id)
+        elif isinstance(sub, ast.Global):
+            declared.update(sub.names)
+    return used, declared
+
+
+def _locals_bound(info: FunctionInfo) -> set[str]:
+    """Names bound locally (params, assignments) — these shadow globals."""
+    bound: set[str] = set(info.params)
+    node = info.node
+    if node is None:
+        return bound
+    declared_global: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Global):
+            declared_global.update(sub.names)
+        elif isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+            bound.add(sub.target.id)
+        elif isinstance(sub, (ast.For, ast.AsyncFor)) and isinstance(sub.target, ast.Name):
+            bound.add(sub.target.id)
+    return bound - declared_global
+
+
+def check_mutable_globals(
+    graph: ProjectGraph,
+    spec: FlowSpec,
+    reachable: dict[str, tuple[str, ...]],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    globals_by_module = _collect_globals(graph, spec)
+    if not globals_by_module:
+        return findings
+    seen: set[tuple[str, str]] = set()
+    for qualname in sorted(reachable):
+        info = graph.functions.get(qualname)
+        if info is None or info.node is None:
+            continue
+        module = _norm(info.module)
+        used, declared = _names_referenced(info)
+        shadowed = _locals_bound(info)
+        for (gmod, gname), glob in globals_by_module.items():
+            if gmod != module:
+                continue
+            touches = gname in declared or (
+                gname in used and gname not in shadowed
+            )
+            if not touches or (gmod, gname) in seen:
+                continue
+            seen.add((gmod, gname))
+            path = reachable[qualname]
+            findings.append(
+                glob.info.ctx.finding(
+                    RULE_MUTABLE_GLOBAL,
+                    glob.node,
+                    f"mutable module global `{gname}` ({glob.reason}) is "
+                    f"touched by party-reachable code {qualname}; under "
+                    "per-party asyncio tasks this is shared state across "
+                    f"parties; path: {_render_path(path)}; use a "
+                    "ContextVar / per-party object, or justify it in "
+                    "[concurrency] allowed_globals",
+                )
+            )
+    return findings
+
+
+def check_blocking_calls(
+    graph: ProjectGraph,
+    spec: FlowSpec,
+    reachable: dict[str, tuple[str, ...]],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for qualname in sorted(reachable):
+        info = graph.functions.get(qualname)
+        if info is None:
+            continue
+        for site in graph.call_sites(qualname):
+            pattern = spec.concurrency.blocking_calls.matches(
+                site.qualname, site.attr, site.name
+            )
+            if pattern is None:
+                continue
+            desc = site.qualname or (
+                f".{site.attr}()" if site.attr else f"{site.name}()"
+            )
+            findings.append(
+                info.ctx.finding(
+                    RULE_BLOCKING_CALL,
+                    site.node,
+                    f"blocking/wall-clock call {desc} (matches "
+                    f"`{pattern}`) in party-reachable code; under asyncio "
+                    "it stalls every party on the loop and breaks seed "
+                    f"replayability; path: {_render_path(reachable[qualname])}",
+                )
+            )
+    return findings
+
+
+def _mutates_param(graph: ProjectGraph, callee: str, param: str) -> bool:
+    info = graph.functions.get(callee)
+    if info is None or info.node is None:
+        return False
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id == param
+                and node.func.attr in _MUTATING_METHODS
+            ):
+                return True
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == param
+                ):
+                    return True
+    return False
+
+
+def check_shared_mutables(graph: ProjectGraph, spec: FlowSpec) -> list[Finding]:
+    """RL303: mutable built outside a loop, passed to party factories
+    inside it, and mutated by the callee."""
+    findings: list[Finding] = []
+    entrypoints = spec.concurrency.party_entrypoints
+    if not entrypoints:
+        return findings
+    for qualname in sorted(graph.functions):
+        info = graph.functions[qualname]
+        if info.node is None:
+            continue
+        outer_mutables: dict[str, int] = {}
+        for stmt in info.node.body:  # loop-external, top-level statements
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if _is_mutable_initializer(value):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        outer_mutables[target.id] = stmt.lineno
+        if not outer_mutables:
+            continue
+        site_by_node = {id(s.node): s for s in graph.call_sites(qualname)}
+        for call, in_loop in _calls_with_loop_flag(info.node.body):
+            if not in_loop:
+                continue
+            site = site_by_node.get(id(call))
+            qual = site.qualname if site else None
+            attr = site.attr if site else None
+            name = site.name if site else _callee_name(call)
+            if entrypoints.matches(qual, attr, name) is None:
+                continue
+            resolved = graph.resolve_qual(qual) if qual else None
+            callee_info = graph.functions.get(resolved) if resolved else None
+            for index, arg in enumerate(call.args):
+                if not isinstance(arg, ast.Name) or arg.id not in outer_mutables:
+                    continue
+                param = _param_at(callee_info, index)
+                if callee_info is not None and (
+                    param is None or not _mutates_param(graph, resolved, param)
+                ):
+                    continue
+                callee_desc = resolved or name or f".{attr}" or "party factory"
+                param_desc = f"parameter `{param}`" if param else "a parameter"
+                findings.append(
+                    info.ctx.finding(
+                        RULE_SHARED_MUTABLE,
+                        call,
+                        f"mutable object `{arg.id}` (created at line "
+                        f"{outer_mutables[arg.id]}) is passed into "
+                        f"{callee_desc} inside a loop and the callee "
+                        f"mutates {param_desc}: every party program "
+                        "aliases one object — give each party its own "
+                        "copy",
+                    )
+                )
+    return findings
+
+
+def _param_at(info: FunctionInfo | None, index: int) -> str | None:
+    if info is None:
+        return None
+    params = list(info.params)
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    if index < len(params):
+        return params[index]
+    return None
+
+
+def _calls_with_loop_flag(body: list[ast.stmt]):
+    """Yield (Call node, inside-a-loop?) excluding nested def/class."""
+
+    def walk(node: ast.AST, in_loop: bool):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(node, ast.Call):
+            yield node, in_loop
+        entering = in_loop or isinstance(
+            node,
+            (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+        )
+        for child in ast.iter_child_nodes(node):
+            yield from walk(child, entering)
+
+    for stmt in body:
+        yield from walk(stmt, False)
+
+
+def run_concurrency(graph: ProjectGraph, spec: FlowSpec) -> list[Finding]:
+    roots = _module_roots(graph, spec)
+    reachable = graph.reachable_from(roots)
+    findings = check_mutable_globals(graph, spec, reachable)
+    findings += check_blocking_calls(graph, spec, reachable)
+    findings += check_shared_mutables(graph, spec)
+    return sorted(findings)

@@ -1,0 +1,503 @@
+"""Approximate whole-program module + call graph.
+
+Builds, from the single-parse :class:`~repro.lint.project.Project`, an
+index of every function/method/class in the linted tree plus a
+name/attribute-resolution based call graph.  No code is executed and no
+imports are performed: resolution follows ``import``/``from`` tables
+(including package re-exports), ``self``/``cls`` method lookup with
+declared bases, lightweight annotation- and constructor-based local
+typing, and a unique-name fallback for attribute calls.  The graph is
+deliberately *approximate* — sound enough for the taint, layering, and
+concurrency passes, cheap enough to run in CI on every push.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..project import Project
+
+#: Pseudo-function name for a module's top-level statements.
+MODULE_BODY = "<module>"
+
+#: Method names owned by builtin/stdlib types (containers, strings,
+#: generators, files): excluded from the unique-bare-name fallback.
+_BUILTIN_METHOD_NAMES = frozenset(
+    name
+    for obj in (list, dict, set, tuple, str, bytes, frozenset, int, float)
+    for name in dir(obj)
+) | {"send", "throw", "close", "read", "write", "readline", "flush"}
+
+
+def module_of(ctx: ModuleContext) -> str:
+    """Graph-level module name: packages drop their ``.__init__`` tail
+    so re-exports resolve (``repro.core.run_anonchan`` finds the table
+    of ``repro/core/__init__.py``)."""
+    if ctx.module.endswith(".__init__"):
+        return ctx.module[: -len(".__init__")]
+    return ctx.module
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    ctx: ModuleContext
+    node: ast.FunctionDef | ast.AsyncFunctionDef | None
+    #: Owning class qualname for methods, else ``None``.
+    cls: str | None = None
+    params: tuple[str, ...] = ()
+    #: param name -> resolved class qualname (from annotations)
+    param_types: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno if self.node is not None else 1
+
+    def where(self) -> str:
+        return f"{self.ctx.display_path}:{self.line}"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition."""
+
+    qualname: str
+    module: str
+    ctx: ModuleContext
+    node: ast.ClassDef
+    #: resolved base-class qualnames (project classes only)
+    bases: tuple[str, ...] = ()
+    #: method name -> function qualname
+    methods: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    caller: FunctionInfo
+    #: resolved project qualname (or dotted external name), if any
+    qualname: str | None
+    #: attribute name for ``<expr>.attr(...)`` calls
+    attr: str | None
+    #: bare name for ``name(...)`` calls
+    name: str | None
+
+
+class ProjectGraph:
+    """Module graph + call graph over one parsed project."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: module -> {local name: qualified target}
+        self.symbols: dict[str, dict[str, str]] = {}
+        #: function qualname -> call sites in its body
+        self.calls: dict[str, list[CallSite]] = {}
+        #: function qualname -> project callee qualnames
+        self.edges: dict[str, set[str]] = {}
+        #: bare function name -> qualnames sharing it (fallback lookup)
+        self._by_name: dict[str, list[str]] = {}
+        self._build()
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self) -> None:
+        for ctx in self.project.contexts:
+            self._collect_module(ctx)
+        for info in list(self.functions.values()):
+            self._by_name.setdefault(info.name, []).append(info.qualname)
+        for info in list(self.functions.values()):
+            self._collect_calls(info)
+
+    def _collect_module(self, ctx: ModuleContext) -> None:
+        module = module_of(ctx)
+        symbols: dict[str, str] = {}
+        self.symbols[module] = symbols
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        symbols[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        symbols[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                # Relative levels resolve against the *file's* dotted
+                # name (``repro.core.__init__``), not the package name.
+                base = _resolve_import_base(ctx.module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    symbols[alias.asname or alias.name] = f"{base}.{alias.name}"
+
+        # Module body is a pseudo-function so top-level calls get a caller.
+        body_info = FunctionInfo(
+            qualname=f"{module}.{MODULE_BODY}",
+            module=module,
+            ctx=ctx,
+            node=None,
+        )
+        self.functions[body_info.qualname] = body_info
+        self._collect_scope(ctx, ctx.tree.body, prefix=module, cls=None)
+
+    def _collect_scope(
+        self,
+        ctx: ModuleContext,
+        body: list[ast.stmt],
+        prefix: str,
+        cls: str | None,
+    ) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{node.name}"
+                params = tuple(
+                    a.arg
+                    for a in [
+                        *node.args.posonlyargs,
+                        *node.args.args,
+                        *node.args.kwonlyargs,
+                    ]
+                )
+                info = FunctionInfo(
+                    qualname=qualname,
+                    module=ctx.module,
+                    ctx=ctx,
+                    node=node,
+                    cls=cls,
+                    params=params,
+                )
+                self.functions[qualname] = info
+                if cls is not None:
+                    self.classes[cls].methods[node.name] = qualname
+                # Nested defs get their own FunctionInfo (cls does not
+                # propagate into nested scopes).
+                self._collect_scope(ctx, node.body, prefix=qualname, cls=None)
+            elif isinstance(node, ast.ClassDef):
+                qualname = f"{prefix}.{node.name}"
+                self.classes[qualname] = ClassInfo(
+                    qualname=qualname,
+                    module=ctx.module,
+                    ctx=ctx,
+                    node=node,
+                )
+                self._collect_scope(ctx, node.body, prefix=qualname, cls=qualname)
+            elif isinstance(node, (ast.If, ast.Try, ast.With)):
+                for sub in ast.iter_child_nodes(node):
+                    if isinstance(sub, ast.stmt):
+                        self._collect_scope(ctx, [sub], prefix=prefix, cls=cls)
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve_qual(self, qual: str, _depth: int = 0) -> str | None:
+        """Follow re-export chains until a project definition (or give up)."""
+        if _depth > 8 or not qual:
+            return None
+        if qual in self.functions or qual in self.classes:
+            return qual
+        if "." not in qual:
+            return None
+        module_part, attr = qual.rsplit(".", 1)
+        # The module part itself may be a re-exported name.
+        symbols = self.symbols.get(module_part)
+        if symbols is None:
+            resolved_mod = self.resolve_qual(module_part, _depth + 1)
+            if resolved_mod is not None and resolved_mod != module_part:
+                return self.resolve_qual(f"{resolved_mod}.{attr}", _depth + 1)
+            return None
+        target = symbols.get(attr)
+        if target is None or target == qual:
+            # Name defined in the module body (e.g. a module-level alias).
+            candidate = f"{module_part}.{attr}"
+            if candidate in self.functions or candidate in self.classes:
+                return candidate
+            return None
+        return self.resolve_qual(target, _depth + 1)
+
+    def resolve_name(self, module: str, name: str) -> str | None:
+        """Resolve a bare name used in ``module`` to a project qualname."""
+        local = f"{module}.{name}"
+        if local in self.functions or local in self.classes:
+            return local
+        target = self.symbols.get(module, {}).get(name)
+        if target is not None:
+            return self.resolve_qual(target) or target
+        return None
+
+    def resolve_attr_unique(self, attr: str) -> str | None:
+        """Fallback: the unique project function with this bare name.
+
+        Dunders and names that collide with builtin-type methods are
+        never resolved this way — ``raw.sort()`` or a generator's
+        ``prog.send(...)`` must not bind to an unrelated project
+        function that happens to share the name.
+        """
+        if attr.startswith("__") or attr in _BUILTIN_METHOD_NAMES:
+            return None
+        candidates = self._by_name.get(attr, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def class_of(self, qualname: str) -> ClassInfo | None:
+        return self.classes.get(qualname)
+
+    def method_on(self, cls_qual: str, name: str, _depth: int = 0) -> str | None:
+        """Look up ``name`` on a class, walking declared bases."""
+        if _depth > 8:
+            return None
+        info = self.classes.get(cls_qual)
+        if info is None:
+            return None
+        if name in info.methods:
+            return info.methods[name]
+        for base in info.bases:
+            found = self.method_on(base, name, _depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def annotation_class(self, module: str, ann: ast.expr | None) -> str | None:
+        """Best-effort class qualname for an annotation expression."""
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Name):
+            resolved = self.resolve_name(module, ann.id)
+            return resolved if resolved in self.classes else None
+        if isinstance(ann, ast.Attribute):
+            dotted = _flatten_attr(ann)
+            if dotted is not None:
+                head, _, rest = dotted.partition(".")
+                base = self.symbols.get(module, {}).get(head, head)
+                resolved = self.resolve_qual(f"{base}.{rest}" if rest else base)
+                return resolved if resolved in self.classes else None
+            return None
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            return self.annotation_class(module, ann.left) or self.annotation_class(
+                module, ann.right
+            )
+        if isinstance(ann, ast.Subscript):
+            # Optional[T] / list[T]: try the container first, then the arg.
+            found = self.annotation_class(module, ann.value)
+            if found is not None:
+                return found
+            return self.annotation_class(module, ann.slice)
+        return None
+
+    # -- call extraction --------------------------------------------------
+
+    def _collect_calls(self, info: FunctionInfo) -> None:
+        if info.qualname.endswith(f".{MODULE_BODY}"):
+            body: list[ast.stmt] = [
+                stmt
+                for stmt in info.ctx.tree.body
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+        else:
+            assert info.node is not None
+            body = info.node.body
+            self._resolve_bases_and_params(info)
+        sites: list[CallSite] = []
+        local_types = self.local_types(info)
+        for call in _calls_in(body):
+            qualname, attr, name = self._resolve_call(info, call, local_types)
+            site = CallSite(
+                node=call, caller=info, qualname=qualname, attr=attr, name=name
+            )
+            sites.append(site)
+            if qualname is not None:
+                for target in self._edge_targets(qualname):
+                    self.edges.setdefault(info.qualname, set()).add(target)
+        self.calls[info.qualname] = sites
+
+    def _resolve_bases_and_params(self, info: FunctionInfo) -> None:
+        if info.cls is not None:
+            cls_info = self.classes[info.cls]
+            if not cls_info.bases:
+                resolved: list[str] = []
+                for base in cls_info.node.bases:
+                    dotted = _flatten_attr(base) if isinstance(base, ast.Attribute) else None
+                    if isinstance(base, ast.Name):
+                        found = self.resolve_name(info.module, base.id)
+                    elif dotted is not None:
+                        head, _, rest = dotted.partition(".")
+                        root = self.symbols.get(info.module, {}).get(head, head)
+                        found = self.resolve_qual(f"{root}.{rest}" if rest else root)
+                    else:
+                        found = None
+                    if found in self.classes:
+                        resolved.append(found)
+                cls_info.bases = tuple(resolved)
+        node = info.node
+        if node is not None and not info.param_types:
+            for arg in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]:
+                cls = self.annotation_class(info.module, arg.annotation)
+                if cls is not None:
+                    info.param_types[arg.arg] = cls
+
+    def local_types(self, info: FunctionInfo) -> dict[str, str]:
+        """name -> class qualname, from annotations and constructor calls."""
+        types = dict(info.param_types)
+        if info.cls is not None:
+            types.setdefault("self", info.cls)
+            types.setdefault("cls", info.cls)
+        if info.node is None:
+            return types
+        for stmt in ast.walk(info.node):
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                cls = self.annotation_class(info.module, stmt.annotation)
+                if cls is not None:
+                    types[stmt.target.id] = cls
+            elif isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                callee = stmt.value.func
+                resolved: str | None = None
+                if isinstance(callee, ast.Name):
+                    resolved = self.resolve_name(info.module, callee.id)
+                elif isinstance(callee, ast.Attribute):
+                    dotted = _flatten_attr(callee)
+                    if dotted is not None:
+                        head, _, rest = dotted.partition(".")
+                        base = self.symbols.get(info.module, {}).get(head)
+                        if base is not None:
+                            resolved = self.resolve_qual(
+                                f"{base}.{rest}" if rest else base
+                            )
+                if resolved in self.classes:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            types[target.id] = resolved
+        return types
+
+    def _resolve_call(
+        self,
+        info: FunctionInfo,
+        call: ast.Call,
+        local_types: dict[str, str],
+    ) -> tuple[str | None, str | None, str | None]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self.resolve_name(info.module, func.id)
+            if resolved is None:
+                # Sibling nested function (e.g. `prog` inside the same body).
+                parent = info.qualname.rsplit(".", 1)[0]
+                candidate = f"{parent}.{func.id}"
+                if candidate in self.functions:
+                    resolved = candidate
+            external = self.symbols.get(info.module, {}).get(func.id)
+            return resolved or external, None, func.id
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            base = func.value
+            if isinstance(base, ast.Name):
+                base_cls = local_types.get(base.id)
+                if base_cls is not None:
+                    method = self.method_on(base_cls, attr)
+                    if method is not None:
+                        return method, attr, None
+                dotted = _flatten_attr(func)
+                if dotted is not None:
+                    head, _, rest = dotted.partition(".")
+                    target = self.symbols.get(info.module, {}).get(head)
+                    if target is not None and rest:
+                        resolved = self.resolve_qual(f"{target}.{rest}")
+                        if resolved is not None:
+                            return resolved, attr, None
+                        return f"{target}.{rest}", attr, None
+                    local = self.resolve_name(info.module, head)
+                    if local in self.classes and rest:
+                        method = self.method_on(local, rest.split(".")[-1])
+                        if method is not None:
+                            return method, attr, None
+            # Unique-name fallback for unresolved attribute calls.
+            return self.resolve_attr_unique(attr), attr, None
+        return None, None, None
+
+    def _edge_targets(self, qualname: str) -> Iterator[str]:
+        """Graph targets for one resolved callee (constructors expand)."""
+        if qualname in self.functions:
+            yield qualname
+            return
+        cls = self.classes.get(qualname)
+        if cls is not None:
+            for hook in ("__init__", "__post_init__", "__new__"):
+                method = self.method_on(qualname, hook)
+                if method is not None:
+                    yield method
+
+    # -- queries ----------------------------------------------------------
+
+    def call_sites(self, qualname: str) -> list[CallSite]:
+        return self.calls.get(qualname, [])
+
+    def reachable_from(
+        self, roots: set[str]
+    ) -> dict[str, tuple[str, ...]]:
+        """BFS closure over call edges; value = qualname path from a root."""
+        paths: dict[str, tuple[str, ...]] = {r: (r,) for r in roots if r in self.functions}
+        queue = list(paths)
+        while queue:
+            current = queue.pop(0)
+            for callee in sorted(self.edges.get(current, ())):
+                if callee not in paths:
+                    paths[callee] = paths[current] + (callee,)
+                    queue.append(callee)
+        return paths
+
+
+def _resolve_import_base(module: str, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted base for a (possibly relative) ImportFrom."""
+    if node.level == 0:
+        return node.module
+    package_parts = module.split(".")[:-1]
+    if node.level - 1 > len(package_parts):
+        return None
+    base = package_parts[: len(package_parts) - (node.level - 1)]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _flatten_attr(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _calls_in(body: list[ast.stmt]) -> Iterator[ast.Call]:
+    """Calls in ``body``, excluding nested function/class bodies."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+    return

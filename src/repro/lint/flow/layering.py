@@ -1,0 +1,78 @@
+"""Cross-module layering over the call graph (RL210).
+
+The per-file RL005 rule already polices *imports*; this pass enforces
+the same lattice over resolved *call edges*, which also catches
+violations routed through re-exports, callbacks passed across layers,
+and attribute calls that never import the callee's module directly.
+The lattice itself lives in ``taint-spec.toml`` (``[layering]``) so an
+architectural decision is a reviewable data diff.
+"""
+
+from __future__ import annotations
+
+from ..findings import Finding
+from .graph import MODULE_BODY, ProjectGraph
+from .spec import FlowSpec
+
+RULE_LAYERING = "RL210"
+
+
+def _normalize(module: str) -> str:
+    if module.endswith(".__init__"):
+        return module[: -len(".__init__")]
+    return module
+
+
+def run_layering(graph: ProjectGraph, spec: FlowSpec) -> list[Finding]:
+    layering = spec.layering
+    if not layering.layers:
+        return []
+    findings: list[Finding] = []
+    seen: set[tuple[str, str]] = set()
+    for caller_qual in sorted(graph.functions):
+        caller = graph.functions[caller_qual]
+        caller_module = _normalize(caller.module)
+        caller_layer = layering.layer_of(caller_module)
+        if caller_layer is None:
+            continue
+        for site in graph.call_sites(caller_qual):
+            if site.qualname is None:
+                continue
+            target = graph.resolve_qual(site.qualname)
+            if target is None:
+                continue
+            if target in graph.functions:
+                callee_module = _normalize(graph.functions[target].module)
+            elif target in graph.classes:
+                callee_module = _normalize(graph.classes[target].module)
+            else:
+                continue
+            callee_layer = layering.layer_of(callee_module)
+            if callee_layer is None:
+                continue
+            if layering.edge_allowed(caller_layer, callee_layer):
+                continue
+            if f"{caller_qual} -> {target}" in layering.allowed_calls:
+                continue
+            if (caller_qual, target) in seen:
+                continue
+            seen.add((caller_qual, target))
+            allowed = sorted(layering.allow.get(caller_layer, ()))
+            allowed_desc = ", ".join(allowed) if allowed else "no other layer"
+            caller_desc = (
+                f"module body of {caller_module}"
+                if caller_qual.endswith(f".{MODULE_BODY}")
+                else caller_qual
+            )
+            findings.append(
+                caller.ctx.finding(
+                    RULE_LAYERING,
+                    site.node,
+                    f"layering violation: {caller_layer}-layer code "
+                    f"({caller_desc}) calls {callee_layer}-layer "
+                    f"{target}; {caller_layer} may call itself and "
+                    f"{allowed_desc} (see [layering.allow] in "
+                    "taint-spec.toml)",
+                )
+            )
+    return sorted(findings)

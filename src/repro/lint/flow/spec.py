@@ -1,0 +1,391 @@
+"""The reviewable flow-analysis spec (``taint-spec.toml``).
+
+Sources, sinks, sanitizers, the layering lattice, and the concurrency
+roots are *data*, not code: they live in a checked-in TOML file so that
+adding a new secret-bearing API or a new allowed layer edge is a
+reviewable one-line diff.  The repo root carries the canonical
+``taint-spec.toml``; fixtures and tests pass their own.
+
+Pattern language (shared by calls/sinks/sanitizers/roots):
+
+- ``print`` — a bare call of that name, or any resolved qualified name
+  whose last component equals it.
+- ``*.debug`` — any attribute call ``<expr>.debug(...)``, resolved or
+  not.
+- ``logging.*`` — any resolved qualified name under that prefix.
+- ``repro.sharing.shamir.ShamirScheme.share`` — exact resolved
+  qualified name, or a dotted suffix of one (so ``ShamirScheme.share``
+  also matches).
+
+Parsed with :mod:`tomllib` on Python 3.11+; a bundled fallback parser
+covers the TOML subset the spec uses (string arrays, tables, strings,
+comments) on 3.10 without adding a dependency.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+SPEC_FILENAME = "taint-spec.toml"
+
+try:  # Python 3.11+
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised on the 3.10 CI job
+    _toml = None  # type: ignore[assignment]
+
+
+class SpecError(ValueError):
+    """Raised when a spec file is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Pattern matching
+
+
+@dataclass(frozen=True)
+class CallPattern:
+    """One entry of a ``calls = [...]`` list; see the module docstring."""
+
+    raw: str
+
+    def matches(self, qualname: str | None, attr: str | None, name: str | None) -> bool:
+        pat = self.raw
+        if pat.startswith("*."):
+            target = pat[2:]
+            return attr == target or (
+                qualname is not None
+                and qualname.rsplit(".", 1)[-1] == target
+            )
+        if pat.endswith(".*"):
+            prefix = pat[:-2]
+            return qualname is not None and (
+                qualname == prefix or qualname.startswith(prefix + ".")
+            )
+        if "." not in pat:
+            if name == pat or attr == pat:
+                return True
+            return qualname is not None and qualname.rsplit(".", 1)[-1] == pat
+        return qualname is not None and (
+            qualname == pat or qualname.endswith("." + pat)
+        )
+
+
+class PatternSet:
+    """A list of :class:`CallPattern` with a convenience matcher."""
+
+    def __init__(self, patterns: Iterable[str]):
+        self.patterns = tuple(CallPattern(p) for p in patterns)
+
+    def __bool__(self) -> bool:
+        return bool(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+    def matches(
+        self,
+        qualname: str | None = None,
+        attr: str | None = None,
+        name: str | None = None,
+    ) -> str | None:
+        """The raw pattern that matched, or ``None``."""
+        for pattern in self.patterns:
+            if pattern.matches(qualname, attr, name):
+                return pattern.raw
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Spec model
+
+
+@dataclass
+class TaintSpec:
+    """Sources, sinks, and sanitizers of the secret-taint pass."""
+
+    #: Identifier name tokens treated as secret seeds (RL004-compatible).
+    secret_tokens: frozenset[str] = frozenset()
+    #: Calls whose return value is secret.
+    source_calls: PatternSet = field(default_factory=lambda: PatternSet(()))
+    #: ``Class.attr`` qualified fields carrying secrets.
+    source_fields: frozenset[str] = frozenset()
+    #: Observable sinks (log/trace/print/network-metadata APIs).
+    sink_calls: PatternSet = field(default_factory=lambda: PatternSet(()))
+    #: Calls that launder taint (masking, threshold opening, sizes).
+    sanitizer_calls: PatternSet = field(default_factory=lambda: PatternSet(()))
+    #: Attribute names that stay public on tainted objects (metadata).
+    public_attrs: frozenset[str] = frozenset()
+
+    def field_names(self) -> frozenset[str]:
+        """Bare attribute names of all declared source fields."""
+        return frozenset(entry.rsplit(".", 1)[-1] for entry in self.source_fields)
+
+
+@dataclass
+class LayeringSpec:
+    """The dependency lattice, as explicit allowed call edges."""
+
+    #: layer name -> module prefixes belonging to it
+    layers: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: layer name -> other layers it may call into (itself is implicit)
+    allow: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: exact "caller_qualname -> callee_qualname" exemptions
+    allowed_calls: frozenset[str] = frozenset()
+
+    def layer_of(self, module: str) -> str | None:
+        best: tuple[int, str] | None = None
+        for layer, prefixes in self.layers.items():
+            for prefix in prefixes:
+                if module == prefix or module.startswith(prefix + "."):
+                    if best is None or len(prefix) > best[0]:
+                        best = (len(prefix), layer)
+        return best[1] if best else None
+
+    def edge_allowed(self, caller_layer: str, callee_layer: str) -> bool:
+        if caller_layer == callee_layer:
+            return True
+        return callee_layer in self.allow.get(caller_layer, ())
+
+
+@dataclass
+class ConcurrencySpec:
+    """Roots and patterns of the concurrency-readiness pass."""
+
+    #: Functions whose bodies will run inside per-party asyncio tasks.
+    party_roots: PatternSet = field(default_factory=lambda: PatternSet(()))
+    #: Blocking / wall-clock calls forbidden in party-reachable code.
+    blocking_calls: PatternSet = field(default_factory=lambda: PatternSet(()))
+    #: Factory calls that construct one party's program (RL303 scope).
+    party_entrypoints: PatternSet = field(default_factory=lambda: PatternSet(()))
+    #: Fully-qualified module globals exempt from RL301 (justified in
+    #: the spec file next to each entry).
+    allowed_globals: frozenset[str] = frozenset()
+    #: Constructors producing concurrency-safe globals (context-local).
+    safe_global_types: PatternSet = field(default_factory=lambda: PatternSet(()))
+
+
+@dataclass
+class FlowSpec:
+    """Everything :mod:`repro.lint.flow` needs, loaded from one file."""
+
+    taint: TaintSpec = field(default_factory=TaintSpec)
+    layering: LayeringSpec = field(default_factory=LayeringSpec)
+    concurrency: ConcurrencySpec = field(default_factory=ConcurrencySpec)
+    source: str = "<builtin>"
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any], source: str = "<mapping>") -> "FlowSpec":
+        taint_tbl = _table(data, "taint")
+        sources = _table(taint_tbl, "sources")
+        sinks = _table(taint_tbl, "sinks")
+        sanitizers = _table(taint_tbl, "sanitizers")
+        taint = TaintSpec(
+            secret_tokens=frozenset(_strings(taint_tbl, "secret_tokens")),
+            source_calls=PatternSet(_strings(sources, "calls")),
+            source_fields=frozenset(_strings(sources, "fields")),
+            sink_calls=PatternSet(_strings(sinks, "calls")),
+            sanitizer_calls=PatternSet(_strings(sanitizers, "calls")),
+            public_attrs=frozenset(_strings(sanitizers, "public_attrs")),
+        )
+        layering_tbl = _table(data, "layering")
+        layers_tbl = _table(layering_tbl, "layers")
+        allow_tbl = _table(layering_tbl, "allow")
+        layering = LayeringSpec(
+            layers={
+                name: tuple(_string_list(name, value))
+                for name, value in layers_tbl.items()
+            },
+            allow={
+                name: tuple(_string_list(name, value))
+                for name, value in allow_tbl.items()
+            },
+            allowed_calls=frozenset(_strings(layering_tbl, "allowed_calls")),
+        )
+        unknown = set(layering.allow) - set(layering.layers)
+        unknown |= {
+            layer
+            for targets in layering.allow.values()
+            for layer in targets
+            if layer not in layering.layers
+        }
+        if unknown:
+            raise SpecError(
+                f"{source}: [layering.allow] names undeclared layer(s): "
+                f"{', '.join(sorted(unknown))}"
+            )
+        conc_tbl = _table(data, "concurrency")
+        concurrency = ConcurrencySpec(
+            party_roots=PatternSet(_strings(conc_tbl, "party_roots")),
+            blocking_calls=PatternSet(_strings(conc_tbl, "blocking_calls")),
+            party_entrypoints=PatternSet(_strings(conc_tbl, "party_entrypoints")),
+            allowed_globals=frozenset(_strings(conc_tbl, "allowed_globals")),
+            safe_global_types=PatternSet(_strings(conc_tbl, "safe_global_types")),
+        )
+        return cls(
+            taint=taint, layering=layering, concurrency=concurrency, source=source
+        )
+
+    @classmethod
+    def load(cls, path: Path) -> "FlowSpec":
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SpecError(f"{path}: cannot read spec ({exc})") from exc
+        return cls.from_mapping(parse_toml(text, str(path)), source=str(path))
+
+    @classmethod
+    def discover(cls, start: Path) -> "FlowSpec | None":
+        """Search ``start`` and its parents for a ``taint-spec.toml``."""
+        probe = start.resolve()
+        if probe.is_file():
+            probe = probe.parent
+        for directory in [probe, *probe.parents]:
+            candidate = directory / SPEC_FILENAME
+            if candidate.exists():
+                return cls.load(candidate)
+        return None
+
+
+def _table(data: Mapping[str, Any], key: str) -> Mapping[str, Any]:
+    value = data.get(key, {})
+    if not isinstance(value, Mapping):
+        raise SpecError(f"[{key}] must be a table, got {type(value).__name__}")
+    return value
+
+
+def _strings(data: Mapping[str, Any], key: str) -> list[str]:
+    return _string_list(key, data.get(key, []))
+
+
+def _string_list(key: str, value: Any) -> list[str]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise SpecError(f"{key!r} must be a list of strings")
+    return list(value)
+
+
+# ---------------------------------------------------------------------------
+# TOML parsing (stdlib on 3.11+, bundled subset parser on 3.10)
+
+
+def parse_toml(text: str, filename: str = "<spec>") -> dict[str, Any]:
+    if _toml is not None:
+        try:
+            return _toml.loads(text)
+        except _toml.TOMLDecodeError as exc:
+            raise SpecError(f"{filename}: invalid TOML ({exc})") from exc
+    return _parse_toml_subset(text, filename)
+
+
+_HEADER_RE = re.compile(r"^\[(?P<name>[A-Za-z0-9_.\-]+)\]$")
+_KEY_RE = re.compile(r"^(?P<key>[A-Za-z0-9_\-]+)\s*=\s*(?P<value>.*)$")
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing comment, respecting double-quoted strings."""
+    out: list[str] = []
+    in_string = False
+    for ch in line:
+        if ch == '"':
+            in_string = not in_string
+        elif ch == "#" and not in_string:
+            break
+        out.append(ch)
+    return "".join(out).strip()
+
+
+def _parse_toml_subset(text: str, filename: str) -> dict[str, Any]:
+    """Parse the TOML subset the spec uses: tables, strings, string
+    arrays (possibly multiline), booleans, and integers."""
+    root: dict[str, Any] = {}
+    current = root
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = _strip_comment(lines[i])
+        i += 1
+        if not line:
+            continue
+        header = _HEADER_RE.match(line)
+        if header:
+            current = root
+            for part in header.group("name").split("."):
+                current = current.setdefault(part, {})
+                if not isinstance(current, dict):
+                    raise SpecError(f"{filename}: duplicate key {part!r}")
+            continue
+        keyval = _KEY_RE.match(line)
+        if not keyval:
+            raise SpecError(f"{filename}: cannot parse line: {line!r}")
+        key, value = keyval.group("key"), keyval.group("value").strip()
+        if value.startswith("[") and not _array_closed(value):
+            # Multiline array: accumulate until the closing bracket.
+            parts = [value]
+            while i < len(lines):
+                chunk = _strip_comment(lines[i])
+                i += 1
+                parts.append(chunk)
+                if _array_closed(" ".join(parts)):
+                    break
+            value = " ".join(parts)
+        current[key] = _parse_value(value, filename)
+    return root
+
+
+def _array_closed(text: str) -> bool:
+    depth = 0
+    in_string = False
+    for ch in text:
+        if ch == '"':
+            in_string = not in_string
+        elif not in_string:
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+                if depth == 0:
+                    return True
+    return depth <= 0 and text.rstrip().endswith("]")
+
+
+def _parse_value(value: str, filename: str) -> Any:
+    value = value.strip()
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        if not inner:
+            return []
+        items = _split_array_items(inner)
+        return [_parse_value(item, filename) for item in items]
+    if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+        return value[1:-1]
+    if value in ("true", "false"):
+        return value == "true"
+    try:
+        return int(value)
+    except ValueError:
+        raise SpecError(f"{filename}: unsupported TOML value: {value!r}") from None
+
+
+def _split_array_items(inner: str) -> list[str]:
+    items: list[str] = []
+    buf: list[str] = []
+    in_string = False
+    for ch in inner:
+        if ch == '"':
+            in_string = not in_string
+            buf.append(ch)
+        elif ch == "," and not in_string:
+            item = "".join(buf).strip()
+            if item:
+                items.append(item)
+            buf = []
+        else:
+            buf.append(ch)
+    tail = "".join(buf).strip()
+    if tail:
+        items.append(tail)
+    return items

@@ -1,0 +1,619 @@
+"""Interprocedural secret-taint dataflow (RL201/RL202/RL203).
+
+Taint *sources* are the secret-bearing APIs declared in the checked-in
+``taint-spec.toml`` (dealing/VSS calls, secret class fields,
+secret-named parameters); *sinks* are the observable outputs (print,
+logging, trace/profiler emission, warnings) plus values interpolated
+into exception messages; *sanitizers* are the sanctioned
+secret-to-public transitions (sizes, threshold reconstruction, the
+masking/opening path).  Propagation is interprocedural via per-function
+summaries iterated to a fixpoint over the call graph:
+
+- ``param_sinks`` — parameters whose taint reaches a sink inside the
+  function (transitively through further calls);
+- ``taint_through`` — parameters whose taint flows to the return value;
+- ``returns_source`` — the function returns internally-sourced secret
+  material.
+
+Every finding message carries the full source → sink path so a report
+is actionable without re-running the analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from ..findings import Finding
+from .graph import MODULE_BODY, CallSite, FunctionInfo, ProjectGraph
+from .spec import FlowSpec
+
+RULE_DIRECT = "RL201"
+RULE_INTERPROCEDURAL = "RL202"
+RULE_EXCEPTION = "RL203"
+
+_MAX_FIXPOINT_PASSES = 8
+_TOKEN_SPLIT = re.compile(r"[_\d]+")
+
+#: Definite-secret label (vs. relative "param:<name>" labels).
+SECRET = "secret"
+
+
+@dataclass(frozen=True)
+class Step:
+    desc: str
+    where: str
+
+    def render(self) -> str:
+        return f"{self.desc} [{self.where}]"
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Labels + provenance trail attached to one value."""
+
+    labels: frozenset[str]
+    steps: tuple[Step, ...]
+
+    @property
+    def definite(self) -> bool:
+        return SECRET in self.labels
+
+    def with_step(self, step: Step) -> "Taint":
+        if self.steps and self.steps[-1] == step:
+            return self
+        return Taint(self.labels, (*self.steps, step))
+
+
+def merge(*taints: "Taint | None") -> Taint | None:
+    present = [t for t in taints if t is not None]
+    if not present:
+        return None
+    labels: set[str] = set()
+    steps: list[Step] = []
+    for t in present:
+        labels |= t.labels
+        for step in t.steps:
+            if step not in steps:
+                steps.append(step)
+    return Taint(frozenset(labels), tuple(steps[:8]))
+
+
+@dataclass
+class SinkChain:
+    """Provenance of one param-to-sink flow, for summary composition."""
+
+    steps: tuple[Step, ...]
+    sink_desc: str
+
+
+@dataclass
+class Summary:
+    param_sinks: dict[str, SinkChain] = field(default_factory=dict)
+    taint_through: set[str] = field(default_factory=set)
+    returns_source: Taint | None = None
+
+    def signature(self) -> tuple:
+        return (
+            tuple(sorted(self.param_sinks)),
+            tuple(sorted(self.taint_through)),
+            self.returns_source is not None,
+        )
+
+
+def _secret_named(name: str, tokens: frozenset[str]) -> bool:
+    return any(tok in tokens for tok in _TOKEN_SPLIT.split(name.lower()))
+
+
+def _call_desc(site: CallSite) -> str:
+    if site.qualname:
+        return site.qualname
+    if site.attr:
+        return f".{site.attr}"
+    return site.name or "<call>"
+
+
+class _FunctionPass:
+    """One abstract-interpretation pass over a single function body."""
+
+    def __init__(
+        self,
+        graph: ProjectGraph,
+        spec: FlowSpec,
+        info: FunctionInfo,
+        summaries: dict[str, Summary],
+        report: bool,
+    ):
+        self.graph = graph
+        self.spec = spec
+        self.info = info
+        self.summaries = summaries
+        self.report = report
+        self.site_by_node = {
+            id(site.node): site for site in graph.call_sites(info.qualname)
+        }
+        self.local_types = graph.local_types(info)
+        self.state: dict[str, Taint] = {}
+        self.summary = Summary()
+        self.findings: list[Finding] = []
+        self._seed_params()
+
+    # -- seeds ------------------------------------------------------------
+
+    def _seed_params(self) -> None:
+        tokens = self.spec.taint.secret_tokens
+        for param in self.info.params:
+            if param in ("self", "cls"):
+                continue
+            labels = {f"param:{param}"}
+            steps: tuple[Step, ...] = ()
+            if _secret_named(param, tokens):
+                labels.add(SECRET)
+                steps = (
+                    Step(
+                        f"secret-named parameter `{param}` of {self.info.qualname}",
+                        self.info.where(),
+                    ),
+                )
+            self.state[param] = Taint(frozenset(labels), steps)
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> None:
+        body = (
+            self.info.node.body
+            if self.info.node is not None
+            else [
+                stmt
+                for stmt in self.info.ctx.tree.body
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+        )
+        for _ in range(_MAX_FIXPOINT_PASSES):
+            before = dict(self.state)
+            self._exec_block(body, collect=False)
+            if self.state == before:
+                break
+        # Final pass with stable state: collect findings + sink summaries.
+        self._exec_block(body, collect=True)
+
+    # -- statements -------------------------------------------------------
+
+    def _exec_block(self, body: list[ast.stmt], collect: bool) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, collect)
+
+    def _exec_stmt(self, stmt: ast.stmt, collect: bool) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self._eval(stmt.value, collect)
+            for target in stmt.targets:
+                self._assign(target, taint, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value, collect), stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = merge(
+                self._eval(stmt.value, collect),
+                self._eval(stmt.target, collect),
+            )
+            self._assign(stmt.target, taint, stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint = self._eval(stmt.value, collect)
+                if taint is not None:
+                    self._record_return(taint)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, collect)
+        elif isinstance(stmt, ast.Raise):
+            self._check_raise(stmt, collect)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test, collect)
+            self._exec_block(stmt.body, collect)
+            self._exec_block(stmt.orelse, collect)
+        elif isinstance(stmt, ast.For):
+            iter_taint = self._eval(stmt.iter, collect)
+            self._assign(stmt.target, iter_taint, stmt)
+            self._exec_block(stmt.body, collect)
+            self._exec_block(stmt.orelse, collect)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                taint = self._eval(item.context_expr, collect)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, taint, stmt)
+            self._exec_block(stmt.body, collect)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, collect)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body, collect)
+            self._exec_block(stmt.orelse, collect)
+            self._exec_block(stmt.finalbody, collect)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are separate functions in the graph
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.state.pop(target.id, None)
+
+    def _assign(self, target: ast.expr, taint: Taint | None, stmt: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            if taint is None:
+                self.state.pop(target.id, None)
+            else:
+                step = Step(
+                    f"assigned to `{target.id}`",
+                    f"{self.info.ctx.display_path}:{stmt.lineno}",
+                )
+                self.state[target.id] = taint.with_step(step)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._assign(inner, taint, stmt)
+        elif isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and taint is not None:
+                key = f"{base.id}.{target.attr}"
+                step = Step(
+                    f"stored into `{key}`",
+                    f"{self.info.ctx.display_path}:{stmt.lineno}",
+                )
+                self.state[key] = taint.with_step(step)
+                # The holder object now carries secret state too.
+                existing = self.state.get(base.id)
+                holder = merge(existing, taint)
+                if holder is not None:
+                    self.state[base.id] = holder
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name) and taint is not None:
+                holder = merge(self.state.get(base.id), taint)
+                if holder is not None:
+                    step = Step(
+                        f"stored into `{base.id}[...]`",
+                        f"{self.info.ctx.display_path}:{stmt.lineno}",
+                    )
+                    self.state[base.id] = holder.with_step(step)
+
+    def _record_return(self, taint: Taint) -> None:
+        for label in taint.labels:
+            if label.startswith("param:"):
+                self.summary.taint_through.add(label.split(":", 1)[1])
+        if taint.definite:
+            self.summary.returns_source = merge(
+                self.summary.returns_source, taint
+            )
+
+    # -- expressions ------------------------------------------------------
+
+    def _eval(self, expr: ast.expr, collect: bool) -> Taint | None:
+        if isinstance(expr, ast.Name):
+            return self.state.get(expr.id)
+        if isinstance(expr, ast.Constant):
+            return None
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr, collect)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, collect)
+        if isinstance(expr, ast.JoinedStr):
+            parts = [
+                self._eval(v.value, collect)
+                for v in expr.values
+                if isinstance(v, ast.FormattedValue)
+            ]
+            return merge(*parts)
+        if isinstance(expr, ast.FormattedValue):
+            return self._eval(expr.value, collect)
+        if isinstance(expr, ast.BinOp):
+            return merge(self._eval(expr.left, collect), self._eval(expr.right, collect))
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand, collect)
+        if isinstance(expr, ast.BoolOp):
+            return merge(*(self._eval(v, collect) for v in expr.values))
+        if isinstance(expr, ast.Compare):
+            # Comparisons yield booleans; a truth value is not the secret.
+            self._eval(expr.left, collect)
+            for comparator in expr.comparators:
+                self._eval(comparator, collect)
+            return None
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test, collect)
+            return merge(self._eval(expr.body, collect), self._eval(expr.orelse, collect))
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return merge(*(self._eval(e, collect) for e in expr.elts))
+        if isinstance(expr, ast.Dict):
+            parts = [self._eval(v, collect) for v in expr.values]
+            parts += [self._eval(k, collect) for k in expr.keys if k is not None]
+            return merge(*parts)
+        if isinstance(expr, ast.Subscript):
+            return self._eval(expr.value, collect)
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value, collect)
+        if isinstance(expr, (ast.Await, ast.YieldFrom)):
+            return self._eval(expr.value, collect)
+        if isinstance(expr, ast.Yield):
+            return self._eval(expr.value, collect) if expr.value else None
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            parts: list[Taint | None] = []
+            for gen in expr.generators:
+                parts.append(self._eval(gen.iter, collect))
+            if isinstance(expr, ast.DictComp):
+                parts.append(self._eval(expr.key, collect))
+                parts.append(self._eval(expr.value, collect))
+            else:
+                parts.append(self._eval(expr.elt, collect))
+            return merge(*parts)
+        if isinstance(expr, ast.Lambda):
+            return None
+        return None
+
+    def _eval_attribute(self, expr: ast.Attribute, collect: bool) -> Taint | None:
+        attr = expr.attr
+        spec = self.spec.taint
+        if isinstance(expr.value, ast.Name):
+            key = f"{expr.value.id}.{attr}"
+            if key in self.state:
+                return self.state[key]
+            owner = self.local_types.get(expr.value.id)
+            if owner is not None and f"{owner}.{attr}" in spec.source_fields:
+                step = Step(
+                    f"secret field `{owner.rsplit('.', 1)[-1]}.{attr}` read via "
+                    f"`{expr.value.id}.{attr}`",
+                    f"{self.info.ctx.display_path}:{expr.lineno}",
+                )
+                return Taint(frozenset({SECRET, f"field:{owner}.{attr}"}), (step,))
+        base = self._eval(expr.value, collect)
+        if base is None:
+            return None
+        if attr in spec.public_attrs:
+            return None
+        return base
+
+    def _eval_call(self, call: ast.Call, collect: bool) -> Taint | None:
+        site = self.site_by_node.get(id(call))
+        qualname = site.qualname if site else None
+        attr = site.attr if site else (
+            call.func.attr if isinstance(call.func, ast.Attribute) else None
+        )
+        name = site.name if site else (
+            call.func.id if isinstance(call.func, ast.Name) else None
+        )
+        spec = self.spec.taint
+        where = f"{self.info.ctx.display_path}:{call.lineno}"
+
+        arg_taints: list[tuple[str | None, Taint | None]] = []
+        if isinstance(call.func, ast.Attribute):
+            # The receiver of a method call is an implicit argument:
+            # ``tainted.items()`` stays tainted, and a tainted receiver
+            # binds to the callee's ``self`` for summary lookup.
+            arg_taints.append(("self", self._eval(call.func.value, collect)))
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                arg_taints.append((None, self._eval(arg.value, collect)))
+            else:
+                arg_taints.append((self._param_for(qualname, index), self._eval(arg, collect)))
+        for kw in call.keywords:
+            arg_taints.append((kw.arg, self._eval(kw.value, collect)))
+
+        if spec.sanitizer_calls.matches(qualname, attr, name):
+            return None
+
+        source_pattern = spec.source_calls.matches(qualname, attr, name)
+        if source_pattern is not None:
+            step = Step(
+                f"secret produced by {_call_desc(site) if site else source_pattern}",
+                where,
+            )
+            return Taint(frozenset({SECRET, f"source:{source_pattern}"}), (step,))
+
+        tainted_args = [(p, t) for p, t in arg_taints if t is not None]
+
+        sink_pattern = spec.sink_calls.matches(qualname, attr, name)
+        if sink_pattern is not None and collect:
+            for _, taint in tainted_args:
+                if taint.definite:
+                    self._report_sink(call, taint, self._sink_desc(site, sink_pattern))
+            self._record_param_sinks(
+                tainted_args, self._sink_desc(site, sink_pattern), ()
+            )
+
+        # Interprocedural: tainted argument into a summarized callee.
+        resolved = self.graph.resolve_qual(qualname) if qualname else None
+        callee_summary = self.summaries.get(resolved) if resolved else None
+        if callee_summary is not None:
+            for param, taint in tainted_args:
+                if param is None or taint is None:
+                    continue
+                chain = callee_summary.param_sinks.get(param)
+                if chain is None:
+                    continue
+                composed = (
+                    *taint.steps,
+                    Step(
+                        f"passed as `{param}` into {resolved}",
+                        where,
+                    ),
+                    *chain.steps,
+                )
+                if collect and taint.definite:
+                    self._report_interprocedural(call, composed, chain.sink_desc)
+                self._record_param_sinks(
+                    [(p, t) for p, t in tainted_args if t is taint],
+                    chain.sink_desc,
+                    composed,
+                    via=resolved,
+                )
+
+        # Result taint.
+        result: Taint | None = None
+        if callee_summary is not None:
+            if callee_summary.returns_source is not None:
+                result = merge(result, callee_summary.returns_source)
+                if result is not None:
+                    result = result.with_step(
+                        Step(f"returned by {resolved}", where)
+                    )
+            through = callee_summary.taint_through
+            for param, taint in tainted_args:
+                if taint is not None and (param is None or param in through):
+                    result = merge(result, taint)
+        elif tainted_args:
+            # Unknown callee (builtin/stdlib/constructor): propagate.
+            result = merge(*(t for _, t in tainted_args))
+        if result is not None:
+            return result.with_step(
+                Step(f"through {_call_desc(site) if site else (name or attr or 'call')}()", where)
+            )
+        return None
+
+    def _param_for(self, qualname: str | None, index: int) -> str | None:
+        if qualname is None:
+            return None
+        resolved = self.graph.resolve_qual(qualname)
+        info = self.graph.functions.get(resolved) if resolved else None
+        if info is None:
+            return None
+        params = list(info.params)
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        if index < len(params):
+            return params[index]
+        return None
+
+    def _record_param_sinks(
+        self,
+        tainted_args: list[tuple[str | None, Taint | None]],
+        sink_desc: str,
+        composed: tuple[Step, ...],
+        via: str | None = None,
+    ) -> None:
+        for _, taint in tainted_args:
+            if taint is None:
+                continue
+            for label in taint.labels:
+                if not label.startswith("param:"):
+                    continue
+                param = label.split(":", 1)[1]
+                if param not in self.summary.param_sinks:
+                    steps = composed or taint.steps
+                    self.summary.param_sinks[param] = SinkChain(
+                        steps=tuple(steps[:6]), sink_desc=sink_desc
+                    )
+
+    # -- sinks ------------------------------------------------------------
+
+    def _exempt(self, node: ast.AST) -> bool:
+        ctx = self.info.ctx
+        lineno = getattr(node, "lineno", 1)
+        return ctx.is_main_module or ctx.in_main_guard(lineno)
+
+    def _sink_desc(self, site: CallSite | None, pattern: str) -> str:
+        if site is None:
+            return pattern
+        if site.name == "print":
+            return "print()"
+        if site.attr is not None:
+            return f".{site.attr}()"
+        return _call_desc(site)
+
+    def _render_path(self, steps: tuple[Step, ...], sink_desc: str, where: str) -> str:
+        chain = " -> ".join(step.render() for step in steps[:6])
+        return f"{chain} -> {sink_desc} [{where}]"
+
+    def _report_sink(self, call: ast.Call, taint: Taint, sink_desc: str) -> None:
+        if not self.report or self._exempt(call):
+            return
+        where = f"{self.info.ctx.display_path}:{call.lineno}"
+        self.findings.append(
+            self.info.ctx.finding(
+                RULE_DIRECT,
+                call,
+                f"secret material reaches {sink_desc}; "
+                f"path: {self._render_path(taint.steps, sink_desc, where)}",
+            )
+        )
+
+    def _report_interprocedural(
+        self, call: ast.Call, steps: tuple[Step, ...], sink_desc: str
+    ) -> None:
+        if not self.report or self._exempt(call):
+            return
+        where = f"{self.info.ctx.display_path}:{call.lineno}"
+        self.findings.append(
+            self.info.ctx.finding(
+                RULE_INTERPROCEDURAL,
+                call,
+                f"secret material reaches {sink_desc} through a call chain; "
+                f"path: {self._render_path(steps, sink_desc, where)}",
+            )
+        )
+
+    def _check_raise(self, stmt: ast.Raise, collect: bool) -> None:
+        if stmt.exc is None:
+            return
+        if not isinstance(stmt.exc, ast.Call):
+            self._eval(stmt.exc, collect)
+            return
+        exc_name = None
+        if isinstance(stmt.exc.func, ast.Name):
+            exc_name = stmt.exc.func.id
+        elif isinstance(stmt.exc.func, ast.Attribute):
+            exc_name = stmt.exc.func.attr
+        for arg in [*stmt.exc.args, *[kw.value for kw in stmt.exc.keywords]]:
+            taint = self._eval(arg, collect)
+            if taint is None or not collect:
+                continue
+            if taint.definite and self.report and not self._exempt(stmt):
+                where = f"{self.info.ctx.display_path}:{stmt.lineno}"
+                sink = f"{exc_name or 'exception'}(...) message"
+                self.findings.append(
+                    self.info.ctx.finding(
+                        RULE_EXCEPTION,
+                        stmt,
+                        f"secret material interpolated into {sink} "
+                        "(exception text propagates into logs and CI output); "
+                        f"path: {self._render_path(taint.steps, sink, where)}",
+                    )
+                )
+            # Exception text is observable: params flowing here sink too.
+            for label in taint.labels:
+                if label.startswith("param:"):
+                    param = label.split(":", 1)[1]
+                    self.summary.param_sinks.setdefault(
+                        param,
+                        SinkChain(
+                            steps=tuple(taint.steps[:6]),
+                            sink_desc=f"{exc_name or 'exception'}(...) message",
+                        ),
+                    )
+
+
+def run_taint(graph: ProjectGraph, spec: FlowSpec) -> list[Finding]:
+    """Fixpoint the summaries, then collect findings on a final pass."""
+    summaries: dict[str, Summary] = {}
+    order = sorted(graph.functions)
+    for _ in range(_MAX_FIXPOINT_PASSES):
+        changed = False
+        for qualname in order:
+            info = graph.functions[qualname]
+            runner = _FunctionPass(graph, spec, info, summaries, report=False)
+            runner.run()
+            old = summaries.get(qualname)
+            if old is None or old.signature() != runner.summary.signature():
+                summaries[qualname] = runner.summary
+                changed = True
+        if not changed:
+            break
+
+    findings: dict[tuple, Finding] = {}
+    for qualname in order:
+        info = graph.functions[qualname]
+        if info.qualname.endswith(f".{MODULE_BODY}") and info.node is None:
+            pass  # module bodies are analyzed like any other function
+        runner = _FunctionPass(graph, spec, info, summaries, report=True)
+        runner.run()
+        for finding in runner.findings:
+            key = (finding.rule, finding.path, finding.line, finding.message[:80])
+            findings.setdefault(key, finding)
+    return sorted(findings.values())

@@ -1,0 +1,93 @@
+"""Single-parse project loading shared by all analysis passes.
+
+Each Python file is read and parsed exactly once into a
+:class:`~repro.lint.context.ModuleContext`; the resulting
+:class:`Project` is handed both to the per-file rules and to the
+whole-program flow passes (:mod:`repro.lint.flow`), so adding a new
+rule group never adds another parse of the tree.  Parse failures become
+``RL000`` findings instead of aborting the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .config import LintConfig
+from .context import ModuleContext
+from .findings import Finding
+
+#: Rule id used for unparseable files (cannot be suppressed in-file).
+PARSE_ERROR_RULE = "RL000"
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"{path}: not a Python file or directory")
+    return sorted(files)
+
+
+def display_path_for(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclass
+class Project:
+    """All parsed modules of one lint run."""
+
+    contexts: list[ModuleContext] = field(default_factory=list)
+    #: RL000 findings for files that failed to parse.
+    parse_failures: list[Finding] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.by_module: dict[str, ModuleContext] = {
+            ctx.module: ctx for ctx in self.contexts
+        }
+        self.by_display_path: dict[str, ModuleContext] = {
+            ctx.display_path: ctx for ctx in self.contexts
+        }
+
+    def context_for_finding(self, finding: Finding) -> ModuleContext | None:
+        return self.by_display_path.get(finding.path)
+
+
+def load_context(path: Path, source: str | None = None) -> ModuleContext:
+    """Parse one file into a context (raises ``SyntaxError`` on failure)."""
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    return ModuleContext.from_source(
+        path, source, display_path=display_path_for(path)
+    )
+
+
+def load_project(paths: Sequence[Path], config: LintConfig) -> Project:
+    """Read + parse every Python file under ``paths`` exactly once."""
+    contexts: list[ModuleContext] = []
+    failures: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        if file_path.name in config.exclude_names:
+            continue
+        try:
+            contexts.append(load_context(file_path))
+        except SyntaxError as exc:
+            failures.append(
+                Finding(
+                    path=display_path_for(file_path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    rule=PARSE_ERROR_RULE,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    return Project(contexts=contexts, parse_failures=failures)

@@ -1,0 +1,227 @@
+"""SARIF 2.1.0 output for repro-lint.
+
+Emits the minimal, schema-valid subset that code-scanning UIs ingest:
+one run, the full rule catalogue (per-file rules, the flow rules, and
+the ``RL000`` parse-error pseudo-rule) under ``tool.driver.rules``, and
+one ``result`` per finding.  Baselined findings are included with an
+``external`` suppression marker so dashboards show them as known
+rather than new.
+
+:func:`validate_sarif` is a dependency-free structural validator used
+by the tests (and usable by callers) — it checks the invariants the
+2.1.0 schema imposes on the subset we emit, without requiring
+``jsonschema`` at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .engine import LintResult
+from .findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/anonchan-repro/anonchan-repro"
+
+
+def _rule_catalogue() -> list[dict[str, Any]]:
+    from .flow import FLOW_RULES
+    from .project import PARSE_ERROR_RULE
+    from .rules import all_rules
+
+    rules: list[dict[str, Any]] = [
+        {
+            "id": PARSE_ERROR_RULE,
+            "name": "parse-error",
+            "shortDescription": {"text": "File failed to parse."},
+        }
+    ]
+    for rule in all_rules():
+        rules.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.summary},
+            }
+        )
+    for rule_id, (name, description) in sorted(FLOW_RULES.items()):
+        rules.append(
+            {
+                "id": rule_id,
+                "name": name,
+                "shortDescription": {"text": description},
+            }
+        )
+    return rules
+
+
+def _result(
+    finding: Finding, rule_index: dict[str, int], baselined: bool
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if baselined:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "listed in the committed baseline"}
+        ]
+    return result
+
+
+def to_sarif(result: LintResult) -> dict[str, Any]:
+    """Render one lint run as a SARIF 2.1.0 log dict."""
+    rules = _rule_catalogue()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = [
+        _result(f, rule_index, baselined=False) for f in result.findings
+    ]
+    results += [
+        _result(f, rule_index, baselined=True) for f in result.baselined
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif(doc: Any) -> list[str]:
+    """Structural 2.1.0 validation of the subset :func:`to_sarif` emits.
+
+    Returns a list of problems; an empty list means the document passes
+    every invariant checked.  Deliberately dependency-free — the test
+    suite additionally cross-checks against ``jsonschema`` when that
+    package is available.
+    """
+    problems: list[str] = []
+
+    def check(cond: bool, message: str) -> bool:
+        if not cond:
+            problems.append(message)
+        return cond
+
+    if not check(isinstance(doc, dict), "document must be an object"):
+        return problems
+    check(doc.get("version") == SARIF_VERSION, "version must be '2.1.0'")
+    runs = doc.get("runs")
+    if not check(
+        isinstance(runs, list) and len(runs) >= 1, "runs must be a non-empty array"
+    ):
+        return problems
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not check(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        if not check(
+            isinstance(driver, dict) and isinstance(driver.get("name"), str),
+            f"{where}.tool.driver.name is required",
+        ):
+            continue
+        rules = driver.get("rules", [])
+        rule_ids: list[str] = []
+        if check(isinstance(rules, list), f"{where} driver.rules must be an array"):
+            for qi, rule in enumerate(rules):
+                rw = f"{where}.tool.driver.rules[{qi}]"
+                if not check(isinstance(rule, dict), f"{rw} must be an object"):
+                    continue
+                rid = rule.get("id")
+                if check(isinstance(rid, str) and rid, f"{rw}.id must be a string"):
+                    rule_ids.append(rid)
+            check(
+                len(rule_ids) == len(set(rule_ids)),
+                f"{where} rule ids must be unique",
+            )
+        results = run.get("results", [])
+        if not check(isinstance(results, list), f"{where}.results must be an array"):
+            continue
+        for si, res in enumerate(results):
+            rw = f"{where}.results[{si}]"
+            if not check(isinstance(res, dict), f"{rw} must be an object"):
+                continue
+            rid = res.get("ruleId")
+            check(isinstance(rid, str) and bool(rid), f"{rw}.ruleId must be a string")
+            if rule_ids and isinstance(rid, str):
+                check(rid in rule_ids, f"{rw}.ruleId {rid!r} not in driver.rules")
+            index = res.get("ruleIndex")
+            if index is not None:
+                check(
+                    isinstance(index, int)
+                    and 0 <= index < len(rule_ids)
+                    and rule_ids[index] == rid,
+                    f"{rw}.ruleIndex must point at the ruleId entry",
+                )
+            message = res.get("message")
+            check(
+                isinstance(message, dict) and isinstance(message.get("text"), str),
+                f"{rw}.message.text is required",
+            )
+            level = res.get("level")
+            if level is not None:
+                check(
+                    level in ("none", "note", "warning", "error"),
+                    f"{rw}.level must be a SARIF level",
+                )
+            check(
+                _locations_ok(res.get("locations")),
+                f"{rw}.locations must carry a physicalLocation with "
+                "artifactLocation.uri and a 1-based region.startLine",
+            )
+    return problems
+
+
+def _locations_ok(locations: Any) -> bool:
+    if not isinstance(locations, list) or not locations:
+        return False
+    for loc in locations:
+        if not isinstance(loc, dict):
+            return False
+        phys = loc.get("physicalLocation")
+        if not isinstance(phys, dict):
+            return False
+        artifact = phys.get("artifactLocation")
+        if not isinstance(artifact, dict) or not isinstance(artifact.get("uri"), str):
+            return False
+        region = phys.get("region")
+        if region is not None:
+            start = region.get("startLine") if isinstance(region, dict) else None
+            if not isinstance(start, int) or start < 1:
+                return False
+    return True

@@ -39,6 +39,7 @@ Counts and sizes are public; values never are.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
 if TYPE_CHECKING:
@@ -200,21 +201,24 @@ class OpProfiler:
 
 # -- the active profiler ----------------------------------------------------
 
-_ACTIVE: NullProfiler | OpProfiler = NULL_PROFILER
+# Context-local so concurrent party tasks (ROADMAP item 1) each see
+# their own installed profiler instead of racing on one module slot.
+_ACTIVE: ContextVar[NullProfiler | OpProfiler] = ContextVar(
+    "repro_active_profiler", default=NULL_PROFILER
+)
 
 
 def get_profiler() -> NullProfiler | OpProfiler:
     """The currently installed profiler (:data:`NULL_PROFILER` by default)."""
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 def set_profiler(
     profiler: NullProfiler | OpProfiler | None,
 ) -> NullProfiler | OpProfiler:
     """Install ``profiler`` (``None`` = disable); returns the previous one."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = profiler if profiler is not None else NULL_PROFILER
+    previous = _ACTIVE.get()
+    _ACTIVE.set(profiler if profiler is not None else NULL_PROFILER)
     return previous
 
 

@@ -77,6 +77,14 @@ class TestSparseVector:
         with pytest.raises(ValueError):
             SparseVector(f, 4, {4: (1, 1)})
 
+    def test_out_of_range_error_hides_secret_index(self, f):
+        """The failing index is a secret dart position (lint RL203):
+        the exception names the bound, never the value."""
+        with pytest.raises(ValueError) as err:
+            SparseVector(f, 8, {12345: (1, 1)})
+        assert "12345" not in str(err.value)
+        assert "[0, 8)" in str(err.value)
+
     def test_add_and_cancellation(self, f):
         """Characteristic 2: equal pairs at the same index cancel."""
         a = SparseVector(f, 8, {1: (5, 6), 2: (7, 8)})

@@ -1,0 +1,18 @@
+"""Fixture: one mutable object shared by every party program built in a
+loop, mutated by the callee (RL303) — plus a clean per-party variant."""
+
+from __future__ import annotations
+
+
+def party_program(pid: int, inbox: list[int]):
+    inbox.append(pid)
+    yield
+
+
+def build_aliased() -> list:
+    inbox: list[int] = []
+    return [party_program(pid, inbox) for pid in range(4)]
+
+
+def build_clean() -> list:
+    return [party_program(pid, []) for pid in range(4)]

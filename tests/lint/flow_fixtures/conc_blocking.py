@@ -1,0 +1,16 @@
+"""Fixture: blocking/wall-clock calls in party-reachable code (RL302),
+including one reached only through a helper (path-carrying message)."""
+
+from __future__ import annotations
+
+import time
+
+
+def helper() -> float:
+    return time.time()
+
+
+def party_program(pid: int):
+    time.sleep(0.001)
+    helper()
+    yield

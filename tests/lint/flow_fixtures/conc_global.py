@@ -1,0 +1,21 @@
+"""Fixture: mutable module globals touched by party code (RL301),
+with the spec's two exemption mechanisms alongside."""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+
+CACHE: dict[int, int] = {}
+
+#: exempted by name in [concurrency] allowed_globals
+ALLOWED_CACHE: dict[int, int] = {}
+
+#: exempted by constructor in [concurrency] safe_global_types
+SLOT: ContextVar[int] = ContextVar("slot", default=0)
+
+
+def party_program(pid: int):
+    CACHE[pid] = pid
+    ALLOWED_CACHE[pid] = pid
+    SLOT.set(pid)
+    yield

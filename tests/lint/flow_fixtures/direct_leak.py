@@ -1,0 +1,12 @@
+"""Fixture: a taint source flowing straight into a sink (RL201)."""
+
+from __future__ import annotations
+
+
+def deal_shares(n: int) -> list[int]:
+    return list(range(n))
+
+
+def run() -> None:
+    shares = deal_shares(3)
+    print("dealt", shares)

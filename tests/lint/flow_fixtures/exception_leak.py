@@ -1,0 +1,11 @@
+"""Fixture: secret material interpolated into an exception (RL203)."""
+
+from __future__ import annotations
+
+from direct_leak import deal_shares
+
+
+def check() -> None:
+    shares = deal_shares(3)
+    if shares:
+        raise ValueError(f"unexpected share {shares[0]}")

@@ -1,0 +1,13 @@
+"""Fixture: the high layer; calling down into low is allowed."""
+
+from __future__ import annotations
+
+import layer_low
+
+
+def render(text: str) -> str:
+    return f"[{text}]"
+
+
+def uses_low() -> int:
+    return layer_low.base_value()

@@ -1,0 +1,18 @@
+"""Fixture: low layer calling up into the high layer (RL210), plus one
+sanctioned upward edge exempted via [layering] allowed_calls."""
+
+from __future__ import annotations
+
+import layer_high
+
+
+def bad_upcall() -> str:
+    return layer_high.render("from low")
+
+
+def sanctioned_upcall() -> str:
+    return layer_high.render("allowed")
+
+
+def base_value() -> int:
+    return 7

@@ -1,0 +1,16 @@
+"""Fixture: sanctioned secret-to-public transitions — no findings."""
+
+from __future__ import annotations
+
+from direct_leak import deal_shares
+
+
+def reconstruct(shares: list[int]) -> int:
+    return sum(shares)
+
+
+def run() -> None:
+    shares = deal_shares(3)
+    print("count:", len(shares))
+    opened = reconstruct(shares)
+    print("opened:", opened)

@@ -1,0 +1,10 @@
+"""Fixture: a real RL201 silenced by an inline suppression comment."""
+
+from __future__ import annotations
+
+from direct_leak import deal_shares
+
+
+def run() -> None:
+    shares = deal_shares(3)
+    print("dealt", shares)  # repro-lint: disable=RL201

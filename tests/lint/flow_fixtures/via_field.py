@@ -1,0 +1,25 @@
+"""Fixture: a secret dataclass field read reaching a sink (RL201),
+while the public companion attribute stays clean.
+
+The parameter is deliberately *not* secret-named: the detection must
+come from the ``via_field.Share.y`` entry in [taint.sources] fields,
+via the annotation-based local typing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Share:
+    x: int
+    y: int
+
+
+def show(rec: Share) -> None:
+    print("y =", rec.y)
+
+
+def show_public(rec: Share) -> None:
+    print("x =", rec.x)

@@ -1,0 +1,14 @@
+"""Fixture: a secret crossing a function boundary into a sink (RL202)."""
+
+from __future__ import annotations
+
+from direct_leak import deal_shares
+
+
+def emit(values: list[int]) -> None:
+    print("values:", values)
+
+
+def run() -> None:
+    shares = deal_shares(3)
+    emit(shares)

@@ -39,6 +39,44 @@ def test_self_lint_repo_is_clean(capsys):
     assert payload["files_checked"] > 50
 
 
+def test_self_lint_with_flow_is_clean(capsys):
+    """`python -m repro lint --flow src/repro` exits 0 with an empty
+    baseline: every true-positive flow finding in src/ is fixed."""
+    src = REPO_ROOT / "src" / "repro"
+    exit_code = main([str(src), "--flow", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert payload["findings"] == []
+    assert payload["baselined"] == 0
+
+
+def test_flowcheck_subcommand_forwards_to_lint_flow(capsys):
+    from repro.__main__ import main as repro_main
+
+    src = REPO_ROOT / "src" / "repro"
+    assert repro_main(["flowcheck", str(src)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_list_rules_includes_flow_family(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL201", "RL202", "RL203", "RL210",
+                    "RL301", "RL302", "RL303"):
+        assert rule_id in out
+
+
+def test_flow_spec_error_is_usage_error(bad_file, tmp_path, capsys):
+    bad_spec = tmp_path / "spec.toml"
+    bad_spec.write_text("[layering.allow]\ncore = [\"ghost\"]\n",
+                        encoding="utf-8")
+    code = main([str(bad_file), "--flow", "--no-baseline",
+                 "--taint-spec", str(bad_spec)])
+    assert code == 2
+    assert "ghost" in capsys.readouterr().err
+
+
 def test_json_output_schema(bad_file, capsys):
     exit_code = main([str(bad_file), "--format", "json", "--no-baseline"])
     assert exit_code == 1

@@ -1,0 +1,126 @@
+"""The flow spec: pattern language, validation, TOML subset parser."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.flow.spec import (
+    CallPattern,
+    FlowSpec,
+    SpecError,
+    _parse_toml_subset,
+    parse_toml,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURE_SPEC = Path(__file__).resolve().parent / "flow_fixtures" / "taint-spec.toml"
+
+
+# -- pattern language -------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "pattern, qualname, attr, name, expected",
+    [
+        ("print", None, None, "print", True),
+        ("print", "a.b.print", None, None, True),
+        ("print", None, "print", None, True),
+        ("print", None, None, "println", False),
+        ("*.debug", None, "debug", None, True),
+        ("*.debug", "logging.Logger.debug", None, None, True),
+        ("*.debug", None, "warning", None, False),
+        ("socket.*", "socket.create_connection", None, None, True),
+        ("socket.*", "socket", None, None, True),
+        ("socket.*", "socketserver.serve", None, None, False),
+        ("ShamirScheme.share", "repro.sharing.shamir.ShamirScheme.share", None, None, True),
+        ("ShamirScheme.share", "OtherScheme.share", None, None, False),
+        ("a.b.c", "a.b.c", None, None, True),
+        ("a.b.c", "z.a.b.c", None, None, True),
+        ("a.b.c", "a.b", None, None, False),
+    ],
+)
+def test_call_pattern_matching(pattern, qualname, attr, name, expected):
+    assert CallPattern(pattern).matches(qualname, attr, name) is expected
+
+
+# -- spec validation --------------------------------------------------------
+
+
+def test_layering_allow_must_reference_declared_layers():
+    with pytest.raises(SpecError, match="undeclared layer"):
+        FlowSpec.from_mapping(
+            {
+                "layering": {
+                    "layers": {"core": ["repro.core"]},
+                    "allow": {"core": ["ghost"]},
+                }
+            }
+        )
+
+
+def test_load_missing_file_raises_spec_error(tmp_path):
+    with pytest.raises(SpecError, match="cannot read"):
+        FlowSpec.load(tmp_path / "nope.toml")
+
+
+def test_discover_walks_upward(tmp_path):
+    (tmp_path / "taint-spec.toml").write_text(
+        '[taint]\nsecret_tokens = ["pad"]\n', encoding="utf-8"
+    )
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    spec = FlowSpec.discover(nested)
+    assert spec is not None
+    assert spec.taint.secret_tokens == frozenset({"pad"})
+
+
+def test_repo_root_spec_loads():
+    spec = FlowSpec.load(REPO_ROOT / "taint-spec.toml")
+    assert spec.taint.source_calls.matches(None, None, "make_dart_vector") is None
+    assert spec.taint.source_calls.matches(
+        "repro.core.darts.make_dart_vector", None, None
+    )
+    assert spec.layering.layer_of("repro.lint.flow.graph") == "lint"
+    assert spec.layering.layer_of("repro.__main__") == "cli"
+    assert not spec.layering.edge_allowed("network", "core")
+
+
+# -- bundled TOML subset parser ---------------------------------------------
+
+
+@pytest.mark.parametrize("path", [REPO_ROOT / "taint-spec.toml", FIXTURE_SPEC])
+def test_subset_parser_matches_tomllib(path):
+    tomllib = pytest.importorskip("tomllib")
+    text = path.read_text(encoding="utf-8")
+    assert _parse_toml_subset(text, str(path)) == tomllib.loads(text)
+
+
+def test_subset_parser_handles_comments_and_multiline_arrays():
+    parsed = _parse_toml_subset(
+        """
+# leading comment
+[a.b]
+names = [
+  "x",  # trailing comment
+  "y#z",
+]
+flag = true
+count = 3
+""",
+        "<test>",
+    )
+    assert parsed == {
+        "a": {"b": {"names": ["x", "y#z"], "flag": True, "count": 3}}
+    }
+
+
+def test_subset_parser_rejects_garbage():
+    with pytest.raises(SpecError, match="cannot parse"):
+        _parse_toml_subset("not toml at all", "<test>")
+
+
+def test_parse_toml_reports_filename_on_invalid_input():
+    with pytest.raises(SpecError):
+        parse_toml("key = {", "bad.toml")

@@ -1,0 +1,233 @@
+"""SARIF 2.1.0 output: structure, validation, CLI round-trip."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths
+from repro.lint.sarif import SARIF_VERSION, to_sarif, validate_sarif
+
+FIXTURES = Path(__file__).resolve().parent / "flow_fixtures"
+FLOW_RULES = frozenset(
+    {"RL201", "RL202", "RL203", "RL210", "RL301", "RL302", "RL303"}
+)
+
+# Hand-written subset of the official SARIF 2.1.0 JSON Schema covering
+# every property we emit; used with jsonschema when available.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "columnKind": {
+                        "enum": ["utf16CodeUnits", "unicodeCodePoints"]
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": ["artifactLocation"],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": [
+                                                    "inSource",
+                                                    "external",
+                                                ]
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def flow_result():
+    config = LintConfig(select=FLOW_RULES, use_baseline=False, flow=True)
+    return lint_paths([FIXTURES], config)
+
+
+def test_sarif_document_shape(flow_result):
+    doc = to_sarif(flow_result)
+    assert doc["version"] == SARIF_VERSION
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    # Classic rules, flow rules, and the parse-error pseudo-rule.
+    assert "RL000" in rule_ids
+    assert "RL001" in rule_ids
+    assert set(FLOW_RULES) <= set(rule_ids)
+    assert len(run["results"]) == len(flow_result.findings)
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+
+def test_sarif_structural_validator_accepts_output(flow_result):
+    assert validate_sarif(to_sarif(flow_result)) == []
+
+
+def test_sarif_validates_against_2_1_0_schema(flow_result):
+    jsonschema = pytest.importorskip("jsonschema")
+    jsonschema.validate(to_sarif(flow_result), SARIF_SUBSET_SCHEMA)
+
+
+def test_sarif_baselined_findings_carry_suppressions(flow_result, tmp_path):
+    from repro.lint import write_baseline
+
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, flow_result.findings)
+    config = LintConfig(select=FLOW_RULES, flow=True, baseline_path=baseline)
+    result = lint_paths([FIXTURES], config)
+    doc = to_sarif(result)
+    suppressed = [
+        r for r in doc["runs"][0]["results"] if r.get("suppressions")
+    ]
+    assert len(suppressed) == len(flow_result.findings)
+    assert all(
+        s["kind"] == "external"
+        for r in suppressed
+        for s in r["suppressions"]
+    )
+    assert validate_sarif(doc) == []
+
+
+@pytest.mark.parametrize(
+    "mutate, expected_fragment",
+    [
+        (lambda d: d.update(version="2.0.0"), "version"),
+        (lambda d: d.update(runs=[]), "runs"),
+        (
+            lambda d: d["runs"][0]["results"][0].pop("message"),
+            "message.text",
+        ),
+        (
+            lambda d: d["runs"][0]["results"][0].update(ruleId="RL999"),
+            "not in driver.rules",
+        ),
+        (
+            lambda d: d["runs"][0]["results"][0]["locations"][0][
+                "physicalLocation"
+            ]["region"].update(startLine=0),
+            "locations",
+        ),
+    ],
+)
+def test_sarif_validator_rejects_corruption(
+    flow_result, mutate, expected_fragment
+):
+    doc = to_sarif(flow_result)
+    assert doc["runs"][0]["results"], "need at least one result to corrupt"
+    mutate(doc)
+    problems = validate_sarif(doc)
+    assert problems
+    assert any(expected_fragment in p for p in problems)
+
+
+def test_cli_sarif_output(capsys):
+    from repro.lint.cli import main
+
+    code = main(
+        [
+            str(FIXTURES),
+            "--flow",
+            "--format",
+            "sarif",
+            "--no-baseline",
+            "--select",
+            ",".join(sorted(FLOW_RULES)),
+        ]
+    )
+    assert code == 1  # findings exist
+    doc = json.loads(capsys.readouterr().out)
+    assert validate_sarif(doc) == []
+    assert doc["runs"][0]["results"]

@@ -130,6 +130,19 @@ def test_get_profiler_defaults_to_null_profiler():
     NULL_PROFILER.observe("vec", "batch", 5)
 
 
+def test_set_profiler_is_context_local():
+    """The active-profiler slot is a ContextVar (lint RL301): installing
+    a profiler in a copied context never leaks into the caller's, so
+    concurrent party tasks each see their own."""
+    import contextvars
+
+    prof = OpProfiler()
+    ctx = contextvars.copy_context()
+    assert ctx.run(set_profiler, prof) is NULL_PROFILER
+    assert ctx.run(get_profiler) is prof
+    assert get_profiler() is NULL_PROFILER
+
+
 def test_profiled_installs_and_restores_global_and_field_wrappers():
     field = gf2k(8)
     prof = OpProfiler()
