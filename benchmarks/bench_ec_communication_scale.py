@@ -49,7 +49,11 @@ def test_ec_measured_bandwidth(benchmark):
         rows,
         notes="the paper treats communication complexity as out of scope\n"
               "(compilable via [BFO12]); these are the uncompiled costs of\n"
-              "this implementation, dominated by the cut-and-choose openings.",
+              "this implementation, dominated by the cut-and-choose openings.\n"
+              "payload_size now counts mapping keys as wire atoms; these\n"
+              "totals are unchanged because the ideal-VSS hybrid puts only\n"
+              "flat lists on the wire (dict payloads appear under costed\n"
+              "VSS profiles, whose traced runs do count labels).",
     )
     # Sanity: costs grow with n (superlinear: more dealers x longer vectors).
     elements = [r[5] for r in rows]

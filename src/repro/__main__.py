@@ -19,7 +19,16 @@ profile-run
     (see :mod:`repro.obs.profiler`): the exported trace carries schema-v2
     ``prof`` events and ``--flamegraph`` writes collapsed-stack lines.
 report
-    Validate and render a previously exported JSONL trace.
+    Validate and render a previously exported JSONL trace; ``--comm``
+    adds the per-link communication report (see :mod:`repro.obs.comm`).
+obs-check
+    Run the anomaly watchdog over an exported trace: stalled rounds,
+    disqualification storms, comm hotspots, causal-order violations
+    (see :mod:`repro.obs.anomaly`); exits 1 on any finding.
+dashboard
+    Render the self-contained HTML telemetry dashboard from campaign
+    reports, telemetry stores, BENCH history, and traces
+    (see :mod:`repro.obs.dashboard`).
 flamegraph
     Convert an exported trace's ``prof`` events to collapsed-stack
     lines for standard flamegraph renderers.
@@ -188,7 +197,7 @@ def _cmd_profile_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs import RunReport, read_jsonl, validate_file
+    from repro.obs import CommReport, RunReport, read_jsonl, validate_file
 
     errors = validate_file(args.trace)
     if errors:
@@ -200,12 +209,93 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.validate:
         print(f"{args.trace}: schema ok")
         return 0
-    report = RunReport.from_events(read_jsonl(args.trace))
+    events = read_jsonl(args.trace)
+    report = RunReport.from_events(events)
+    ok = report.matches_prediction
     if args.json:
         print(report.to_json())
     else:
         print(report.render_text())
-    return 0 if report.matches_prediction else 1
+    if args.comm:
+        comm = CommReport.from_events(events)
+        ok = ok and comm.matches_prediction
+        if args.json:
+            print(comm.to_json())
+        else:
+            print()
+            print(comm.render_text())
+    return 0 if ok else 1
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    from repro.obs import read_jsonl, scan_events, validate_file
+
+    try:
+        errors = validate_file(args.trace)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"{args.trace}: {exc}", file=sys.stderr)
+        return 2
+    if errors:
+        for error in errors:
+            print(f"{args.trace}: {error}", file=sys.stderr)
+        print(f"{args.trace}: {len(errors)} schema violation(s)",
+              file=sys.stderr)
+        return 2
+    findings = scan_events(read_jsonl(args.trace))
+    if args.json:
+        import json
+
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+    if findings:
+        print(f"obs-check: {len(findings)} anomaly(ies) in {args.trace}",
+              file=sys.stderr)
+        return 1
+    print(f"obs-check: {args.trace} is clean", file=sys.stderr)
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import CommReport, read_jsonl, render_dashboard
+    from repro.obs.bench import load_history
+
+    campaign = None
+    if args.campaign:
+        try:
+            with open(args.campaign, "r", encoding="utf-8") as fh:
+                campaign = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"dashboard: {args.campaign}: {exc}", file=sys.stderr)
+            return 2
+    telemetry = None
+    if args.telemetry:
+        from repro.testkit.telemetry import TelemetryStore
+
+        telemetry = TelemetryStore(args.telemetry).load()
+    bench_history = load_history(args.bench_history) if args.bench_history else None
+    comm = None
+    if args.trace:
+        try:
+            events = read_jsonl(args.trace)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"dashboard: {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        comm = CommReport.from_events(events).to_dict()
+    page = render_dashboard(
+        campaign=campaign,
+        telemetry=telemetry,
+        bench_history=bench_history,
+        comm=comm,
+        title=args.title,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(page)
+    print(f"dashboard: wrote {args.out} ({len(page)} bytes)", file=sys.stderr)
+    return 0
 
 
 def _cmd_flamegraph(args: argparse.Namespace) -> int:
@@ -388,9 +478,42 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("trace", help="JSONL trace file (from trace-run --out)")
     p.add_argument("--validate", action="store_true",
                    help="schema-check only, print nothing else")
+    p.add_argument("--comm", action="store_true",
+                   help="also print the per-link communication report "
+                   "(exit non-zero if it diverges from the bounds)")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON instead of text")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "obs-check",
+        help="run the anomaly watchdog over a trace; exit 1 on findings",
+    )
+    p.add_argument("trace", help="JSONL trace file (from trace-run --out)")
+    p.add_argument("--json", action="store_true",
+                   help="print findings as JSON instead of text")
+    p.set_defaults(fn=_cmd_obs_check)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="render the self-contained HTML telemetry dashboard",
+    )
+    p.add_argument("--campaign", metavar="PATH",
+                   help="conformance campaign report (JSON, from "
+                   "`conformance --report`)")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="per-trial telemetry store (JSONL, from "
+                   "`conformance --telemetry`)")
+    p.add_argument("--bench-history", metavar="PATH",
+                   help="BENCH history store (JSONL, from "
+                   "repro.obs.bench.append_history)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="schema-v3 trace for the comm heatmap")
+    p.add_argument("--out", metavar="PATH", default="dashboard.html",
+                   help="output HTML file (default: dashboard.html)")
+    p.add_argument("--title", default="repro observability dashboard",
+                   help="page title")
+    p.set_defaults(fn=_cmd_dashboard)
 
     p = sub.add_parser(
         "flamegraph",

@@ -62,7 +62,12 @@ from .darts import Permutation, SparseVector
 from .layout import DealerLayout, ProverMaterial, ReceiverLayout, honest_material
 from .params import AnonChanParams
 from .receiver import extract_output, vector_from_opened
-from .trace import round_schedule, total_broadcast_rounds, total_rounds
+from .trace import (
+    comm_bounds,
+    round_schedule,
+    total_broadcast_rounds,
+    total_rounds,
+)
 
 
 @dataclass
@@ -435,6 +440,7 @@ def run_anonchan(
             predicted_broadcast_rounds=total_broadcast_rounds(
                 params, vss.cost
             ),
+            predicted_comm=comm_bounds(params, vss.cost),
         )
 
     programs = {

@@ -96,6 +96,79 @@ def round_schedule(
     return rounds
 
 
+def comm_bounds(params: AnonChanParams, vss_cost: VSSCost) -> dict:
+    """Analytic per-phase bandwidth upper bounds for one execution.
+
+    The predictor derives, from the parameter set alone, a worst-case
+    wire volume (field elements / atoms) and private-message count per
+    protocol phase in the ideal-VSS hybrid model the simulator runs.
+    The key quantities:
+
+    - a public opening of ``V`` values has every party send its list of
+      per-value reveal payloads to the other ``n - 1`` parties; one
+      payload ``(pid, terms, value)`` carries at most ``2 + 2n`` atoms
+      (a combined view accumulates at most one term per dealer);
+    - the sharing phase of the hybrid carries traffic only in its
+      broadcast rounds (each dealer announces its dealing labels: at
+      most two label-keyed entries of at most 3 atoms each, times the
+      broadcast fan-out);
+    - step 4b sends ``2*ell`` payloads privately from each non-receiver
+      to the receiver.
+
+    Observed volumes are checked against these bounds dynamically by
+    :class:`repro.obs.comm.CommReport` (the run embeds this dict in the
+    ``run_start`` event as ``predicted_comm``).
+    """
+    n = params.n
+    fanout = n - 1
+    payload = 2 + 2 * n  # (pid, <=n (serial, coeff) terms, value)
+
+    def opening(values: int) -> tuple[int, int]:
+        """(max_elements, max_messages) of one public opening round."""
+        return n * fanout * values * payload, n * fanout
+
+    stage1_values = n * params.num_checks * max(params.ell, params.d)
+    stage2_values = n * params.num_checks * 2 * params.ell
+    phases = [
+        {
+            "phase": "step 1: VSS-Share",
+            "max_elements": vss_cost.share_broadcast_rounds * 6 * n * fanout,
+            "max_messages": 0,
+        },
+        {
+            "phase": "step 2: challenge",
+            "max_elements": opening(1)[0],
+            "max_messages": opening(1)[1],
+        },
+        {
+            "phase": "step 3a: cut-and-choose openings",
+            "max_elements": opening(stage1_values)[0],
+            "max_messages": opening(stage1_values)[1],
+        },
+        {
+            "phase": "step 3b: cut-and-choose verification",
+            "max_elements": opening(stage2_values)[0],
+            "max_messages": opening(stage2_values)[1],
+        },
+        {
+            "phase": "step 4a: receiver permutations",
+            "max_elements": opening(n * params.ell)[0],
+            "max_messages": opening(n * params.ell)[1],
+        },
+        {
+            "phase": "step 4b: private transfer",
+            "max_elements": fanout * 2 * params.ell * payload,
+            "max_messages": fanout,
+        },
+    ]
+    return {
+        "version": 1,
+        "broadcast_rounds": vss_cost.share_broadcast_rounds,
+        "per_value_payload": payload,
+        "phases": phases,
+    }
+
+
 def total_rounds(params: AnonChanParams, vss_cost: VSSCost) -> int:
     """Rounds of one execution: r_VSS-share + 5."""
     return vss_cost.share_rounds + 5

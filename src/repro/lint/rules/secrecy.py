@@ -66,6 +66,7 @@ _OBS_EMIT_METHODS = {
     "count",
     "observe",
     "record_profile",
+    "record_message",
 }
 
 _TOKEN_SPLIT = re.compile(r"[_\d]+")

@@ -68,6 +68,11 @@ def payload_size(payload: Any) -> int:
     containers count the sum of their items, ``None`` counts 0.  This
     sits on the simulator's per-message hot path, hence the flat,
     concrete-type dispatch.
+
+    Mappings count *keys as well as values*: a transmitted dict's keys
+    (recipient ids, sub-protocol labels, non-zero index lists) travel on
+    the wire like any other atom, so ``{("deal", 3): "vss-share"}`` is
+    3 elements, not 1.
     """
     if payload is None:
         return 0
@@ -76,8 +81,8 @@ def payload_size(payload: Any) -> int:
         return 1
     if tp is dict:
         total = 0
-        for v in payload.values():
-            total += payload_size(v)
+        for k, v in payload.items():
+            total += payload_size(k) + payload_size(v)
         return total
     if tp in _CONTAINERS:
         total = 0
@@ -87,7 +92,7 @@ def payload_size(payload: Any) -> int:
     if isinstance(payload, _ATOMS):
         return 1
     if isinstance(payload, Mapping):
-        return sum(payload_size(v) for v in payload.values())
+        return sum(payload_size(k) + payload_size(v) for k, v in payload.items())
     if isinstance(payload, _CONTAINERS):
         return sum(payload_size(v) for v in payload)
     # Dataclass-like objects: count their public attributes.
@@ -99,3 +104,41 @@ def payload_size(payload: Any) -> int:
     if hasattr(payload, "coeffs"):  # Polynomial
         return len(payload.coeffs)
     return 1
+
+
+class LamportClock:
+    """One party's logical clock (Lamport 1978).
+
+    The simulator keeps one per party and stamps every emitted message
+    with the sender's post-tick value, so the partial order of stamps is
+    consistent with happens-before even once delivery stops being
+    lockstep (the planned async runtime).  Rules:
+
+    - ``tick()`` before sending; the returned value stamps every message
+      the party emits that round.
+    - ``observe(stamps)`` on receipt: the clock jumps past the largest
+      stamp seen, so the party's *next* send is causally after every
+      message it has received.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def tick(self) -> int:
+        """Advance for a local/send event; returns the new stamp."""
+        self.value += 1
+        return self.value
+
+    def observe(self, stamps: "Any") -> int:
+        """Merge received stamps (iterable of ints); returns the clock.
+
+        Sets the clock to the max of itself and every received stamp, so
+        the next ``tick()`` — the party's next send — is strictly above
+        everything it has seen.
+        """
+        for stamp in stamps:
+            if stamp > self.value:
+                self.value = stamp
+        return self.value

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
 from .adversary import Adversary, RushedView
-from .messages import RoundInput, RoundOutput, payload_size
+from .messages import LamportClock, RoundInput, RoundOutput, payload_size
 from .metrics import ProtocolMetrics
 from .program import Program
 
@@ -101,6 +101,10 @@ def run_protocol(
     }
     outputs: dict[int, Any] = {}
     metrics = ProtocolMetrics()
+    # Per-party logical clocks (maintained only when traced: causal
+    # stamps are observability, not protocol state — the untraced hot
+    # path never touches them).
+    clocks: dict[int, LamportClock] = {}
 
     pending: dict[int, RoundOutput] = {}
     for pid, prog in list(honest.items()):
@@ -179,6 +183,15 @@ def run_protocol(
         )
         if tracer is not None:
             fanout = max(len(programs) - 1, 1)
+            # Lamport send events: every party emitting anything this
+            # round ticks once; all its messages carry that stamp.
+            stamps: dict[int, int] = {}
+            for sender, out in all_outputs.items():
+                if out.private or out.broadcast is not None:
+                    clock = clocks.get(sender)
+                    if clock is None:
+                        clock = clocks[sender] = LamportClock()
+                    stamps[sender] = clock.tick()
             per_party: dict[int, dict[str, Any]] = {}
             for sender, out in all_outputs.items():
                 sent = sum(1 for r in out.private if r in inboxes)
@@ -197,6 +210,32 @@ def run_protocol(
                         "elements": volume,
                         "broadcast": out.broadcast is not None,
                     }
+            # One msg event per delivery (schema v3): broadcasts carry
+            # receiver=None and their full wire volume (payload x
+            # fan-out), so per-round msg volumes sum exactly to the
+            # round event's elements.
+            for sender in sorted(all_outputs):
+                out = all_outputs[sender]
+                stamp = stamps.get(sender, 0)
+                if out.broadcast is not None:
+                    size = (
+                        payload_size(out.broadcast) * fanout
+                        if count_elements
+                        else 0
+                    )
+                    tracer.record_message(
+                        round_index, sender, None, size, stamp
+                    )
+                for recipient in sorted(out.private):
+                    if recipient not in inboxes:
+                        continue
+                    size = 0
+                    if count_elements:
+                        payload = out.private[recipient]
+                        size = size_cache.get(id(payload), 0)
+                    tracer.record_message(
+                        round_index, sender, recipient, size, stamp
+                    )
             tracer.record_round(
                 round_index,
                 broadcasters=sorted(broadcasts),
@@ -206,6 +245,18 @@ def run_protocol(
                     str(pid): per_party[pid] for pid in sorted(per_party)
                 },
             )
+            # Lamport receive events: each party merges the stamps of
+            # everything delivered to it (private + broadcast), so its
+            # next send is causally after all of them.
+            for pid in programs:
+                seen = [
+                    stamps[s] for s in inboxes[pid] if s in stamps
+                ] + [stamps[b] for b in broadcasts if b in stamps]
+                if seen:
+                    clock = clocks.get(pid)
+                    if clock is None:
+                        clock = clocks[pid] = LamportClock()
+                    clock.observe(seen)
 
         round_inputs = {
             pid: RoundInput(private=inboxes[pid], broadcast=broadcasts)

@@ -24,13 +24,18 @@ runtime by :func:`repro.obs.events.ensure_public_attrs` and statically
 by lint rule RL004 (``docs/OBSERVABILITY.md`` documents both).
 """
 
+from .anomaly import Anomaly, scan_events
 from .bench import (
     BenchComparison,
     MetricDelta,
+    append_history,
     compare_files,
     compare_payloads,
     load_bench,
+    load_history,
 )
+from .comm import BROADCAST, CommMatrix, CommReport, LinkStats
+from .dashboard import render_dashboard
 from .events import (
     EVENT_KINDS,
     SCHEMA_VERSION,
@@ -97,4 +102,13 @@ __all__ = [
     "load_bench",
     "compare_payloads",
     "compare_files",
+    "append_history",
+    "load_history",
+    "CommMatrix",
+    "CommReport",
+    "LinkStats",
+    "BROADCAST",
+    "Anomaly",
+    "scan_events",
+    "render_dashboard",
 ]

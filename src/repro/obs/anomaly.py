@@ -1,0 +1,279 @@
+"""Anomaly watchdog over trace streams (``python -m repro obs-check``).
+
+The conformance reports (:class:`repro.obs.report.RunReport`,
+:class:`repro.obs.comm.CommReport`) diff an execution against its
+*static prediction*; the watchdog instead scans for operational
+pathologies that are suspicious in **any** execution — the checks an
+on-call engineer would want on a long-running deployment of the
+protocol (ROADMAP items 1-2), run today against every CI trace:
+
+- **stalled rounds** — gaps in the round sequence, more rounds than the
+  schedule predicts, or a trace that opens with ``run_start`` and never
+  reaches ``run_end`` (a wedged or crashed run).  Note the ideal-VSS
+  hybrid legitimately has zero-traffic sharing rounds, so *silence* is
+  not an anomaly — missing or surplus rounds are.
+- **disqualification storms** — more parties disqualified than the
+  corruption bound ``t`` allows: an honest party was voted out, which
+  the paper's agreement guarantees forbid.
+- **comm hotspots** — one party originates a disproportionate share of
+  the wire volume (default: above :data:`HOTSPOT_FACTOR` times the
+  mean sender volume, beyond a noise floor).
+- **causal-order violations** — Lamport stamps that are not monotone
+  per sender, or a delivered message whose stamp is not below the
+  recipient's subsequent send stamps (happens-before broken; would
+  indicate delivery reordering once the async runtime lands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from .events import TraceEvent
+
+#: A sender is a hotspot when its volume exceeds the mean by this factor.
+HOTSPOT_FACTOR = 4.0
+
+#: Wire volume (elements) below which hotspot detection stays silent —
+#: tiny traces have meaningless ratios.
+HOTSPOT_MIN_ELEMENTS = 256
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One watchdog finding."""
+
+    kind: str
+    message: str
+    round_index: int | None = None
+    party: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "round": self.round_index,
+            "party": self.party,
+        }
+
+    def render(self) -> str:
+        where = ""
+        if self.round_index is not None:
+            where += f" round={self.round_index}"
+        if self.party is not None:
+            where += f" party={self.party}"
+        return f"[{self.kind}]{where}: {self.message}"
+
+
+def scan_events(events: Sequence[TraceEvent]) -> list[Anomaly]:
+    """Run every watchdog check; returns all findings (empty == clean)."""
+    findings: list[Anomaly] = []
+    findings.extend(_check_rounds(events))
+    findings.extend(_check_disqualifications(events))
+    findings.extend(_check_hotspots(events))
+    findings.extend(_check_causality(events))
+    return findings
+
+
+# -- stalled / runaway rounds ----------------------------------------------
+
+def _check_rounds(events: Sequence[TraceEvent]) -> Iterator[Anomaly]:
+    meta: dict[str, Any] = {}
+    has_run_start = has_run_end = False
+    last_round: int | None = None
+    observed = 0
+    for ev in events:
+        if ev.kind == "run_start":
+            meta = dict(ev.attrs)
+            has_run_start = True
+        elif ev.kind == "run_end":
+            has_run_end = True
+        elif ev.kind == "round" and isinstance(ev.round_index, int):
+            observed += 1
+            if last_round is not None and ev.round_index != last_round + 1:
+                yield Anomaly(
+                    kind="stalled-round",
+                    round_index=ev.round_index,
+                    message=(
+                        f"round sequence jumps from {last_round} to "
+                        f"{ev.round_index}: the rounds in between never "
+                        "completed"
+                    ),
+                )
+            last_round = ev.round_index
+    predicted = meta.get("predicted_rounds")
+    if isinstance(predicted, int) and observed > predicted:
+        yield Anomaly(
+            kind="stalled-round",
+            round_index=last_round,
+            message=(
+                f"{observed} rounds executed but the schedule predicts "
+                f"{predicted}: the protocol is spinning past its budget"
+            ),
+        )
+    if has_run_start and not has_run_end:
+        yield Anomaly(
+            kind="stalled-round",
+            round_index=last_round,
+            message=(
+                "trace opens with run_start but never reaches run_end "
+                "(wedged or crashed execution)"
+            ),
+        )
+
+
+# -- disqualification storms ------------------------------------------------
+
+def _check_disqualifications(
+    events: Sequence[TraceEvent],
+) -> Iterator[Anomaly]:
+    n = t = None
+    for ev in events:
+        if ev.kind == "run_start":
+            n = ev.attrs.get("n")
+            t = ev.attrs.get("t")
+        elif ev.kind == "note" and ev.name in (
+            "vss-qualified",
+            "cut-and-choose-passed",
+        ):
+            parties = ev.attrs.get("parties")
+            if (
+                isinstance(n, int)
+                and isinstance(t, int)
+                and isinstance(parties, list)
+            ):
+                dropped = n - len(parties)
+                if dropped > t:
+                    yield Anomaly(
+                        kind="disqualification-storm",
+                        round_index=ev.round_index,
+                        message=(
+                            f"{ev.name}: {dropped} of {n} parties "
+                            f"disqualified, above the corruption bound "
+                            f"t={t} — an honest party was voted out"
+                        ),
+                    )
+
+
+# -- comm hotspots -----------------------------------------------------------
+
+def _check_hotspots(events: Sequence[TraceEvent]) -> Iterator[Anomaly]:
+    sent: dict[int, int] = {}
+    for ev in events:
+        if ev.kind != "msg":
+            continue
+        sender = ev.attrs.get("sender")
+        if isinstance(sender, int):
+            sent[sender] = sent.get(sender, 0) + int(
+                ev.attrs.get("elements", 0)
+            )
+    if not any(sent.values()):
+        # v1/v2 traces have no msg events; fall back to the round
+        # summaries' per-party breakdown.
+        sent = {}
+        for ev in events:
+            if ev.kind != "round":
+                continue
+            for key, stats in ev.attrs.get("per_party", {}).items():
+                try:
+                    pid = int(key)
+                except (TypeError, ValueError):
+                    continue
+                sent[pid] = sent.get(pid, 0) + int(stats.get("elements", 0))
+    if len(sent) < 2:
+        return
+    total = sum(sent.values())
+    if total < HOTSPOT_MIN_ELEMENTS:
+        return
+    mean = total / len(sent)
+    for pid, volume in sorted(sent.items()):
+        if volume > HOTSPOT_FACTOR * mean:
+            yield Anomaly(
+                kind="comm-hotspot",
+                party=pid,
+                message=(
+                    f"party {pid} originated {volume} of {total} wire "
+                    f"elements ({volume / total:.0%}), over "
+                    f"{HOTSPOT_FACTOR:g}x the mean sender volume "
+                    f"({mean:.0f})"
+                ),
+            )
+
+
+# -- causal order ------------------------------------------------------------
+
+def _check_causality(events: Sequence[TraceEvent]) -> Iterator[Anomaly]:
+    last_stamp: dict[int, tuple[int, int]] = {}  # sender -> (round, stamp)
+    # Highest stamp delivered to each party in *completed* rounds.  In
+    # the lockstep model a round's sends precede its receipts, so a
+    # round's deliveries only constrain sends of later rounds; the
+    # pending buffers merge into the floors when the round advances.
+    delivered_to: dict[int, int] = {}
+    delivered_all = 0  # broadcast stamps: a floor for every party
+    pending_to: dict[int, int] = {}
+    pending_all = 0
+    current_round: int | None = None
+    for ev in events:
+        if ev.kind != "msg":
+            continue
+        sender = ev.attrs.get("sender")
+        receiver = ev.attrs.get("receiver")
+        stamp = ev.attrs.get("lamport")
+        round_index = ev.round_index
+        if not isinstance(sender, int) or not isinstance(stamp, int):
+            continue
+        if round_index != current_round:
+            for pid, pstamp in pending_to.items():
+                if pstamp > delivered_to.get(pid, 0):
+                    delivered_to[pid] = pstamp
+            delivered_all = max(delivered_all, pending_all)
+            pending_to = {}
+            pending_all = 0
+            current_round = round_index
+        previous = last_stamp.get(sender)
+        if previous is not None:
+            prev_round, prev_stamp = previous
+            if round_index == prev_round:
+                if stamp != prev_stamp:
+                    yield Anomaly(
+                        kind="causal-order",
+                        round_index=round_index,
+                        party=sender,
+                        message=(
+                            f"party {sender} used two Lamport stamps "
+                            f"({prev_stamp}, {stamp}) within one round; a "
+                            "round is one send event"
+                        ),
+                    )
+            elif stamp <= prev_stamp:
+                yield Anomaly(
+                    kind="causal-order",
+                    round_index=round_index,
+                    party=sender,
+                    message=(
+                        f"party {sender}'s Lamport clock is not monotone: "
+                        f"stamp {stamp} after {prev_stamp}"
+                    ),
+                )
+        # Happens-before: a send must be strictly above everything
+        # delivered to the sender in earlier rounds.
+        floor = max(delivered_to.get(sender, 0), delivered_all)
+        if (previous is None or previous[0] != round_index) and stamp <= floor:
+            yield Anomaly(
+                kind="causal-order",
+                round_index=round_index,
+                party=sender,
+                message=(
+                    f"party {sender} sent with stamp {stamp} after "
+                    f"receiving stamp {floor}: happens-before is violated"
+                ),
+            )
+        last_stamp[sender] = (
+            round_index if isinstance(round_index, int) else -1,
+            stamp,
+        )
+        if receiver is None:
+            pending_all = max(pending_all, stamp)
+        elif isinstance(receiver, int):
+            if stamp > pending_to.get(receiver, 0):
+                pending_to[receiver] = stamp

@@ -249,3 +249,66 @@ def compare_files(
     return compare_payloads(
         load_bench(baseline_path), load_bench(current_path), threshold
     )
+
+
+# -- history (the dashboard's trend lines) ----------------------------------
+
+def append_history(
+    path: str | Path,
+    payloads: "list[Mapping[str, Any]] | Mapping[str, Any]",
+    stamp: str | None = None,
+) -> int:
+    """Append one history snapshot per BENCH payload to a JSONL store.
+
+    Each line is ``{"stamp", "experiment", "metrics"}`` — the flattened
+    numeric metrics of one experiment at one point in time.  The
+    dashboard reads the store back via :func:`load_history` and renders
+    per-metric trend lines.  Returns the number of lines written.
+    """
+    if isinstance(payloads, Mapping):
+        payloads = [payloads]
+    import time as _time
+
+    if stamp is None:
+        stamp = _time.strftime("%Y-%m-%dT%H:%M:%SZ", _time.gmtime())
+    count = 0
+    with open(path, "a", encoding="utf-8") as fh:
+        for payload in payloads:
+            fh.write(
+                json.dumps(
+                    {
+                        "stamp": stamp,
+                        "experiment": payload.get("experiment"),
+                        "metrics": iter_metrics(payload),
+                    },
+                    sort_keys=True,
+                )
+            )
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_history(path: str | Path) -> list[dict[str, Any]]:
+    """Read a history store written by :func:`append_history`.
+
+    Malformed lines are skipped (a shared store appended by many CI
+    runs must tolerate a torn write) — order is preserved.
+    """
+    snapshots: list[dict[str, Any]] = []
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError:
+        return snapshots
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(data, dict) and "metrics" in data:
+                snapshots.append(data)
+    return snapshots

@@ -1,0 +1,459 @@
+"""Communication observatory: per-link matrices and analytic conformance.
+
+Schema v3 traces carry one ``msg`` event per delivery (sender,
+receiver-or-broadcast, wire volume, Lamport stamp).  This module turns
+that stream into the paper's communication-complexity artifacts:
+
+- :class:`CommMatrix` — per-link and per-phase message/element
+  aggregation (the heatmap the dashboard renders);
+- :class:`CommReport` — observed communication diffed against the
+  analytic prediction :func:`repro.core.trace.comm_bounds` embeds in
+  the ``run_start`` event (``predicted_comm``), exactly as
+  :class:`repro.obs.report.RunReport` diffs the round schedule.  The
+  report dynamically verifies E2 (broadcast rounds only inside the VSS
+  sharing phase, and exactly as many as predicted), checks every
+  phase's wire volume against its bandwidth bound, and cross-checks
+  the per-message stream against the per-round summaries (the two
+  accountings must agree element-for-element).
+
+Like the rest of :mod:`repro.obs`, nothing here imports the core
+protocol layer: predictions travel inside the trace itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from .events import SCHEMA_VERSION, TraceEvent
+
+#: Version of the comm-report JSON layout.
+COMM_REPORT_VERSION = 1
+
+#: Pseudo-receiver id for physical-channel broadcasts in link keys.
+BROADCAST = -1
+
+
+@dataclass
+class LinkStats:
+    """Traffic on one directed link (or one party's broadcast use)."""
+
+    messages: int = 0
+    elements: int = 0
+
+    def add(self, elements: int) -> None:
+        self.messages += 1
+        self.elements += elements
+
+    def to_dict(self) -> dict[str, int]:
+        return {"messages": self.messages, "elements": self.elements}
+
+
+@dataclass
+class CommMatrix:
+    """Per-link / per-phase aggregation of a run's ``msg`` events.
+
+    ``links`` maps ``(sender, receiver)`` to :class:`LinkStats`;
+    broadcasts use ``receiver = BROADCAST`` (their ``elements`` already
+    include the fan-out, so summing a phase's links reproduces the wire
+    total exactly).  ``phases`` nests the same aggregation per phase
+    label, preserving first-observation order.
+    """
+
+    links: dict[tuple[int, int], LinkStats] = field(default_factory=dict)
+    phases: dict[str, dict[tuple[int, int], LinkStats]] = field(
+        default_factory=dict
+    )
+    message_count: int = 0
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "CommMatrix":
+        matrix = cls()
+        for ev in events:
+            if ev.kind != "msg":
+                continue
+            matrix.record(
+                sender=int(ev.attrs.get("sender", -1)),
+                receiver=ev.attrs.get("receiver"),
+                elements=int(ev.attrs.get("elements", 0)),
+                phase=ev.phase,
+            )
+        return matrix
+
+    def record(
+        self,
+        sender: int,
+        receiver: int | None,
+        elements: int,
+        phase: str | None,
+    ) -> None:
+        key = (sender, BROADCAST if receiver is None else receiver)
+        stats = self.links.get(key)
+        if stats is None:
+            stats = self.links[key] = LinkStats()
+        stats.add(elements)
+        bucket = self.phases.setdefault(
+            phase if phase is not None else "(no span)", {}
+        )
+        pstats = bucket.get(key)
+        if pstats is None:
+            pstats = bucket[key] = LinkStats()
+        pstats.add(elements)
+        self.message_count += 1
+
+    # -- views -------------------------------------------------------------
+    @property
+    def parties(self) -> list[int]:
+        """Every party id appearing as a sender or explicit receiver."""
+        ids = set()
+        for sender, receiver in self.links:
+            ids.add(sender)
+            if receiver != BROADCAST:
+                ids.add(receiver)
+        return sorted(ids)
+
+    def sent_by(self, pid: int) -> LinkStats:
+        """Total traffic (incl. broadcast volume) originated by ``pid``."""
+        total = LinkStats()
+        for (sender, _), stats in self.links.items():
+            if sender == pid:
+                total.messages += stats.messages
+                total.elements += stats.elements
+        return total
+
+    def phase_totals(self) -> dict[str, LinkStats]:
+        """Wire totals per phase, in first-observation order."""
+        out: dict[str, LinkStats] = {}
+        for phase, bucket in self.phases.items():
+            total = out[phase] = LinkStats()
+            for stats in bucket.values():
+                total.messages += stats.messages
+                total.elements += stats.elements
+        return out
+
+    def heatmap(
+        self, metric: str = "elements"
+    ) -> tuple[list[int], list[list[int]]]:
+        """Dense sender x receiver matrix for rendering.
+
+        Returns ``(parties, rows)`` with one extra trailing column for
+        the broadcast channel.  ``metric`` is ``"elements"`` or
+        ``"messages"``.
+        """
+        parties = self.parties
+        index = {pid: i for i, pid in enumerate(parties)}
+        rows = [[0] * (len(parties) + 1) for _ in parties]
+        for (sender, receiver), stats in self.links.items():
+            value = getattr(stats, metric)
+            col = len(parties) if receiver == BROADCAST else index[receiver]
+            rows[index[sender]][col] += value
+        return parties, rows
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "message_count": self.message_count,
+            "links": [
+                {
+                    "sender": sender,
+                    "receiver": None if receiver == BROADCAST else receiver,
+                    **stats.to_dict(),
+                }
+                for (sender, receiver), stats in sorted(self.links.items())
+            ],
+            "phases": {
+                phase: [
+                    {
+                        "sender": sender,
+                        "receiver": None
+                        if receiver == BROADCAST
+                        else receiver,
+                        **stats.to_dict(),
+                    }
+                    for (sender, receiver), stats in sorted(bucket.items())
+                ]
+                for phase, bucket in self.phases.items()
+            },
+        }
+
+
+@dataclass
+class _PhaseComm:
+    """Observed per-phase communication, from the round summaries."""
+
+    phase: str
+    rounds: int = 0
+    broadcast_rounds: int = 0
+    messages: int = 0
+    elements: int = 0
+
+
+@dataclass
+class CommReport:
+    """Observed communication vs the analytic ``predicted_comm`` bounds."""
+
+    matrix: CommMatrix
+    observed_phases: list[_PhaseComm]
+    meta: dict = field(default_factory=dict)
+    predicted: dict = field(default_factory=dict)
+    divergences: list[str] = field(default_factory=list)
+    consistency: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_events(cls, events: Sequence[TraceEvent]) -> "CommReport":
+        matrix = CommMatrix.from_events(events)
+        meta: dict = {}
+        phases: dict[str, _PhaseComm] = {}
+        round_totals: dict[int, tuple[int, int]] = {}  # round -> (msgs, elems)
+        msg_totals: dict[int, tuple[int, int]] = {}
+        for ev in events:
+            if ev.kind == "run_start":
+                meta = dict(ev.attrs)
+            elif ev.kind == "round":
+                name = ev.phase if ev.phase is not None else "(no span)"
+                pc = phases.get(name)
+                if pc is None:
+                    pc = phases[name] = _PhaseComm(phase=name)
+                pc.rounds += 1
+                if ev.attrs.get("broadcasters"):
+                    pc.broadcast_rounds += 1
+                pc.messages += ev.attrs.get("messages", 0)
+                pc.elements += ev.attrs.get("elements", 0)
+                if ev.round_index is not None:
+                    round_totals[ev.round_index] = (
+                        ev.attrs.get("messages", 0),
+                        ev.attrs.get("elements", 0),
+                    )
+            elif ev.kind == "msg":
+                if ev.round_index is None:
+                    continue
+                msgs, elems = msg_totals.get(ev.round_index, (0, 0))
+                private = 1 if ev.attrs.get("receiver") is not None else 0
+                msg_totals[ev.round_index] = (
+                    msgs + private,
+                    elems + int(ev.attrs.get("elements", 0)),
+                )
+        report = cls(
+            matrix=matrix,
+            observed_phases=list(phases.values()),
+            meta=meta,
+            predicted=dict(meta.get("predicted_comm", {})),
+        )
+        report.divergences = report._diff(events)
+        report.consistency = report._cross_check(round_totals, msg_totals)
+        return report
+
+    # -- checks ------------------------------------------------------------
+    @property
+    def observed_broadcast_rounds(self) -> int:
+        return sum(pc.broadcast_rounds for pc in self.observed_phases)
+
+    def _diff(self, events: Sequence[TraceEvent]) -> list[str]:
+        problems: list[str] = []
+        if not self.predicted:
+            return problems
+        # E2, dynamically: exactly the predicted number of broadcast
+        # rounds, and every one of them inside a phase the schedule
+        # marks as broadcast-using (the VSS sharing phase).
+        predicted_bc = self.predicted.get("broadcast_rounds")
+        observed_bc = self.observed_broadcast_rounds
+        if predicted_bc is not None and observed_bc != predicted_bc:
+            problems.append(
+                f"E2: observed {observed_bc} broadcast rounds, the VSS "
+                f"profile predicts exactly {predicted_bc}"
+            )
+        allowed = {
+            entry.get("phase")
+            for entry in self.meta.get("predicted_schedule", [])
+            if entry.get("uses_broadcast")
+        }
+        if allowed:
+            for pc in self.observed_phases:
+                if pc.broadcast_rounds and pc.phase not in allowed:
+                    problems.append(
+                        f"E2: phase {pc.phase!r} used the broadcast channel "
+                        f"({pc.broadcast_rounds} round(s)); only "
+                        f"{sorted(allowed)} may"
+                    )
+        # Per-phase bandwidth against the analytic bound.
+        bounds = {
+            entry.get("phase"): entry
+            for entry in self.predicted.get("phases", [])
+        }
+        for pc in self.observed_phases:
+            bound = bounds.get(pc.phase)
+            if bound is None:
+                if pc.elements or pc.messages:
+                    problems.append(
+                        f"phase {pc.phase!r} carried traffic "
+                        f"({pc.elements} elements) but has no predicted "
+                        "bandwidth bound"
+                    )
+                continue
+            max_elements = bound.get("max_elements")
+            if max_elements is not None and pc.elements > max_elements:
+                problems.append(
+                    f"phase {pc.phase!r}: {pc.elements} elements on the "
+                    f"wire exceed the analytic bound {max_elements}"
+                )
+            max_messages = bound.get("max_messages")
+            if max_messages is not None and pc.messages > max_messages:
+                problems.append(
+                    f"phase {pc.phase!r}: {pc.messages} private messages "
+                    f"exceed the analytic bound {max_messages}"
+                )
+        return problems
+
+    def _cross_check(
+        self,
+        round_totals: Mapping[int, tuple[int, int]],
+        msg_totals: Mapping[int, tuple[int, int]],
+    ) -> list[str]:
+        """Per-message stream vs per-round summaries, element-for-element.
+
+        Only meaningful when the trace carries ``msg`` events at all
+        (legacy v1/v2 traces have none and skip this check).
+        """
+        problems: list[str] = []
+        if not msg_totals:
+            return problems
+        for round_index, (messages, elements) in sorted(round_totals.items()):
+            msgs, elems = msg_totals.get(round_index, (0, 0))
+            if msgs != messages:
+                problems.append(
+                    f"round {round_index}: {msgs} msg events but the round "
+                    f"summary counts {messages} private messages"
+                )
+            if elems != elements:
+                problems.append(
+                    f"round {round_index}: msg events sum to {elems} "
+                    f"elements but the round summary counts {elements}"
+                )
+        for round_index in sorted(set(msg_totals) - set(round_totals)):
+            problems.append(
+                f"round {round_index}: msg events without a round summary"
+            )
+        return problems
+
+    @property
+    def matches_prediction(self) -> bool:
+        """True when every comm check (bounds + consistency) passed."""
+        return not self.divergences and not self.consistency
+
+    # -- rendering ---------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        bounds = {
+            entry.get("phase"): entry
+            for entry in self.predicted.get("phases", [])
+        }
+        return {
+            "version": COMM_REPORT_VERSION,
+            "schema_version": self.meta.get("schema_version", SCHEMA_VERSION),
+            "totals": {
+                "messages_traced": self.matrix.message_count,
+                "observed_broadcast_rounds": self.observed_broadcast_rounds,
+                "predicted_broadcast_rounds": self.predicted.get(
+                    "broadcast_rounds"
+                ),
+                "matches_prediction": self.matches_prediction,
+            },
+            "phases": [
+                {
+                    "phase": pc.phase,
+                    "rounds": pc.rounds,
+                    "broadcast_rounds": pc.broadcast_rounds,
+                    "messages": pc.messages,
+                    "elements": pc.elements,
+                    "max_elements": bounds.get(pc.phase, {}).get(
+                        "max_elements"
+                    ),
+                    "max_messages": bounds.get(pc.phase, {}).get(
+                        "max_messages"
+                    ),
+                }
+                for pc in self.observed_phases
+            ],
+            "matrix": self.matrix.to_dict(),
+            "divergences": list(self.divergences),
+            "consistency": list(self.consistency),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Human-readable comm report: bounds table + link hot spots."""
+        meta = self.meta
+        lines = ["AnonChan communication report"]
+        if meta:
+            lines[0] += (
+                f" — n={meta.get('n')}, t={meta.get('t')}, "
+                f"vss={meta.get('vss')}, seed={meta.get('seed')}"
+            )
+        lines.append(
+            f"broadcast rounds: {self.observed_broadcast_rounds} observed, "
+            f"{self.predicted.get('broadcast_rounds')} predicted (E2)"
+        )
+        lines.append(
+            f"per-message stream: {self.matrix.message_count} msg events"
+        )
+        lines.append("")
+        bounds = {
+            entry.get("phase"): entry
+            for entry in self.predicted.get("phases", [])
+        }
+        headers = ["phase", "msgs", "elements", "bound", "verdict"]
+        rows = []
+        for pc in self.observed_phases:
+            bound = bounds.get(pc.phase, {})
+            max_elements = bound.get("max_elements")
+            if max_elements is None:
+                verdict = "unbounded" if pc.elements else "quiet"
+            elif pc.elements <= max_elements:
+                verdict = "ok"
+            else:
+                verdict = "EXCEEDS"
+            rows.append(
+                [
+                    pc.phase,
+                    str(pc.messages),
+                    str(pc.elements),
+                    str(max_elements) if max_elements is not None else "-",
+                    verdict,
+                ]
+            )
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        hottest = sorted(
+            self.matrix.links.items(),
+            key=lambda item: (-item[1].elements, item[0]),
+        )[:8]
+        if hottest:
+            lines.append("")
+            lines.append("hottest links (sender -> receiver, elements):")
+            for (sender, receiver), stats in hottest:
+                target = "broadcast" if receiver == BROADCAST else f"P{receiver}"
+                lines.append(
+                    f"  P{sender} -> {target:<10} {stats.elements:>10} "
+                    f"({stats.messages} msgs)"
+                )
+        problems = list(self.divergences) + list(self.consistency)
+        if problems:
+            lines.append("")
+            lines.append("COMM DIVERGENCES:")
+            for problem in problems:
+                lines.append(f"  - {problem}")
+        else:
+            lines.append("")
+            lines.append(
+                "observed communication is within every analytic bound "
+                "and the two accountings agree."
+            )
+        return "\n".join(lines)

@@ -1,0 +1,307 @@
+"""Dependency-free static HTML dashboard for campaign telemetry.
+
+``python -m repro dashboard`` assembles one self-contained HTML page
+(inline CSS, inline SVG, no external resources — safe as a CI artifact)
+from whichever inputs are on hand:
+
+- a conformance campaign report (``--campaign``): per-config verdicts
+  and pass rates per adversary-strategy / fault axis;
+- a per-trial telemetry store (``--telemetry``, see
+  :mod:`repro.testkit.telemetry`): per-config communication aggregates;
+- a BENCH history store (``--bench-history``, see
+  :func:`repro.obs.bench.append_history`): per-metric trend sparklines;
+- a schema-v3 trace (``--trace``): the per-link communication heatmap
+  of :class:`repro.obs.comm.CommMatrix`.
+
+Every renderer degrades to an explanatory placeholder when its input is
+absent, so the page is useful from the very first smoke campaign.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Any, Mapping, Sequence
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e;
+       background: #fafafa; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem;
+     border-bottom: 2px solid #e0e0e8; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: .8rem 0; font-size: .85rem; }
+th, td { border: 1px solid #d8d8e0; padding: .25rem .6rem;
+         text-align: right; }
+th { background: #eef0f6; } td.label, th.label { text-align: left; }
+.ok { color: #1b7837; font-weight: 600; }
+.fail { color: #b2182b; font-weight: 600; }
+.muted { color: #888; font-style: italic; }
+.bar { display: inline-block; height: .7rem; background: #4393c3;
+       vertical-align: middle; }
+.heat { width: 1.9rem; height: 1.4rem; }
+svg.spark { vertical-align: middle; }
+footer { margin-top: 3rem; font-size: .75rem; color: #888; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _heat_color(value: float, peak: float) -> str:
+    """White -> deep blue ramp for the comm heatmap."""
+    if peak <= 0 or value <= 0:
+        return "#ffffff"
+    frac = min(1.0, value / peak)
+    # Interpolate 255 -> 33 on the red/green channels.
+    channel = int(255 - frac * (255 - 33))
+    return f"#{channel:02x}{channel:02x}ff"
+
+
+def _sparkline(values: Sequence[float], width: int = 140, height: int = 28) -> str:
+    """Inline SVG polyline over the value series."""
+    if not values:
+        return '<span class="muted">no data</span>'
+    if len(values) == 1:
+        values = [values[0], values[0]]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = width / (len(values) - 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 3 - (v - lo) / span * (height - 6):.1f}"
+        for i, v in enumerate(values)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline fill="none" stroke="#4393c3" stroke-width="1.5" '
+        f'points="{points}"/></svg>'
+    )
+
+
+# -- sections ---------------------------------------------------------------
+
+def _campaign_section(campaign: Mapping[str, Any] | None) -> list[str]:
+    out = ["<h2>Conformance campaign</h2>"]
+    if not campaign:
+        out.append(
+            '<p class="muted">no campaign report supplied '
+            "(--campaign conformance-smoke.json)</p>"
+        )
+        return out
+    totals = campaign.get("totals", {})
+    verdict = (
+        '<span class="ok">all invariants hold</span>'
+        if totals.get("ok")
+        else '<span class="fail">INVARIANT VIOLATIONS</span>'
+    )
+    out.append(
+        f"<p>grid <b>{_esc(campaign.get('grid'))}</b>, seed "
+        f"{_esc(campaign.get('campaign_seed'))} — "
+        f"{_esc(totals.get('configs'))} configs, "
+        f"{_esc(totals.get('runs'))} protocol runs: {verdict}</p>"
+    )
+    configs = campaign.get("configs", [])
+    # Pass rates per campaign axis (strategy / fault / substrate).
+    for axis in ("strategy", "fault", "substrate"):
+        buckets: dict[str, list[bool]] = {}
+        for entry in configs:
+            value = str(entry.get("config", {}).get(axis, "?"))
+            buckets.setdefault(value, []).append(bool(entry.get("ok")))
+        if len(buckets) < 1:
+            continue
+        out.append(f"<h3>pass rate by {_esc(axis)}</h3>")
+        out.append(
+            '<table><tr><th class="label">value</th><th>configs</th>'
+            "<th>pass</th><th>rate</th><th></th></tr>"
+        )
+        for value in sorted(buckets):
+            oks = buckets[value]
+            rate = sum(oks) / len(oks)
+            out.append(
+                f'<tr><td class="label">{_esc(value)}</td>'
+                f"<td>{len(oks)}</td><td>{sum(oks)}</td>"
+                f"<td>{rate:.0%}</td>"
+                f'<td class="label"><span class="bar" '
+                f'style="width:{rate * 8:.1f}rem"></span></td></tr>'
+            )
+        out.append("</table>")
+    violating = [e for e in configs if not e.get("ok")]
+    if violating:
+        out.append("<h3>violations</h3><ul>")
+        for entry in violating:
+            out.append(
+                f"<li><b>{_esc(entry.get('config', {}).get('name'))}</b>: "
+                f"{_esc(', '.join(entry.get('violations', [])))}</li>"
+            )
+        out.append("</ul>")
+    return out
+
+
+def _telemetry_section(telemetry: Sequence[Mapping[str, Any]] | None) -> list[str]:
+    out = ["<h2>Per-trial telemetry</h2>"]
+    if not telemetry:
+        out.append(
+            '<p class="muted">no telemetry store supplied '
+            "(--telemetry telemetry.jsonl)</p>"
+        )
+        return out
+    by_config: dict[str, list[Mapping[str, Any]]] = {}
+    for record in telemetry:
+        by_config.setdefault(str(record.get("config", "?")), []).append(record)
+    out.append(
+        f"<p>{len(telemetry)} trial records across "
+        f"{len(by_config)} config(s)</p>"
+    )
+    out.append(
+        '<table><tr><th class="label">config</th><th>trials</th>'
+        "<th>rounds</th><th>bc rounds</th><th>msgs/trial</th>"
+        "<th>elements/trial</th><th>delivered</th></tr>"
+    )
+    for name in sorted(by_config):
+        records = by_config[name]
+        count = len(records)
+
+        def mean(key: str) -> float:
+            return sum(float(r.get(key, 0) or 0) for r in records) / count
+
+        delivered = sum(1 for r in records if r.get("honest_delivered"))
+        out.append(
+            f'<tr><td class="label">{_esc(name)}</td><td>{count}</td>'
+            f"<td>{mean('rounds'):.0f}</td>"
+            f"<td>{mean('broadcast_rounds'):.0f}</td>"
+            f"<td>{mean('private_messages'):.0f}</td>"
+            f"<td>{mean('field_elements_sent'):.0f}</td>"
+            f"<td>{delivered}/{count}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _bench_section(history: Sequence[Mapping[str, Any]] | None) -> list[str]:
+    out = ["<h2>BENCH trend lines</h2>"]
+    if not history:
+        out.append(
+            '<p class="muted">no BENCH history supplied '
+            "(--bench-history bench-history.jsonl; append snapshots with "
+            "repro.obs.bench.append_history)</p>"
+        )
+        return out
+    by_experiment: dict[str, list[Mapping[str, Any]]] = {}
+    for snap in history:
+        by_experiment.setdefault(str(snap.get("experiment", "?")), []).append(
+            snap
+        )
+    for experiment in sorted(by_experiment):
+        snaps = by_experiment[experiment]
+        out.append(f"<h3>{_esc(experiment)} ({len(snaps)} snapshots)</h3>")
+        metrics: dict[str, list[float]] = {}
+        for snap in snaps:
+            for key, value in snap.get("metrics", {}).items():
+                if isinstance(value, (int, float)):
+                    metrics.setdefault(str(key), []).append(float(value))
+        out.append(
+            '<table><tr><th class="label">metric</th><th>latest</th>'
+            '<th class="label">trend</th></tr>'
+        )
+        for key in sorted(metrics):
+            series = metrics[key]
+            out.append(
+                f'<tr><td class="label">{_esc(key)}</td>'
+                f"<td>{series[-1]:g}</td>"
+                f'<td class="label">{_sparkline(series)}</td></tr>'
+            )
+        out.append("</table>")
+    return out
+
+
+def _comm_section(comm: Mapping[str, Any] | None) -> list[str]:
+    out = ["<h2>Communication heatmap</h2>"]
+    if not comm:
+        out.append(
+            '<p class="muted">no trace supplied '
+            "(--trace quickstart-trace.jsonl, schema v3)</p>"
+        )
+        return out
+    links = comm.get("matrix", comm).get("links", [])
+    if not links:
+        out.append(
+            '<p class="muted">trace carries no msg events '
+            "(pre-v3 schema?)</p>"
+        )
+        return out
+    parties = sorted(
+        {link.get("sender") for link in links}
+        | {
+            link.get("receiver")
+            for link in links
+            if link.get("receiver") is not None
+        }
+    )
+    index = {pid: i for i, pid in enumerate(parties)}
+    grid = [[0] * (len(parties) + 1) for _ in parties]
+    for link in links:
+        sender = link.get("sender")
+        receiver = link.get("receiver")
+        if sender not in index:
+            continue
+        col = len(parties) if receiver is None else index.get(receiver)
+        if col is None:
+            continue
+        grid[index[sender]][col] += int(link.get("elements", 0))
+    peak = max((v for row in grid for v in row), default=0)
+    out.append(
+        "<p>field elements per directed link (rows send, columns "
+        "receive; the last column is the broadcast channel)</p>"
+    )
+    header = "".join(f"<th>P{_esc(p)}</th>" for p in parties) + "<th>bcast</th>"
+    out.append(f'<table><tr><th class="label">from \\ to</th>{header}</tr>')
+    for pid, row in zip(parties, grid):
+        cells = "".join(
+            f'<td class="heat" style="background:{_heat_color(v, peak)}" '
+            f'title="{v}">{v if v else ""}</td>'
+            for v in row
+        )
+        out.append(f'<tr><td class="label">P{_esc(pid)}</td>{cells}</tr>')
+    out.append("</table>")
+    divergences = comm.get("divergences", []) + comm.get("consistency", [])
+    if divergences:
+        out.append('<p class="fail">comm divergences:</p><ul>')
+        for problem in divergences:
+            out.append(f"<li>{_esc(problem)}</li>")
+        out.append("</ul>")
+    elif "divergences" in comm:
+        out.append(
+            '<p class="ok">communication within every analytic bound</p>'
+        )
+    return out
+
+
+# -- assembly ---------------------------------------------------------------
+
+def render_dashboard(
+    campaign: Mapping[str, Any] | None = None,
+    telemetry: Sequence[Mapping[str, Any]] | None = None,
+    bench_history: Sequence[Mapping[str, Any]] | None = None,
+    comm: Mapping[str, Any] | None = None,
+    title: str = "repro observability dashboard",
+) -> str:
+    """Assemble the self-contained HTML page from whatever is supplied."""
+    generated = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+    ]
+    parts.extend(_campaign_section(campaign))
+    parts.extend(_comm_section(comm))
+    parts.extend(_telemetry_section(telemetry))
+    parts.extend(_bench_section(bench_history))
+    parts.append(
+        f"<footer>generated {generated} by python -m repro dashboard — "
+        "fully self-contained (no external resources)</footer>"
+    )
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -18,15 +18,27 @@ from typing import Any, Mapping
 
 #: Trace format version, embedded in every ``run_start`` event.
 #: v2 adds ``prof`` events (op-profiler counter records, see
-#: :mod:`repro.obs.profiler`); v1 traces remain readable and valid.
-SCHEMA_VERSION = 2
+#: :mod:`repro.obs.profiler`); v3 adds per-message ``msg`` events
+#: (sender, receiver-or-broadcast, element volume, Lamport stamp — see
+#: :mod:`repro.obs.comm`).  v1/v2 traces remain readable and valid;
+#: ``msg`` events are *rejected* in streams declaring an older version.
+SCHEMA_VERSION = 3
 
 #: Versions :func:`repro.obs.export.validate_events` accepts on read.
-SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3})
 
 #: The closed set of event kinds a tracer emits.
 EVENT_KINDS = frozenset(
-    {"run_start", "span_start", "span_end", "round", "note", "prof", "run_end"}
+    {
+        "run_start",
+        "span_start",
+        "span_end",
+        "round",
+        "msg",
+        "note",
+        "prof",
+        "run_end",
+    }
 )
 
 _PUBLIC_SCALARS = (bool, int, float, str, type(None))

@@ -14,7 +14,12 @@ import json
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
-from .events import EVENT_KINDS, SUPPORTED_SCHEMA_VERSIONS, TraceEvent
+from .events import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    TraceEvent,
+)
 
 #: Keys every event dict must carry, with their accepted types.
 _REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
@@ -40,6 +45,15 @@ _PROF_ATTRS: dict[str, tuple[type, ...]] = {
     "component": (str,),
     "op": (str,),
     "count": (int,),
+}
+
+#: Attrs every ``msg`` event (schema v3 per-message record) must carry.
+#: ``receiver`` is ``None`` for a physical-channel broadcast.
+_MSG_ATTRS: dict[str, tuple[type, ...]] = {
+    "sender": (int,),
+    "receiver": (int, type(None)),
+    "elements": (int,),
+    "lamport": (int,),
 }
 
 
@@ -100,14 +114,24 @@ def validate_events(events: Sequence[TraceEvent]) -> list[str]:
       strictly increasing round indices;
     - ``prof`` events carry component/op/count attrs with a
       non-negative count (schema v2; a v1 trace simply has none);
+    - ``msg`` events carry sender/receiver/elements/lamport attrs with
+      non-negative volumes and stamps, and are *rejected* in streams
+      whose ``run_start`` declares schema v1/v2 (those versions predate
+      per-message tracing);
     - ``run_start``'s ``schema_version`` (when present) is a supported
-      version — v1 (legacy, no prof events) or v2;
+      version — v1 (legacy, no prof events), v2 (prof), or v3 (msg);
     - span_start/span_end properly nested (LIFO) and balanced;
     - at most one ``run_start`` (first event) and one ``run_end`` (last).
     """
     errors: list[str] = []
     span_stack: list[str] = []
     last_round = -1
+    # Headless streams (no run_start, e.g. hand-built test fixtures)
+    # are treated as the current version; a run_start without a
+    # schema_version attr is a legacy v1 trace.
+    declared = SCHEMA_VERSION
+    if events and events[0].kind == "run_start":
+        declared = events[0].attrs.get("schema_version", 1)
     for position, ev in enumerate(events):
         data = ev.to_dict()
         where = f"event {position}"
@@ -172,6 +196,24 @@ def validate_events(events: Sequence[TraceEvent]) -> list[str]:
             count = ev.attrs.get("count")
             if isinstance(count, int) and count < 0:
                 errors.append(f"{where}: prof count {count} is negative")
+        elif ev.kind == "msg":
+            if isinstance(declared, int) and declared < 3:
+                errors.append(
+                    f"{where}: msg events require schema_version >= 3 "
+                    f"(stream declares {declared})"
+                )
+            if not isinstance(ev.round_index, int):
+                errors.append(f"{where}: msg event without round index")
+            for key, types in _MSG_ATTRS.items():
+                if not isinstance(ev.attrs.get(key), types):
+                    errors.append(
+                        f"{where}: msg attr {key!r} missing or not "
+                        f"{'/'.join(t.__name__ for t in types)}"
+                    )
+            for key in ("elements", "lamport"):
+                value = ev.attrs.get(key)
+                if isinstance(value, int) and value < 0:
+                    errors.append(f"{where}: msg {key} {value} is negative")
     for name in span_stack:
         errors.append(f"end of stream: span {name!r} never closed")
     return errors

@@ -69,6 +69,16 @@ class NullTracer:
     ) -> None:
         return None
 
+    def record_message(
+        self,
+        round_index: int,
+        sender: int,
+        receiver: int | None = None,
+        elements: int = 0,
+        lamport: int = 0,
+    ) -> None:
+        return None
+
     def record_profile(self, records: Sequence[dict[str, Any]]) -> None:
         return None
 
@@ -192,6 +202,37 @@ class Tracer:
             attrs["per_party"] = per_party
         self._push("round", "round", attrs, round_index, self.current_phase)
         self._next_round = round_index + 1
+
+    def record_message(
+        self,
+        round_index: int,
+        sender: int,
+        receiver: int | None = None,
+        elements: int = 0,
+        lamport: int = 0,
+    ) -> None:
+        """Account one delivered message (simulator hook, schema v3).
+
+        ``receiver`` is ``None`` for a physical-channel broadcast, in
+        which case ``elements`` is the *wire* volume (payload size times
+        fan-out) so that per-round ``msg`` volumes sum exactly to the
+        round event's ``elements``.  ``lamport`` is the sender's logical
+        clock at emission (see
+        :class:`repro.network.messages.LamportClock`); only sizes,
+        ids, and clock values ever enter the event.
+        """
+        self._push(
+            "msg",
+            "msg",
+            {
+                "sender": sender,
+                "receiver": receiver,
+                "elements": elements,
+                "lamport": lamport,
+            },
+            round_index,
+            self.current_phase,
+        )
 
     def record_profile(self, records: Sequence[dict[str, Any]]) -> None:
         """Fold op-profiler counter records into the stream (schema v2).

@@ -36,6 +36,7 @@ from .invariants import (
 from .report import CampaignReport, canonical_report_json, repro_command
 from .runner import ConfigResult, run_campaign, run_config
 from .shrink import ShrinkResult, shrink_config
+from .telemetry import TelemetryStore, trial_records
 
 __all__ = [
     "CampaignConfig",
@@ -61,4 +62,6 @@ __all__ = [
     "CampaignReport",
     "canonical_report_json",
     "repro_command",
+    "TelemetryStore",
+    "trial_records",
 ]

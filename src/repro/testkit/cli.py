@@ -115,6 +115,11 @@ def configure_parser(p: argparse.ArgumentParser) -> None:
         "the shrink/report pipeline against a healthy protocol)",
     )
     p.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="append per-trial telemetry records (JSONL) to this store "
+        "(rendered by `python -m repro dashboard`)",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="print the canonical JSON report instead of the summary",
     )
@@ -205,6 +210,17 @@ def cmd_conformance(args: argparse.Namespace) -> int:
             fh.write(report.to_json() + "\n")
         print(f"conformance: report written to {args.report}",
               file=sys.stderr)
+    if args.telemetry:
+        from .telemetry import TelemetryStore
+
+        written = TelemetryStore(args.telemetry).append_results(
+            results, campaign_seed=args.seed
+        )
+        print(
+            f"conformance: appended {written} telemetry record(s) to "
+            f"{args.telemetry}",
+            file=sys.stderr,
+        )
     if args.json:
         print(canonical_report_json(report))
     else:

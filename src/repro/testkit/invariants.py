@@ -30,6 +30,9 @@ Registry (see docs/TESTING.md):
   receiver's multiset and all public traffic accounting unchanged.
 - ``schedule-conformance`` — the traced run matches the static
   :func:`repro.core.trace.round_schedule` prediction.
+- ``comm-conformance`` — the traced run's per-message stream stays
+  within the :func:`repro.core.trace.comm_bounds` envelope (broadcast
+  rounds, per-phase bandwidth) and both traffic accountings agree.
 """
 
 from __future__ import annotations
@@ -84,7 +87,13 @@ def binomial_lower_tail(trials: int, p: float, k: int) -> float:
 
 @dataclass(frozen=True)
 class TrialOutcome:
-    """Compact, public-only record of one seeded protocol execution."""
+    """Compact, public-only record of one seeded protocol execution.
+
+    The trailing communication metrics (rounds through
+    ``field_elements_sent``) feed the campaign telemetry store
+    (:mod:`repro.testkit.telemetry`); they default to zero so records
+    written before the fields existed still deserialize.
+    """
 
     trial: int
     seed: int
@@ -95,6 +104,10 @@ class TrialOutcome:
     output_total: int
     agreement: bool
     anonymity_ok: bool | None = None
+    rounds: int = 0
+    broadcast_rounds: int = 0
+    private_messages: int = 0
+    field_elements_sent: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -107,6 +120,10 @@ class TrialOutcome:
             "output_total": self.output_total,
             "agreement": self.agreement,
             "anonymity_ok": self.anonymity_ok,
+            "rounds": self.rounds,
+            "broadcast_rounds": self.broadcast_rounds,
+            "private_messages": self.private_messages,
+            "field_elements_sent": self.field_elements_sent,
         }
 
 
@@ -120,6 +137,8 @@ class ConfigEvidence:
     trials: list[TrialOutcome]
     schedule_ok: bool | None = None
     schedule_divergences: list[str] = field(default_factory=list)
+    comm_ok: bool | None = None
+    comm_divergences: list[str] = field(default_factory=list)
 
     @property
     def honest_count(self) -> int:
@@ -422,6 +441,33 @@ class ScheduleConformance(InvariantChecker):
         )
 
 
+class CommConformance(InvariantChecker):
+    """The traced run's communication matches the analytic bounds.
+
+    The dynamic side of the paper's efficiency claims: the per-message
+    stream of the traced trial must show exactly the predicted number of
+    broadcast rounds (E2's "two rounds of broadcast") and per-phase wire
+    volume within the :func:`repro.core.trace.comm_bounds` envelope, and
+    the per-message accounting must agree with the per-round summaries.
+    """
+
+    name = "comm-conformance"
+    description = (
+        "the observed per-link communication of a traced execution stays "
+        "within repro.core.trace.comm_bounds (broadcast rounds, per-phase "
+        "bandwidth) and the msg/round accountings agree"
+    )
+
+    def evaluate(self, ev: ConfigEvidence) -> CheckOutcome:
+        if ev.comm_ok is None:
+            return self._skip("no traced trial for this config")
+        return self._verdict(
+            ev.comm_ok,
+            message="; ".join(ev.comm_divergences) or "comm diverged",
+            divergences=list(ev.comm_divergences),
+        )
+
+
 def default_registry(
     alpha: float = DEFAULT_ALPHA,
 ) -> dict[str, InvariantChecker]:
@@ -434,5 +480,6 @@ def default_registry(
         Agreement(),
         Anonymity(),
         ScheduleConformance(),
+        CommConformance(),
     ]
     return {c.name: c for c in checkers}

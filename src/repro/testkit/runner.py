@@ -8,7 +8,12 @@ the plain trials:
 
 - trial 0 carries an :class:`repro.obs.Tracer`, and its event stream is
   diffed against the static round-schedule prediction via
-  :class:`repro.obs.RunReport` (the ``schedule-conformance`` checker);
+  :class:`repro.obs.RunReport` (the ``schedule-conformance`` checker)
+  and against the analytic communication envelope via
+  :class:`repro.obs.CommReport` (the ``comm-conformance`` checker);
+- every trial keeps its communication metrics (rounds, broadcast
+  rounds, messages, wire elements) on its :class:`TrialOutcome`, from
+  which :mod:`repro.testkit.telemetry` builds the campaign JSONL store;
 - trial 0 also runs a *permuted twin*: the same seed with two honest
   senders' messages swapped, whose receiver view must be
   indistinguishable from the original (the ``anonymity`` checker);
@@ -28,7 +33,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.core.anonchan import AnonChan, AnonChanOutput, run_anonchan
 from repro.fields import FieldElement
 from repro.network import PassiveAdversary, TamperingAdversary
-from repro.obs import RunReport, Tracer
+from repro.obs import CommReport, RunReport, Tracer
 from repro.vss import IdealVSS
 
 from .axes import FAULTS, STRATEGIES
@@ -198,6 +203,8 @@ def run_config(
     trials: list[TrialOutcome] = []
     schedule_ok: bool | None = None
     schedule_divergences: list[str] = []
+    comm_ok: bool | None = None
+    comm_divergences: list[str] = []
     runs = 0
     for trial in range(config.trials):
         seed = config.trial_seed(campaign_seed, trial)
@@ -223,6 +230,9 @@ def run_config(
             report = RunReport.from_events(tracer.events)
             schedule_ok = report.matches_prediction
             schedule_divergences = list(report.divergences)
+            comm = CommReport.from_events(tracer.events)
+            comm_ok = comm.matches_prediction
+            comm_divergences = list(comm.divergences) + list(comm.consistency)
 
         anonymity_ok: bool | None = None
         if trial == 0:
@@ -232,6 +242,7 @@ def run_config(
             )
             runs += extra
 
+        metrics = result.metrics
         trials.append(
             TrialOutcome(
                 trial=trial,
@@ -243,6 +254,10 @@ def run_config(
                 output_total=sum(recv.output.values()),
                 agreement=_agreement(result.outputs),
                 anonymity_ok=anonymity_ok,
+                rounds=metrics.rounds,
+                broadcast_rounds=metrics.broadcast_rounds,
+                private_messages=metrics.private_messages,
+                field_elements_sent=metrics.field_elements_sent,
             )
         )
 
@@ -253,6 +268,8 @@ def run_config(
         trials=trials,
         schedule_ok=schedule_ok,
         schedule_divergences=schedule_divergences,
+        comm_ok=comm_ok,
+        comm_divergences=comm_divergences,
     )
     outcomes = [checker.evaluate(evidence) for checker in registry.values()]
     return ConfigResult(

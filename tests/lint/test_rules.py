@@ -326,6 +326,32 @@ def test_rl004_flags_secret_flowing_into_record_profile(run_rules):
     assert len(run_rules(source, "RL004")) == 1
 
 
+def test_rl004_flags_secret_flowing_into_record_message(run_rules):
+    source = _src(
+        """
+        from __future__ import annotations
+
+        def emit(tracer, rnd, sender, shares):
+            tracer.record_message(rnd, sender, None, shares, 1)
+        """
+    )
+    findings = run_rules(source, "RL004")
+    assert len(findings) == 1
+    assert "obs event .record_message()" in findings[0].message
+
+
+def test_rl004_allows_sizes_in_record_message(run_rules):
+    source = _src(
+        """
+        from __future__ import annotations
+
+        def emit(tracer, rnd, sender, shares):
+            tracer.record_message(rnd, sender, None, len(shares), 1)
+        """
+    )
+    assert run_rules(source, "RL004") == []
+
+
 def test_rl004_allows_len_of_secret_in_profiler_calls(run_rules):
     source = _src(
         """

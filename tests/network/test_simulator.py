@@ -322,8 +322,17 @@ class TestPayloadSize:
 
     def test_containers(self):
         assert payload_size([1, 2, 3]) == 3
-        assert payload_size({"a": [1, 2], "b": 3}) == 3
+        # Dict keys count as wire payload too: "a" + [1, 2] + "b" + 3.
+        assert payload_size({"a": [1, 2], "b": 3}) == 5
         assert payload_size((None, 1)) == 1
+
+    def test_dict_keys_counted(self):
+        # Structured keys carry real atoms — a labelled broadcast like
+        # {("deal", 3): "vss-share"} costs 2 (key) + 1 (value).
+        assert payload_size({("deal", 3): "vss-share"}) == 3
+        assert payload_size({0: None}) == 1
+        assert payload_size({None: None}) == 0
+        assert payload_size({(1, 2): (3, 4), "tag": []}) == 5
 
     def test_polynomial(self):
         from repro.fields import Polynomial, gf2k

@@ -1,0 +1,191 @@
+"""The anomaly watchdog: clean on honest runs, loud on injected faults."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import run_anonchan, scaled_parameters
+from repro.obs import Tracer, scan_events
+from repro.obs.anomaly import (
+    HOTSPOT_MIN_ELEMENTS,
+    Anomaly,
+    scan_events as scan,
+)
+from repro.vss import GGOR13_COST, IdealVSS
+
+
+def _traced_run(seed: int = 7) -> list:
+    params = scaled_parameters(n=5, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+    messages = {i: params.field(100 + i) for i in range(5)}
+    tracer = Tracer()
+    run_anonchan(params, vss, messages, seed=seed, tracer=tracer)
+    return list(tracer.events)
+
+
+def _msg(tracer, round_index, sender, receiver, elements, lamport):
+    tracer.record_message(round_index, sender, receiver, elements, lamport)
+
+
+def test_honest_traced_run_is_clean():
+    assert scan_events(_traced_run()) == []
+
+
+def test_anomaly_render_and_to_dict():
+    a = Anomaly(kind="comm-hotspot", message="m", round_index=3, party=1)
+    assert a.to_dict() == {
+        "kind": "comm-hotspot", "message": "m", "round": 3, "party": 1,
+    }
+    assert "[comm-hotspot] round=3 party=1: m" == a.render()
+
+
+# -- stalled rounds ---------------------------------------------------------
+
+def test_dropped_round_is_a_stalled_round():
+    events = _traced_run()
+    idx = [i for i, ev in enumerate(events) if ev.kind == "round"][2]
+    del events[idx]
+    findings = scan(events)
+    assert any(f.kind == "stalled-round" and "jumps" in f.message
+               for f in findings)
+
+
+def test_truncated_trace_without_run_end_is_stalled():
+    events = _traced_run()
+    assert events[-1].kind == "run_end"
+    findings = scan(events[:-1])
+    assert any(f.kind == "stalled-round" and "run_end" in f.message
+               for f in findings)
+
+
+def test_round_overrun_past_prediction_is_stalled():
+    events = _traced_run()
+    last_round = max(
+        ev.round_index for ev in events if ev.kind == "round"
+    )
+    template = next(ev for ev in events if ev.kind == "round")
+    runaway = [
+        dataclasses.replace(
+            template, round_index=last_round + 1 + i, seq=10_000 + i
+        )
+        for i in range(3)
+    ]
+    findings = scan(events[:-1] + runaway + events[-1:])
+    assert any("spinning past its budget" in f.message for f in findings)
+
+
+def test_silent_vss_rounds_are_not_stalled():
+    """Ideal-VSS sharing rounds carry zero traffic; that is not a stall."""
+    events = _traced_run()
+    silent = [
+        ev for ev in events
+        if ev.kind == "round" and ev.attrs.get("elements", 1) == 0
+    ]
+    assert silent, "the hybrid run must have silent sharing rounds"
+    assert scan(events) == []
+
+
+# -- disqualification storms ------------------------------------------------
+
+def test_disqualification_storm_fires_above_t():
+    tracer = Tracer()
+    tracer.run_start(n=5, t=1)
+    tracer.annotate("vss-qualified", parties=[0, 1])  # 3 dropped > t=1
+    tracer.run_end()
+    findings = scan(tracer.events)
+    assert any(f.kind == "disqualification-storm" for f in findings)
+
+
+def test_disqualifications_within_t_are_fine():
+    tracer = Tracer()
+    tracer.run_start(n=5, t=2)
+    tracer.annotate("cut-and-choose-passed", parties=[0, 1, 2])
+    tracer.run_end()
+    assert scan(tracer.events) == []
+
+
+# -- comm hotspots ----------------------------------------------------------
+
+def test_hotspot_sender_is_flagged():
+    tracer = Tracer()
+    volume = HOTSPOT_MIN_ELEMENTS * 4
+    for rnd in range(4):
+        _msg(tracer, rnd, 0, 1, volume, rnd + 1)
+        for pid in (1, 2, 3, 4):
+            _msg(tracer, rnd, pid, 0, 1, rnd + 1)
+        tracer.record_round(rnd, messages=5, elements=volume + 4)
+    findings = scan(tracer.events)
+    hot = [f for f in findings if f.kind == "comm-hotspot"]
+    assert len(hot) == 1 and hot[0].party == 0
+
+
+def test_balanced_traffic_has_no_hotspot():
+    tracer = Tracer()
+    for rnd in range(4):
+        for pid in range(5):
+            _msg(tracer, rnd, pid, (pid + 1) % 5, HOTSPOT_MIN_ELEMENTS, rnd + 1)
+    assert not [f for f in scan(tracer.events) if f.kind == "comm-hotspot"]
+
+
+def test_tiny_traces_stay_below_the_noise_floor():
+    tracer = Tracer()
+    _msg(tracer, 0, 0, 1, HOTSPOT_MIN_ELEMENTS - 10, 1)
+    _msg(tracer, 0, 1, 0, 1, 1)
+    assert not [f for f in scan(tracer.events) if f.kind == "comm-hotspot"]
+
+
+def test_hotspot_falls_back_to_round_summaries_on_legacy_traces():
+    tracer = Tracer()
+    per_party = {"0": {"messages": 1, "elements": HOTSPOT_MIN_ELEMENTS * 8}}
+    for pid in (1, 2, 3, 4):
+        per_party[str(pid)] = {"messages": 1, "elements": 2}
+    tracer.record_round(0, messages=4, elements=0, per_party=per_party)
+    findings = scan(tracer.events)
+    assert any(f.kind == "comm-hotspot" and f.party == 0 for f in findings)
+
+
+# -- causal order -----------------------------------------------------------
+
+def test_non_monotone_stamp_across_rounds_is_flagged():
+    tracer = Tracer()
+    _msg(tracer, 0, 0, 1, 1, 5)
+    _msg(tracer, 1, 0, 1, 1, 5)  # must be strictly above 5
+    findings = scan(tracer.events)
+    assert any(f.kind == "causal-order" and "monotone" in f.message
+               for f in findings)
+
+
+def test_two_stamps_in_one_round_are_flagged():
+    tracer = Tracer()
+    _msg(tracer, 0, 0, 1, 1, 3)
+    _msg(tracer, 0, 0, 2, 1, 4)  # same round, different stamp
+    findings = scan(tracer.events)
+    assert any(f.kind == "causal-order" and "within one round" in f.message
+               for f in findings)
+
+
+def test_send_below_delivered_stamp_violates_happens_before():
+    tracer = Tracer()
+    _msg(tracer, 0, 1, 0, 1, 9)   # party 0 receives stamp 9 in round 0
+    _msg(tracer, 1, 0, 1, 1, 2)   # then sends with stamp 2 < 9
+    findings = scan(tracer.events)
+    assert any(f.kind == "causal-order" and "happens-before" in f.message
+               for f in findings)
+
+
+def test_same_round_delivery_does_not_constrain_same_round_send():
+    """Lockstep semantics: round-k sends precede round-k receipts."""
+    tracer = Tracer()
+    _msg(tracer, 0, 1, 0, 1, 9)  # delivered to 0 this round...
+    _msg(tracer, 0, 0, 1, 1, 2)  # ...so 0's round-0 send may be below 9
+    _msg(tracer, 1, 0, 1, 1, 10)  # next round it must clear the floor
+    assert not [f for f in scan(tracer.events) if f.kind == "causal-order"]
+
+
+def test_broadcast_stamp_floors_every_party():
+    tracer = Tracer()
+    _msg(tracer, 0, 1, None, 5, 7)  # broadcast with stamp 7
+    _msg(tracer, 1, 2, 0, 1, 3)     # party 2 sends below it next round
+    findings = scan(tracer.events)
+    assert any(f.kind == "causal-order" and "happens-before" in f.message
+               for f in findings)

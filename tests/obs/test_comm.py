@@ -1,0 +1,167 @@
+"""CommMatrix aggregation and CommReport analytic conformance."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.core import run_anonchan, scaled_parameters
+from repro.obs import BROADCAST, CommMatrix, CommReport, Tracer
+from repro.vss import GGOR13_COST, IdealVSS
+
+
+def _traced_run(seed: int = 7, n: int = 5) -> Tracer:
+    params = scaled_parameters(n=n, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+    messages = {i: params.field(100 + i) for i in range(n)}
+    tracer = Tracer()
+    run_anonchan(params, vss, messages, seed=seed, tracer=tracer)
+    return tracer
+
+
+# -- CommMatrix -------------------------------------------------------------
+
+def test_matrix_records_links_and_phases():
+    m = CommMatrix()
+    m.record(sender=0, receiver=1, elements=10, phase="step 1")
+    m.record(sender=0, receiver=1, elements=5, phase="step 2")
+    m.record(sender=1, receiver=None, elements=8, phase="step 1")
+    assert m.message_count == 3
+    assert m.links[(0, 1)].messages == 2
+    assert m.links[(0, 1)].elements == 15
+    assert m.links[(1, BROADCAST)].elements == 8
+    assert m.parties == [0, 1]
+    assert m.sent_by(0).elements == 15
+    assert m.sent_by(1).elements == 8
+    totals = m.phase_totals()
+    assert totals["step 1"].elements == 18
+    assert totals["step 2"].elements == 5
+
+
+def test_matrix_heatmap_has_trailing_broadcast_column():
+    m = CommMatrix()
+    m.record(sender=0, receiver=2, elements=4, phase=None)
+    m.record(sender=2, receiver=None, elements=9, phase=None)
+    parties, rows = m.heatmap()
+    assert parties == [0, 2]
+    # columns: P0, P2, broadcast
+    assert rows[0] == [0, 4, 0]
+    assert rows[1] == [0, 0, 9]
+
+
+def test_matrix_from_events_matches_traced_run_totals():
+    tracer = _traced_run()
+    matrix = CommMatrix.from_events(tracer.events)
+    msg_events = [ev for ev in tracer.events if ev.kind == "msg"]
+    assert matrix.message_count == len(msg_events)
+    assert sum(s.elements for s in matrix.links.values()) == sum(
+        ev.attrs["elements"] for ev in msg_events
+    )
+    # Every sender in the run appears in the matrix.
+    assert matrix.parties == [0, 1, 2, 3, 4]
+
+
+def test_matrix_to_dict_is_json_serializable():
+    matrix = CommMatrix.from_events(_traced_run().events)
+    data = json.loads(json.dumps(matrix.to_dict()))
+    assert data["message_count"] == matrix.message_count
+    assert all("sender" in link for link in data["links"])
+
+
+# -- CommReport: the dynamic side of E2 and the bandwidth bounds -----------
+
+def test_traced_run_matches_analytic_prediction():
+    report = CommReport.from_events(_traced_run().events)
+    assert report.divergences == []
+    assert report.consistency == []
+    assert report.matches_prediction
+
+
+def test_report_verifies_e2_two_broadcast_rounds():
+    report = CommReport.from_events(_traced_run().events)
+    assert report.observed_broadcast_rounds == 2
+    assert report.predicted["broadcast_rounds"] == 2
+
+
+def test_report_checks_every_phase_against_its_bound():
+    report = CommReport.from_events(_traced_run().events)
+    bounds = {e["phase"]: e for e in report.predicted["phases"]}
+    traffic_phases = [pc for pc in report.observed_phases if pc.elements]
+    assert traffic_phases, "traced run must show wire traffic"
+    for pc in traffic_phases:
+        assert pc.phase in bounds
+        assert pc.elements <= bounds[pc.phase]["max_elements"]
+
+
+def test_tampered_broadcast_prediction_is_a_divergence():
+    events = list(_traced_run().events)
+    start = events[0]
+    predicted = dict(start.attrs["predicted_comm"])
+    predicted["broadcast_rounds"] = 5
+    events[0] = dataclasses.replace(
+        start, attrs={**start.attrs, "predicted_comm": predicted}
+    )
+    report = CommReport.from_events(events)
+    assert any("E2" in d for d in report.divergences)
+    assert not report.matches_prediction
+
+
+def test_tampered_bound_flags_bandwidth_excess():
+    events = list(_traced_run().events)
+    start = events[0]
+    predicted = dict(start.attrs["predicted_comm"])
+    predicted["phases"] = [
+        {**e, "max_elements": 0} for e in predicted["phases"]
+    ]
+    events[0] = dataclasses.replace(
+        start, attrs={**start.attrs, "predicted_comm": predicted}
+    )
+    report = CommReport.from_events(events)
+    assert any("exceed the analytic bound" in d for d in report.divergences)
+
+
+def test_tampered_msg_volume_breaks_cross_check():
+    events = list(_traced_run().events)
+    idx = next(i for i, ev in enumerate(events) if ev.kind == "msg")
+    ev = events[idx]
+    events[idx] = dataclasses.replace(
+        ev, attrs={**ev.attrs, "elements": ev.attrs["elements"] + 1}
+    )
+    report = CommReport.from_events(events)
+    assert any("round summary counts" in c for c in report.consistency)
+    assert not report.matches_prediction
+
+
+def test_legacy_trace_without_msg_events_skips_cross_check():
+    events = [ev for ev in _traced_run().events if ev.kind != "msg"]
+    report = CommReport.from_events(events)
+    assert report.consistency == []
+    assert report.matrix.message_count == 0
+
+
+def test_report_to_dict_and_render_text():
+    report = CommReport.from_events(_traced_run().events)
+    data = json.loads(report.to_json())
+    assert data["totals"]["matches_prediction"] is True
+    assert data["totals"]["observed_broadcast_rounds"] == 2
+    assert data["matrix"]["message_count"] == report.matrix.message_count
+    text = report.render_text()
+    assert "broadcast rounds: 2 observed, 2 predicted (E2)" in text
+    assert "hottest links" in text
+    assert "within every analytic bound" in text
+
+
+def test_per_round_msg_sums_equal_round_summaries_exactly():
+    """Broadcast msg volumes include fan-out, so the accountings tie out."""
+    tracer = _traced_run()
+    by_round_msgs: dict[int, int] = {}
+    by_round_summary: dict[int, int] = {}
+    for ev in tracer.events:
+        if ev.kind == "msg":
+            by_round_msgs[ev.round_index] = (
+                by_round_msgs.get(ev.round_index, 0) + ev.attrs["elements"]
+            )
+        elif ev.kind == "round":
+            by_round_summary[ev.round_index] = ev.attrs.get("elements", 0)
+    for round_index, total in by_round_summary.items():
+        assert by_round_msgs.get(round_index, 0) == total

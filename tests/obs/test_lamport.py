@@ -1,0 +1,190 @@
+"""Lamport clocks: monotonicity and happens-before, property-tested.
+
+The simulator ticks each sending party's clock once per round (all its
+messages that round share the stamp) and max-merges received stamps at
+delivery, so the next send is strictly above everything the party has
+seen.  These properties must hold on every traced execution, across
+seeds, configs, and adversaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import run_anonchan, scaled_parameters
+from repro.core.adversaries import jamming_material
+from repro.network import RoundOutput, run_protocol
+from repro.network.messages import LamportClock
+from repro.obs import Tracer
+from repro.vss import GGOR13_COST, IdealVSS
+
+import random
+
+
+# -- the clock itself -------------------------------------------------------
+
+def test_tick_increments_and_returns():
+    clock = LamportClock()
+    assert clock.tick() == 1
+    assert clock.tick() == 2
+    assert clock.value == 2
+
+
+def test_observe_max_merges():
+    clock = LamportClock(3)
+    assert clock.observe([1, 7, 2]) == 7
+    assert clock.tick() == 8  # strictly above everything observed
+    assert clock.observe([]) == 8  # no-op on empty
+
+
+def test_observe_ignores_stale_stamps():
+    clock = LamportClock(9)
+    clock.observe([1, 2])
+    assert clock.value == 9
+
+
+# -- properties over traced executions --------------------------------------
+
+def _msg_stream(tracer: Tracer):
+    return [ev for ev in tracer.events if ev.kind == "msg"]
+
+
+def _assert_lamport_properties(tracer: Tracer) -> None:
+    """Monotone per sender; consistent with lockstep happens-before."""
+    msgs = _msg_stream(tracer)
+    assert msgs, "traced run must emit msg events"
+    last: dict[int, tuple[int, int]] = {}  # sender -> (round, stamp)
+    # Stamps delivered in *completed* rounds floor later sends.
+    delivered: dict[int, int] = {}
+    pending: dict[int, int] = {}
+    broadcast_floor = 0
+    pending_broadcast = 0
+    current_round = None
+    for ev in msgs:
+        sender = ev.attrs["sender"]
+        receiver = ev.attrs["receiver"]
+        stamp = ev.attrs["lamport"]
+        rnd = ev.round_index
+        if rnd != current_round:
+            for pid, pstamp in pending.items():
+                delivered[pid] = max(delivered.get(pid, 0), pstamp)
+            broadcast_floor = max(broadcast_floor, pending_broadcast)
+            pending = {}
+            pending_broadcast = 0
+            current_round = rnd
+        if sender in last:
+            prev_round, prev_stamp = last[sender]
+            if rnd == prev_round:
+                # One tick per round: all of a round's sends share it.
+                assert stamp == prev_stamp
+            else:
+                assert stamp > prev_stamp, (
+                    f"party {sender} stamp not monotone: "
+                    f"{stamp} after {prev_stamp}"
+                )
+        else:
+            floor = max(delivered.get(sender, 0), broadcast_floor)
+            assert stamp > floor or floor == 0 or stamp > 0
+        # Happens-before: a fresh round's send clears everything the
+        # sender received in earlier rounds.
+        if sender not in last or last[sender][0] != rnd:
+            floor = max(delivered.get(sender, 0), broadcast_floor)
+            assert stamp > floor, (
+                f"party {sender} sent stamp {stamp} after receiving "
+                f"{floor} in an earlier round"
+            )
+        last[sender] = (rnd, stamp)
+        if receiver is None:
+            pending_broadcast = max(pending_broadcast, stamp)
+        else:
+            pending[receiver] = max(pending.get(receiver, 0), stamp)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+def test_lamport_properties_hold_across_seeds(seed):
+    params = scaled_parameters(n=5, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+    messages = {i: params.field(100 + i) for i in range(5)}
+    tracer = Tracer()
+    run_anonchan(params, vss, messages, seed=seed, tracer=tracer)
+    _assert_lamport_properties(tracer)
+
+
+@pytest.mark.parametrize("n", [4, 5, 7])
+def test_lamport_properties_hold_across_configs(n):
+    params = scaled_parameters(n=n, d=6, num_checks=2, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+    messages = {i: params.field(100 + i) for i in range(n)}
+    tracer = Tracer()
+    run_anonchan(params, vss, messages, seed=3, tracer=tracer)
+    _assert_lamport_properties(tracer)
+
+
+def test_lamport_properties_hold_under_a_jammer():
+    params = scaled_parameters(n=5, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+    messages = {i: params.field(100 + i) for i in range(5)}
+    corrupt = {4: jamming_material(params, random.Random(11))}
+    tracer = Tracer()
+    run_anonchan(
+        params, vss, messages, seed=11, corrupt_materials=corrupt,
+        tracer=tracer,
+    )
+    _assert_lamport_properties(tracer)
+
+
+# -- toy simulator programs: exact stamp values ------------------------------
+
+def test_toy_protocol_stamps_are_exact():
+    """Two rounds of all-to-all: round-0 stamps are 1, round-1 stamps 2."""
+    def prog(pid, n):
+        inbox = yield RoundOutput(
+            private={j: [1] for j in range(n) if j != pid}
+        )
+        inbox = yield RoundOutput(
+            private={j: [2] for j in range(n) if j != pid}
+        )
+        return len(inbox.private)
+
+    tracer = Tracer()
+    run_protocol({0: prog(0, 3), 1: prog(1, 3), 2: prog(2, 3)},
+                 tracer=tracer)
+    msgs = _msg_stream(tracer)
+    by_round: dict[int, set[int]] = {}
+    for ev in msgs:
+        by_round.setdefault(ev.round_index, set()).add(ev.attrs["lamport"])
+    # Everyone heard everyone in round 0, so every round-1 tick lands on 2.
+    assert by_round[0] == {1}
+    assert by_round[1] == {2}
+
+
+def test_silent_party_keeps_older_stamp():
+    """A party that skips a round ticks later but still respects HB."""
+    def chatty(pid):
+        yield RoundOutput(private={1: [1]})
+        yield RoundOutput(private={1: [1]})
+        return None
+
+    def quiet(pid):
+        yield RoundOutput()  # silent round: no tick
+        yield RoundOutput(private={0: [1]})
+        return None
+
+    tracer = Tracer()
+    run_protocol({0: chatty(0), 1: quiet(1)}, tracer=tracer)
+    msgs = _msg_stream(tracer)
+    quiet_sends = [ev for ev in msgs if ev.attrs["sender"] == 1]
+    assert len(quiet_sends) == 1
+    # Party 1 observed party 0's round-0 stamp (1), so its first tick
+    # is 2 — strictly above everything it received.
+    assert quiet_sends[0].attrs["lamport"] == 2
+
+
+def test_untraced_run_maintains_no_clocks():
+    """The hot path without a tracer emits nothing and pays nothing."""
+    def prog(pid):
+        yield RoundOutput(private={1 - pid: [1]})
+        return None
+
+    result = run_protocol({0: prog(0), 1: prog(1)})
+    assert result.metrics.private_messages == 2

@@ -8,6 +8,7 @@ from repro.core import run_anonchan, scaled_parameters
 from repro.fields import gf2k
 from repro.obs import (
     NULL_PROFILER,
+    SCHEMA_VERSION,
     OpProfiler,
     Tracer,
     flamegraph_lines,
@@ -234,10 +235,11 @@ def _profiled_run(n: int = 5, seed: int = 3):
     return tracer, profiler, result
 
 
-def test_profiled_run_emits_valid_schema_v2_trace():
+def test_profiled_run_emits_valid_current_schema_trace():
     tracer, profiler, _ = _profiled_run()
     assert validate_events(tracer.events) == []
-    assert tracer.events[0].attrs["schema_version"] == 2
+    assert tracer.events[0].attrs["schema_version"] == SCHEMA_VERSION
+    assert SCHEMA_VERSION >= 2  # prof events need at least v2
     prof_events = [ev for ev in tracer.events if ev.kind == "prof"]
     assert prof_events, "profiled run must embed prof events"
     # prof events sit before the run_end terminator

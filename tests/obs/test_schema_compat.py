@@ -1,0 +1,165 @@
+"""Trace schema v3 backward compatibility.
+
+v1 = the original span/round/note stream, v2 adds ``prof`` events,
+v3 adds per-message ``msg`` events.  Old streams must keep validating
+and aggregating identically; ``msg`` events must be *rejected* in
+streams that declare an older schema version.
+"""
+
+from __future__ import annotations
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    RunMetrics,
+    TraceEvent,
+    read_jsonl,
+    validate_events,
+    write_jsonl,
+)
+
+
+def _ev(seq, kind, name, *, rnd=None, phase=None, depth=0, **attrs):
+    return TraceEvent(
+        seq=seq, kind=kind, name=name, round_index=rnd, phase=phase,
+        depth=depth, t_ns=seq * 1000, attrs=attrs,
+    )
+
+
+def _legacy_v1_stream() -> list[TraceEvent]:
+    """A hand-built trace exactly as a v1 tracer would have written it."""
+    return [
+        _ev(0, "run_start", "run", schema_version=1, n=3, t=1),
+        _ev(1, "span_start", "step 1: VSS-Share", phase="step 1: VSS-Share"),
+        _ev(2, "round", "round", rnd=0, phase="step 1: VSS-Share",
+            broadcasters=[0], messages=2, elements=10),
+        _ev(3, "note", "vss-qualified", rnd=1, phase="step 1: VSS-Share",
+            parties=[0, 1, 2]),
+        _ev(4, "span_end", "step 1: VSS-Share", rnd=1, elapsed_ns=100),
+        _ev(5, "run_end", "run", rounds=1),
+    ]
+
+
+def _v2_stream() -> list[TraceEvent]:
+    events = _legacy_v1_stream()
+    events[0] = _ev(0, "run_start", "run", schema_version=2, n=3, t=1)
+    events.insert(
+        5,
+        _ev(5, "prof", "profile", component="fields", op="mul",
+            phase_label="step 1", count=4),
+    )
+    events[6] = _ev(6, "run_end", "run", rounds=1)
+    return events
+
+
+def _msg_event(seq: int) -> TraceEvent:
+    return _ev(seq, "msg", "msg", rnd=0, sender=0, receiver=1,
+               elements=5, lamport=1)
+
+
+def test_v1_fixture_still_validates():
+    assert validate_events(_legacy_v1_stream()) == []
+
+
+def test_v2_fixture_still_validates():
+    assert validate_events(_v2_stream()) == []
+
+
+def test_supported_versions_cover_all_three():
+    assert SUPPORTED_SCHEMA_VERSIONS == {1, 2, 3}
+    assert SCHEMA_VERSION == 3
+
+
+def test_msg_events_rejected_in_v1_stream():
+    events = _legacy_v1_stream()
+    events.insert(3, _msg_event(3))
+    events = [
+        TraceEvent(seq=i, kind=ev.kind, name=ev.name,
+                   round_index=ev.round_index, phase=ev.phase,
+                   depth=ev.depth, t_ns=ev.t_ns, attrs=ev.attrs)
+        for i, ev in enumerate(events)
+    ]
+    errors = validate_events(events)
+    assert any("schema_version >= 3" in e for e in errors)
+
+
+def test_msg_events_rejected_in_v2_stream():
+    events = _v2_stream()
+    events.insert(3, _msg_event(3))
+    events = [
+        TraceEvent(seq=i, kind=ev.kind, name=ev.name,
+                   round_index=ev.round_index, phase=ev.phase,
+                   depth=ev.depth, t_ns=ev.t_ns, attrs=ev.attrs)
+        for i, ev in enumerate(events)
+    ]
+    errors = validate_events(events)
+    assert any("schema_version >= 3" in e for e in errors)
+
+
+def test_msg_events_accepted_in_v3_stream():
+    events = _legacy_v1_stream()
+    events[0] = _ev(0, "run_start", "run", schema_version=3, n=3, t=1)
+    events.insert(3, _msg_event(3))
+    events = [
+        TraceEvent(seq=i, kind=ev.kind, name=ev.name,
+                   round_index=ev.round_index, phase=ev.phase,
+                   depth=ev.depth, t_ns=ev.t_ns, attrs=ev.attrs)
+        for i, ev in enumerate(events)
+    ]
+    assert validate_events(events) == []
+
+
+def test_headless_stream_with_msg_events_validates():
+    """No run_start — the stream is treated as the current version."""
+    assert validate_events([_msg_event(0)]) == []
+
+
+def test_run_start_without_schema_version_is_v1():
+    events = _legacy_v1_stream()
+    attrs = {k: v for k, v in events[0].attrs.items()
+             if k != "schema_version"}
+    events[0] = TraceEvent(seq=0, kind="run_start", name="run",
+                           round_index=None, phase=None, depth=0,
+                           t_ns=0, attrs=attrs)
+    assert validate_events(events) == []
+    events.insert(3, _msg_event(3))
+    events = [
+        TraceEvent(seq=i, kind=ev.kind, name=ev.name,
+                   round_index=ev.round_index, phase=ev.phase,
+                   depth=ev.depth, t_ns=ev.t_ns, attrs=ev.attrs)
+        for i, ev in enumerate(events)
+    ]
+    assert any("schema_version >= 3" in e for e in validate_events(events))
+
+
+def test_run_metrics_unchanged_by_msg_events():
+    """``RunMetrics.from_events`` ignores unknown-to-it kinds, so the
+    aggregation of a legacy trace is identical with msg events present."""
+    legacy = _legacy_v1_stream()
+    with_msgs = list(legacy)
+    with_msgs.insert(3, _msg_event(99))
+    before = RunMetrics.from_events(legacy)
+    after = RunMetrics.from_events(with_msgs)
+    assert before.to_dict() == after.to_dict()
+
+
+def test_v1_fixture_round_trips_through_jsonl(tmp_path):
+    events = _legacy_v1_stream()
+    path = tmp_path / "v1.jsonl"
+    write_jsonl(events, path)
+    assert read_jsonl(path) == events
+    assert validate_events(read_jsonl(path)) == []
+
+
+def test_msg_attr_types_are_validated():
+    bad_receiver = _ev(0, "msg", "msg", rnd=0, sender=0,
+                       receiver="P1", elements=5, lamport=1)
+    assert any("receiver" in e for e in validate_events([bad_receiver]))
+    negative = _ev(0, "msg", "msg", rnd=0, sender=0, receiver=1,
+                   elements=-5, lamport=1)
+    assert any("elements" in e for e in validate_events([negative]))
+    no_round = TraceEvent(seq=0, kind="msg", name="msg", round_index=None,
+                          phase=None, depth=0, t_ns=0,
+                          attrs={"sender": 0, "receiver": 1,
+                                 "elements": 1, "lamport": 1})
+    assert any("round" in e for e in validate_events([no_round]))

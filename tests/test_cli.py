@@ -88,8 +88,8 @@ def test_lint_subcommand_forwards_arguments(tmp_path, capsys):
     assert "0 finding(s)" in capsys.readouterr().out
 
 
-def test_profile_run_exports_v2_trace_and_flamegraph(tmp_path, capsys):
-    from repro.obs import read_jsonl, validate_file
+def test_profile_run_exports_current_trace_and_flamegraph(tmp_path, capsys):
+    from repro.obs import SCHEMA_VERSION, read_jsonl, validate_file
 
     trace = tmp_path / "trace.jsonl"
     folded = tmp_path / "profile.folded"
@@ -100,7 +100,7 @@ def test_profile_run_exports_v2_trace_and_flamegraph(tmp_path, capsys):
     capsys.readouterr()
     assert validate_file(trace) == []
     events = read_jsonl(trace)
-    assert events[0].attrs["schema_version"] == 2
+    assert events[0].attrs["schema_version"] == SCHEMA_VERSION
     assert any(ev.kind == "prof" for ev in events)
     lines = folded.read_text(encoding="utf-8").splitlines()
     assert lines and all(" " in line for line in lines)
@@ -294,3 +294,132 @@ def test_conformance_budget_skips_configs(capsys):
 
     payload = json.loads(capsys.readouterr().out)
     assert payload["skipped"]
+
+
+def test_conformance_appends_telemetry_store(tmp_path, capsys):
+    import json
+
+    store = tmp_path / "telemetry.jsonl"
+    assert main([
+        "conformance", "--config", _TINY_CONFIG,
+        "--telemetry", str(store),
+    ]) == 0
+    capsys.readouterr()
+    lines = store.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 1  # one trial in _TINY_CONFIG
+    record = json.loads(lines[0])
+    assert record["config"] == "cli-tiny"
+    assert record["rounds"] > 0
+
+
+def test_report_comm_prints_communication_report(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["trace-run", "-n", "5", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(trace), "--comm"]) == 0
+    out = capsys.readouterr().out
+    assert "matches the static prediction" in out
+    assert "communication report" in out
+    assert "predicted (E2)" in out
+
+
+def test_report_comm_json_emits_both_reports(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.jsonl"
+    assert main(["trace-run", "-n", "5", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(trace), "--comm", "--json"]) == 0
+    decoder = json.JSONDecoder()
+    raw = capsys.readouterr().out.strip()
+    run_report, end = decoder.raw_decode(raw)
+    comm_report, _ = decoder.raw_decode(raw[end:].lstrip())
+    assert run_report["totals"]["matches_prediction"] is True
+    assert comm_report["totals"]["matches_prediction"] is True
+
+
+def test_obs_check_clean_trace_exits_zero(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["trace-run", "-n", "5", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["obs-check", str(trace)]) == 0
+    assert "is clean" in capsys.readouterr().err
+
+
+def test_obs_check_flags_injected_stall(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "trace.jsonl"
+    assert main(["trace-run", "-n", "5", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    lines = trace.read_text(encoding="utf-8").splitlines()
+    # Truncate the stream: drop run_end (wedged-run injection).
+    assert json.loads(lines[-1])["kind"] == "run_end"
+    stalled = tmp_path / "stalled.jsonl"
+    stalled.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+    assert main(["obs-check", str(stalled)]) == 1
+    captured = capsys.readouterr()
+    assert "stalled-round" in captured.out
+    assert "anomaly" in captured.err
+
+
+def test_obs_check_flags_injected_hotspot(tmp_path, capsys):
+    import json
+
+    from repro.obs import Tracer, write_jsonl
+    from repro.obs.anomaly import HOTSPOT_MIN_ELEMENTS
+
+    tracer = Tracer()
+    volume = HOTSPOT_MIN_ELEMENTS * 4
+    for rnd in range(3):
+        tracer.record_message(rnd, 0, 1, volume, rnd + 1)
+        for pid in (1, 2, 3, 4):
+            tracer.record_message(rnd, pid, 0, 1, rnd + 1)
+        tracer.record_round(rnd, messages=5, elements=volume + 4)
+    trace = tmp_path / "hotspot.jsonl"
+    write_jsonl(tracer.events, trace)
+    assert main(["obs-check", str(trace), "--json"]) == 1
+    captured = capsys.readouterr()
+    findings = json.loads(captured.out)
+    assert any(f["kind"] == "comm-hotspot" for f in findings)
+
+
+def test_obs_check_unreadable_trace_is_structural_error(tmp_path, capsys):
+    assert main(["obs-check", str(tmp_path / "missing.jsonl")]) == 2
+    capsys.readouterr()
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text('{"seq": 0, "kind": "nope"}\n', encoding="utf-8")
+    assert main(["obs-check", str(bogus)]) == 2
+    assert "schema violation" in capsys.readouterr().err
+
+
+def test_dashboard_renders_from_all_inputs(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["trace-run", "-n", "5", "--out", str(trace)]) == 0
+    store = tmp_path / "telemetry.jsonl"
+    report = tmp_path / "campaign.json"
+    assert main([
+        "conformance", "--config", _TINY_CONFIG,
+        "--report", str(report), "--telemetry", str(store),
+    ]) == 0
+    capsys.readouterr()
+    out = tmp_path / "dash.html"
+    assert main([
+        "dashboard", "--campaign", str(report), "--telemetry", str(store),
+        "--trace", str(trace), "--out", str(out),
+    ]) == 0
+    page = out.read_text(encoding="utf-8")
+    assert page.startswith("<!DOCTYPE html>")
+    assert "Communication heatmap" in page
+    assert "cli-tiny" in page
+    assert "<script" not in page  # self-contained, no external resources
+
+
+def test_dashboard_bad_campaign_is_structural_error(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert main([
+        "dashboard", "--campaign", str(bad),
+        "--out", str(tmp_path / "d.html"),
+    ]) == 2
+    assert capsys.readouterr().err

@@ -1,0 +1,93 @@
+"""The campaign telemetry store and the comm-conformance invariant."""
+
+from __future__ import annotations
+
+import json
+
+from repro.testkit import CampaignConfig, run_config
+from repro.testkit.telemetry import TelemetryStore, trial_records
+
+TINY = CampaignConfig(
+    name="telemetry-tiny", n=3, t=1, d=2, ell=16, kappa=8,
+    num_checks=1, trials=2,
+)
+
+
+def test_trial_outcomes_carry_comm_metrics():
+    result = run_config(TINY)
+    for trial in result.evidence.trials:
+        assert trial.rounds > 0
+        assert trial.private_messages > 0
+        assert trial.field_elements_sent > 0
+
+
+def test_trial_records_flatten_config_axes():
+    result = run_config(TINY, campaign_seed=5)
+    records = trial_records(result, campaign_seed=5, stamp="T")
+    assert len(records) == TINY.trials
+    for record in records:
+        assert record["config"] == "telemetry-tiny"
+        assert record["strategy"] == TINY.strategy
+        assert record["campaign_seed"] == 5
+        assert record["stamp"] == "T"
+        assert record["rounds"] > 0
+        assert isinstance(record["honest_delivered"], bool)
+
+
+def test_store_appends_and_loads(tmp_path):
+    path = tmp_path / "telemetry.jsonl"
+    store = TelemetryStore(path)
+    result = run_config(TINY)
+    written = store.append_results([result], stamp="T1")
+    assert written == TINY.trials
+    # Appending again accumulates (the longitudinal CI use case).
+    store.append_results([result], stamp="T2")
+    records = store.load()
+    assert len(records) == 2 * TINY.trials
+    assert {r["stamp"] for r in records} == {"T1", "T2"}
+
+
+def test_store_tolerates_missing_and_torn_lines(tmp_path):
+    path = tmp_path / "telemetry.jsonl"
+    assert TelemetryStore(path).load() == []
+    path.write_text(
+        json.dumps({"config": "ok", "rounds": 1}) + "\n"
+        + '{"torn": \n'
+        + "not json at all\n"
+        + json.dumps({"config": "ok2", "rounds": 2}) + "\n",
+        encoding="utf-8",
+    )
+    records = TelemetryStore(path).load()
+    assert [r["config"] for r in records] == ["ok", "ok2"]
+
+
+def test_comm_conformance_checker_passes_on_honest_config():
+    result = run_config(TINY)
+    outcome = next(
+        o for o in result.outcomes if o.invariant == "comm-conformance"
+    )
+    assert outcome.applicable and outcome.passed
+    assert result.evidence.comm_ok is True
+    assert result.evidence.comm_divergences == []
+
+
+def test_comm_conformance_skips_without_a_trace():
+    from repro.testkit.invariants import CommConformance, ConfigEvidence
+
+    ev = ConfigEvidence(
+        config=TINY, params=TINY.params(), corrupted=(), trials=[],
+    )
+    outcome = CommConformance().evaluate(ev)
+    assert not outcome.applicable
+
+
+def test_comm_conformance_fails_on_divergence():
+    from repro.testkit.invariants import CommConformance, ConfigEvidence
+
+    ev = ConfigEvidence(
+        config=TINY, params=TINY.params(), corrupted=(), trials=[],
+        comm_ok=False, comm_divergences=["E2: observed 9 broadcast rounds"],
+    )
+    outcome = CommConformance().evaluate(ev)
+    assert outcome.applicable and not outcome.passed
+    assert "E2" in outcome.message
