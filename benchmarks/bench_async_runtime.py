@@ -1,0 +1,114 @@
+"""Runtime — asyncio transport throughput vs the lockstep reference.
+
+The pluggable-transport runtime executes each party as an independent
+asyncio task coordinated by a round synchronizer; this experiment
+measures what that machinery costs.  For each ``n`` we drive a chatty
+fixed-shape protocol (every party messages every other party each
+round, one broadcast per round) through the lockstep simulator and
+through the async transport under three latency models — zero (the
+lockstep-equivalent configuration), fixed, and uniform jitter — and
+report wall-clock rounds/second plus the async/lockstep overhead
+ratio.  Latency is *virtual* (it orders deliveries, it does not
+sleep), so the fixed/jitter columns isolate the cost of sampling and
+sorting the delivery plan, not idle waiting.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import report
+
+from repro.network import RoundOutput, run_protocol
+from repro.network.runtime import (
+    FixedLatency,
+    InMemoryAsyncTransport,
+    UniformLatency,
+)
+
+ROUNDS = 30
+REPEATS = 3
+
+
+def _mesh_programs(n: int, rounds: int = ROUNDS):
+    """Full-mesh exchange: n*(n-1) private messages + n broadcasts/round."""
+
+    def prog(pid: int):
+        inbox = yield RoundOutput(
+            private={q: [pid] for q in range(n) if q != pid},
+            broadcast=[pid],
+        )
+        for _ in range(rounds - 1):
+            total = sum(v for vals in inbox.private.values() for v in vals)
+            inbox = yield RoundOutput(
+                private={q: [total] for q in range(n) if q != pid},
+                broadcast=[total],
+            )
+        return None
+
+    return {pid: prog(pid) for pid in range(n)}
+
+
+def _transports():
+    return [
+        ("lockstep", lambda: "lockstep"),
+        ("async/zero", lambda: InMemoryAsyncTransport()),
+        ("async/fixed-1ms", lambda: InMemoryAsyncTransport(
+            latency=FixedLatency(base_ms=1.0), seed=1)),
+        ("async/jitter-5ms", lambda: InMemoryAsyncTransport(
+            latency=UniformLatency(base_ms=1.0, jitter_ms=5.0), seed=1)),
+    ]
+
+
+def _time_once(n: int, make_transport) -> tuple[float, int]:
+    programs = _mesh_programs(n)
+    start = time.perf_counter()
+    result = run_protocol(programs, transport=make_transport())
+    elapsed = time.perf_counter() - start
+    return elapsed, result.metrics.rounds
+
+
+def test_async_runtime_throughput(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        for n in (3, 5, 8):
+            baseline_sec = None
+            for label, make_transport in _transports():
+                best = min(
+                    _time_once(n, make_transport)[0]
+                    for _ in range(REPEATS)
+                )
+                _, rounds = _time_once(n, make_transport)
+                if label == "lockstep":
+                    baseline_sec = best
+                overhead = best / baseline_sec
+                rows.append(
+                    (n, label, rounds, round(best * 1e3, 3),
+                     round(rounds / best), round(overhead, 2))
+                )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "async_runtime",
+        "Asyncio transport throughput (full-mesh exchange, virtual time)",
+        ["n", "transport", "rounds", "best wall ms", "rounds/sec",
+         "x lockstep"],
+        rows,
+        notes="latency models are virtual (they order deliveries within a\n"
+              "round, they do not sleep), so every column measures engine\n"
+              "overhead: task scheduling, per-message latency sampling, and\n"
+              "delivery-plan sorting.  zero-latency async is the\n"
+              "configuration the equivalence suite proves bit-for-bit\n"
+              "identical to lockstep.",
+    )
+    # Sanity: every configuration completed the full schedule.
+    assert all(r[2] == ROUNDS for r in rows)
+    # The async engine must stay within an order of magnitude of
+    # lockstep on this chatty workload (it is a correctness-first
+    # runtime, not a performance claim — but a 10x cliff is a bug).
+    assert all(r[5] < 10.0 for r in rows)

@@ -133,6 +133,7 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         corrupt_materials=corrupt,
         tracer=tracer,
+        transport=args.transport,
     )
     report = RunReport.from_events(tracer.events)
     if args.out:
@@ -451,6 +452,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="also export the event stream as JSONL")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON instead of text")
+    p.add_argument("--transport", default=None,
+                   choices=["lockstep", "async"],
+                   help="execution engine (default: lockstep, or "
+                   "REPRO_DEFAULT_TRANSPORT); traces are transport-"
+                   "agnostic, so either engine yields the same stream")
     p.set_defaults(fn=_cmd_trace_run)
 
     p = sub.add_parser(

@@ -61,7 +61,12 @@ from .cutandchoose import (
 from .darts import Permutation, SparseVector
 from .layout import DealerLayout, ProverMaterial, ReceiverLayout, honest_material
 from .params import AnonChanParams
-from .receiver import extract_output, vector_from_opened
+from .receiver import (
+    collect_step4_columns,
+    extract_output,
+    pair_opened_coordinates,
+    vector_from_opened,
+)
 from .trace import (
     comm_bounds,
     round_schedule,
@@ -295,32 +300,34 @@ class AnonChan:
         if pid == self.receiver:
             with tr.span("step 4b: private transfer"):
                 inbox = yield RoundOutput.silent()
-            collected: dict[int, list] = {pid: payloads}
-            for sender, payload in inbox.private.items():
-                if isinstance(payload, list) and len(payload) == len(payloads):
-                    collected[sender] = payload
-            # Batched "internally simulate VSS-Rec": both halves of all
-            # l coordinates are verified and recombined in one call
-            # (the VSS layer's numpy fast path); corrupted coordinates
-            # come back as None and zero out that coordinate only.
-            opened = session.reconstruct_private_batch(
-                collected,
-                count=len(payloads),
-                verifier=pid,
-                views=step4_views if step4_views else None,
-            )
-            xs, tags = [], []
-            failed = 0
-            for k in range(params.ell):
-                x_val = opened[2 * k] if 2 * k + 1 < len(opened) else None
-                tag_val = opened[2 * k + 1] if 2 * k + 1 < len(opened) else None
-                if x_val is None or tag_val is None:
-                    xs.append(field.zero())
-                    tags.append(field.zero())
-                    failed += 1
-                else:
-                    xs.append(x_val)
-                    tags.append(tag_val)
+            if pass_sorted:
+                collected: dict[int, list] = {pid: payloads}
+                collected.update(
+                    collect_step4_columns(
+                        inbox.private, len(payloads), pid, n
+                    )
+                )
+                # Batched "internally simulate VSS-Rec": both halves of
+                # all l coordinates are verified and recombined in one
+                # call (the VSS layer's numpy fast path); corrupted
+                # coordinates come back as None and zero out that
+                # coordinate only.
+                opened = session.reconstruct_private_batch(
+                    collected,
+                    count=len(payloads),
+                    verifier=pid,
+                    views=step4_views,
+                )
+                xs, tags, failed = pair_opened_coordinates(
+                    field, opened, params.ell
+                )
+            else:
+                # No prover survived cut-and-choose: nothing was dealt
+                # into the final vector, so there is nothing to
+                # reconstruct — any column arriving now is unsolicited.
+                xs = [field.zero() for _ in range(params.ell)]
+                tags = [field.zero() for _ in range(params.ell)]
+                failed = 0
             final_vector = vector_from_opened(field, xs, tags)
             output = extract_output(params, final_vector)
             tr.annotate("receiver-output", failed_coordinates=failed)
@@ -358,6 +365,7 @@ def run_anonchan(
     count_elements: bool = True,
     tracer: Tracer | None = None,
     profiler: "OpProfiler | None" = None,
+    transport: Any = None,
 ) -> ExecutionResult:
     """Convenience runner for one AnonChan execution.
 
@@ -372,7 +380,11 @@ def run_anonchan(
     per-round accounting.  ``profiler`` counts compute ops for the
     execution (installed globally and on the protocol field for the
     run's duration); its records are folded into the trace as ``prof``
-    events right before ``run_end``.
+    events right before ``run_end``.  ``transport`` selects the
+    execution engine (a :class:`~repro.network.runtime.Transport`
+    instance, a registered name, or ``None`` for the default); traces
+    are transport-agnostic by design, so equivalent runs compare
+    byte-identical across transports.
     """
     protocol = AnonChan(params, vss, receiver=receiver)
     session = vss.new_session(random.Random(seed ^ 0x5EED))
@@ -459,6 +471,7 @@ def run_anonchan(
                 adversary=adversary,
                 count_elements=count_elements,
                 tracer=tracer,
+                transport=transport,
             )
         if tracer is not None:
             tracer.record_profile(profiler.records())
@@ -468,6 +481,7 @@ def run_anonchan(
             adversary=adversary,
             count_elements=count_elements,
             tracer=tracer,
+            transport=transport,
         )
     if tracer is not None:
         tracer.run_end(

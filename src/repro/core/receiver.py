@@ -8,12 +8,70 @@ tags and outputs the multiset ``Y``.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.fields import Field, FieldElement
 
 from .darts import SparseVector
 from .params import AnonChanParams
+
+
+def collect_step4_columns(
+    private: Mapping[int, Any], expected_len: int, receiver: int, n: int
+) -> dict[int, list]:
+    """Filter the receiver's step-4 inbox down to plausible share columns.
+
+    A column is accepted only from a *known* party — an integer sender
+    id in ``[0, n)`` other than the receiver itself — and only when the
+    payload is a list of exactly ``expected_len`` reveal entries.  The
+    sender-id filter matters once delivery leaves the ideal simulator:
+    an id outside the party set must never become a row of the
+    reconstruction input, where it would masquerade as a share from a
+    nonexistent evaluation point.
+    """
+    collected: dict[int, list] = {}
+    for sender, payload in private.items():
+        if not isinstance(sender, int) or not (0 <= sender < n):
+            continue
+        if sender == receiver:
+            continue
+        if isinstance(payload, list) and len(payload) == expected_len:
+            collected[sender] = payload
+    return collected
+
+
+def pair_opened_coordinates(
+    field: Field, opened: Sequence[FieldElement | None], ell: int
+) -> tuple[list[FieldElement], list[FieldElement], int]:
+    """Split the opened step-4 batch into ``(xs, tags, failed)``.
+
+    The batch interleaves the two halves of each coordinate:
+    ``opened[2k]`` is ``x_k`` and ``opened[2k + 1]`` its tag.  A batch
+    whose length is not exactly ``2 * ell`` is malformed — the VSS
+    layer reports corrupted coordinates as ``None``, never by
+    truncation — and raises instead of silently zeroing a trailing
+    coordinate.  Each half is guarded independently; a coordinate with
+    either half corrupted is zeroed (and counted) as a pair.
+    """
+    if len(opened) != 2 * ell:
+        raise ValueError(
+            f"malformed step-4 batch: expected {2 * ell} opened values "
+            f"for ell={ell}, got {len(opened)}"
+        )
+    xs: list[FieldElement] = []
+    tags: list[FieldElement] = []
+    failed = 0
+    for k in range(ell):
+        x_val = opened[2 * k]
+        tag_val = opened[2 * k + 1]
+        if x_val is None or tag_val is None:
+            xs.append(field.zero())
+            tags.append(field.zero())
+            failed += 1
+        else:
+            xs.append(x_val)
+            tags.append(tag_val)
+    return xs, tags, failed
 
 
 def extract_output(

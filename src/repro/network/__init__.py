@@ -25,6 +25,13 @@ from .faults import (
 from .messages import RoundInput, RoundOutput, payload_size
 from .metrics import ProtocolMetrics
 from .program import Program, map_result, parallel, sequence, silent_rounds
+from .runtime import (
+    InMemoryAsyncTransport,
+    LockstepTransport,
+    Transport,
+    register_transport,
+    resolve_transport,
+)
 from .simulator import ExecutionResult, ProtocolViolation, run_protocol
 
 __all__ = [
@@ -45,6 +52,11 @@ __all__ = [
     "ExecutionResult",
     "ProtocolViolation",
     "run_protocol",
+    "Transport",
+    "LockstepTransport",
+    "InMemoryAsyncTransport",
+    "register_transport",
+    "resolve_transport",
     "crash_after",
     "drop_messages",
     "garble_everything",

@@ -1,0 +1,53 @@
+"""Pluggable party runtime: transports executing the round model.
+
+Importing this package registers the built-in transports
+(``"lockstep"`` and ``"async"``); :func:`resolve_transport` turns a
+``transport=`` argument (instance, name, or ``None`` for the default)
+into a live :class:`Transport`.
+"""
+
+from .asyncio_runtime import InMemoryAsyncTransport
+from .base import (
+    DEFAULT_TRANSPORT_ENV,
+    TRANSPORTS,
+    ExecutionResult,
+    ProtocolViolation,
+    Transport,
+    register_transport,
+    resolve_transport,
+)
+from .engine import cached_payload_size
+from .lockstep import LockstepTransport
+from .models import (
+    Crash,
+    Delay,
+    FixedLatency,
+    LatencyModel,
+    LinkFault,
+    Partition,
+    ReorderWithinRound,
+    UniformLatency,
+    ZeroLatency,
+)
+
+__all__ = [
+    "Transport",
+    "TRANSPORTS",
+    "DEFAULT_TRANSPORT_ENV",
+    "register_transport",
+    "resolve_transport",
+    "ExecutionResult",
+    "ProtocolViolation",
+    "LockstepTransport",
+    "InMemoryAsyncTransport",
+    "cached_payload_size",
+    "LatencyModel",
+    "ZeroLatency",
+    "FixedLatency",
+    "UniformLatency",
+    "LinkFault",
+    "Delay",
+    "Partition",
+    "Crash",
+    "ReorderWithinRound",
+]

@@ -1,0 +1,420 @@
+"""Asyncio party runtime: each party is an independent task.
+
+Parties exchange :class:`RoundOutput`/:class:`RoundInput` over per-link
+``asyncio.Queue`` pairs; a coordinator — the *round synchronizer* —
+drives the paper's synchronous schedule on top of asynchronous
+delivery, in the HoneyBadgerMPC per-party-task shape:
+
+1. collect every live party's round output (rushing: honest outputs
+   are fixed before the adversary acts),
+2. let the adversary act on the rushed view,
+3. apply fault models, compute the round's delivery plan with the
+   shared engine (identical accounting/tracing to lockstep),
+4. enqueue each private message onto its link with a sampled latency
+   (which fixes arrival *order*; in wall-clock mode it is also slept),
+5. release each party with a round header ``(expected, broadcasts)``;
+   the party assembles its :class:`RoundInput` as messages arrive and
+   advances its generator concurrently with every other party.
+
+With the default zero-latency model and no faults this reproduces the
+lockstep transport bit-for-bit: per-recipient arrival order equals the
+engine's canonical delivery order, so honest outputs, metrics, and
+traces are identical.  Latency jitter reorders deliveries within a
+round; fault models add delay, partitions, and crashes on top.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from ..adversary import Adversary
+from ..messages import LamportClock, RoundInput, RoundOutput
+from ..metrics import ProtocolMetrics
+from ..program import Program
+from .base import ExecutionResult, ProtocolViolation, Transport, register_transport
+from .engine import (
+    cached_payload_size,
+    compute_delivery,
+    record_round_observability,
+    rushed_view,
+)
+from .models import Crash, LatencyModel, LinkFault, ReorderWithinRound, ZeroLatency
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> network)
+    from repro.obs import Tracer
+
+#: Round header telling a party task to return, leaving its generator
+#: suspended (used for crashes and adaptive-corruption takeover).
+_HALT: Any = object()
+
+
+@dataclass
+class _Handle:
+    """Coordinator-side endpoints of one party task."""
+
+    header: asyncio.Queue
+    inbox: asyncio.Queue
+    task: asyncio.Task
+
+
+async def _party_task(
+    pid: int,
+    prog: Program,
+    header: asyncio.Queue,
+    inbox: asyncio.Queue,
+    coordinator: asyncio.Queue,
+) -> None:
+    """One party's life: pump the generator, then loop rounds.
+
+    Per round: await the synchronizer's header, collect exactly the
+    announced number of private messages from the link queue, resume
+    the generator with the assembled :class:`RoundInput`, and report
+    the next output (or termination / failure) to the coordinator.
+    """
+    try:
+        out = next(prog)
+    except StopIteration as stop:
+        coordinator.put_nowait(("done", pid, stop.value))
+        return
+    except BaseException as exc:  # noqa: B036 - reported, then re-raised
+        coordinator.put_nowait(("error", pid, exc))
+        return
+    coordinator.put_nowait(("out", pid, out))
+    while True:
+        msg = await header.get()
+        if msg is _HALT:
+            return
+        expected, broadcasts = msg
+        private: dict[int, Any] = {}
+        for _ in range(expected):
+            sender, payload = await inbox.get()
+            private[sender] = payload
+        try:
+            out = prog.send(RoundInput(private=private, broadcast=broadcasts))
+        except StopIteration as stop:
+            coordinator.put_nowait(("done", pid, stop.value))
+            return
+        except BaseException as exc:  # noqa: B036 - reported, then re-raised
+            coordinator.put_nowait(("error", pid, exc))
+            return
+        coordinator.put_nowait(("out", pid, out))
+
+
+class InMemoryAsyncTransport(Transport):
+    """Per-party asyncio tasks over in-memory per-link queues.
+
+    Parameters
+    ----------
+    latency:
+        :class:`~repro.network.runtime.models.LatencyModel` sampled per
+        private message.  The default :class:`ZeroLatency` keeps the
+        run bit-for-bit equal to the lockstep transport.
+    faults:
+        :class:`LinkFault` instances (``Delay``, ``Partition``,
+        ``Crash``, ``ReorderWithinRound``) applied every round.
+    seed:
+        Seed for the transport's private rng (latency samples, fault
+        shuffles) — a seeded async run is exactly replayable.
+    realtime:
+        When ``True``, sampled latencies are actually slept
+        (``asyncio.sleep``), making wall-clock measurements meaningful;
+        arrival order then follows the event loop's timers.  When
+        ``False`` (the default), latencies are *virtual*: they decide
+        per-round delivery order deterministically and the run never
+        sleeps.
+    """
+
+    name = "async"
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        faults: Iterable[LinkFault] = (),
+        seed: int = 0,
+        realtime: bool = False,
+    ):
+        self.latency = latency if latency is not None else ZeroLatency()
+        self.faults = tuple(faults)
+        self.seed = seed
+        self.realtime = realtime
+
+    def run(
+        self,
+        programs: Mapping[int, Program],
+        adversary: Adversary | None = None,
+        max_rounds: int = 100_000,
+        count_elements: bool = True,
+        tracer: "Tracer | None" = None,
+    ) -> ExecutionResult:
+        return asyncio.run(
+            self._run(programs, adversary, max_rounds, count_elements, tracer)
+        )
+
+    async def _run(
+        self,
+        programs: Mapping[int, Program],
+        adversary: Adversary | None,
+        max_rounds: int,
+        count_elements: bool,
+        tracer: "Tracer | None",
+    ) -> ExecutionResult:
+        corrupted = adversary.corrupted if adversary is not None else frozenset()
+        unknown = corrupted - programs.keys()
+        if unknown:
+            raise ValueError(
+                f"adversary corrupts unknown parties: {sorted(unknown)}"
+            )
+
+        rng = random.Random(self.seed)
+        crash_faults = [f for f in self.faults if isinstance(f, Crash)]
+        reorder_faults = [
+            f for f in self.faults if isinstance(f, ReorderWithinRound)
+        ]
+        link_faults = [
+            f for f in self.faults if not isinstance(f, ReorderWithinRound)
+        ]
+
+        party_order = list(programs)
+        coordinator: asyncio.Queue = asyncio.Queue()
+        handles: dict[int, _Handle] = {}
+        for pid in party_order:
+            if pid in corrupted:
+                continue
+            header: asyncio.Queue = asyncio.Queue()
+            inbox: asyncio.Queue = asyncio.Queue()
+            task = asyncio.create_task(
+                _party_task(pid, programs[pid], header, inbox, coordinator)
+            )
+            handles[pid] = _Handle(header=header, inbox=inbox, task=task)
+
+        outputs: dict[int, Any] = {}
+        metrics = ProtocolMetrics()
+        clocks: dict[int, LamportClock] = {}
+        live: set[int] = set(handles)
+
+        async def collect(waiting: set[int]) -> dict[int, RoundOutput]:
+            """Gather one report per waited-on party, in any order."""
+            received: dict[int, RoundOutput] = {}
+            while waiting:
+                kind, pid, value = await coordinator.get()
+                waiting.discard(pid)
+                if kind == "out":
+                    received[pid] = value
+                elif kind == "done":
+                    outputs[pid] = value
+                    live.discard(pid)
+                else:  # "error": fail the whole execution, like lockstep
+                    raise value
+            return received
+
+        try:
+            received = await collect(set(live))
+            round_index = 0
+            while live:
+                if round_index >= max_rounds:
+                    raise ProtocolViolation(
+                        f"protocol exceeded {max_rounds} rounds; still "
+                        f"running: {sorted(live)}"
+                    )
+
+                # -- crash faults: halt parties before they send ----------
+                for fault in crash_faults:
+                    for pid in sorted(live):
+                        if fault.crashed(round_index, pid):
+                            handles[pid].header.put_nowait(_HALT)
+                            live.discard(pid)
+                            received.pop(pid, None)
+                if not live:
+                    break
+
+                # Canonical (lockstep) sender order, independent of the
+                # order reports drained from the coordinator queue.
+                pending = {
+                    pid: received[pid]
+                    for pid in party_order
+                    if pid in received
+                }
+
+                # -- rushing: adversary sees honest outputs first ---------
+                corrupt_outputs: dict[int, RoundOutput] = {}
+                if adversary is not None:
+                    view = rushed_view(round_index, pending, corrupted)
+                    corrupt_outputs = adversary.act(view)
+                    extra = corrupt_outputs.keys() - corrupted
+                    if extra:
+                        raise ProtocolViolation(
+                            f"adversary produced output for uncorrupted "
+                            f"{sorted(extra)}"
+                        )
+
+                all_outputs = dict(pending)
+                all_outputs.update(corrupt_outputs)
+
+                # -- link faults, then the shared delivery/accounting -----
+                effective = self._apply_link_faults(
+                    all_outputs, round_index, link_faults
+                )
+                delivery = compute_delivery(
+                    effective, programs, count_elements
+                )
+                metrics.record_round(
+                    broadcasters=len(delivery.broadcasts),
+                    private_messages=delivery.delivered,
+                    elements=delivery.elements,
+                )
+                if tracer is not None:
+                    record_round_observability(
+                        tracer,
+                        clocks,
+                        round_index,
+                        effective,
+                        delivery,
+                        count_elements,
+                    )
+
+                # -- enqueue deliveries in latency order ------------------
+                plan: list[tuple[float, int, int, int, Any]] = []
+                seq = 0
+                for sender, out in effective.items():
+                    for recipient, payload in out.private.items():
+                        if recipient not in live:
+                            continue
+                        size = (
+                            cached_payload_size(delivery.size_cache, payload)
+                            if count_elements
+                            else 0
+                        )
+                        delay = self.latency.sample(
+                            rng, round_index, sender, recipient, size
+                        )
+                        for fault in link_faults:
+                            delay += fault.extra_delay_ms(
+                                round_index, sender, recipient
+                            )
+                        plan.append((delay, seq, sender, recipient, payload))
+                        seq += 1
+                if any(f.active(round_index) for f in reorder_faults):
+                    rng.shuffle(plan)
+                else:
+                    plan.sort(key=lambda entry: (entry[0], entry[1]))
+
+                sleepers: list[asyncio.Task] = []
+                for delay, _seq, sender, recipient, payload in plan:
+                    link = handles[recipient].inbox
+                    if self.realtime and delay > 0.0:
+                        sleepers.append(
+                            asyncio.create_task(
+                                _deliver_later(
+                                    link, delay / 1000.0, sender, payload
+                                )
+                            )
+                        )
+                    else:
+                        link.put_nowait((sender, payload))
+
+                # -- release the round: header per live party -------------
+                broadcasts = delivery.broadcasts
+                for pid in live:
+                    expected = len(delivery.inboxes[pid])
+                    handles[pid].header.put_nowait((expected, broadcasts))
+                if adversary is not None:
+                    adversary.observe_inputs(
+                        {
+                            pid: RoundInput(
+                                private=delivery.inboxes[pid],
+                                broadcast=broadcasts,
+                            )
+                            for pid in corrupted
+                        }
+                    )
+
+                if sleepers:
+                    await asyncio.gather(*sleepers)
+                received = await collect(set(live))
+
+                # -- adaptive corruption between rounds -------------------
+                if adversary is not None:
+                    budget_used = len(adversary.corrupted)
+                    new = adversary.maybe_corrupt(
+                        round_index + 1, len(programs), budget_used
+                    )
+                    for pid in new:
+                        if pid in live:
+                            takeover = getattr(
+                                adversary, "receive_takeover", None
+                            )
+                            if takeover is not None:
+                                takeover(
+                                    pid, programs[pid], received.get(pid)
+                                )
+                            handles[pid].header.put_nowait(_HALT)
+                            live.discard(pid)
+                            received.pop(pid, None)
+                        adversary.corrupted = frozenset(
+                            adversary.corrupted | {pid}
+                        )
+                    corrupted = adversary.corrupted
+
+                round_index += 1
+        finally:
+            for handle in handles.values():
+                handle.task.cancel()
+            await asyncio.gather(
+                *(h.task for h in handles.values()), return_exceptions=True
+            )
+
+        if adversary is not None:
+            adversary.finalize(outputs)
+        return ExecutionResult(
+            outputs=outputs, metrics=metrics, adversary=adversary
+        )
+
+    @staticmethod
+    def _apply_link_faults(
+        all_outputs: Mapping[int, RoundOutput],
+        round_index: int,
+        link_faults: Sequence[LinkFault],
+    ) -> dict[int, RoundOutput]:
+        """Drop faulted private messages; dropped traffic is not counted.
+
+        Crashed senders are removed wholesale (``Crash.drops`` matches
+        every link either way); broadcasts survive partitions — the
+        physical broadcast channel is a separate medium.
+        """
+        if not link_faults:
+            return dict(all_outputs)
+        effective: dict[int, RoundOutput] = {}
+        for sender, out in all_outputs.items():
+            if any(
+                isinstance(f, Crash) and f.crashed(round_index, sender)
+                for f in link_faults
+            ):
+                continue
+            kept = {
+                recipient: payload
+                for recipient, payload in out.private.items()
+                if not any(
+                    f.drops(round_index, sender, recipient)
+                    for f in link_faults
+                )
+            }
+            if len(kept) == len(out.private):
+                effective[sender] = out
+            else:
+                effective[sender] = RoundOutput(
+                    private=kept, broadcast=out.broadcast
+                )
+        return effective
+
+
+async def _deliver_later(
+    link: asyncio.Queue, delay_s: float, sender: int, payload: Any
+) -> None:
+    await asyncio.sleep(delay_s)
+    link.put_nowait((sender, payload))
+
+
+register_transport("async", InMemoryAsyncTransport)

@@ -1,0 +1,118 @@
+"""Transport abstraction for the party runtime.
+
+A :class:`Transport` executes a synchronous-rounds protocol — one
+generator :class:`~repro.network.program.Program` per party — and
+returns honest outputs plus cost accounting.  The paper's model
+(synchronous rounds, secure pairwise channels, physical broadcast,
+rushing adversary) is a *contract on observable behavior*; how messages
+actually move between parties is the transport's business:
+
+- :class:`~repro.network.runtime.lockstep.LockstepTransport` runs every
+  party in a single deterministic loop (the original simulator),
+  bit-for-bit reproducible for seeded campaigns and trace diffing.
+- :class:`~repro.network.runtime.asyncio_runtime.InMemoryAsyncTransport`
+  runs each party as an independent asyncio task exchanging messages
+  over per-link queues, with configurable latency/jitter/bandwidth
+  models and fault injection (delay, reorder, partition, crash).
+
+Both transports preserve the adversary API (rushing view, adaptive
+corruption) and the trace schema (per-round events, per-message Lamport
+stamps): causal bookkeeping lives here in the transport layer, not in
+protocol code.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from ..adversary import Adversary
+from ..metrics import ProtocolMetrics
+from ..program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> network)
+    from repro.obs import Tracer
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one protocol execution.
+
+    Attributes
+    ----------
+    outputs:
+        Honest parties' protocol outputs, by party id.
+    metrics:
+        Round/broadcast/message accounting for the whole execution.
+    adversary:
+        The adversary instance (its recorded views are what the
+        anonymity and privacy experiments analyze), or ``None``.
+    """
+
+    outputs: dict[int, Any]
+    metrics: ProtocolMetrics
+    adversary: Adversary | None = None
+
+
+class ProtocolViolation(Exception):
+    """Raised when an execution exceeds sanity limits (likely a bug)."""
+
+
+class Transport(ABC):
+    """Executes a protocol; see the module docstring for the contract.
+
+    Subclasses set :attr:`name` (the registry key, also used to
+    annotate traces and campaign configs) and implement :meth:`run`
+    with :func:`~repro.network.simulator.run_protocol` semantics.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        programs: Mapping[int, Program],
+        adversary: Adversary | None = None,
+        max_rounds: int = 100_000,
+        count_elements: bool = True,
+        tracer: "Tracer | None" = None,
+    ) -> ExecutionResult:
+        """Execute the protocol to completion and return the result."""
+
+
+#: Registry of named transport factories.  Factories (not instances):
+#: every resolution gets a fresh transport, so per-run state (rng,
+#: queues) never leaks between executions.
+TRANSPORTS: dict[str, Callable[[], Transport]] = {}
+
+#: Environment override consumed when ``resolve_transport(None)`` is
+#: asked for the default — lets CI run the whole tier-1 suite on the
+#: async transport without touching call sites.
+DEFAULT_TRANSPORT_ENV = "REPRO_DEFAULT_TRANSPORT"
+
+
+def register_transport(name: str, factory: Callable[[], Transport]) -> None:
+    """Register a transport factory under ``name`` (overwrites)."""
+    TRANSPORTS[name] = factory
+
+
+def resolve_transport(spec: "Transport | str | None") -> Transport:
+    """Resolve a ``transport=`` argument to a live transport.
+
+    ``None`` selects the default: the transport named by the
+    ``REPRO_DEFAULT_TRANSPORT`` environment variable if set, else
+    ``"lockstep"``.  A string is looked up in :data:`TRANSPORTS`; a
+    :class:`Transport` instance is returned as-is.
+    """
+    if isinstance(spec, Transport):
+        return spec
+    if spec is None:
+        spec = os.environ.get(DEFAULT_TRANSPORT_ENV) or "lockstep"
+    factory = TRANSPORTS.get(spec)
+    if factory is None:
+        raise ValueError(
+            f"unknown transport {spec!r}; available: {sorted(TRANSPORTS)}"
+        )
+    return factory()

@@ -1,0 +1,220 @@
+"""Shared per-round engine for all transports.
+
+Every transport realizes the same synchronous-round semantics: honest
+outputs are fixed first (rushing), the adversary acts, all outputs are
+delivered according to the model's channel guarantees, and the round is
+accounted and traced identically.  This module is that common core —
+:class:`~repro.network.runtime.lockstep.LockstepTransport` and the
+asyncio runtime both call these helpers, so metrics and trace events
+agree bit-for-bit across transports by construction.
+
+Lamport stamping lives here (the transport layer), not in protocol
+code: logical clocks are a property of *delivery*, and keeping them
+next to the delivery computation is what lets causal ordering survive
+once delivery stops being lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from ..adversary import RushedView
+from ..messages import LamportClock, RoundOutput, payload_size
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> network)
+    from repro.obs import Tracer
+
+#: Sentinel distinguishing "not cached" from a cached size of 0.  An
+#: empty payload legitimately has size 0, which is falsy — any truthy
+#: test on the cached value (the old ``.get(id(p)) or payload_size(p)``)
+#: silently recomputes and can drift from the delivery-time accounting.
+_MISSING: Any = object()
+
+
+def cached_payload_size(size_cache: dict[int, int], payload: Any) -> int:
+    """Size of ``payload``, memoized by object identity.
+
+    The same payload object is typically sent to many parties per
+    round; the cache makes per-round accounting linear in *distinct*
+    payloads.  Uses an explicit missing-sentinel so a cached size of 0
+    (empty list/dict payloads) is honored rather than recomputed —
+    per-party volumes and per-message events then agree with the round
+    totals by construction.
+    """
+    size = size_cache.get(id(payload), _MISSING)
+    if size is _MISSING:
+        size = payload_size(payload)
+        size_cache[id(payload)] = size
+    return size
+
+
+def rushed_view(
+    round_index: int,
+    pending: Mapping[int, RoundOutput],
+    corrupted: Iterable[int],
+) -> RushedView:
+    """The rushing adversary's observation of honest round outputs."""
+    honest_broadcasts = {
+        pid: out.broadcast
+        for pid, out in pending.items()
+        if out.broadcast is not None
+    }
+    to_corrupted: dict[int, dict[int, Any]] = {pid: {} for pid in corrupted}
+    for sender, out in pending.items():
+        for recipient, payload in out.private.items():
+            if recipient in to_corrupted:
+                to_corrupted[recipient][sender] = payload
+    return RushedView(
+        round_index=round_index,
+        broadcasts=honest_broadcasts,
+        to_corrupted=to_corrupted,
+    )
+
+
+@dataclass
+class Delivery:
+    """One round's delivery plan plus its bandwidth accounting.
+
+    ``inboxes`` preserves the transports' canonical delivery order
+    (sender iteration order of ``all_outputs``): programs may iterate
+    their inbox, so insertion order is part of bit-for-bit
+    reproducibility across transports.
+    """
+
+    broadcasts: dict[int, Any]
+    inboxes: dict[int, dict[int, Any]]
+    delivered: int
+    elements: int
+    size_cache: dict[int, int] = field(default_factory=dict)
+
+
+def compute_delivery(
+    all_outputs: Mapping[int, RoundOutput],
+    party_ids: Iterable[int],
+    count_elements: bool,
+) -> Delivery:
+    """Apply the channel guarantees to one round's outputs.
+
+    Broadcasts go to everyone (bandwidth counted once per receiving
+    party); private payloads go only to existing recipients (payloads
+    to non-existent parties are dropped).  ``party_ids`` must iterate
+    in the execution's canonical party order.
+    """
+    broadcasts = {
+        pid: out.broadcast
+        for pid, out in all_outputs.items()
+        if out.broadcast is not None
+    }
+    inboxes: dict[int, dict[int, Any]] = {pid: {} for pid in party_ids}
+    delivered = 0
+    elements = 0
+    size_cache: dict[int, int] = {}  # same object sent to many parties
+    for sender, out in all_outputs.items():
+        for recipient, payload in out.private.items():
+            if recipient not in inboxes:
+                continue  # payload to a non-existent party: dropped
+            inboxes[recipient][sender] = payload
+            delivered += 1
+            if count_elements:
+                elements += cached_payload_size(size_cache, payload)
+    if count_elements:
+        elements += sum(
+            payload_size(b) for b in broadcasts.values()
+        ) * max(len(inboxes) - 1, 1)
+    return Delivery(
+        broadcasts=broadcasts,
+        inboxes=inboxes,
+        delivered=delivered,
+        elements=elements,
+        size_cache=size_cache,
+    )
+
+
+def record_round_observability(
+    tracer: "Tracer",
+    clocks: dict[int, LamportClock],
+    round_index: int,
+    all_outputs: Mapping[int, RoundOutput],
+    delivery: Delivery,
+    count_elements: bool,
+) -> None:
+    """Emit one round's trace events and advance the Lamport clocks.
+
+    Produces the schema-v3 event stream: per-sender ``msg`` events
+    (broadcasts as ``receiver=None`` carrying their fan-out-multiplied
+    wire volume, so per-round msg volumes sum exactly to the round
+    event's ``elements``), then the ``round`` event with the per-party
+    breakdown.  Clocks tick once per sending party per round and merge
+    on receipt, so stamps stay consistent with happens-before under any
+    delivery order a transport produces.
+    """
+    inboxes = delivery.inboxes
+    broadcasts = delivery.broadcasts
+    size_cache = delivery.size_cache
+    fanout = max(len(inboxes) - 1, 1)
+    # Lamport send events: every party emitting anything this round
+    # ticks once; all its messages carry that stamp.
+    stamps: dict[int, int] = {}
+    for sender, out in all_outputs.items():
+        if out.private or out.broadcast is not None:
+            clock = clocks.get(sender)
+            if clock is None:
+                clock = clocks[sender] = LamportClock()
+            stamps[sender] = clock.tick()
+    per_party: dict[int, dict[str, Any]] = {}
+    for sender, out in all_outputs.items():
+        sent = sum(1 for r in out.private if r in inboxes)
+        volume = 0
+        if count_elements:
+            volume = sum(
+                cached_payload_size(size_cache, p)
+                for r, p in out.private.items()
+                if r in inboxes
+            )
+            if out.broadcast is not None:
+                volume += payload_size(out.broadcast) * fanout
+        if sent or volume or out.broadcast is not None:
+            per_party[sender] = {
+                "messages": sent,
+                "elements": volume,
+                "broadcast": out.broadcast is not None,
+            }
+    # One msg event per delivery (schema v3): broadcasts carry
+    # receiver=None and their full wire volume (payload x fan-out), so
+    # per-round msg volumes sum exactly to the round event's elements.
+    for sender in sorted(all_outputs):
+        out = all_outputs[sender]
+        stamp = stamps.get(sender, 0)
+        if out.broadcast is not None:
+            size = (
+                payload_size(out.broadcast) * fanout if count_elements else 0
+            )
+            tracer.record_message(round_index, sender, None, size, stamp)
+        for recipient in sorted(out.private):
+            if recipient not in inboxes:
+                continue
+            size = 0
+            if count_elements:
+                payload = out.private[recipient]
+                size = cached_payload_size(size_cache, payload)
+            tracer.record_message(round_index, sender, recipient, size, stamp)
+    tracer.record_round(
+        round_index,
+        broadcasters=sorted(broadcasts),
+        messages=delivery.delivered,
+        elements=delivery.elements,
+        per_party={str(pid): per_party[pid] for pid in sorted(per_party)},
+    )
+    # Lamport receive events: each party merges the stamps of
+    # everything delivered to it (private + broadcast), so its next
+    # send is causally after all of them.
+    for pid in inboxes:
+        seen = [stamps[s] for s in inboxes[pid] if s in stamps] + [
+            stamps[b] for b in broadcasts if b in stamps
+        ]
+        if seen:
+            clock = clocks.get(pid)
+            if clock is None:
+                clock = clocks[pid] = LamportClock()
+            clock.observe(seen)

@@ -1,0 +1,153 @@
+"""Deterministic single-process lockstep transport.
+
+The original synchronous simulator loop: every party's generator is
+advanced in one deterministic pass per round.  This transport is the
+reference semantics — seeded campaigns, trace diffing, and the obs
+schedule/comm verification all assume its bit-for-bit reproducibility —
+and the asyncio runtime is validated against it by the transport
+equivalence suite.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..adversary import Adversary
+from ..messages import LamportClock, RoundInput, RoundOutput
+from ..metrics import ProtocolMetrics
+from ..program import Program
+from .base import ExecutionResult, ProtocolViolation, Transport, register_transport
+from .engine import compute_delivery, record_round_observability, rushed_view
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> network)
+    from repro.obs import Tracer
+
+
+class LockstepTransport(Transport):
+    """Runs all parties in one deterministic in-process loop."""
+
+    name = "lockstep"
+
+    def run(
+        self,
+        programs: Mapping[int, Program],
+        adversary: Adversary | None = None,
+        max_rounds: int = 100_000,
+        count_elements: bool = True,
+        tracer: "Tracer | None" = None,
+    ) -> ExecutionResult:
+        corrupted = adversary.corrupted if adversary is not None else frozenset()
+        unknown = corrupted - programs.keys()
+        if unknown:
+            raise ValueError(
+                f"adversary corrupts unknown parties: {sorted(unknown)}"
+            )
+
+        honest: dict[int, Program] = {
+            pid: prog for pid, prog in programs.items() if pid not in corrupted
+        }
+        outputs: dict[int, Any] = {}
+        metrics = ProtocolMetrics()
+        # Per-party logical clocks (maintained only when traced: causal
+        # stamps are observability, not protocol state — the untraced
+        # hot path never touches them).
+        clocks: dict[int, LamportClock] = {}
+
+        pending: dict[int, RoundOutput] = {}
+        for pid, prog in list(honest.items()):
+            try:
+                pending[pid] = next(prog)
+            except StopIteration as stop:
+                outputs[pid] = stop.value
+                del honest[pid]
+
+        round_index = 0
+        while honest:
+            if round_index >= max_rounds:
+                raise ProtocolViolation(
+                    f"protocol exceeded {max_rounds} rounds; still running: "
+                    f"{sorted(honest)}"
+                )
+
+            # -- rushing: adversary sees honest outputs first -------------
+            corrupt_outputs: dict[int, RoundOutput] = {}
+            if adversary is not None:
+                view = rushed_view(round_index, pending, corrupted)
+                corrupt_outputs = adversary.act(view)
+                extra = corrupt_outputs.keys() - corrupted
+                if extra:
+                    raise ProtocolViolation(
+                        f"adversary produced output for uncorrupted "
+                        f"{sorted(extra)}"
+                    )
+
+            all_outputs = dict(pending)
+            all_outputs.update(corrupt_outputs)
+
+            # -- delivery -------------------------------------------------
+            delivery = compute_delivery(all_outputs, programs, count_elements)
+            metrics.record_round(
+                broadcasters=len(delivery.broadcasts),
+                private_messages=delivery.delivered,
+                elements=delivery.elements,
+            )
+            if tracer is not None:
+                record_round_observability(
+                    tracer,
+                    clocks,
+                    round_index,
+                    all_outputs,
+                    delivery,
+                    count_elements,
+                )
+
+            broadcasts = delivery.broadcasts
+            round_inputs = {
+                pid: RoundInput(
+                    private=delivery.inboxes[pid], broadcast=broadcasts
+                )
+                for pid in programs
+            }
+            if adversary is not None:
+                adversary.observe_inputs(
+                    {pid: round_inputs[pid] for pid in corrupted}
+                )
+
+            # -- resume honest parties ------------------------------------
+            pending = {}
+            for pid in list(honest):
+                prog = honest[pid]
+                try:
+                    pending[pid] = prog.send(round_inputs[pid])
+                except StopIteration as stop:
+                    outputs[pid] = stop.value
+                    del honest[pid]
+
+            # -- adaptive corruption between rounds -----------------------
+            if adversary is not None:
+                budget_used = len(adversary.corrupted)
+                new = adversary.maybe_corrupt(
+                    round_index + 1, len(programs), budget_used
+                )
+                for pid in new:
+                    if pid in honest:
+                        takeover = getattr(adversary, "receive_takeover", None)
+                        if takeover is not None:
+                            takeover(pid, honest[pid], pending.get(pid))
+                        del honest[pid]
+                        pending.pop(pid, None)
+                    adversary.corrupted = frozenset(
+                        adversary.corrupted | {pid}
+                    )
+                corrupted = adversary.corrupted
+
+            round_index += 1
+
+        if adversary is not None:
+            adversary.finalize(outputs)
+        return ExecutionResult(
+            outputs=outputs, metrics=metrics, adversary=adversary
+        )
+
+
+register_transport("lockstep", LockstepTransport)

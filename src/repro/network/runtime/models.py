@@ -1,0 +1,196 @@
+"""Latency, bandwidth, and fault models for asynchronous transports.
+
+The async runtime separates *what* is delivered (the engine's channel
+guarantees, identical across transports) from *when* and *whether* each
+message arrives.  Latency models answer "when": each private message
+gets a virtual delay sampled from the transport's seeded rng, which
+determines arrival order within a round (and real sleep time in
+wall-clock mode).  Fault models answer "whether": link faults drop or
+further delay specific messages, and crash faults halt whole parties.
+
+All models are frozen dataclasses sampled through an explicit
+``random.Random`` — no global entropy, so a seeded async run is exactly
+replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+class LatencyModel:
+    """Per-message virtual latency, in milliseconds."""
+
+    def sample(
+        self,
+        rng: random.Random,
+        round_index: int,
+        sender: int,
+        recipient: int,
+        size: int,
+    ) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ZeroLatency(LatencyModel):
+    """Instant delivery: arrival order equals send order (lockstep)."""
+
+    def sample(
+        self,
+        rng: random.Random,
+        round_index: int,
+        sender: int,
+        recipient: int,
+        size: int,
+    ) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Constant per-message delay (a uniform-RTT datacenter link)."""
+
+    base_ms: float = 1.0
+
+    def sample(
+        self,
+        rng: random.Random,
+        round_index: int,
+        sender: int,
+        recipient: int,
+        size: int,
+    ) -> float:
+        return self.base_ms
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Base delay plus uniform jitter — reorders messages within a round.
+
+    ``elements_per_ms`` adds a serialization (bandwidth) term: a
+    payload of ``size`` wire atoms takes ``size / elements_per_ms``
+    extra milliseconds, so bulk rounds spread out more than chatty
+    ones.  ``0`` (the default) disables the bandwidth term.
+    """
+
+    base_ms: float = 1.0
+    jitter_ms: float = 0.0
+    elements_per_ms: float = 0.0
+
+    def sample(
+        self,
+        rng: random.Random,
+        round_index: int,
+        sender: int,
+        recipient: int,
+        size: int,
+    ) -> float:
+        delay = self.base_ms
+        if self.jitter_ms > 0.0:
+            delay += rng.uniform(0.0, self.jitter_ms)
+        if self.elements_per_ms > 0.0:
+            delay += size / self.elements_per_ms
+        return delay
+
+
+class LinkFault:
+    """Per-message fault hook: drop and/or delay individual deliveries."""
+
+    def drops(self, round_index: int, sender: int, recipient: int) -> bool:
+        return False
+
+    def extra_delay_ms(
+        self, round_index: int, sender: int, recipient: int
+    ) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Delay(LinkFault):
+    """Add ``delay_ms`` to matching links for ``rounds`` (None = always).
+
+    ``senders``/``recipients`` of ``None`` match every party.
+    """
+
+    delay_ms: float
+    rounds: tuple[int, int] | None = None
+    senders: frozenset[int] | None = None
+    recipients: frozenset[int] | None = None
+
+    def _matches(self, round_index: int, sender: int, recipient: int) -> bool:
+        if self.rounds is not None:
+            lo, hi = self.rounds
+            if not (lo <= round_index < hi):
+                return False
+        if self.senders is not None and sender not in self.senders:
+            return False
+        if self.recipients is not None and recipient not in self.recipients:
+            return False
+        return True
+
+    def extra_delay_ms(
+        self, round_index: int, sender: int, recipient: int
+    ) -> float:
+        return self.delay_ms if self._matches(round_index, sender, recipient) else 0.0
+
+
+@dataclass(frozen=True)
+class Partition(LinkFault):
+    """Drop private messages crossing the cut for ``rounds``.
+
+    ``group`` is one side of the partition; a message is dropped iff
+    exactly one endpoint is inside it.  The physical broadcast channel
+    is a separate medium in the paper's model and keeps working — a
+    partition severs point-to-point links only.
+    """
+
+    group: frozenset[int]
+    rounds: tuple[int, int] | None = None
+
+    def drops(self, round_index: int, sender: int, recipient: int) -> bool:
+        if self.rounds is not None:
+            lo, hi = self.rounds
+            if not (lo <= round_index < hi):
+                return False
+        return (sender in self.group) != (recipient in self.group)
+
+
+@dataclass(frozen=True)
+class Crash(LinkFault):
+    """Halt party ``pid`` at the start of round ``round_index``.
+
+    From that round on the party neither sends nor receives; its
+    program is left suspended and it produces no output (a fail-stop
+    fault, the async analogue of an honest party going dark).
+    """
+
+    pid: int
+    round_index: int
+
+    def crashed(self, round_index: int, pid: int) -> bool:
+        return pid == self.pid and round_index >= self.round_index
+
+    def drops(self, round_index: int, sender: int, recipient: int) -> bool:
+        return self.crashed(round_index, sender) or self.crashed(
+            round_index, recipient
+        )
+
+
+@dataclass(frozen=True)
+class ReorderWithinRound(LinkFault):
+    """Adversarial reordering: shuffle each inbox's arrival order.
+
+    Marker fault consumed by the transport (it has no per-link effect):
+    for matching ``rounds`` the transport applies a seeded shuffle to
+    every recipient's delivery order instead of latency ordering.
+    """
+
+    rounds: tuple[int, int] | None = None
+
+    def active(self, round_index: int) -> bool:
+        if self.rounds is None:
+            return True
+        lo, hi = self.rounds
+        return lo <= round_index < hi

@@ -1,11 +1,11 @@
-"""Synchronous network simulator.
+"""Synchronous network execution (transport dispatch).
 
 Realizes the paper's communication model: ``n`` parties on a complete
 network of secure (private, authenticated) point-to-point channels plus
 a physical broadcast channel, computing in synchronous rounds against a
 rushing active adversary.
 
-Guarantees enforced by construction:
+Guarantees enforced by construction (by every transport):
 
 - **Privacy/authenticity of channels** — a party only ever sees payloads
   addressed to it, attributed to their true sender; the adversary sees
@@ -15,44 +15,32 @@ Guarantees enforced by construction:
   channel).
 - **Rushing** — honest round outputs are fixed before the adversary
   chooses the corrupted parties' outputs for the same round.
+
+The actual execution engines live in :mod:`repro.network.runtime`;
+:func:`run_protocol` here dispatches to a pluggable transport — the
+deterministic lockstep loop by default, or the asyncio runtime via
+``transport="async"`` (see :func:`~repro.network.runtime.resolve_transport`
+for the resolution rules, including the ``REPRO_DEFAULT_TRANSPORT``
+environment override).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Mapping
 
-from .adversary import Adversary, RushedView
-from .messages import LamportClock, RoundInput, RoundOutput, payload_size
-from .metrics import ProtocolMetrics
+from .adversary import Adversary
 from .program import Program
+from .runtime import (
+    ExecutionResult,
+    ProtocolViolation,
+    Transport,
+    resolve_transport,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> network)
     from repro.obs import Tracer
 
-
-@dataclass
-class ExecutionResult:
-    """Outcome of one protocol execution.
-
-    Attributes
-    ----------
-    outputs:
-        Honest parties' protocol outputs, by party id.
-    metrics:
-        Round/broadcast/message accounting for the whole execution.
-    adversary:
-        The adversary instance (its recorded views are what the
-        anonymity and privacy experiments analyze), or ``None``.
-    """
-
-    outputs: dict[int, Any]
-    metrics: ProtocolMetrics
-    adversary: Adversary | None = None
-
-
-class ProtocolViolation(Exception):
-    """Raised when an execution exceeds sanity limits (likely a bug)."""
+__all__ = ["ExecutionResult", "ProtocolViolation", "run_protocol"]
 
 
 def run_protocol(
@@ -61,6 +49,7 @@ def run_protocol(
     max_rounds: int = 100_000,
     count_elements: bool = True,
     tracer: "Tracer | None" = None,
+    transport: "Transport | str | None" = None,
 ) -> ExecutionResult:
     """Execute a synchronous protocol to completion.
 
@@ -81,220 +70,25 @@ def run_protocol(
         counts are unaffected.  Useful for large experiment sweeps.
     tracer:
         Optional :class:`repro.obs.Tracer`.  When attached, every
-        completed round is reported with its broadcaster set and a
-        per-sending-party message/element breakdown (attributed to the
-        tracer's current span/phase).  ``None`` — the default — keeps
-        the untraced hot path untouched: the only cost is this one
-        ``is not None`` check per round.
+        completed round is reported with its broadcaster set, a
+        per-sending-party message/element breakdown, and Lamport-
+        stamped per-message events (attributed to the tracer's current
+        span/phase).  ``None`` — the default — keeps the untraced hot
+        path untouched.
+    transport:
+        Execution engine: a :class:`~repro.network.runtime.Transport`
+        instance, a registered name (``"lockstep"``, ``"async"``), or
+        ``None`` for the default (``REPRO_DEFAULT_TRANSPORT`` env var,
+        else the deterministic lockstep loop).
 
     Returns
     -------
     ExecutionResult with honest outputs and cost metrics.
     """
-    corrupted = adversary.corrupted if adversary is not None else frozenset()
-    unknown = corrupted - programs.keys()
-    if unknown:
-        raise ValueError(f"adversary corrupts unknown parties: {sorted(unknown)}")
-
-    honest: dict[int, Program] = {
-        pid: prog for pid, prog in programs.items() if pid not in corrupted
-    }
-    outputs: dict[int, Any] = {}
-    metrics = ProtocolMetrics()
-    # Per-party logical clocks (maintained only when traced: causal
-    # stamps are observability, not protocol state — the untraced hot
-    # path never touches them).
-    clocks: dict[int, LamportClock] = {}
-
-    pending: dict[int, RoundOutput] = {}
-    for pid, prog in list(honest.items()):
-        try:
-            pending[pid] = next(prog)
-        except StopIteration as stop:
-            outputs[pid] = stop.value
-            del honest[pid]
-
-    round_index = 0
-    while honest:
-        if round_index >= max_rounds:
-            raise ProtocolViolation(
-                f"protocol exceeded {max_rounds} rounds; still running: "
-                f"{sorted(honest)}"
-            )
-
-        # -- rushing: adversary sees honest outputs first ----------------
-        honest_broadcasts = {
-            pid: out.broadcast
-            for pid, out in pending.items()
-            if out.broadcast is not None
-        }
-        to_corrupted: dict[int, dict[int, Any]] = {pid: {} for pid in corrupted}
-        for sender, out in pending.items():
-            for recipient, payload in out.private.items():
-                if recipient in corrupted:
-                    to_corrupted[recipient][sender] = payload
-        corrupt_outputs: dict[int, RoundOutput] = {}
-        if adversary is not None:
-            view = RushedView(
-                round_index=round_index,
-                broadcasts=honest_broadcasts,
-                to_corrupted=to_corrupted,
-            )
-            corrupt_outputs = adversary.act(view)
-            extra = corrupt_outputs.keys() - corrupted
-            if extra:
-                raise ProtocolViolation(
-                    f"adversary produced output for uncorrupted {sorted(extra)}"
-                )
-
-        all_outputs = dict(pending)
-        all_outputs.update(corrupt_outputs)
-
-        # -- delivery ------------------------------------------------------
-        broadcasts = {
-            pid: out.broadcast
-            for pid, out in all_outputs.items()
-            if out.broadcast is not None
-        }
-        inboxes: dict[int, dict[int, Any]] = {pid: {} for pid in programs}
-        delivered = 0
-        elements = 0
-        size_cache: dict[int, int] = {}  # same object sent to many parties
-        for sender, out in all_outputs.items():
-            for recipient, payload in out.private.items():
-                if recipient not in inboxes:
-                    continue  # payload to a non-existent party: dropped
-                inboxes[recipient][sender] = payload
-                delivered += 1
-                if count_elements:
-                    size = size_cache.get(id(payload))
-                    if size is None:
-                        size = payload_size(payload)
-                        size_cache[id(payload)] = size
-                    elements += size
-        if count_elements:
-            elements += sum(
-                payload_size(b) for b in broadcasts.values()
-            ) * max(len(programs) - 1, 1)
-        metrics.record_round(
-            broadcasters=len(broadcasts),
-            private_messages=delivered,
-            elements=elements,
-        )
-        if tracer is not None:
-            fanout = max(len(programs) - 1, 1)
-            # Lamport send events: every party emitting anything this
-            # round ticks once; all its messages carry that stamp.
-            stamps: dict[int, int] = {}
-            for sender, out in all_outputs.items():
-                if out.private or out.broadcast is not None:
-                    clock = clocks.get(sender)
-                    if clock is None:
-                        clock = clocks[sender] = LamportClock()
-                    stamps[sender] = clock.tick()
-            per_party: dict[int, dict[str, Any]] = {}
-            for sender, out in all_outputs.items():
-                sent = sum(1 for r in out.private if r in inboxes)
-                volume = 0
-                if count_elements:
-                    volume = sum(
-                        size_cache.get(id(p)) or payload_size(p)
-                        for r, p in out.private.items()
-                        if r in inboxes
-                    )
-                    if out.broadcast is not None:
-                        volume += payload_size(out.broadcast) * fanout
-                if sent or volume or out.broadcast is not None:
-                    per_party[sender] = {
-                        "messages": sent,
-                        "elements": volume,
-                        "broadcast": out.broadcast is not None,
-                    }
-            # One msg event per delivery (schema v3): broadcasts carry
-            # receiver=None and their full wire volume (payload x
-            # fan-out), so per-round msg volumes sum exactly to the
-            # round event's elements.
-            for sender in sorted(all_outputs):
-                out = all_outputs[sender]
-                stamp = stamps.get(sender, 0)
-                if out.broadcast is not None:
-                    size = (
-                        payload_size(out.broadcast) * fanout
-                        if count_elements
-                        else 0
-                    )
-                    tracer.record_message(
-                        round_index, sender, None, size, stamp
-                    )
-                for recipient in sorted(out.private):
-                    if recipient not in inboxes:
-                        continue
-                    size = 0
-                    if count_elements:
-                        payload = out.private[recipient]
-                        size = size_cache.get(id(payload), 0)
-                    tracer.record_message(
-                        round_index, sender, recipient, size, stamp
-                    )
-            tracer.record_round(
-                round_index,
-                broadcasters=sorted(broadcasts),
-                messages=delivered,
-                elements=elements,
-                per_party={
-                    str(pid): per_party[pid] for pid in sorted(per_party)
-                },
-            )
-            # Lamport receive events: each party merges the stamps of
-            # everything delivered to it (private + broadcast), so its
-            # next send is causally after all of them.
-            for pid in programs:
-                seen = [
-                    stamps[s] for s in inboxes[pid] if s in stamps
-                ] + [stamps[b] for b in broadcasts if b in stamps]
-                if seen:
-                    clock = clocks.get(pid)
-                    if clock is None:
-                        clock = clocks[pid] = LamportClock()
-                    clock.observe(seen)
-
-        round_inputs = {
-            pid: RoundInput(private=inboxes[pid], broadcast=broadcasts)
-            for pid in programs
-        }
-        if adversary is not None:
-            adversary.observe_inputs(
-                {pid: round_inputs[pid] for pid in corrupted}
-            )
-
-        # -- resume honest parties ------------------------------------------
-        pending = {}
-        for pid in list(honest):
-            prog = honest[pid]
-            try:
-                pending[pid] = prog.send(round_inputs[pid])
-            except StopIteration as stop:
-                outputs[pid] = stop.value
-                del honest[pid]
-
-        # -- adaptive corruption between rounds ------------------------------
-        if adversary is not None:
-            budget_used = len(adversary.corrupted)
-            new = adversary.maybe_corrupt(
-                round_index + 1, len(programs), budget_used
-            )
-            for pid in new:
-                if pid in honest:
-                    takeover = getattr(adversary, "receive_takeover", None)
-                    if takeover is not None:
-                        takeover(pid, honest[pid], pending.get(pid))
-                    del honest[pid]
-                    pending.pop(pid, None)
-                adversary.corrupted = frozenset(adversary.corrupted | {pid})
-            corrupted = adversary.corrupted
-
-        round_index += 1
-
-    if adversary is not None:
-        adversary.finalize(outputs)
-    return ExecutionResult(outputs=outputs, metrics=metrics, adversary=adversary)
+    return resolve_transport(transport).run(
+        programs,
+        adversary=adversary,
+        max_rounds=max_rounds,
+        count_elements=count_elements,
+        tracer=tracer,
+    )

@@ -220,6 +220,7 @@ def run_config(
             seed=seed,
             adversary_factory=factory,
             tracer=tracer,
+            transport=config.transport,
         )
         runs += 1
         recv = _receiver_output(result.outputs)
@@ -324,6 +325,7 @@ def _anonymity_probe(
         seed=seed,
         adversary_factory=factory,
         tracer=None,
+        transport=config.transport,
     )
     ok = _metrics_fingerprint(twin) == _metrics_fingerprint(original)
     twin_recv = _receiver_output(twin.outputs)

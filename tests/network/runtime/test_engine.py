@@ -1,0 +1,81 @@
+"""Regression tests for the shared round engine's accounting.
+
+The size cache must treat a cached size of 0 (empty payloads) as a hit:
+the old ``size_cache.get(id(p)) or payload_size(p)`` lookup was falsy
+on 0 and silently recomputed, drifting from the ``.get(id(p), 0)``
+convention used for msg events.  With the sentinel-based cache,
+per-party volumes, msg events, and round totals agree by construction.
+"""
+
+from collections import Counter
+
+from repro.network import RoundOutput, run_protocol
+from repro.network.runtime import cached_payload_size, engine
+from repro.obs import Tracer
+
+
+def _one_round_programs(empty_payload):
+    def sender():
+        yield RoundOutput(
+            private={1: empty_payload, 2: empty_payload},
+            broadcast="done",
+        )
+        return "sender"
+
+    def sink():
+        yield RoundOutput.silent()
+        return "sink"
+
+    return {0: sender(), 1: sink(), 2: sink()}
+
+
+class TestSizeCacheSentinel:
+    def test_cached_zero_is_a_hit(self):
+        cache: dict[int, int] = {}
+        empty: list = []
+        assert cached_payload_size(cache, empty) == 0
+        assert cache == {id(empty): 0}
+        # Poison the cache: a second lookup must return the cached
+        # value, not recompute (which would return 0 and mask the miss).
+        cache[id(empty)] = 0
+        assert cached_payload_size(cache, empty) == 0
+        assert len(cache) == 1
+
+    def test_empty_payload_sized_once_per_round(self, monkeypatch):
+        """The falsy-zero bug recomputed empty payloads per recipient.
+
+        One empty list delivered to two recipients must be sized exactly
+        once for the whole traced round: delivery caches it, and both
+        the per-party breakdown and the msg events hit the cache.  The
+        pre-fix code called ``payload_size`` once per recipient again in
+        the per-party breakdown (cached 0 is falsy under ``or``).
+        """
+        calls: Counter = Counter()
+        real = engine.payload_size
+
+        def counting(payload):
+            calls[id(payload)] += 1
+            return real(payload)
+
+        monkeypatch.setattr(engine, "payload_size", counting)
+        empty: list = []
+        tracer = Tracer(clock=lambda: 0)
+        run_protocol(_one_round_programs(empty), tracer=tracer)
+        assert calls[id(empty)] == 1
+
+    def test_empty_payload_accounting_agrees_by_construction(self):
+        """per-party volumes == msg-event volumes == round elements."""
+        empty: list = []
+        tracer = Tracer(clock=lambda: 0)
+        run_protocol(_one_round_programs(empty), tracer=tracer)
+        rounds = [e for e in tracer.events if e.kind == "round"]
+        msgs = [e for e in tracer.events if e.kind == "msg"]
+        assert len(rounds) == 1
+        round_elements = rounds[0].attrs["elements"]
+        per_party = rounds[0].attrs["per_party"]
+        assert round_elements == 2  # broadcast "done" x fan-out 2; lists empty
+        assert sum(p["elements"] for p in per_party.values()) == round_elements
+        assert sum(e.attrs["elements"] for e in msgs) == round_elements
+        # The two empty private deliveries appear as zero-volume events.
+        private = [e for e in msgs if e.attrs["receiver"] is not None]
+        assert [e.attrs["elements"] for e in private] == [0, 0]

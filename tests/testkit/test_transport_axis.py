@@ -1,0 +1,105 @@
+"""The testkit transport axis: seed policy, serialization, equivalence.
+
+The transport is an *execution engine* choice, not part of protocol
+identity: ``key()`` (and hence every derived trial seed) must ignore
+it, so a cell replayed on another transport reruns the exact same
+trials.  That policy is what makes campaign-level transport
+equivalence checkable at all.
+"""
+
+import pytest
+
+from repro.testkit.config import CampaignConfig
+from repro.testkit.grids import grid_configs
+from repro.testkit.runner import run_config
+
+_CELL = dict(n=3, t=1, d=2, ell=16, kappa=8, num_checks=2, trials=3)
+
+
+class TestSeedPolicy:
+    def test_key_ignores_transport(self):
+        base = CampaignConfig(name="a", **_CELL)
+        other = base.with_(transport="async")
+        assert base.key() == other.key()
+        assert base.config_seed(7) == other.config_seed(7)
+        assert [base.trial_seed(7, t) for t in range(3)] == [
+            other.trial_seed(7, t) for t in range(3)
+        ]
+
+    def test_to_dict_omits_default_transport(self):
+        base = CampaignConfig(name="a", **_CELL)
+        assert "transport" not in base.to_dict()
+        assert base.with_(transport="async").to_dict()["transport"] == "async"
+
+    def test_json_round_trip(self):
+        cfg = CampaignConfig(name="a", **_CELL, transport="async")
+        import json
+
+        again = CampaignConfig.from_json(json.dumps(cfg.to_dict()))
+        assert again == cfg
+
+    def test_validate_rejects_unknown_transport(self):
+        cfg = CampaignConfig(name="a", **_CELL, transport="smoke-signals")
+        with pytest.raises(ValueError, match="transport"):
+            cfg.validate()
+
+    def test_smoke_grid_has_transport_cells(self):
+        configs = grid_configs("smoke")
+        async_cells = [c for c in configs if c.transport == "async"]
+        assert len(async_cells) >= 3
+        # Honest, adversarial, and faulted shapes are all represented.
+        assert {c.strategy for c in async_cells} >= {"honest", "jamming"}
+        assert "crash-share" in {c.fault for c in async_cells}
+
+    def test_grid_uniqueness_is_per_transport(self):
+        """Same identity key on different transports is legal (the axis
+        working as intended); on the same transport it is a collision."""
+        from repro.testkit import grids
+
+        base = CampaignConfig(name="u/lockstep", **_CELL)
+        twin = base.with_(name="u/async", transport="async")
+        dupe = base.with_(name="u/dupe")
+        grids.GRIDS["_pair"] = lambda: [base, twin]
+        grids.GRIDS["_clash"] = lambda: [base, dupe]
+        try:
+            assert len(grid_configs("_pair")) == 2
+            with pytest.raises(ValueError, match="same identity key"):
+                grid_configs("_clash")
+        finally:
+            del grids.GRIDS["_pair"], grids.GRIDS["_clash"]
+
+
+def _fingerprint(result):
+    """Everything checkers consume, minus wall-clock noise."""
+    return [
+        t.to_dict() for t in result.evidence.trials
+    ], [(o.invariant, o.applicable, o.passed) for o in result.outcomes]
+
+
+class TestCampaignEquivalence:
+    def test_mini_cell_identical_across_transports(self):
+        cfg = CampaignConfig(name="eq/honest", **_CELL)
+        r_lock = run_config(cfg, campaign_seed=5)
+        r_async = run_config(cfg.with_(transport="async"), campaign_seed=5)
+        assert r_lock.config_seed == r_async.config_seed
+        assert _fingerprint(r_lock) == _fingerprint(r_async)
+        assert r_lock.ok and r_async.ok
+
+    def test_adversarial_cell_identical_across_transports(self):
+        cfg = CampaignConfig(
+            name="eq/jamming", **_CELL, strategy="jamming", corrupt_count=1
+        )
+        r_lock = run_config(cfg, campaign_seed=9)
+        r_async = run_config(cfg.with_(transport="async"), campaign_seed=9)
+        assert _fingerprint(r_lock) == _fingerprint(r_async)
+
+    @pytest.mark.campaign
+    def test_smoke_grid_identical_across_transports(self):
+        """The full smoke grid replayed on the async engine: every
+        trial outcome and checker verdict must match lockstep."""
+        for cfg in grid_configs("smoke"):
+            base = cfg.with_(transport="lockstep")
+            twin = cfg.with_(transport="async")
+            r_lock = run_config(base, campaign_seed=0)
+            r_async = run_config(twin, campaign_seed=0)
+            assert _fingerprint(r_lock) == _fingerprint(r_async), cfg.name
