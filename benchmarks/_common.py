@@ -29,7 +29,7 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 ROOT_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Experiment-name prefixes whose BENCH json is mirrored at the root.
-ROOT_BENCH_PREFIXES = ("emu_", "ec_", "async_")
+ROOT_BENCH_PREFIXES = ("emu_", "ec_", "async_", "timing_")
 
 BENCH_JSON_VERSION = 1
 

@@ -20,11 +20,20 @@ profile-run
     ``prof`` events and ``--flamegraph`` writes collapsed-stack lines.
 report
     Validate and render a previously exported JSONL trace; ``--comm``
-    adds the per-link communication report (see :mod:`repro.obs.comm`).
+    adds the per-link communication report (see :mod:`repro.obs.comm`),
+    ``--timing`` the virtual-time report — makespan, stragglers,
+    critical path, predicted-vs-observed diff (:mod:`repro.obs.timing`).
+timeline
+    Export a schema-v4 trace as a Chrome trace-event JSON timeline,
+    loadable in Perfetto / ``chrome://tracing``
+    (see :mod:`repro.obs.timeline`).
 obs-check
     Run the anomaly watchdog over an exported trace: stalled rounds,
-    disqualification storms, comm hotspots, causal-order violations
-    (see :mod:`repro.obs.anomaly`); exits 1 on any finding.
+    disqualification storms, comm hotspots, causal-order violations,
+    and — on v4 traces — timing-causality violations, slow rounds, and
+    critical-path domination (see :mod:`repro.obs.anomaly`); exits 1 on
+    any finding.  ``--timing`` additionally *requires* virtual-time
+    stamps, so a pre-v4 trace fails instead of passing vacuously.
 dashboard
     Render the self-contained HTML telemetry dashboard from campaign
     reports, telemetry stores, BENCH history, and traces
@@ -125,6 +134,21 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         corrupt = {
             args.n - 1: jamming_material(params, random.Random(args.seed))
         }
+    transport = args.transport
+    if args.latency_ms or args.jitter_ms:
+        if args.transport == "lockstep":
+            print("trace-run: --latency-ms/--jitter-ms need the async "
+                  "transport (drop --transport lockstep)", file=sys.stderr)
+            return 2
+        from repro.network.runtime import InMemoryAsyncTransport
+        from repro.network.runtime.models import FixedLatency, UniformLatency
+
+        latency = (
+            UniformLatency(base_ms=args.latency_ms, jitter_ms=args.jitter_ms)
+            if args.jitter_ms
+            else FixedLatency(base_ms=args.latency_ms)
+        )
+        transport = InMemoryAsyncTransport(latency=latency, seed=args.seed)
     tracer = Tracer()
     run_anonchan(
         params,
@@ -133,7 +157,7 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         corrupt_materials=corrupt,
         tracer=tracer,
-        transport=args.transport,
+        transport=transport,
     )
     report = RunReport.from_events(tracer.events)
     if args.out:
@@ -225,7 +249,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
         else:
             print()
             print(comm.render_text())
+    if args.timing:
+        import json
+
+        from repro.obs import TimingReport
+
+        timing = TimingReport.from_events(events, tolerance=args.tolerance)
+        if timing.predicted_makespan_ms is not None:
+            ok = ok and timing.makespan_ok
+        if args.json:
+            print(json.dumps(timing.to_dict(), indent=2))
+        else:
+            print()
+            print(timing.render_text())
     return 0 if ok else 1
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import TimingReport, read_jsonl, validate_file, write_chrome_trace
+
+    errors = validate_file(args.trace)
+    if errors:
+        for error in errors:
+            print(f"{args.trace}: {error}", file=sys.stderr)
+        print(f"{args.trace}: {len(errors)} schema violation(s)",
+              file=sys.stderr)
+        return 2
+    events = read_jsonl(args.trace)
+    if not TimingReport.from_events(events).has_timing:
+        print(
+            f"{args.trace}: no virtual-time stamps (schema v4 required; "
+            "re-export with `python -m repro trace-run --out ...`)",
+            file=sys.stderr,
+        )
+        return 1
+    count = write_chrome_trace(events, args.out)
+    print(
+        f"timeline: wrote {count} trace events to {args.out} "
+        "(open in https://ui.perfetto.dev or chrome://tracing)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _cmd_obs_check(args: argparse.Namespace) -> int:
@@ -242,7 +306,18 @@ def _cmd_obs_check(args: argparse.Namespace) -> int:
         print(f"{args.trace}: {len(errors)} schema violation(s)",
               file=sys.stderr)
         return 2
-    findings = scan_events(read_jsonl(args.trace))
+    events = read_jsonl(args.trace)
+    findings = scan_events(events)
+    if args.timing:
+        from repro.obs import TimingReport
+
+        if not TimingReport.from_events(events).has_timing:
+            print(
+                f"obs-check: {args.trace} carries no virtual-time stamps "
+                "(--timing requires a schema-v4 trace)",
+                file=sys.stderr,
+            )
+            return 1
     if args.json:
         import json
 
@@ -278,19 +353,23 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
 
         telemetry = TelemetryStore(args.telemetry).load()
     bench_history = load_history(args.bench_history) if args.bench_history else None
-    comm = None
+    comm = timing = None
     if args.trace:
+        from repro.obs import TimingReport
+
         try:
             events = read_jsonl(args.trace)
         except (OSError, ValueError, KeyError, TypeError) as exc:
             print(f"dashboard: {args.trace}: {exc}", file=sys.stderr)
             return 2
         comm = CommReport.from_events(events).to_dict()
+        timing = TimingReport.from_events(events).to_dict()
     page = render_dashboard(
         campaign=campaign,
         telemetry=telemetry,
         bench_history=bench_history,
         comm=comm,
+        timing=timing,
         title=args.title,
     )
     with open(args.out, "w", encoding="utf-8") as fh:
@@ -457,6 +536,11 @@ def main(argv: list[str] | None = None) -> int:
                    help="execution engine (default: lockstep, or "
                    "REPRO_DEFAULT_TRANSPORT); traces are transport-"
                    "agnostic, so either engine yields the same stream")
+    p.add_argument("--latency-ms", type=float, default=0.0, metavar="MS",
+                   help="per-message base link latency; implies the async "
+                   "transport and stamps v4 virtual times on the trace")
+    p.add_argument("--jitter-ms", type=float, default=0.0, metavar="MS",
+                   help="uniform per-message jitter on top of --latency-ms")
     p.set_defaults(fn=_cmd_trace_run)
 
     p = sub.add_parser(
@@ -487,15 +571,34 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--comm", action="store_true",
                    help="also print the per-link communication report "
                    "(exit non-zero if it diverges from the bounds)")
+    p.add_argument("--timing", action="store_true",
+                   help="also print the virtual-time report: makespan, "
+                   "stragglers, critical path, predicted-vs-observed diff "
+                   "(exit non-zero if the makespan diverges)")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="relative makespan divergence tolerance for "
+                   "--timing (default 0.25)")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON instead of text")
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "timeline",
+        help="export a v4 trace as a Chrome/Perfetto trace-event timeline",
+    )
+    p.add_argument("trace", help="JSONL trace file (from trace-run --out)")
+    p.add_argument("--out", metavar="PATH", default="timeline.json",
+                   help="output trace-event JSON (default: timeline.json)")
+    p.set_defaults(fn=_cmd_timeline)
 
     p = sub.add_parser(
         "obs-check",
         help="run the anomaly watchdog over a trace; exit 1 on findings",
     )
     p.add_argument("trace", help="JSONL trace file (from trace-run --out)")
+    p.add_argument("--timing", action="store_true",
+                   help="require v4 virtual-time stamps (fail on pre-v4 "
+                   "traces instead of passing the timing checks vacuously)")
     p.add_argument("--json", action="store_true",
                    help="print findings as JSON instead of text")
     p.set_defaults(fn=_cmd_obs_check)
@@ -514,7 +617,8 @@ def main(argv: list[str] | None = None) -> int:
                    help="BENCH history store (JSONL, from "
                    "repro.obs.bench.append_history)")
     p.add_argument("--trace", metavar="PATH",
-                   help="schema-v3 trace for the comm heatmap")
+                   help="schema-v3+ trace for the comm heatmap (and, on "
+                   "v4 traces, the timing panel)")
     p.add_argument("--out", metavar="PATH", default="dashboard.html",
                    help="output HTML file (default: dashboard.html)")
     p.add_argument("--title", default="repro observability dashboard",

@@ -490,5 +490,6 @@ def run_anonchan(
             broadcasts_sent=result.metrics.broadcasts_sent,
             private_messages=result.metrics.private_messages,
             field_elements_sent=result.metrics.field_elements_sent,
+            makespan_ms=result.metrics.makespan_ms,
         )
     return result

@@ -28,6 +28,11 @@ class ProtocolMetrics:
         Non-empty point-to-point payloads delivered.
     field_elements_sent:
         Approximate bandwidth in field elements (private + broadcast).
+    makespan_ms:
+        End-to-end virtual duration of the execution under the
+        transport's latency/compute models (``0.0`` for lockstep and
+        other zero-model runs — virtual time then degenerates to the
+        round schedule).
     """
 
     rounds: int = 0
@@ -35,6 +40,7 @@ class ProtocolMetrics:
     broadcasts_sent: int = 0
     private_messages: int = 0
     field_elements_sent: int = 0
+    makespan_ms: float = 0.0
     extra: dict = field(default_factory=dict)
 
     def record_round(
@@ -89,14 +95,20 @@ class ProtocolMetrics:
             field_elements_sent=(
                 self.field_elements_sent + other.field_elements_sent
             ),
+            # Sequential composition: the second execution starts after
+            # the first finishes, so virtual durations add.
+            makespan_ms=self.makespan_ms + other.makespan_ms,
             extra=extra,
         )
 
     def summary(self) -> str:
         """One-line human-readable cost summary."""
-        return (
+        line = (
             f"rounds={self.rounds} broadcast_rounds={self.broadcast_rounds} "
             f"broadcasts={self.broadcasts_sent} "
             f"messages={self.private_messages} "
             f"elements={self.field_elements_sent}"
         )
+        if self.makespan_ms:
+            line += f" makespan_ms={self.makespan_ms:.3f}"
+        return line

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
@@ -36,12 +37,22 @@ from ..metrics import ProtocolMetrics
 from ..program import Program
 from .base import ExecutionResult, ProtocolViolation, Transport, register_transport
 from .engine import (
-    cached_payload_size,
+    VirtualClock,
+    advance_virtual_time,
     compute_delivery,
     record_round_observability,
     rushed_view,
+    sample_delays,
 )
-from .models import Crash, LatencyModel, LinkFault, ReorderWithinRound, ZeroLatency
+from .models import (
+    ComputeModel,
+    Crash,
+    LatencyModel,
+    LinkFault,
+    ReorderWithinRound,
+    ZeroCost,
+    ZeroLatency,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> network)
     from repro.obs import Tracer
@@ -115,6 +126,11 @@ class InMemoryAsyncTransport(Transport):
     faults:
         :class:`LinkFault` instances (``Delay``, ``Partition``,
         ``Crash``, ``ReorderWithinRound``) applied every round.
+    compute:
+        :class:`~repro.network.runtime.models.ComputeModel` charging
+        each party local work per round before its messages hit the
+        wire.  The default :class:`ZeroCost` matches lockstep's
+        reference timing.
     seed:
         Seed for the transport's private rng (latency samples, fault
         shuffles) — a seeded async run is exactly replayable.
@@ -135,11 +151,13 @@ class InMemoryAsyncTransport(Transport):
         faults: Iterable[LinkFault] = (),
         seed: int = 0,
         realtime: bool = False,
+        compute: ComputeModel | None = None,
     ):
         self.latency = latency if latency is not None else ZeroLatency()
         self.faults = tuple(faults)
         self.seed = seed
         self.realtime = realtime
+        self.compute = compute if compute is not None else ZeroCost()
 
     def run(
         self,
@@ -193,6 +211,14 @@ class InMemoryAsyncTransport(Transport):
         outputs: dict[int, Any] = {}
         metrics = ProtocolMetrics()
         clocks: dict[int, LamportClock] = {}
+        vclock = VirtualClock()
+        wall_start = time.perf_counter()
+        if tracer is not None:
+            tracer.record_timing_model(
+                latency=self.latency.describe(),
+                compute=self.compute.describe(),
+                realtime=self.realtime,
+            )
         live: set[int] = set(handles)
 
         async def collect(waiting: set[int]) -> dict[int, RoundOutput]:
@@ -260,6 +286,27 @@ class InMemoryAsyncTransport(Transport):
                 delivery = compute_delivery(
                     effective, programs, count_elements
                 )
+                # Sample every delivered message's arrival offset up
+                # front (sorted pair order — seed-deterministic) and
+                # persist it on the plan: ordering below, virtual time,
+                # and post-hoc timing reports all read the same value.
+                delivery.delays = sample_delays(
+                    rng,
+                    self.latency,
+                    link_faults,
+                    round_index,
+                    effective,
+                    delivery,
+                    count_elements,
+                )
+                timing = advance_virtual_time(
+                    vclock,
+                    round_index,
+                    effective,
+                    delivery,
+                    self.compute,
+                    count_elements,
+                )
                 metrics.record_round(
                     broadcasters=len(delivery.broadcasts),
                     private_messages=delivery.delivered,
@@ -273,6 +320,12 @@ class InMemoryAsyncTransport(Transport):
                         effective,
                         delivery,
                         count_elements,
+                        timing=timing,
+                        t_wall_ms=(
+                            (time.perf_counter() - wall_start) * 1000.0
+                            if self.realtime
+                            else None
+                        ),
                     )
 
                 # -- enqueue deliveries in latency order ------------------
@@ -282,18 +335,7 @@ class InMemoryAsyncTransport(Transport):
                     for recipient, payload in out.private.items():
                         if recipient not in live:
                             continue
-                        size = (
-                            cached_payload_size(delivery.size_cache, payload)
-                            if count_elements
-                            else 0
-                        )
-                        delay = self.latency.sample(
-                            rng, round_index, sender, recipient, size
-                        )
-                        for fault in link_faults:
-                            delay += fault.extra_delay_ms(
-                                round_index, sender, recipient
-                            )
+                        delay = delivery.delays[(sender, recipient)]
                         plan.append((delay, seq, sender, recipient, payload))
                         seq += 1
                 if any(f.active(round_index) for f in reorder_faults):
@@ -368,6 +410,7 @@ class InMemoryAsyncTransport(Transport):
 
         if adversary is not None:
             adversary.finalize(outputs)
+        metrics.makespan_ms = vclock.makespan_ms
         return ExecutionResult(
             outputs=outputs, metrics=metrics, adversary=adversary
         )

@@ -16,11 +16,13 @@ once delivery stops being lockstep.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from ..adversary import RushedView
 from ..messages import LamportClock, RoundOutput, payload_size
+from .models import ComputeModel, LatencyModel, LinkFault
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> network)
     from repro.obs import Tracer
@@ -87,6 +89,11 @@ class Delivery:
     delivered: int
     elements: int
     size_cache: dict[int, int] = field(default_factory=dict)
+    #: Per-message arrival offsets in virtual ms, keyed
+    #: ``(sender, recipient)``.  Persisted here (rather than discarded
+    #: after ordering deliveries) so a round's timing is replayable and
+    #: observable after the fact; ``None`` means all-zero (lockstep).
+    delays: dict[tuple[int, int], float] | None = None
 
 
 def compute_delivery(
@@ -131,6 +138,154 @@ def compute_delivery(
     )
 
 
+@dataclass
+class VirtualClock:
+    """Per-party virtual time, in milliseconds since run start.
+
+    ``ready[p]`` is the earliest virtual instant at which party ``p``
+    can act on everything delivered to it so far — the happens-before
+    closure of all message chains ending at ``p``.  Under the zero
+    latency/compute models every entry stays ``0.0``, which is how the
+    lockstep transport keeps its traces bit-identical modulo the new
+    timing fields.
+    """
+
+    ready: dict[int, float] = field(default_factory=dict)
+
+    def now(self, pid: int) -> float:
+        return self.ready.get(pid, 0.0)
+
+    @property
+    def makespan_ms(self) -> float:
+        return max(self.ready.values(), default=0.0)
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """One round's virtual-time facts, as stamped into trace events.
+
+    ``sends`` maps each sending party to its send instant; ``arrivals``
+    maps each delivered private message ``(sender, recipient)`` to its
+    arrival instant.  Broadcasts arrive at the send instant itself (the
+    paper's physical broadcast channel is a separate synchronous
+    medium, so it contributes no link delay).
+    """
+
+    t_start: float
+    t_end: float
+    sends: Mapping[int, float]
+    arrivals: Mapping[tuple[int, int], float]
+
+
+def sample_delays(
+    rng: random.Random,
+    latency: LatencyModel,
+    link_faults: Sequence[LinkFault],
+    round_index: int,
+    all_outputs: Mapping[int, RoundOutput],
+    delivery: Delivery,
+    count_elements: bool,
+) -> dict[tuple[int, int], float]:
+    """Sample every delivered private message's arrival offset (ms).
+
+    Iterates sorted ``(sender, recipient)`` pairs so the rng stream —
+    and therefore each sampled delay — is a function of the seed alone,
+    independent of dict iteration order.  Link-fault extra delay is
+    folded in here so the persisted offset is the message's complete
+    virtual transit time.
+    """
+    delays: dict[tuple[int, int], float] = {}
+    inboxes = delivery.inboxes
+    for sender in sorted(all_outputs):
+        out = all_outputs[sender]
+        for recipient in sorted(out.private):
+            if recipient not in inboxes:
+                continue
+            size = (
+                cached_payload_size(
+                    delivery.size_cache, out.private[recipient]
+                )
+                if count_elements
+                else 0
+            )
+            delay = latency.sample(rng, round_index, sender, recipient, size)
+            for fault in link_faults:
+                delay += fault.extra_delay_ms(round_index, sender, recipient)
+            delays[(sender, recipient)] = delay
+    return delays
+
+
+def advance_virtual_time(
+    clock: VirtualClock,
+    round_index: int,
+    all_outputs: Mapping[int, RoundOutput],
+    delivery: Delivery,
+    compute: ComputeModel,
+    count_elements: bool,
+) -> RoundTiming:
+    """Advance per-party virtual time across one delivered round.
+
+    A sender is charged the compute model's cost on top of its ready
+    time and puts all its messages on the wire at that instant; each
+    private message lands ``Delivery.delays`` later.  A party's new
+    ready time is the max of its old one, its own send instant, every
+    arrival addressed to it, and the latest broadcast instant — i.e.
+    the round's happens-before closure.  The run's makespan is the
+    final ``clock.makespan_ms``.
+    """
+    inboxes = delivery.inboxes
+    broadcasts = delivery.broadcasts
+    delays = delivery.delays or {}
+    fanout = max(len(inboxes) - 1, 1)
+    prev_makespan = clock.makespan_ms
+    sends: dict[int, float] = {}
+    for sender, out in all_outputs.items():
+        if not out.private and out.broadcast is None:
+            continue
+        messages = sum(1 for r in out.private if r in inboxes)
+        elements = 0
+        if count_elements:
+            elements = sum(
+                cached_payload_size(delivery.size_cache, p)
+                for r, p in out.private.items()
+                if r in inboxes
+            )
+            if out.broadcast is not None:
+                elements += payload_size(out.broadcast) * fanout
+        if out.broadcast is not None:
+            messages += 1
+        sends[sender] = clock.now(sender) + compute.cost_ms(
+            round_index, sender, messages, elements
+        )
+    arrivals: dict[tuple[int, int], float] = {}
+    for sender, out in all_outputs.items():
+        t_send = sends.get(sender)
+        if t_send is None:
+            continue
+        for recipient in out.private:
+            if recipient not in inboxes:
+                continue
+            arrivals[(sender, recipient)] = t_send + delays.get(
+                (sender, recipient), 0.0
+            )
+    bcast_instant = max((sends[b] for b in broadcasts), default=0.0)
+    for pid in inboxes:
+        t = clock.now(pid)
+        if pid in sends:
+            t = max(t, sends[pid])
+        if broadcasts:
+            t = max(t, bcast_instant)
+        clock.ready[pid] = t
+    for (_sender, recipient), t_recv in arrivals.items():
+        if t_recv > clock.ready[recipient]:
+            clock.ready[recipient] = t_recv
+    t_start = min(sends.values(), default=prev_makespan)
+    t_end = max(clock.makespan_ms, t_start)
+    return RoundTiming(
+        t_start=t_start, t_end=t_end, sends=sends, arrivals=arrivals
+    )
+
+
 def record_round_observability(
     tracer: "Tracer",
     clocks: dict[int, LamportClock],
@@ -138,16 +293,25 @@ def record_round_observability(
     all_outputs: Mapping[int, RoundOutput],
     delivery: Delivery,
     count_elements: bool,
+    timing: RoundTiming | None = None,
+    t_wall_ms: float | None = None,
 ) -> None:
     """Emit one round's trace events and advance the Lamport clocks.
 
-    Produces the schema-v3 event stream: per-sender ``msg`` events
+    Produces the schema-v4 event stream: per-sender ``msg`` events
     (broadcasts as ``receiver=None`` carrying their fan-out-multiplied
     wire volume, so per-round msg volumes sum exactly to the round
     event's ``elements``), then the ``round`` event with the per-party
     breakdown.  Clocks tick once per sending party per round and merge
     on receipt, so stamps stay consistent with happens-before under any
     delivery order a transport produces.
+
+    When ``timing`` is given (v4), msg events are stamped with their
+    virtual send/arrival instants and the round event with its virtual
+    window — the same values for both transports under zero models, so
+    transport equivalence holds on full canonical lines.  ``t_wall_ms``
+    additionally records the coordinator's wall-clock round timestamp
+    in realtime mode.
     """
     inboxes = delivery.inboxes
     broadcasts = delivery.broadcasts
@@ -186,11 +350,20 @@ def record_round_observability(
     for sender in sorted(all_outputs):
         out = all_outputs[sender]
         stamp = stamps.get(sender, 0)
+        t_send = timing.sends.get(sender) if timing is not None else None
         if out.broadcast is not None:
             size = (
                 payload_size(out.broadcast) * fanout if count_elements else 0
             )
-            tracer.record_message(round_index, sender, None, size, stamp)
+            tracer.record_message(
+                round_index,
+                sender,
+                None,
+                size,
+                stamp,
+                t_send=t_send,
+                t_recv=t_send,  # broadcast channel: arrival == send
+            )
         for recipient in sorted(out.private):
             if recipient not in inboxes:
                 continue
@@ -198,13 +371,29 @@ def record_round_observability(
             if count_elements:
                 payload = out.private[recipient]
                 size = cached_payload_size(size_cache, payload)
-            tracer.record_message(round_index, sender, recipient, size, stamp)
+            t_recv = (
+                timing.arrivals.get((sender, recipient))
+                if timing is not None
+                else None
+            )
+            tracer.record_message(
+                round_index,
+                sender,
+                recipient,
+                size,
+                stamp,
+                t_send=t_send,
+                t_recv=t_recv,
+            )
     tracer.record_round(
         round_index,
         broadcasters=sorted(broadcasts),
         messages=delivery.delivered,
         elements=delivery.elements,
         per_party={str(pid): per_party[pid] for pid in sorted(per_party)},
+        t_start=timing.t_start if timing is not None else None,
+        t_end=timing.t_end if timing is not None else None,
+        t_wall_ms=t_wall_ms,
     )
     # Lamport receive events: each party merges the stamps of
     # everything delivered to it (private + broadcast), so its next

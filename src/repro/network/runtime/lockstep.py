@@ -17,7 +17,14 @@ from ..messages import LamportClock, RoundInput, RoundOutput
 from ..metrics import ProtocolMetrics
 from ..program import Program
 from .base import ExecutionResult, ProtocolViolation, Transport, register_transport
-from .engine import compute_delivery, record_round_observability, rushed_view
+from .engine import (
+    VirtualClock,
+    advance_virtual_time,
+    compute_delivery,
+    record_round_observability,
+    rushed_view,
+)
+from .models import ZeroCost, ZeroLatency
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> network)
     from repro.obs import Tracer
@@ -52,6 +59,19 @@ class LockstepTransport(Transport):
         # stamps are observability, not protocol state — the untraced
         # hot path never touches them).
         clocks: dict[int, LamportClock] = {}
+        # Lockstep is the reference timing semantics: zero latency and
+        # zero compute, so every virtual stamp is 0.0 and the schedule
+        # itself is the only notion of time.  Running the same
+        # virtual-time machinery as the async transport keeps the two
+        # canonically identical under equivalent models.
+        vclock = VirtualClock()
+        compute = ZeroCost()
+        if tracer is not None:
+            tracer.record_timing_model(
+                latency=ZeroLatency().describe(),
+                compute=compute.describe(),
+                realtime=False,
+            )
 
         pending: dict[int, RoundOutput] = {}
         for pid, prog in list(honest.items()):
@@ -92,6 +112,14 @@ class LockstepTransport(Transport):
                 elements=delivery.elements,
             )
             if tracer is not None:
+                timing = advance_virtual_time(
+                    vclock,
+                    round_index,
+                    all_outputs,
+                    delivery,
+                    compute,
+                    count_elements,
+                )
                 record_round_observability(
                     tracer,
                     clocks,
@@ -99,6 +127,7 @@ class LockstepTransport(Transport):
                     all_outputs,
                     delivery,
                     count_elements,
+                    timing=timing,
                 )
 
             broadcasts = delivery.broadcasts

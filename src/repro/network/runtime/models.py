@@ -32,6 +32,25 @@ class LatencyModel:
     ) -> float:
         raise NotImplementedError
 
+    def describe(self) -> dict:
+        """Public parameters, embedded in the trace's timing-model note.
+
+        The timing observatory (:mod:`repro.obs.timing`) reads this back
+        to compute the analytic predicted makespan, so two transports
+        with equivalent timing semantics must describe identically.
+        """
+        raise NotImplementedError
+
+    def expected_round_ms(self, messages: int, mean_size: float = 0.0) -> float:
+        """Expected duration of a round that synchronizes on ``messages``
+        concurrent deliveries of ``mean_size`` wire atoms each.
+
+        A synchronous round ends when its *slowest* message arrives, so
+        the analytic prediction is ``E[max of k samples]``, not the
+        per-message mean.
+        """
+        raise NotImplementedError
+
 
 @dataclass(frozen=True)
 class ZeroLatency(LatencyModel):
@@ -45,6 +64,12 @@ class ZeroLatency(LatencyModel):
         recipient: int,
         size: int,
     ) -> float:
+        return 0.0
+
+    def describe(self) -> dict:
+        return {"model": "zero"}
+
+    def expected_round_ms(self, messages: int, mean_size: float = 0.0) -> float:
         return 0.0
 
 
@@ -63,6 +88,12 @@ class FixedLatency(LatencyModel):
         size: int,
     ) -> float:
         return self.base_ms
+
+    def describe(self) -> dict:
+        return {"model": "fixed", "base_ms": self.base_ms}
+
+    def expected_round_ms(self, messages: int, mean_size: float = 0.0) -> float:
+        return self.base_ms if messages > 0 else 0.0
 
 
 @dataclass(frozen=True)
@@ -93,6 +124,94 @@ class UniformLatency(LatencyModel):
         if self.elements_per_ms > 0.0:
             delay += size / self.elements_per_ms
         return delay
+
+    def describe(self) -> dict:
+        return {
+            "model": "uniform",
+            "base_ms": self.base_ms,
+            "jitter_ms": self.jitter_ms,
+            "elements_per_ms": self.elements_per_ms,
+        }
+
+    def expected_round_ms(self, messages: int, mean_size: float = 0.0) -> float:
+        if messages <= 0:
+            return 0.0
+        # Round end = max over k iid U(base, base+jitter) samples:
+        # E[max] = base + jitter * k / (k + 1).
+        expected = self.base_ms
+        if self.jitter_ms > 0.0:
+            expected += self.jitter_ms * messages / (messages + 1)
+        if self.elements_per_ms > 0.0:
+            expected += mean_size / self.elements_per_ms
+        return expected
+
+
+class ComputeModel:
+    """Per-party local computation cost, in virtual milliseconds.
+
+    Charged once per party per round *before* its messages are put on
+    the wire: a party becomes ready at ``max(inbound arrivals)`` and
+    sends at ``ready + cost_ms(...)``.  The reference model is zero so
+    lockstep virtual time degenerates to the round schedule itself.
+    """
+
+    def cost_ms(
+        self,
+        round_index: int,
+        party: int,
+        messages: int,
+        elements: int,
+    ) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ZeroCost(ComputeModel):
+    """Free local computation (the lockstep/reference model)."""
+
+    def cost_ms(
+        self,
+        round_index: int,
+        party: int,
+        messages: int,
+        elements: int,
+    ) -> float:
+        return 0.0
+
+    def describe(self) -> dict:
+        return {"model": "zero"}
+
+
+@dataclass(frozen=True)
+class LinearCost(ComputeModel):
+    """Fixed per-round cost plus a per-wire-element term.
+
+    ``per_round_ms`` models constant protocol-step work (hashing the
+    transcript, bookkeeping); ``per_element_ms`` scales with the
+    party's outbound wire volume, approximating share-evaluation cost.
+    """
+
+    per_round_ms: float = 0.0
+    per_element_ms: float = 0.0
+
+    def cost_ms(
+        self,
+        round_index: int,
+        party: int,
+        messages: int,
+        elements: int,
+    ) -> float:
+        return self.per_round_ms + self.per_element_ms * elements
+
+    def describe(self) -> dict:
+        return {
+            "model": "linear",
+            "per_round_ms": self.per_round_ms,
+            "per_element_ms": self.per_element_ms,
+        }
 
 
 class LinkFault:

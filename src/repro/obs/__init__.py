@@ -12,6 +12,12 @@ machine-readable artifact:
 - :class:`RunReport` — observed schedule vs the static
   :func:`repro.core.trace.round_schedule` prediction, with divergence
   flagging.
+- :class:`TimingReport` — virtual-time analysis of a schema-v4 trace:
+  makespan, per-link/per-phase latency, stragglers, the critical path
+  over the delay-weighted happens-before DAG, and the analytic
+  predicted-makespan diff (:mod:`repro.obs.timing`);
+  :mod:`repro.obs.timeline` exports the same stream as a Chrome
+  trace-event / Perfetto timeline.
 - :mod:`repro.obs.profiler` — deterministic op counters for the compute
   layers (:class:`OpProfiler` / :data:`NULL_PROFILER`), with phase
   attribution via the active tracer and flamegraph export.
@@ -49,6 +55,7 @@ from .export import (
     read_jsonl,
     validate_events,
     validate_file,
+    without_timing_fields,
     without_timings,
     write_jsonl,
 )
@@ -65,6 +72,14 @@ from .profiler import (
     write_flamegraph,
 )
 from .report import ObservedRound, RunReport
+from .timeline import chrome_trace, write_chrome_trace
+from .timing import (
+    CriticalHop,
+    LinkLatency,
+    RoundWindow,
+    TimingReport,
+    histogram,
+)
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -88,6 +103,7 @@ __all__ = [
     "validate_file",
     "canonical_lines",
     "without_timings",
+    "without_timing_fields",
     "OpProfiler",
     "NullProfiler",
     "NULL_PROFILER",
@@ -111,4 +127,11 @@ __all__ = [
     "Anomaly",
     "scan_events",
     "render_dashboard",
+    "TimingReport",
+    "LinkLatency",
+    "RoundWindow",
+    "CriticalHop",
+    "histogram",
+    "chrome_trace",
+    "write_chrome_trace",
 ]

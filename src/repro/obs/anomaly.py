@@ -20,8 +20,20 @@ protocol (ROADMAP items 1-2), run today against every CI trace:
   mean sender volume, beyond a noise floor).
 - **causal-order violations** — Lamport stamps that are not monotone
   per sender, or a delivered message whose stamp is not below the
-  recipient's subsequent send stamps (happens-before broken; would
-  indicate delivery reordering once the async runtime lands).
+  recipient's subsequent send stamps (happens-before broken under any
+  delivery order the async runtime produces).
+- **timing violations** (schema v4) — virtual-time stamps that break
+  causality: a message arriving before it was sent (async delivery
+  reordered across the happens-before edge) or a round window ending
+  before the previous round's (non-monotone virtual time).
+- **slow rounds** (schema v4) — a round whose virtual duration exceeds
+  :data:`SLOW_ROUND_FACTOR` times the median busy-round duration: the
+  timing-aware stall check.  Round-*sequence* gaps only catch rounds
+  that never completed; this catches the async stall where every round
+  completes but one waited far too long on a straggling link.
+- **critical-path domination** (schema v4) — a single party sends more
+  than :data:`DOMINATION_SHARE` of the critical path's hops: the run's
+  end-to-end latency is gated by one straggler, not by the protocol.
 """
 
 from __future__ import annotations
@@ -30,6 +42,21 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
 from .events import TraceEvent
+from .timing import TimingReport
+
+#: A round is "slow" when its virtual duration exceeds the median
+#: positive round duration by this factor.
+SLOW_ROUND_FACTOR = 4.0
+
+#: Minimum number of positive-duration rounds before the slow-round
+#: check speaks — tiny samples have meaningless medians.
+SLOW_ROUND_MIN_ROUNDS = 4
+
+#: A party "dominates" the critical path above this hop share.
+DOMINATION_SHARE = 0.75
+
+#: Minimum critical-path length before domination is meaningful.
+DOMINATION_MIN_HOPS = 4
 
 #: A sender is a hotspot when its volume exceeds the mean by this factor.
 HOTSPOT_FACTOR = 4.0
@@ -66,12 +93,17 @@ class Anomaly:
 
 
 def scan_events(events: Sequence[TraceEvent]) -> list[Anomaly]:
-    """Run every watchdog check; returns all findings (empty == clean)."""
+    """Run every watchdog check; returns all findings (empty == clean).
+
+    The timing checks arm themselves only when the trace carries v4
+    virtual-time stamps, so legacy traces scan exactly as before.
+    """
     findings: list[Anomaly] = []
     findings.extend(_check_rounds(events))
     findings.extend(_check_disqualifications(events))
     findings.extend(_check_hotspots(events))
     findings.extend(_check_causality(events))
+    findings.extend(_check_timing(events))
     return findings
 
 
@@ -277,3 +309,93 @@ def _check_causality(events: Sequence[TraceEvent]) -> Iterator[Anomaly]:
         elif isinstance(receiver, int):
             if stamp > pending_to.get(receiver, 0):
                 pending_to[receiver] = stamp
+
+
+# -- virtual-time checks (schema v4) -----------------------------------------
+
+def _check_timing(events: Sequence[TraceEvent]) -> Iterator[Anomaly]:
+    report = TimingReport.from_events(events)
+    if not report.has_timing:
+        return
+
+    # Timing causality: arrivals before sends, non-monotone windows.
+    for ev in events:
+        if ev.kind != "msg":
+            continue
+        t_send = ev.attrs.get("t_send")
+        t_recv = ev.attrs.get("t_recv")
+        if (
+            isinstance(t_send, (int, float))
+            and isinstance(t_recv, (int, float))
+            and t_recv < t_send
+        ):
+            yield Anomaly(
+                kind="timing-causality",
+                round_index=ev.round_index,
+                party=ev.attrs.get("sender"),
+                message=(
+                    f"message from party {ev.attrs.get('sender')} to "
+                    f"{ev.attrs.get('receiver')} arrives at t={t_recv} "
+                    f"before its send at t={t_send}: delivery was "
+                    "reordered across a happens-before edge"
+                ),
+            )
+    prev_end: float | None = None
+    prev_index: int | None = None
+    for window in report.rounds:
+        if prev_end is not None and window.t_end < prev_end:
+            yield Anomaly(
+                kind="timing-causality",
+                round_index=window.round_index,
+                message=(
+                    f"round {window.round_index} ends at virtual "
+                    f"t={window.t_end} before round {prev_index}'s end "
+                    f"t={prev_end}: virtual time is not monotone"
+                ),
+            )
+        prev_end = window.t_end
+        prev_index = window.round_index
+
+    # Slow rounds: duration far above the median *busy* round.  The
+    # ideal-VSS hybrid legitimately has zero-duration sharing rounds,
+    # so those do not drag the baseline down.
+    busy = sorted(
+        w.duration_ms for w in report.rounds if w.duration_ms > 0.0
+    )
+    if len(busy) >= SLOW_ROUND_MIN_ROUNDS:
+        median = busy[len(busy) // 2]
+        for window in report.rounds:
+            if window.duration_ms > SLOW_ROUND_FACTOR * median:
+                straggler = (
+                    f" (straggler: party {window.straggler})"
+                    if window.straggler is not None
+                    else ""
+                )
+                yield Anomaly(
+                    kind="slow-round",
+                    round_index=window.round_index,
+                    party=window.straggler,
+                    message=(
+                        f"round {window.round_index} took "
+                        f"{window.duration_ms:.3f} ms, over "
+                        f"{SLOW_ROUND_FACTOR:g}x the median busy-round "
+                        f"duration ({median:.3f} ms){straggler}"
+                    ),
+                )
+
+    # Critical-path domination: one party gates the whole makespan.
+    if len(report.critical_path) >= DOMINATION_MIN_HOPS:
+        dominant = report.dominant_party
+        if dominant is not None:
+            share = report.critical_share[dominant]
+            if share > DOMINATION_SHARE:
+                yield Anomaly(
+                    kind="critical-path-domination",
+                    party=dominant,
+                    message=(
+                        f"party {dominant} sends {share:.0%} of the "
+                        f"{len(report.critical_path)}-hop critical path "
+                        f"(threshold {DOMINATION_SHARE:.0%}): the "
+                        "makespan is gated by one straggling party"
+                    ),
+                )

@@ -11,7 +11,11 @@ from whichever inputs are on hand:
 - a BENCH history store (``--bench-history``, see
   :func:`repro.obs.bench.append_history`): per-metric trend sparklines;
 - a schema-v3 trace (``--trace``): the per-link communication heatmap
-  of :class:`repro.obs.comm.CommMatrix`.
+  of :class:`repro.obs.comm.CommMatrix`, and — when the trace carries
+  v4 virtual-time stamps — the timing panel (makespan verdict,
+  straggler heatmap, critical path) of
+  :class:`repro.obs.timing.TimingReport`, with a per-trial makespan
+  sparkline when telemetry is also supplied.
 
 Every renderer degrades to an explanatory placeholder when its input is
 absent, so the page is useful from the very first smoke campaign.
@@ -277,6 +281,116 @@ def _comm_section(comm: Mapping[str, Any] | None) -> list[str]:
     return out
 
 
+def _timing_section(
+    timing: Mapping[str, Any] | None,
+    telemetry: Sequence[Mapping[str, Any]] | None,
+) -> list[str]:
+    out = ["<h2>Timing &amp; critical path</h2>"]
+    if not timing or not timing.get("has_timing"):
+        out.append(
+            '<p class="muted">trace carries no virtual-time stamps '
+            "(pre-v4 schema, or a run without a timing model)</p>"
+        )
+        return out
+    makespan = float(timing.get("makespan_ms", 0.0))
+    predicted = timing.get("predicted_makespan_ms")
+    model = (timing.get("latency_model") or {}).get("model", "?")
+    line = (
+        f"<p>latency model <b>{_esc(model)}</b> — observed makespan "
+        f"<b>{makespan:.3f} ms</b>"
+    )
+    if isinstance(predicted, (int, float)):
+        delta = timing.get("makespan_delta")
+        verdict = (
+            '<span class="ok">within tolerance</span>'
+            if timing.get("makespan_ok")
+            else '<span class="fail">DIVERGED</span>'
+        )
+        shown = (
+            f"{delta:+.1%}" if isinstance(delta, (int, float)) else "n/a"
+        )
+        line += (
+            f", predicted {predicted:.3f} ms (delta {shown}): {verdict}"
+        )
+    out.append(line + "</p>")
+
+    # Per-trial makespan sparkline from the telemetry store.
+    if telemetry:
+        series = [
+            float(r["makespan_ms"])
+            for r in telemetry
+            if isinstance(r.get("makespan_ms"), (int, float))
+        ]
+        if series:
+            out.append(
+                f"<p>per-trial makespan ({len(series)} trials, latest "
+                f"{series[-1]:.3f} ms): {_sparkline(series)}</p>"
+            )
+
+    # Straggler heatmap: phase rows x party columns, counting the
+    # rounds each party closed (its delivery arrived last).
+    rounds = timing.get("rounds", [])
+    cells: dict[tuple[str, int], int] = {}
+    parties: set[int] = set()
+    phases: list[str] = []
+    for window in rounds:
+        straggler = window.get("straggler")
+        if not isinstance(straggler, int):
+            continue
+        phase = str(window.get("phase") or "?")
+        if phase not in phases:
+            phases.append(phase)
+        parties.add(straggler)
+        cells[(phase, straggler)] = cells.get((phase, straggler), 0) + 1
+    if cells:
+        cols = sorted(parties)
+        peak = max(cells.values())
+        out.append(
+            "<h3>straggler heatmap</h3><p>rounds closed by each party, "
+            "per phase (the party the round waited on)</p>"
+        )
+        header = "".join(f"<th>P{_esc(p)}</th>" for p in cols)
+        out.append(
+            f'<table><tr><th class="label">phase \\ straggler</th>'
+            f"{header}</tr>"
+        )
+        for phase in phases:
+            row = "".join(
+                f'<td class="heat" style="background:'
+                f'{_heat_color(cells.get((phase, p), 0), peak)}" '
+                f'title="{cells.get((phase, p), 0)}">'
+                f'{cells.get((phase, p), 0) or ""}</td>'
+                for p in cols
+            )
+            out.append(f'<tr><td class="label">{_esc(phase)}</td>{row}</tr>')
+        out.append("</table>")
+
+    path = timing.get("critical_path", [])
+    if path:
+        dominant = timing.get("dominant_party")
+        out.append(
+            f"<h3>critical path ({len(path)} hops, dominant party "
+            f"P{_esc(dominant)})</h3>"
+        )
+        out.append(
+            '<table><tr><th>round</th><th class="label">phase</th>'
+            "<th>link</th><th>t_send</th><th>t_recv</th><th>delay</th></tr>"
+        )
+        for hop in path:
+            receiver = hop.get("receiver")
+            target = "bcast" if receiver is None else f"P{receiver}"
+            out.append(
+                f"<tr><td>{_esc(hop.get('round'))}</td>"
+                f'<td class="label">{_esc(hop.get("phase"))}</td>'
+                f"<td>P{_esc(hop.get('sender'))}&rarr;{_esc(target)}</td>"
+                f"<td>{float(hop.get('t_send', 0.0)):.3f}</td>"
+                f"<td>{float(hop.get('t_recv', 0.0)):.3f}</td>"
+                f"<td>{float(hop.get('delay_ms', 0.0)):.3f}</td></tr>"
+            )
+        out.append("</table>")
+    return out
+
+
 # -- assembly ---------------------------------------------------------------
 
 def render_dashboard(
@@ -284,9 +398,14 @@ def render_dashboard(
     telemetry: Sequence[Mapping[str, Any]] | None = None,
     bench_history: Sequence[Mapping[str, Any]] | None = None,
     comm: Mapping[str, Any] | None = None,
+    timing: Mapping[str, Any] | None = None,
     title: str = "repro observability dashboard",
 ) -> str:
-    """Assemble the self-contained HTML page from whatever is supplied."""
+    """Assemble the self-contained HTML page from whatever is supplied.
+
+    ``timing`` takes a :meth:`repro.obs.timing.TimingReport.to_dict`
+    payload (typically derived from the same trace as ``comm``).
+    """
     generated = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     parts = [
         "<!DOCTYPE html>",
@@ -297,6 +416,7 @@ def render_dashboard(
     ]
     parts.extend(_campaign_section(campaign))
     parts.extend(_comm_section(comm))
+    parts.extend(_timing_section(timing, telemetry))
     parts.extend(_telemetry_section(telemetry))
     parts.extend(_bench_section(bench_history))
     parts.append(

@@ -20,12 +20,28 @@ from typing import Any, Mapping
 #: v2 adds ``prof`` events (op-profiler counter records, see
 #: :mod:`repro.obs.profiler`); v3 adds per-message ``msg`` events
 #: (sender, receiver-or-broadcast, element volume, Lamport stamp — see
-#: :mod:`repro.obs.comm`).  v1/v2 traces remain readable and valid;
-#: ``msg`` events are *rejected* in streams declaring an older version.
-SCHEMA_VERSION = 3
+#: :mod:`repro.obs.comm`); v4 adds virtual-time stamps (``t_send`` /
+#: ``t_recv`` on msg events, ``t_start``/``t_end`` on round events,
+#: ``t_virtual`` on span events, plus the ``timing-model`` note — see
+#: :mod:`repro.obs.timing`).  Older traces remain readable and valid;
+#: newer-version fields are *rejected* in streams declaring an older
+#: version (``msg`` events need v3+, timing fields need v4).
+SCHEMA_VERSION = 4
 
 #: Versions :func:`repro.obs.export.validate_events` accepts on read.
-SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3})
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3, 4})
+
+#: v4 virtual-time attribute names, by event kind.  Used by the
+#: validator (forbidden below v4) and by
+#: :func:`repro.obs.export.without_timing_fields` (the v4 -> v3
+#: downgrade used to compare against pre-timing baselines).
+TIMING_ATTRS: Mapping[str, frozenset[str]] = {
+    "msg": frozenset({"t_send", "t_recv"}),
+    "round": frozenset({"t_start", "t_end", "t_wall_ms"}),
+    "span_start": frozenset({"t_virtual"}),
+    "span_end": frozenset({"t_virtual"}),
+    "run_end": frozenset({"makespan_ms"}),
+}
 
 #: The closed set of event kinds a tracer emits.
 EVENT_KINDS = frozenset(

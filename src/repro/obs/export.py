@@ -18,6 +18,7 @@ from .events import (
     EVENT_KINDS,
     SCHEMA_VERSION,
     SUPPORTED_SCHEMA_VERSIONS,
+    TIMING_ATTRS,
     TraceEvent,
 )
 
@@ -102,6 +103,47 @@ def canonical_lines(events: Iterable[TraceEvent]) -> list[str]:
     ]
 
 
+def without_timing_fields(
+    events: Sequence[TraceEvent],
+) -> list[TraceEvent]:
+    """Downgrade a v4 stream to its v3 shadow (virtual time removed).
+
+    Strips every v4 timing attribute (:data:`~repro.obs.events.
+    TIMING_ATTRS`), drops the ``timing-model`` note, renumbers ``seq``
+    so the stream stays dense, and caps the declared ``schema_version``
+    at 3.  The result of a lockstep run is byte-identical (canonically)
+    to the same run traced before the timing layer existed — the
+    backward-compatibility guarantee the baseline test enforces.
+    """
+    out: list[TraceEvent] = []
+    for ev in events:
+        if ev.kind == "note" and ev.name == "timing-model":
+            continue
+        attrs = ev.attrs
+        stripped = TIMING_ATTRS.get(ev.kind)
+        if stripped and any(key in attrs for key in stripped):
+            attrs = {k: v for k, v in attrs.items() if k not in stripped}
+        if (
+            ev.kind == "run_start"
+            and isinstance(attrs.get("schema_version"), int)
+            and attrs["schema_version"] > 3
+        ):
+            attrs = {**attrs, "schema_version": 3}
+        out.append(
+            TraceEvent(
+                seq=len(out),
+                kind=ev.kind,
+                name=ev.name,
+                round_index=ev.round_index,
+                phase=ev.phase,
+                depth=ev.depth,
+                t_ns=ev.t_ns,
+                attrs=attrs,
+            )
+        )
+    return out
+
+
 def validate_events(events: Sequence[TraceEvent]) -> list[str]:
     """Schema-check a trace stream; returns human-readable violations.
 
@@ -118,8 +160,14 @@ def validate_events(events: Sequence[TraceEvent]) -> list[str]:
       non-negative volumes and stamps, and are *rejected* in streams
       whose ``run_start`` declares schema v1/v2 (those versions predate
       per-message tracing);
+    - v4 timing attributes (``t_send``/``t_recv`` on msg, ``t_start``/
+      ``t_end``/``t_wall_ms`` on round, ``t_virtual`` on spans, and the
+      ``timing-model`` note) are numeric when present and *rejected* in
+      streams declaring schema < 4 (timing fields are optional on v4
+      streams — a timestamp-free v4 trace is valid);
     - ``run_start``'s ``schema_version`` (when present) is a supported
-      version — v1 (legacy, no prof events), v2 (prof), or v3 (msg);
+      version — v1 (legacy, no prof events), v2 (prof), v3 (msg), or
+      v4 (virtual time);
     - span_start/span_end properly nested (LIFO) and balanced;
     - at most one ``run_start`` (first event) and one ``run_end`` (last).
     """
@@ -157,6 +205,31 @@ def validate_events(events: Sequence[TraceEvent]) -> list[str]:
                 )
         if ev.kind == "run_end" and position != len(events) - 1:
             errors.append(f"{where}: run_end must be the last event")
+        timing_keys = TIMING_ATTRS.get(ev.kind, ())
+        for key in sorted(timing_keys):
+            if key not in ev.attrs:
+                continue
+            if isinstance(declared, int) and declared < 4:
+                errors.append(
+                    f"{where}: timing attr {key!r} requires "
+                    f"schema_version >= 4 (stream declares {declared})"
+                )
+            value = ev.attrs[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(
+                    f"{where}: timing attr {key!r} is "
+                    f"{type(value).__name__}, not a number"
+                )
+        if (
+            ev.kind == "note"
+            and ev.name == "timing-model"
+            and isinstance(declared, int)
+            and declared < 4
+        ):
+            errors.append(
+                f"{where}: timing-model note requires schema_version >= 4 "
+                f"(stream declares {declared})"
+            )
         if ev.kind == "span_start":
             span_stack.append(ev.name)
         elif ev.kind == "span_end":

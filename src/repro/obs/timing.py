@@ -1,0 +1,518 @@
+"""Virtual-time analysis: makespan, stragglers, and the critical path.
+
+Schema-v4 traces stamp every message with its virtual send/arrival
+instants and every round with its virtual window (see
+:mod:`repro.obs.events`).  :class:`TimingReport` turns one such stream
+into the latency story of the run:
+
+- the observed **makespan** (the last arrival's instant);
+- per-link and per-phase **latency statistics** and histograms;
+- the per-round **straggler** — the sender whose delivery closed the
+  round;
+- the **critical path**: the happens-before chain of messages that the
+  makespan actually waited on, extracted by walking the arrival DAG
+  backwards (each hop's sender was released by its own latest inbound
+  arrival — Lamport edges weighted by delay);
+- an **analytic predicted makespan** — the round schedule embedded in
+  ``run_start`` crossed with the expected per-round duration of the
+  latency model declared by the ``timing-model`` note — diffed
+  E1-style against the observation.
+
+Like every obs report, this module reads only the trace: predictions
+and model parameters travel in the events, so it never imports the
+core or network layers.  Legacy (pre-v4, timestamp-free) traces yield
+a report with ``has_timing=False`` and no timing claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from .events import TraceEvent
+
+#: Report format version, bumped on breaking changes to to_dict().
+TIMING_REPORT_VERSION = 1
+
+#: Default relative tolerance for the predicted-vs-observed makespan
+#: verdict.  The prediction treats each round as an independent
+#: max-of-k race from a common start, ignoring that virtual rounds
+#: overlap per-party, so generous-but-bounded agreement is the claim.
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class LinkLatency:
+    """Latency summary of one directed link (or the broadcast medium)."""
+
+    sender: int
+    receiver: int | None
+    count: int
+    mean_ms: float
+    min_ms: float
+    max_ms: float
+
+
+@dataclass(frozen=True)
+class RoundWindow:
+    """One round's virtual window and its closing delivery."""
+
+    round_index: int
+    phase: str | None
+    t_start: float
+    t_end: float
+    #: t_end minus the previous round's t_end: the virtual time this
+    #: round added to the run (t_end is monotone across rounds).
+    duration_ms: float
+    #: Sender of the arrival that closed the round (None when the
+    #: round carried no timed messages).
+    straggler: int | None
+    messages: int
+
+
+@dataclass(frozen=True)
+class CriticalHop:
+    """One message on the critical path (latest-arrival chain)."""
+
+    round_index: int
+    phase: str | None
+    sender: int
+    receiver: int | None
+    t_send: float
+    t_recv: float
+
+    @property
+    def delay_ms(self) -> float:
+        return self.t_recv - self.t_send
+
+
+def histogram(
+    values: Sequence[float], buckets: int = 8
+) -> list[tuple[float, float, int]]:
+    """Fixed-width histogram as ``(lo, hi, count)`` triples.
+
+    Degenerate inputs (empty, or all values equal) collapse to a
+    single bucket so renderers never special-case them.
+    """
+    if not values:
+        return []
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return [(lo, hi, len(values))]
+    width = (hi - lo) / buckets
+    counts = [0] * buckets
+    for v in values:
+        idx = min(int((v - lo) / width), buckets - 1)
+        counts[idx] += 1
+    return [
+        (lo + i * width, lo + (i + 1) * width, counts[i])
+        for i in range(buckets)
+    ]
+
+
+def _expected_round_ms(latency: Mapping[str, Any], messages: int) -> float:
+    """Expected round duration under a described latency model.
+
+    Mirrors ``LatencyModel.expected_round_ms`` from the parameters the
+    ``timing-model`` note carries (the obs layer reads traces only, so
+    the analytic form is recomputed here rather than imported).  A
+    round ends on its slowest of ``messages`` concurrent deliveries:
+    for ``uniform``, ``E[max of k U(base, base+jitter)] = base +
+    jitter * k / (k + 1)``.
+    """
+    if messages <= 0:
+        return 0.0
+    model = latency.get("model")
+    if model == "fixed":
+        return float(latency.get("base_ms", 0.0))
+    if model == "uniform":
+        expected = float(latency.get("base_ms", 0.0))
+        jitter = float(latency.get("jitter_ms", 0.0))
+        if jitter > 0.0:
+            expected += jitter * messages / (messages + 1)
+        return expected
+    return 0.0  # "zero" and unknown models predict no delay
+
+
+@dataclass
+class TimingReport:
+    """Timing analysis of one schema-v4 trace (see module docstring)."""
+
+    has_timing: bool
+    makespan_ms: float = 0.0
+    rounds: list[RoundWindow] = field(default_factory=list)
+    links: list[LinkLatency] = field(default_factory=list)
+    phase_durations: dict[str, float] = field(default_factory=dict)
+    phase_delays: dict[str, list[float]] = field(default_factory=dict)
+    critical_path: list[CriticalHop] = field(default_factory=list)
+    #: Fraction of critical-path hops each sending party contributed.
+    critical_share: dict[int, float] = field(default_factory=dict)
+    #: Straggler count per party (rounds the party closed).
+    straggler_counts: dict[int, int] = field(default_factory=dict)
+    latency_model: dict[str, Any] | None = None
+    compute_model: dict[str, Any] | None = None
+    realtime: bool = False
+    predicted_makespan_ms: float | None = None
+    tolerance: float = DEFAULT_TOLERANCE
+
+    # -- derived verdicts --------------------------------------------------
+    @property
+    def makespan_delta(self) -> float | None:
+        """Relative predicted-vs-observed makespan error (None if n/a)."""
+        if self.predicted_makespan_ms is None:
+            return None
+        if self.predicted_makespan_ms == 0.0:
+            return 0.0 if self.makespan_ms == 0.0 else float("inf")
+        return (
+            self.makespan_ms - self.predicted_makespan_ms
+        ) / self.predicted_makespan_ms
+
+    @property
+    def makespan_ok(self) -> bool:
+        """Observed makespan within tolerance of the prediction."""
+        delta = self.makespan_delta
+        return delta is None or abs(delta) <= self.tolerance
+
+    @property
+    def dominant_party(self) -> int | None:
+        """Party with the largest critical-path share (ties: lowest id)."""
+        if not self.critical_share:
+            return None
+        return min(
+            self.critical_share,
+            key=lambda pid: (-self.critical_share[pid], pid),
+        )
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Sequence[TraceEvent],
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> "TimingReport":
+        run_attrs: Mapping[str, Any] = {}
+        if events and events[0].kind == "run_start":
+            run_attrs = events[0].attrs
+        latency: dict[str, Any] | None = None
+        compute: dict[str, Any] | None = None
+        realtime = False
+        for ev in events:
+            if ev.kind == "note" and ev.name == "timing-model":
+                latency = dict(ev.attrs.get("latency") or {})
+                compute = dict(ev.attrs.get("compute") or {})
+                realtime = bool(ev.attrs.get("realtime", False))
+                break
+
+        msgs: list[CriticalHop] = []
+        for ev in events:
+            if ev.kind != "msg":
+                continue
+            t_send = ev.attrs.get("t_send")
+            t_recv = ev.attrs.get("t_recv")
+            if t_send is None or t_recv is None:
+                continue
+            msgs.append(
+                CriticalHop(
+                    round_index=int(ev.round_index or 0),
+                    phase=ev.phase,
+                    sender=int(ev.attrs["sender"]),
+                    receiver=ev.attrs.get("receiver"),
+                    t_send=float(t_send),
+                    t_recv=float(t_recv),
+                )
+            )
+
+        rounds: list[RoundWindow] = []
+        per_round_msgs: dict[int, list[CriticalHop]] = {}
+        for hop in msgs:
+            per_round_msgs.setdefault(hop.round_index, []).append(hop)
+        prev_end = 0.0
+        has_round_timing = False
+        for ev in events:
+            if ev.kind != "round":
+                continue
+            t_start = ev.attrs.get("t_start")
+            t_end = ev.attrs.get("t_end")
+            if t_start is None or t_end is None:
+                continue
+            has_round_timing = True
+            index = int(ev.round_index or 0)
+            hops = per_round_msgs.get(index, ())
+            straggler = None
+            if hops:
+                last = max(hops, key=lambda h: (h.t_recv, -h.round_index))
+                straggler = last.sender
+            rounds.append(
+                RoundWindow(
+                    round_index=index,
+                    phase=ev.phase,
+                    t_start=float(t_start),
+                    t_end=float(t_end),
+                    duration_ms=float(t_end) - prev_end,
+                    straggler=straggler,
+                    messages=int(ev.attrs.get("messages", 0)),
+                )
+            )
+            prev_end = float(t_end)
+
+        if not has_round_timing and not msgs:
+            return cls(has_timing=False, tolerance=tolerance)
+
+        makespan = max(
+            [r.t_end for r in rounds] + [h.t_recv for h in msgs],
+            default=0.0,
+        )
+
+        # -- per-link stats and per-phase delay samples --------------------
+        by_link: dict[tuple[int, int | None], list[float]] = {}
+        phase_delays: dict[str, list[float]] = {}
+        for hop in msgs:
+            by_link.setdefault((hop.sender, hop.receiver), []).append(
+                hop.delay_ms
+            )
+            if hop.receiver is not None:  # broadcasts carry no link delay
+                phase_delays.setdefault(hop.phase or "?", []).append(
+                    hop.delay_ms
+                )
+        links = [
+            LinkLatency(
+                sender=sender,
+                receiver=receiver,
+                count=len(delays),
+                mean_ms=sum(delays) / len(delays),
+                min_ms=min(delays),
+                max_ms=max(delays),
+            )
+            for (sender, receiver), delays in sorted(
+                by_link.items(),
+                key=lambda item: (item[0][0], -1 if item[0][1] is None else item[0][1]),
+            )
+        ]
+
+        phase_durations: dict[str, float] = {}
+        for window in rounds:
+            key = window.phase or "?"
+            phase_durations[key] = (
+                phase_durations.get(key, 0.0) + window.duration_ms
+            )
+
+        straggler_counts: dict[int, int] = {}
+        for window in rounds:
+            if window.straggler is not None:
+                straggler_counts[window.straggler] = (
+                    straggler_counts.get(window.straggler, 0) + 1
+                )
+
+        critical_path = _critical_path(msgs)
+        share: dict[int, float] = {}
+        if critical_path:
+            for hop in critical_path:
+                share[hop.sender] = share.get(hop.sender, 0.0) + 1.0
+            for pid in share:
+                share[pid] /= len(critical_path)
+
+        predicted = _predicted_makespan(run_attrs, latency)
+        return cls(
+            has_timing=True,
+            makespan_ms=makespan,
+            rounds=rounds,
+            links=links,
+            phase_durations=phase_durations,
+            phase_delays=phase_delays,
+            critical_path=critical_path,
+            critical_share=share,
+            straggler_counts=straggler_counts,
+            latency_model=latency,
+            compute_model=compute,
+            realtime=realtime,
+            predicted_makespan_ms=predicted,
+            tolerance=tolerance,
+        )
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": TIMING_REPORT_VERSION,
+            "has_timing": self.has_timing,
+            "makespan_ms": self.makespan_ms,
+            "predicted_makespan_ms": self.predicted_makespan_ms,
+            "makespan_delta": self.makespan_delta,
+            "makespan_ok": self.makespan_ok,
+            "tolerance": self.tolerance,
+            "latency_model": self.latency_model,
+            "compute_model": self.compute_model,
+            "realtime": self.realtime,
+            "phase_durations": self.phase_durations,
+            "straggler_counts": {
+                str(pid): count
+                for pid, count in sorted(self.straggler_counts.items())
+            },
+            "dominant_party": self.dominant_party,
+            "critical_share": {
+                str(pid): share
+                for pid, share in sorted(self.critical_share.items())
+            },
+            "critical_path": [
+                {
+                    "round": hop.round_index,
+                    "phase": hop.phase,
+                    "sender": hop.sender,
+                    "receiver": hop.receiver,
+                    "t_send": hop.t_send,
+                    "t_recv": hop.t_recv,
+                    "delay_ms": hop.delay_ms,
+                }
+                for hop in self.critical_path
+            ],
+            "rounds": [
+                {
+                    "round": w.round_index,
+                    "phase": w.phase,
+                    "t_start": w.t_start,
+                    "t_end": w.t_end,
+                    "duration_ms": w.duration_ms,
+                    "straggler": w.straggler,
+                    "messages": w.messages,
+                }
+                for w in self.rounds
+            ],
+            "links": [
+                {
+                    "sender": s.sender,
+                    "receiver": s.receiver,
+                    "count": s.count,
+                    "mean_ms": s.mean_ms,
+                    "min_ms": s.min_ms,
+                    "max_ms": s.max_ms,
+                }
+                for s in self.links
+            ],
+        }
+
+    def render_text(self) -> str:
+        """Human-readable timing report (same style as RunReport)."""
+        if not self.has_timing:
+            return (
+                "timing report: trace carries no virtual-time stamps "
+                "(pre-v4 or untimed run)"
+            )
+        lines = ["timing report"]
+        model = (self.latency_model or {}).get("model", "?")
+        lines.append(
+            f"  latency model: {model} "
+            f"{ {k: v for k, v in (self.latency_model or {}).items() if k != 'model'} }"
+        )
+        lines.append(f"  observed makespan: {self.makespan_ms:.3f} ms")
+        if self.predicted_makespan_ms is not None:
+            delta = self.makespan_delta or 0.0
+            verdict = "OK" if self.makespan_ok else "DIVERGED"
+            lines.append(
+                f"  predicted makespan: {self.predicted_makespan_ms:.3f} ms "
+                f"(delta {delta:+.1%}, tolerance ±{self.tolerance:.0%}) "
+                f"[{verdict}]"
+            )
+        if self.phase_durations:
+            lines.append("  per-phase virtual duration:")
+            width = max(len(p) for p in self.phase_durations)
+            for phase, duration in self.phase_durations.items():
+                samples = self.phase_delays.get(phase, [])
+                mean = sum(samples) / len(samples) if samples else 0.0
+                lines.append(
+                    f"    {phase:<{width}}  {duration:>10.3f} ms  "
+                    f"(mean link delay {mean:.3f} ms over {len(samples)} msgs)"
+                )
+        if self.straggler_counts:
+            ranked = sorted(
+                self.straggler_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+            summary = ", ".join(f"P{pid}×{count}" for pid, count in ranked)
+            lines.append(f"  stragglers (rounds closed): {summary}")
+        if self.critical_path:
+            lines.append(
+                f"  critical path ({len(self.critical_path)} hops, "
+                f"dominant party P{self.dominant_party})"
+            )
+            for hop in self.critical_path:
+                target = "bcast" if hop.receiver is None else f"P{hop.receiver}"
+                lines.append(
+                    f"    r{hop.round_index:>3} {hop.phase or '?':<38} "
+                    f"P{hop.sender}->{target}  "
+                    f"{hop.t_send:>9.3f} -> {hop.t_recv:>9.3f} ms "
+                    f"(+{hop.delay_ms:.3f})"
+                )
+        return "\n".join(lines)
+
+
+def _critical_path(msgs: Sequence[CriticalHop]) -> list[CriticalHop]:
+    """Walk the arrival DAG backwards from the makespan-closing message.
+
+    Each hop's sender was released by its own latest inbound arrival in
+    an earlier round (broadcasts reach every party), so following that
+    edge repeatedly yields the message chain the makespan transitively
+    waited on.  Rounds strictly decrease along the walk, so it
+    terminates; ties break deterministically (higher round, then lower
+    sender id).
+    """
+    if not msgs:
+        return []
+
+    def _rank(hop: CriticalHop) -> tuple[float, int, int]:
+        return (hop.t_recv, hop.round_index, -hop.sender)
+
+    inbound: dict[int, list[CriticalHop]] = {}
+    broadcasts: list[CriticalHop] = []
+    for hop in msgs:
+        if hop.receiver is None:
+            broadcasts.append(hop)
+        else:
+            inbound.setdefault(hop.receiver, []).append(hop)
+
+    current = max(msgs, key=_rank)
+    path = [current]
+    while True:
+        candidates = [
+            hop
+            for hop in inbound.get(current.sender, ())
+            if hop.round_index < current.round_index
+        ] + [
+            hop
+            for hop in broadcasts
+            if hop.round_index < current.round_index
+            and hop.sender != current.sender
+        ]
+        if not candidates:
+            break
+        best = max(candidates, key=_rank)
+        if best.t_recv <= 0.0:
+            break
+        path.append(best)
+        current = best
+    path.reverse()
+    return path
+
+
+def _predicted_makespan(
+    run_attrs: Mapping[str, Any], latency: Mapping[str, Any] | None
+) -> float | None:
+    """Round schedule × latency expectation (the E1×model prediction).
+
+    Uses the per-phase point-to-point message bounds from
+    ``predicted_comm``.  Phases bounded at 0 messages (the idealized
+    broadcast-only step-1 rounds) predict zero duration: the physical
+    broadcast channel contributes no link delay in the timing model.
+    """
+    if latency is None:
+        return None
+    schedule = run_attrs.get("predicted_schedule")
+    comm = run_attrs.get("predicted_comm")
+    if not schedule or not isinstance(comm, Mapping):
+        return None
+    per_phase: dict[str, int] = {}
+    for entry in comm.get("phases", ()):
+        if not isinstance(entry, Mapping):
+            continue
+        per_phase[str(entry.get("phase"))] = int(entry.get("max_messages", 0))
+    total = 0.0
+    for entry in schedule:
+        phase = entry.get("phase") if isinstance(entry, Mapping) else entry
+        total += _expected_round_ms(latency, per_phase.get(str(phase), 0))
+    return total

@@ -66,6 +66,9 @@ class NullTracer:
         messages: int = 0,
         elements: int = 0,
         per_party: dict[str, Any] | None = None,
+        t_start: float | None = None,
+        t_end: float | None = None,
+        t_wall_ms: float | None = None,
     ) -> None:
         return None
 
@@ -76,6 +79,16 @@ class NullTracer:
         receiver: int | None = None,
         elements: int = 0,
         lamport: int = 0,
+        t_send: float | None = None,
+        t_recv: float | None = None,
+    ) -> None:
+        return None
+
+    def record_timing_model(
+        self,
+        latency: dict[str, Any],
+        compute: dict[str, Any],
+        realtime: bool = False,
     ) -> None:
         return None
 
@@ -122,6 +135,10 @@ class Tracer:
         self.events: list[TraceEvent] = []
         self._stack: list[str] = []
         self._next_round = 0
+        # Virtual time (ms) as of the last completed round; None until a
+        # transport declares its timing model, so legacy/hand-driven
+        # tracers keep emitting timestamp-free (pre-v4-style) spans.
+        self._t_virtual: float | None = None
 
     # -- internals ---------------------------------------------------------
     @property
@@ -151,13 +168,18 @@ class Tracer:
         )
 
     def _enter_span(self, name: str, attrs: dict[str, Any]) -> None:
+        if self._t_virtual is not None:
+            attrs = {**attrs, "t_virtual": self._t_virtual}
         self._push("span_start", name, attrs, self._next_round, self.current_phase)
         self._stack.append(name)
 
     def _exit_span(self, name: str) -> None:
         if self._stack and self._stack[-1] == name:
             self._stack.pop()
-        self._push("span_end", name, {}, self._next_round, self.current_phase)
+        attrs: dict[str, Any] = {}
+        if self._t_virtual is not None:
+            attrs["t_virtual"] = self._t_virtual
+        self._push("span_end", name, attrs, self._next_round, self.current_phase)
 
     # -- emission API (treated as a secrecy sink by lint rule RL004) -------
     def span(self, name: str, **attrs: Any) -> _Span:
@@ -184,6 +206,9 @@ class Tracer:
         messages: int = 0,
         elements: int = 0,
         per_party: dict[str, Any] | None = None,
+        t_start: float | None = None,
+        t_end: float | None = None,
+        t_wall_ms: float | None = None,
     ) -> None:
         """Account one completed synchronous round (simulator hook).
 
@@ -191,7 +216,10 @@ class Tracer:
         broadcast channel; ``messages``/``elements`` are the delivered
         point-to-point payload count and total field-element volume;
         ``per_party`` optionally breaks both down by sending party
-        (string-keyed for JSON stability).
+        (string-keyed for JSON stability).  ``t_start``/``t_end`` are
+        the round's virtual-time window in ms (schema v4), and
+        ``t_wall_ms`` the coordinator's wall-clock stamp in realtime
+        mode; all three are omitted from the event when ``None``.
         """
         attrs: dict[str, Any] = {
             "broadcasters": list(broadcasters),
@@ -200,6 +228,13 @@ class Tracer:
         }
         if per_party is not None:
             attrs["per_party"] = per_party
+        if t_start is not None:
+            attrs["t_start"] = t_start
+        if t_end is not None:
+            attrs["t_end"] = t_end
+            self._t_virtual = t_end
+        if t_wall_ms is not None:
+            attrs["t_wall_ms"] = t_wall_ms
         self._push("round", "round", attrs, round_index, self.current_phase)
         self._next_round = round_index + 1
 
@@ -210,27 +245,54 @@ class Tracer:
         receiver: int | None = None,
         elements: int = 0,
         lamport: int = 0,
+        t_send: float | None = None,
+        t_recv: float | None = None,
     ) -> None:
-        """Account one delivered message (simulator hook, schema v3).
+        """Account one delivered message (simulator hook, schema v3+).
 
         ``receiver`` is ``None`` for a physical-channel broadcast, in
         which case ``elements`` is the *wire* volume (payload size times
         fan-out) so that per-round ``msg`` volumes sum exactly to the
         round event's ``elements``.  ``lamport`` is the sender's logical
         clock at emission (see
-        :class:`repro.network.messages.LamportClock`); only sizes,
-        ids, and clock values ever enter the event.
+        :class:`repro.network.messages.LamportClock`).  ``t_send`` /
+        ``t_recv`` are the message's virtual send/arrival instants in
+        ms (schema v4; omitted when ``None``).  Only sizes, ids, clock
+        values, and timings ever enter the event.
         """
+        attrs: dict[str, Any] = {
+            "sender": sender,
+            "receiver": receiver,
+            "elements": elements,
+            "lamport": lamport,
+        }
+        if t_send is not None:
+            attrs["t_send"] = t_send
+        if t_recv is not None:
+            attrs["t_recv"] = t_recv
+        self._push("msg", "msg", attrs, round_index, self.current_phase)
+
+    def record_timing_model(
+        self,
+        latency: dict[str, Any],
+        compute: dict[str, Any],
+        realtime: bool = False,
+    ) -> None:
+        """Declare the run's timing model (transport hook, schema v4).
+
+        Emits the ``timing-model`` note carrying the latency and
+        compute models' public parameters (their ``describe()`` dicts)
+        and arms virtual-time stamping of subsequent span events.  Both
+        transports emit this with model-only attributes — never the
+        transport's name — so lockstep and async runs under equivalent
+        models stay canonically identical.
+        """
+        self._t_virtual = 0.0
         self._push(
-            "msg",
-            "msg",
-            {
-                "sender": sender,
-                "receiver": receiver,
-                "elements": elements,
-                "lamport": lamport,
-            },
-            round_index,
+            "note",
+            "timing-model",
+            {"latency": latency, "compute": compute, "realtime": realtime},
+            self._next_round,
             self.current_phase,
         )
 

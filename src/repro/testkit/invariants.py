@@ -33,6 +33,11 @@ Registry (see docs/TESTING.md):
 - ``comm-conformance`` — the traced run's per-message stream stays
   within the :func:`repro.core.trace.comm_bounds` envelope (broadcast
   rounds, per-phase bandwidth) and both traffic accountings agree.
+- ``timing-conformance`` — the traced run's virtual-time stamps are
+  self-consistent (v4 stamps present, monotone round windows, trace
+  makespan equals the runtime's accounting) and the observed makespan
+  stays within tolerance of the analytic latency-model prediction
+  (see :mod:`repro.obs.timing`).
 """
 
 from __future__ import annotations
@@ -108,6 +113,7 @@ class TrialOutcome:
     broadcast_rounds: int = 0
     private_messages: int = 0
     field_elements_sent: int = 0
+    makespan_ms: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -124,6 +130,7 @@ class TrialOutcome:
             "broadcast_rounds": self.broadcast_rounds,
             "private_messages": self.private_messages,
             "field_elements_sent": self.field_elements_sent,
+            "makespan_ms": self.makespan_ms,
         }
 
 
@@ -139,6 +146,8 @@ class ConfigEvidence:
     schedule_divergences: list[str] = field(default_factory=list)
     comm_ok: bool | None = None
     comm_divergences: list[str] = field(default_factory=list)
+    timing_ok: bool | None = None
+    timing_divergences: list[str] = field(default_factory=list)
 
     @property
     def honest_count(self) -> int:
@@ -468,6 +477,35 @@ class CommConformance(InvariantChecker):
         )
 
 
+class TimingConformance(InvariantChecker):
+    """The traced run's virtual-time stamps hold together.
+
+    The timing counterpart of ``schedule-conformance``: the traced
+    trial must carry v4 virtual-time stamps, its round windows must be
+    monotone, the trace-derived makespan must equal the runtime's own
+    accounting, and — when the run_start carries enough for the
+    analytic prediction — the observed makespan must stay within the
+    :class:`repro.obs.timing.TimingReport` tolerance of the latency
+    model's expectation.
+    """
+
+    name = "timing-conformance"
+    description = (
+        "the traced execution's virtual-time stamps are self-consistent "
+        "and the observed makespan matches the analytic latency-model "
+        "prediction within tolerance (repro.obs.timing)"
+    )
+
+    def evaluate(self, ev: ConfigEvidence) -> CheckOutcome:
+        if ev.timing_ok is None:
+            return self._skip("no traced trial for this config")
+        return self._verdict(
+            ev.timing_ok,
+            message="; ".join(ev.timing_divergences) or "timing diverged",
+            divergences=list(ev.timing_divergences),
+        )
+
+
 def default_registry(
     alpha: float = DEFAULT_ALPHA,
 ) -> dict[str, InvariantChecker]:
@@ -481,5 +519,6 @@ def default_registry(
         Anonymity(),
         ScheduleConformance(),
         CommConformance(),
+        TimingConformance(),
     ]
     return {c.name: c for c in checkers}

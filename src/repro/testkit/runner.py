@@ -8,9 +8,11 @@ the plain trials:
 
 - trial 0 carries an :class:`repro.obs.Tracer`, and its event stream is
   diffed against the static round-schedule prediction via
-  :class:`repro.obs.RunReport` (the ``schedule-conformance`` checker)
-  and against the analytic communication envelope via
-  :class:`repro.obs.CommReport` (the ``comm-conformance`` checker);
+  :class:`repro.obs.RunReport` (the ``schedule-conformance`` checker),
+  against the analytic communication envelope via
+  :class:`repro.obs.CommReport` (the ``comm-conformance`` checker), and
+  against the latency model's expected makespan via
+  :class:`repro.obs.TimingReport` (the ``timing-conformance`` checker);
 - every trial keeps its communication metrics (rounds, broadcast
   rounds, messages, wire elements) on its :class:`TrialOutcome`, from
   which :mod:`repro.testkit.telemetry` builds the campaign JSONL store;
@@ -33,7 +35,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.core.anonchan import AnonChan, AnonChanOutput, run_anonchan
 from repro.fields import FieldElement
 from repro.network import PassiveAdversary, TamperingAdversary
-from repro.obs import CommReport, RunReport, Tracer
+from repro.obs import CommReport, RunReport, TimingReport, Tracer
 from repro.vss import IdealVSS
 
 from .axes import FAULTS, STRATEGIES
@@ -205,6 +207,8 @@ def run_config(
     schedule_divergences: list[str] = []
     comm_ok: bool | None = None
     comm_divergences: list[str] = []
+    timing_ok: bool | None = None
+    timing_divergences: list[str] = []
     runs = 0
     for trial in range(config.trials):
         seed = config.trial_seed(campaign_seed, trial)
@@ -234,6 +238,9 @@ def run_config(
             comm = CommReport.from_events(tracer.events)
             comm_ok = comm.matches_prediction
             comm_divergences = list(comm.divergences) + list(comm.consistency)
+            timing_ok, timing_divergences = _timing_conformance(
+                tracer, result.metrics.makespan_ms
+            )
 
         anonymity_ok: bool | None = None
         if trial == 0:
@@ -259,6 +266,7 @@ def run_config(
                 broadcast_rounds=metrics.broadcast_rounds,
                 private_messages=metrics.private_messages,
                 field_elements_sent=metrics.field_elements_sent,
+                makespan_ms=metrics.makespan_ms,
             )
         )
 
@@ -271,6 +279,8 @@ def run_config(
         schedule_divergences=schedule_divergences,
         comm_ok=comm_ok,
         comm_divergences=comm_divergences,
+        timing_ok=timing_ok,
+        timing_divergences=timing_divergences,
     )
     outcomes = [checker.evaluate(evidence) for checker in registry.values()]
     return ConfigResult(
@@ -281,6 +291,43 @@ def run_config(
         runs=runs,
         duration_ms=(time.perf_counter() - started) * 1e3,
     )
+
+
+def _timing_conformance(
+    tracer: Tracer, runtime_makespan_ms: float
+) -> tuple[bool, list[str]]:
+    """Check the traced trial's virtual-time stamps for self-consistency.
+
+    Both transports stamp v4 virtual times, so a traced trial *must*
+    carry them; the trace-derived makespan must agree with the
+    runtime's own :class:`~repro.network.metrics.ProtocolMetrics`
+    accounting; round windows must be monotone; and when the analytic
+    prediction is computable the observed makespan must sit within the
+    report's tolerance.
+    """
+    report = TimingReport.from_events(tracer.events)
+    divergences: list[str] = []
+    if not report.has_timing:
+        return False, ["traced trial carries no virtual-time stamps"]
+    if abs(report.makespan_ms - runtime_makespan_ms) > 1e-6:
+        divergences.append(
+            f"trace makespan {report.makespan_ms:.6f} ms != runtime "
+            f"accounting {runtime_makespan_ms:.6f} ms"
+        )
+    for window in report.rounds:
+        if window.t_end < window.t_start:
+            divergences.append(
+                f"round {window.round_index}: non-monotone window "
+                f"[{window.t_start:.6f}, {window.t_end:.6f}]"
+            )
+    if report.predicted_makespan_ms is not None and not report.makespan_ok:
+        divergences.append(
+            f"observed makespan {report.makespan_ms:.3f} ms diverges "
+            f"{report.makespan_delta:+.1%} from predicted "
+            f"{report.predicted_makespan_ms:.3f} ms "
+            f"(tolerance ±{report.tolerance:.0%})"
+        )
+    return not divergences, divergences
 
 
 def _anonymity_probe(

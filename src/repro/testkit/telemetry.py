@@ -13,7 +13,8 @@ Record shape (one JSON object per line)::
      "strategy": "passive", "fault": "none", "substrate": "gf2k",
      "n": 5, "trial": 0, "seed": 12345, "rounds": 10,
      "broadcast_rounds": 2, "private_messages": 24,
-     "field_elements_sent": 53928, "honest_delivered": true, "ok": true}
+     "field_elements_sent": 53928, "makespan_ms": 0.0,
+     "honest_delivered": true, "ok": true}
 
 The store is tolerant by construction: unknown keys are preserved,
 missing files read as empty, and torn/malformed lines are skipped — a
@@ -58,6 +59,7 @@ def trial_records(
                 "broadcast_rounds": trial.broadcast_rounds,
                 "private_messages": trial.private_messages,
                 "field_elements_sent": trial.field_elements_sent,
+                "makespan_ms": trial.makespan_ms,
                 "honest_delivered": trial.honest_delivered,
                 "ok": result.ok,
             }

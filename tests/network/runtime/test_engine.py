@@ -79,3 +79,154 @@ class TestSizeCacheSentinel:
         # The two empty private deliveries appear as zero-volume events.
         private = [e for e in msgs if e.attrs["receiver"] is not None]
         assert [e.attrs["elements"] for e in private] == [0, 0]
+
+
+class TestDelaySampling:
+    """Sampled per-message delays: persisted on the plan, a function of
+    the seed alone, and insertion-order independent."""
+
+    def _outputs(self, order, n=4, inner_reversed=False):
+        outs = {}
+        for sender in order:
+            recipients = [r for r in range(n) if r != sender]
+            if inner_reversed:
+                recipients.reverse()
+            outs[sender] = RoundOutput(
+                private={r: [sender, r] for r in recipients}
+            )
+        return outs
+
+    def test_delays_are_seed_deterministic_and_order_independent(self):
+        """Same seed, any dict insertion order -> identical offsets.
+
+        ``sample_delays`` iterates sorted (sender, recipient) pairs, so
+        the rng stream never depends on how the outputs dicts happened
+        to be built."""
+        import random as _random
+
+        from repro.network.runtime import UniformLatency
+        from repro.network.runtime.engine import (
+            compute_delivery,
+            sample_delays,
+        )
+
+        model = UniformLatency(base_ms=1.0, jitter_ms=9.0)
+        shapes = [
+            ([0, 1, 2, 3], False),
+            ([3, 1, 0, 2], False),
+            ([2, 0, 3, 1], True),
+        ]
+        sampled = []
+        for order, inner_reversed in shapes:
+            outs = self._outputs(order, inner_reversed=inner_reversed)
+            delivery = compute_delivery(outs, range(4), True)
+            sampled.append(
+                sample_delays(
+                    _random.Random(42), model, (), 0, outs, delivery, True
+                )
+            )
+        assert sampled[0] == sampled[1] == sampled[2]
+        assert set(sampled[0]) == {
+            (s, r) for s in range(4) for r in range(4) if s != r
+        }
+        assert all(1.0 <= d <= 10.0 for d in sampled[0].values())
+
+    def test_different_seeds_sample_different_delays(self):
+        import random as _random
+
+        from repro.network.runtime import UniformLatency
+        from repro.network.runtime.engine import (
+            compute_delivery,
+            sample_delays,
+        )
+
+        model = UniformLatency(base_ms=1.0, jitter_ms=9.0)
+        outs = self._outputs([0, 1, 2, 3])
+        delivery = compute_delivery(outs, range(4), True)
+        a = sample_delays(_random.Random(1), model, (), 0, outs, delivery, True)
+        b = sample_delays(_random.Random(2), model, (), 0, outs, delivery, True)
+        assert a != b
+
+    def test_link_fault_delay_folds_into_persisted_offset(self):
+        """The persisted offset is the message's complete transit time."""
+        import random as _random
+
+        from repro.network.runtime import FixedLatency
+        from repro.network.runtime.engine import (
+            compute_delivery,
+            sample_delays,
+        )
+        from repro.network.runtime.models import Delay
+
+        fault = Delay(
+            delay_ms=7.0, senders=frozenset({0}), recipients=frozenset({2})
+        )
+        outs = self._outputs([0, 1, 2, 3])
+        delivery = compute_delivery(outs, range(4), True)
+        delays = sample_delays(
+            _random.Random(0), FixedLatency(base_ms=2.0), (fault,),
+            0, outs, delivery, True,
+        )
+        assert delays[(0, 2)] == 9.0
+        assert all(
+            d == 2.0 for pair, d in delays.items() if pair != (0, 2)
+        )
+
+    def test_persisted_delays_surface_as_trace_stamps(self):
+        """End to end: every private msg event's t_recv - t_send equals
+        the fixed link latency the transport sampled and persisted."""
+        from repro.network.runtime import FixedLatency, InMemoryAsyncTransport
+
+        n = 4
+
+        def prog(pid):
+            inbox = yield RoundOutput(
+                private={q: [pid] for q in range(n) if q != pid}
+            )
+            yield RoundOutput(
+                private={q: [len(inbox.private)] for q in range(n)
+                         if q != pid}
+            )
+            return pid
+
+        tracer = Tracer(clock=lambda: 0)
+        run_protocol(
+            {pid: prog(pid) for pid in range(n)},
+            tracer=tracer,
+            transport=InMemoryAsyncTransport(
+                latency=FixedLatency(base_ms=2.5), seed=0
+            ),
+        )
+        private = [
+            ev for ev in tracer.events
+            if ev.kind == "msg" and ev.attrs.get("receiver") is not None
+        ]
+        assert private
+        for ev in private:
+            assert ev.attrs["t_recv"] - ev.attrs["t_send"] == 2.5
+
+    def test_equal_delays_preserve_lockstep_arrival_order(self):
+        """Fixed latency ties every delay, so the (delay, seq) sort
+        falls back to sender order and inboxes iterate exactly as under
+        lockstep — arrival order is part of the reproducibility story."""
+        from repro.network.runtime import FixedLatency, InMemoryAsyncTransport
+
+        n = 5
+
+        def order_probe(pid):
+            inbox = yield RoundOutput(
+                private={q: [pid] for q in range(n) if q != pid}
+            )
+            return list(inbox.private)
+
+        def mk():
+            return {pid: order_probe(pid) for pid in range(n)}
+
+        lock = run_protocol(mk())
+        fixed = run_protocol(
+            mk(),
+            transport=InMemoryAsyncTransport(
+                latency=FixedLatency(base_ms=3.0), seed=9
+            ),
+        )
+        assert lock.outputs == fixed.outputs

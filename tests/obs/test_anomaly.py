@@ -5,7 +5,8 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core import run_anonchan, scaled_parameters
-from repro.obs import Tracer, scan_events
+from repro.network.runtime import InMemoryAsyncTransport, UniformLatency
+from repro.obs import Tracer, scan_events, without_timing_fields
 from repro.obs.anomaly import (
     HOTSPOT_MIN_ELEMENTS,
     Anomaly,
@@ -14,13 +15,23 @@ from repro.obs.anomaly import (
 from repro.vss import GGOR13_COST, IdealVSS
 
 
-def _traced_run(seed: int = 7) -> list:
+def _traced_run(seed: int = 7, transport=None) -> list:
     params = scaled_parameters(n=5, d=6, num_checks=3, kappa=16, margin=6)
     vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
     messages = {i: params.field(100 + i) for i in range(5)}
     tracer = Tracer()
-    run_anonchan(params, vss, messages, seed=seed, tracer=tracer)
+    run_anonchan(params, vss, messages, seed=seed, tracer=tracer,
+                 transport=transport)
     return list(tracer.events)
+
+
+def _jittered_run(seed: int = 7) -> list:
+    return _traced_run(
+        seed=seed,
+        transport=InMemoryAsyncTransport(
+            latency=UniformLatency(base_ms=2.0, jitter_ms=3.0), seed=seed
+        ),
+    )
 
 
 def _msg(tracer, round_index, sender, receiver, elements, lamport):
@@ -189,3 +200,113 @@ def test_broadcast_stamp_floors_every_party():
     findings = scan(tracer.events)
     assert any(f.kind == "causal-order" and "happens-before" in f.message
                for f in findings)
+
+
+# -- virtual-time checks (schema v4) -----------------------------------------
+
+def _timed_rounds(durations, messages=()):
+    """A dense round sequence with virtual windows and an orderly
+    run_end — invisible to the count-only stall checks by construction,
+    so anything scan() reports comes from the timing checks."""
+    tracer = Tracer()
+    tracer.run_start(n=4, t=1)
+    tracer.record_timing_model(
+        latency={"model": "uniform", "base_ms": 1.0, "jitter_ms": 1.0},
+        compute={"model": "zero"},
+    )
+    per_round: dict[int, list] = {}
+    for rnd, sender, receiver, t_send, t_recv, lamport in messages:
+        per_round.setdefault(rnd, []).append(
+            (sender, receiver, t_send, t_recv, lamport)
+        )
+    now = 0.0
+    for rnd, duration in enumerate(durations):
+        start, now = now, now + duration
+        for sender, receiver, t_send, t_recv, lamport in per_round.get(rnd, ()):
+            tracer.record_message(rnd, sender, receiver, elements=1,
+                                  lamport=lamport, t_send=t_send,
+                                  t_recv=t_recv)
+        tracer.record_round(rnd, messages=len(per_round.get(rnd, ())),
+                            elements=len(per_round.get(rnd, ())),
+                            t_start=start, t_end=now)
+    tracer.run_end(rounds=len(durations), makespan_ms=now)
+    return list(tracer.events)
+
+
+def test_slow_round_caught_where_count_only_stall_check_is_blind():
+    """Every round completes and run_end is present, so the pre-v4
+    stall detector (round-sequence gaps + missing run_end) sees nothing
+    — the regression this PR fixes.  The timing check must still flag
+    the round that took 20x the median busy-round duration."""
+    events = _timed_rounds([1.0, 1.0, 1.0, 1.0, 1.0, 20.0])
+    findings = scan(events)
+    assert not any(f.kind == "stalled-round" for f in findings)
+    slow = [f for f in findings if f.kind == "slow-round"]
+    assert len(slow) == 1
+    assert slow[0].round_index == 5
+    assert "median busy-round" in slow[0].message
+
+
+def test_slow_round_silent_below_minimum_busy_rounds():
+    """Three busy rounds is too small a sample for a median verdict."""
+    events = _timed_rounds([1.0, 1.0, 20.0])
+    assert not any(f.kind == "slow-round" for f in scan(events))
+
+
+def test_message_arriving_before_send_is_timing_causality():
+    """Swap one arrival stamp below its send stamp on an otherwise
+    honest jittered run: Lamport stamps are untouched, so the pre-v4
+    causal check stays silent and only the timing check can object."""
+    events = _jittered_run()
+    idx = next(
+        i for i, ev in enumerate(events)
+        if ev.kind == "msg" and ev.attrs.get("receiver") is not None
+        and ev.attrs.get("t_send", 0.0) > 0.0
+    )
+    attrs = dict(events[idx].attrs)
+    attrs["t_recv"] = attrs["t_send"] - 1.0
+    events[idx] = dataclasses.replace(events[idx], attrs=attrs)
+    findings = scan(events)
+    assert findings
+    assert {f.kind for f in findings} == {"timing-causality"}
+    assert any("before its send" in f.message for f in findings)
+
+
+def test_non_monotone_round_end_is_timing_causality():
+    events = _timed_rounds([1.0, 2.0, -1.5, 3.0])  # round 2 ends early
+    findings = [f for f in scan(events) if f.kind == "timing-causality"]
+    assert len(findings) == 1
+    assert findings[0].round_index == 2
+    assert "not monotone" in findings[0].message
+
+
+def test_critical_path_domination_names_the_straggler():
+    """Five chained hops all sent by party 1: it gates the makespan."""
+    chain = [
+        # (round, sender, receiver, t_send, t_recv, lamport)
+        (0, 1, 1, 0.0, 1.0, 1),
+        (1, 1, 1, 1.0, 2.0, 2),
+        (2, 1, 1, 2.0, 3.0, 3),
+        (3, 1, 1, 3.0, 4.0, 4),
+        (4, 1, 0, 4.0, 5.0, 5),
+    ]
+    events = _timed_rounds([1.0] * 5, messages=chain)
+    findings = scan(events)
+    domination = [f for f in findings if f.kind == "critical-path-domination"]
+    assert len(domination) == 1
+    assert domination[0].party == 1
+    assert "gated by one straggling party" in domination[0].message
+    assert not any(f.kind == "slow-round" for f in findings)
+
+
+def test_jittered_honest_run_passes_timing_checks():
+    assert scan(_jittered_run()) == []
+
+
+def test_timing_checks_stay_silent_on_stripped_v3_traces():
+    """The new checks arm only on schema-v4 stamps: strip them and the
+    slow-round trace above must scan clean, like any legacy trace."""
+    events = without_timing_fields(
+        _timed_rounds([1.0, 1.0, 1.0, 1.0, 1.0, 20.0])
+    )
+    assert scan(events) == []

@@ -113,3 +113,51 @@ def test_everything_is_html_escaped():
     assert "&lt;script&gt;" in page
     assert "<b>evil</b>" not in page
     assert "h&amp;m" in page
+
+
+def _timing_dict(jittered: bool = True):
+    from repro.network.runtime import InMemoryAsyncTransport, UniformLatency
+    from repro.obs import TimingReport
+
+    params = scaled_parameters(n=5, d=6, num_checks=3, kappa=16, margin=6)
+    vss = IdealVSS(params.field, params.n, params.t, cost=GGOR13_COST)
+    messages = {i: params.field(100 + i) for i in range(5)}
+    tracer = Tracer()
+    transport = (
+        InMemoryAsyncTransport(
+            latency=UniformLatency(base_ms=3.0, jitter_ms=2.0), seed=7
+        )
+        if jittered
+        else None
+    )
+    run_anonchan(params, vss, messages, seed=7, tracer=tracer,
+                 transport=transport)
+    return TimingReport.from_events(tracer.events).to_dict()
+
+
+def test_timing_panel_renders_verdict_heatmap_and_critical_path():
+    page = render_dashboard(timing=_timing_dict())
+    assert "Timing &amp; critical path" in page
+    assert "within tolerance" in page
+    assert "observed makespan" in page
+    # The straggler heatmap and the hop table are both present.
+    assert "Stragglers" in page or "straggler" in page
+    assert "critical path" in page.lower()
+
+
+def test_timing_panel_placeholder_without_v4_trace():
+    page = render_dashboard()
+    assert "Timing &amp; critical path" in page
+    assert ("no schema-v4 trace" in page or "no trace" in page
+            or "no virtual-time" in page)
+
+
+def test_timing_panel_sparkline_from_telemetry_makespans():
+    telemetry = [
+        {"config": "c", "strategy": "honest", "fault": "none", "n": 5,
+         "trial": i, "honest_delivered": True, "agreement": True,
+         "rounds": 30, "makespan_ms": 20.0 + i}
+        for i in range(4)
+    ]
+    page = render_dashboard(timing=_timing_dict(), telemetry=telemetry)
+    assert "per-trial makespan" in page.lower()

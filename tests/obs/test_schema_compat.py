@@ -65,9 +65,9 @@ def test_v2_fixture_still_validates():
     assert validate_events(_v2_stream()) == []
 
 
-def test_supported_versions_cover_all_three():
-    assert SUPPORTED_SCHEMA_VERSIONS == {1, 2, 3}
-    assert SCHEMA_VERSION == 3
+def test_supported_versions_cover_all_four():
+    assert SUPPORTED_SCHEMA_VERSIONS == {1, 2, 3, 4}
+    assert SCHEMA_VERSION == 4
 
 
 def test_msg_events_rejected_in_v1_stream():
@@ -163,3 +163,112 @@ def test_msg_attr_types_are_validated():
                           attrs={"sender": 0, "receiver": 1,
                                  "elements": 1, "lamport": 1})
     assert any("round" in e for e in validate_events([no_round]))
+
+
+# -- schema v4: virtual-time stamps ------------------------------------------
+
+def _v4_stream() -> list[TraceEvent]:
+    """A hand-built v4 trace exercising every timing attribute."""
+    return [
+        _ev(0, "run_start", "run", schema_version=4, n=3, t=1),
+        _ev(1, "note", "timing-model", latency={"model": "zero"},
+            compute={"model": "zero"}, realtime=False),
+        _ev(2, "span_start", "step 1: VSS-Share", phase="step 1: VSS-Share",
+            t_virtual=0.0),
+        _ev(3, "msg", "msg", rnd=0, phase="step 1: VSS-Share", sender=0,
+            receiver=1, elements=5, lamport=1, t_send=0.0, t_recv=1.5),
+        _ev(4, "round", "round", rnd=0, phase="step 1: VSS-Share",
+            broadcasters=[0], messages=1, elements=5,
+            t_start=0.0, t_end=1.5, t_wall_ms=0.2),
+        _ev(5, "span_end", "step 1: VSS-Share", rnd=0, elapsed_ns=100,
+            t_virtual=1.5),
+        _ev(6, "run_end", "run", rounds=1, makespan_ms=1.5),
+    ]
+
+
+def _redeclared(events: list[TraceEvent], version: int) -> list[TraceEvent]:
+    attrs = {**events[0].attrs, "schema_version": version}
+    events[0] = TraceEvent(seq=0, kind="run_start", name="run",
+                           round_index=None, phase=None, depth=0,
+                           t_ns=0, attrs=attrs)
+    return events
+
+
+def test_v4_fixture_validates():
+    assert validate_events(_v4_stream()) == []
+
+
+def test_timing_fields_rejected_in_v3_stream():
+    errors = validate_events(_redeclared(_v4_stream(), 3))
+    for key in ("t_send", "t_recv", "t_start", "t_end", "t_wall_ms",
+                "t_virtual", "makespan_ms"):
+        assert any(
+            f"{key!r} requires schema_version >= 4" in e for e in errors
+        ), key
+    assert any("timing-model note requires schema_version >= 4" in e
+               for e in errors)
+
+
+def test_timing_fields_rejected_in_v1_stream():
+    """A v1 declaration rejects both the msg events and their stamps."""
+    errors = validate_events(_redeclared(_v4_stream(), 1))
+    assert any("schema_version >= 3" in e for e in errors)
+    assert any("'t_send' requires schema_version >= 4" in e for e in errors)
+
+
+def test_headless_stream_with_timing_fields_validates():
+    """No run_start — the stream is treated as the current version."""
+    stamped = _ev(0, "msg", "msg", rnd=0, sender=0, receiver=1,
+                  elements=5, lamport=1, t_send=0.0, t_recv=2.0)
+    assert validate_events([stamped]) == []
+
+
+def test_non_numeric_timing_values_rejected():
+    events = _v4_stream()
+    events[3] = _ev(3, "msg", "msg", rnd=0, phase="step 1: VSS-Share",
+                    sender=0, receiver=1, elements=5, lamport=1,
+                    t_send="soon", t_recv=True)
+    errors = validate_events(events)
+    assert any("'t_send' is str, not a number" in e for e in errors)
+    assert any("'t_recv' is bool, not a number" in e for e in errors)
+
+
+def test_timestamp_free_v4_stream_is_valid():
+    """Timing attrs are optional on v4 — a stamp-free trace validates."""
+    events = _legacy_v1_stream()
+    _redeclared(events, 4)
+    assert validate_events(events) == []
+
+
+def test_run_metrics_and_comm_unchanged_by_timing_fields():
+    """Aggregators that predate v4 must not see the new stamps."""
+    from repro.obs import CommReport, without_timing_fields
+
+    stamped = _v4_stream()
+    stripped = without_timing_fields(stamped)
+    before = RunMetrics.from_events(stamped).to_dict()
+    after = RunMetrics.from_events(stripped).to_dict()
+    # The downgrade re-declares the version; nothing else may move.
+    assert before.pop("meta")["schema_version"] == 4
+    assert after.pop("meta")["schema_version"] == 3
+    assert before == after
+    comm_before = CommReport.from_events(stamped).to_dict()
+    comm_after = CommReport.from_events(stripped).to_dict()
+    assert comm_before.pop("schema_version") == 4
+    assert comm_after.pop("schema_version") == 3
+    assert comm_before == comm_after
+
+
+def test_without_timing_fields_downgrades_to_valid_v3():
+    from repro.obs import without_timing_fields
+
+    stripped = without_timing_fields(_v4_stream())
+    assert validate_events(stripped) == []
+    assert stripped[0].attrs["schema_version"] == 3
+    assert [ev.seq for ev in stripped] == list(range(len(stripped)))
+    for ev in stripped:
+        assert ev.name != "timing-model"
+        assert not ev.attrs.keys() & {
+            "t_send", "t_recv", "t_start", "t_end", "t_wall_ms",
+            "t_virtual", "makespan_ms",
+        }

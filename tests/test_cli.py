@@ -423,3 +423,100 @@ def test_dashboard_bad_campaign_is_structural_error(tmp_path, capsys):
         "--out", str(tmp_path / "d.html"),
     ]) == 2
     assert capsys.readouterr().err
+
+
+# -- timing report, timeline export, timing-aware obs-check ------------------
+
+def _jittered_trace(tmp_path, capsys) -> str:
+    trace = tmp_path / "jittered.jsonl"
+    assert main([
+        "trace-run", "-n", "5", "--latency-ms", "3", "--jitter-ms", "2",
+        "--out", str(trace),
+    ]) == 0
+    capsys.readouterr()
+    return str(trace)
+
+
+def test_trace_run_latency_flags_need_async_transport(capsys):
+    assert main([
+        "trace-run", "-n", "5", "--latency-ms", "2",
+        "--transport", "lockstep",
+    ]) == 2
+    assert "need the async transport" in capsys.readouterr().err
+
+
+def test_report_timing_on_jittered_trace(tmp_path, capsys):
+    trace = _jittered_trace(tmp_path, capsys)
+    assert main(["report", trace, "--timing"]) == 0
+    out = capsys.readouterr().out
+    assert "observed makespan" in out
+    assert "predicted makespan" in out
+    assert "critical path" in out
+
+
+def test_report_timing_json_payload(tmp_path, capsys):
+    import json
+
+    trace = _jittered_trace(tmp_path, capsys)
+    assert main(["report", trace, "--timing", "--json"]) == 0
+    # Like --comm --json, the output is a concatenation of JSON
+    # documents (run report, then the timing report): decode them all
+    # and take the last one.
+    out = capsys.readouterr().out
+    decoder = json.JSONDecoder()
+    docs, pos = [], 0
+    while pos < len(out.rstrip()):
+        payload, end = decoder.raw_decode(out, pos)
+        docs.append(payload)
+        pos = end + 1
+    payload = docs[-1]
+    assert payload["has_timing"] is True
+    assert payload["makespan_ms"] > 0.0
+    assert payload["makespan_ok"] is True
+    assert payload["critical_path"]
+
+
+def test_report_timing_on_lockstep_trace_is_all_zero(tmp_path, capsys):
+    trace = tmp_path / "lockstep.jsonl"
+    assert main(["trace-run", "-n", "5", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(trace), "--timing"]) == 0
+    assert "0.000 ms" in capsys.readouterr().out
+
+
+def test_timeline_exports_chrome_trace(tmp_path, capsys):
+    import json
+
+    trace = _jittered_trace(tmp_path, capsys)
+    out = tmp_path / "timeline.json"
+    assert main(["timeline", trace, "--out", str(out)]) == 0
+    assert "ui.perfetto.dev" in capsys.readouterr().err
+    with open(out, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert {ev["ph"] for ev in payload["traceEvents"]} >= {"M", "X", "s", "f"}
+
+
+def test_timeline_rejects_pre_v4_trace(tmp_path, capsys):
+    from repro.obs import read_jsonl, without_timing_fields, write_jsonl
+
+    trace = tmp_path / "trace.jsonl"
+    assert main(["trace-run", "-n", "5", "--out", str(trace)]) == 0
+    capsys.readouterr()
+    stripped = tmp_path / "v3.jsonl"
+    write_jsonl(without_timing_fields(read_jsonl(trace)), stripped)
+    assert main(["timeline", str(stripped)]) == 1
+    assert "no virtual-time stamps" in capsys.readouterr().err
+
+
+def test_obs_check_timing_requires_v4(tmp_path, capsys):
+    from repro.obs import read_jsonl, without_timing_fields, write_jsonl
+
+    trace = _jittered_trace(tmp_path, capsys)
+    assert main(["obs-check", trace, "--timing"]) == 0
+    capsys.readouterr()
+    stripped = tmp_path / "v3.jsonl"
+    write_jsonl(without_timing_fields(read_jsonl(trace)), stripped)
+    assert main(["obs-check", str(stripped)]) == 0  # vacuously clean...
+    capsys.readouterr()
+    assert main(["obs-check", str(stripped), "--timing"]) == 1  # ...not here
+    assert "requires a schema-v4 trace" in capsys.readouterr().err
