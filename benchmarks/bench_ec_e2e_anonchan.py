@@ -1,0 +1,157 @@
+"""Ec — End-to-end batched AnonChan hot path vs the scalar reference.
+
+PR 10's tentpole: the whole protocol hot path — dealing, the kappa
+cut-and-choose copy-checks per prover (steps 2-3), and the step-4
+receiver reconstruction — runs through the numpy batch kernels, with
+Vandermonde/Lagrange tables cached across epochs and payload accounting
+precomputed at the VSS layer.  This bench pins the resulting end-to-end
+speedup at paper-scale parameters and is gated by ``bench-check`` in CI
+(the ≥5x assertion below fails the bench job outright if the batched
+path regresses to scalar-ish speed).
+
+Every row asserts byte-identical protocol results across backends
+(outputs *and* field-element accounting): the backend is an
+execution-speed knob, never a semantics knob — the differential harness
+in tests/core/test_batched_equivalence.py holds the same line per
+adversary strategy.
+"""
+
+import gc
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import phase_breakdown, report
+
+from repro.core import paper_parameters, run_anonchan, scaled_parameters
+from repro.obs import Tracer
+from repro.obs.profiler import OpProfiler
+from repro.vss import IdealVSS
+
+# The paper-scale row: honest majority at the paper's threshold bound
+# (t = floor((n-1)/2)) with the structure-preserving scaled
+# parameterization (l = margin*(n-1)*d, DESIGN.md section 3).  This is
+# the regime the batch kernels target — wide openings (l*kappa-scale
+# cut-and-choose) across a real quorum — and the row the ≥5x gate holds.
+PAPER_SCALE = dict(n=9, d=8, num_checks=6, kappa=16, margin=8)
+MIN_SPEEDUP = 5.0
+
+
+def _run_once(params, seed):
+    vss = IdealVSS(params.field, params.n, params.t)
+    messages = {i: params.field(10 + i) for i in range(params.n)}
+    gc.collect()
+    t0 = time.perf_counter()
+    res = run_anonchan(params, vss, messages, seed=seed)
+    elapsed = time.perf_counter() - t0
+    outputs = [
+        (sorted(out.output.items()) if out.output is not None else None)
+        for out in res.outputs.values()
+    ]
+    return elapsed, (outputs, res.metrics.field_elements_sent)
+
+
+def _measure(label, params_for, seed):
+    """One table row: scalar once, vectorized best-of-2 (noise floor)."""
+    scalar_s, scalar_result = _run_once(params_for("scalar"), seed)
+    vec_params = params_for("vectorized")
+    vec_s, vec_result = _run_once(vec_params, seed)
+    vec_s2, vec_result2 = _run_once(vec_params, seed)
+    assert vec_result == vec_result2  # deterministic under fixed seed
+    assert scalar_result == vec_result  # identical transcript semantics
+    vec_best = min(vec_s, vec_s2)
+    return (
+        label,
+        params_for("scalar").n,
+        params_for("scalar").ell,
+        round(scalar_s, 3),
+        round(vec_best, 3),
+        round(scalar_s / vec_best, 2),
+    )
+
+
+def test_ec_e2e_anonchan_speedup(benchmark):
+    rows = []
+    extra = {}
+
+    def run():
+        rows.clear()
+        rows.append(
+            _measure(
+                "paper n=2",
+                lambda b: paper_parameters(2, sharing_backend=b),
+                seed=7,
+            )
+        )
+        rows.append(
+            _measure(
+                "scaled n=6",
+                lambda b: scaled_parameters(
+                    n=6, d=8, num_checks=4, kappa=16, margin=8,
+                    sharing_backend=b,
+                ),
+                seed=7,
+            )
+        )
+        rows.append(
+            _measure(
+                "paper-scale n=9",
+                lambda b: scaled_parameters(**PAPER_SCALE, sharing_backend=b),
+                seed=7,
+            )
+        )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Untimed instrumented run at paper scale: the artifact carries the
+    # per-phase breakdown and the batched/fallback op accounting (the
+    # timed legs run untraced so instrumentation cannot skew the gate).
+    params = scaled_parameters(**PAPER_SCALE, sharing_backend="vectorized")
+    vss = IdealVSS(params.field, params.n, params.t)
+    tracer, prof = Tracer(), OpProfiler()
+    run_anonchan(
+        params, vss, {i: params.field(10 + i) for i in range(params.n)},
+        seed=7, tracer=tracer, profiler=prof,
+    )
+    counters = {
+        name: prof.total("vss", name)
+        for name in (
+            "deal_batched", "open_batched", "combine_batched",
+            "deal_scalar_fallback", "open_scalar_fallback",
+            "combine_scalar_fallback",
+        )
+    }
+    extra["phase_breakdown"] = {"paper-scale n=9": phase_breakdown(tracer)}
+    extra["vss_op_counters"] = counters
+
+    report(
+        "ec_e2e_anonchan",
+        "AnonChan end-to-end: batched hot path vs scalar reference",
+        ["row", "n", "l", "scalar s", "vectorized s", "speedup"],
+        rows,
+        notes="identical outputs and field-element accounting asserted per\n"
+              "row; vectorized column is best-of-2 (single-shot noise\n"
+              "floor), scalar runs once.  paper n=2 has t=0 (quorum 1, no\n"
+              "recombination work to batch), so its ratio reflects payload\n"
+              "accounting and dealing alone; the honest-majority paper-scale\n"
+              "row is the gated deliverable.",
+        extra=extra,
+    )
+
+    # The explicitly vectorized mode must never have taken a scalar
+    # fallback, and the batch kernels must actually have engaged.
+    assert counters["combine_scalar_fallback"] == 0
+    assert counters["deal_batched"] > 0
+    assert counters["open_batched"] > 0
+    assert counters["combine_batched"] > 0
+
+    # The tentpole gate: >=5x end to end at paper-scale parameters.
+    paper_row = rows[-1]
+    assert paper_row[0] == "paper-scale n=9"
+    assert paper_row[5] >= MIN_SPEEDUP, (
+        f"end-to-end batched speedup regressed: {paper_row[5]}x < "
+        f"{MIN_SPEEDUP}x at paper-scale parameters"
+    )

@@ -32,6 +32,8 @@ from collections import Counter
 from dataclasses import dataclass, field as dc_field
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.fields import FieldElement
 from repro.network import (
     Adversary,
@@ -51,15 +53,21 @@ from repro.vss import (
 
 from .cutandchoose import (
     challenge_bits,
-    stage1_offsets,
+    stage1_slice,
+    stage2_offsets_bit0,
+    stage2_offsets_bit1,
     stage2_passes,
-    stage2_plan_bit0,
-    stage2_plan_bit1,
     validate_index_list_opening,
     validate_permutation_opening,
 )
 from .darts import Permutation, SparseVector
-from .layout import DealerLayout, ProverMaterial, ReceiverLayout, honest_material
+from .layout import (
+    DealerLayout,
+    ProverMaterial,
+    ReceiverLayout,
+    honest_material,
+    step4_offsets,
+)
 from .params import AnonChanParams
 from .receiver import (
     collect_step4_columns,
@@ -202,8 +210,10 @@ class AnonChan:
         cursor = 0
         for i in sorted(vss_qualified):
             for j in range(params.num_checks):
-                offsets = stage1_offsets(layout, j, bits[j])
-                views = [dealer_batches[i][o] for o in offsets]
+                # Stage-1 openings are contiguous in the dealer layout,
+                # so slice the batch instead of gathering per offset.
+                lo, hi = stage1_slice(layout, j, bits[j])
+                views = dealer_batches[i].views[lo:hi]
                 stage1_views.extend(views)
                 stage1_slices.append((i, j, cursor, cursor + len(views)))
                 cursor += len(views)
@@ -226,22 +236,60 @@ class AnonChan:
                 decoded[(i, j)] = idx
 
         # ---- step 3, stage 2: open the derived zero-combinations ------------
+        # All kappa copy-checks of one prover run as a single batched
+        # view-difference through the VSS layer (diff_offsets_batch):
+        # per check, bit 0 contributes the 2l differences pi_j(v) - w_j
+        # and bit 1 the alleged-zero passthrough offsets plus the
+        # 2(d-1) consecutive-entry differences.  The blocks are spliced
+        # back in the scalar plan order, so the opened-value stream (and
+        # hence the trace and every disqualification decision) is
+        # identical to the per-view path.
         stage2_views = []
         stage2_slices = []
         cursor = 0
         for i in sorted(passed):
+            batch = dealer_batches[i]
+            blocks: list[tuple[str, Any]] = []
+            diff_a: list[np.ndarray] = []
+            diff_b: list[np.ndarray] = []
+            spans: list[tuple[int, int]] = []  # (j, view count)
             for j in range(params.num_checks):
                 if bits[j] == 0:
-                    plan = stage2_plan_bit0(
-                        layout, j, decoded[(i, j)], dealer_batches[i].views
+                    offs_a, offs_b = stage2_offsets_bit0(
+                        layout, j, decoded[(i, j)]
+                    )
+                    blocks.append(("diff", len(offs_a)))
+                    diff_a.append(offs_a)
+                    diff_b.append(offs_b)
+                    spans.append((j, len(offs_a)))
+                else:
+                    passthrough, offs_a, offs_b = stage2_offsets_bit1(
+                        layout, j, decoded[(i, j)]
+                    )
+                    blocks.append(("pass", passthrough))
+                    blocks.append(("diff", len(offs_a)))
+                    diff_a.append(offs_a)
+                    diff_b.append(offs_b)
+                    spans.append((j, len(passthrough) + len(offs_a)))
+            diffs = (
+                session.diff_offsets_batch(
+                    batch, np.concatenate(diff_a), np.concatenate(diff_b)
+                )
+                if diff_a
+                else []
+            )
+            done = 0
+            for kind, payload in blocks:
+                if kind == "pass":
+                    stage2_views.extend(
+                        batch.views[int(o)] for o in payload
                     )
                 else:
-                    plan = stage2_plan_bit1(
-                        layout, j, decoded[(i, j)], dealer_batches[i].views
-                    )
-                stage2_views.extend(plan.views)
-                stage2_slices.append((i, j, cursor, cursor + len(plan.views)))
-                cursor += len(plan.views)
+                    stage2_views.extend(diffs[done : done + payload])
+                    done += payload
+            for j, length in spans:
+                stage2_slices.append((i, j, cursor, cursor + length))
+                cursor += length
         with tr.span("step 3b: cut-and-choose verification", opened=cursor):
             stage2_values = yield from session.open_program(pid, stage2_views)
         for i, j, lo, hi in stage2_slices:
@@ -252,11 +300,9 @@ class AnonChan:
         # ---- step 4: open g, combine, send privately to the receiver --------
         with tr.span("step 4a: receiver permutations"):
             if recv_batch is not DEALER_DISQUALIFIED:
-                g_views = [
-                    recv_batch[rlayout.g(i, k)]
-                    for i in range(n)
-                    for k in range(params.ell)
-                ]
+                # g(i, k) = i * ell + k: the receiver batch is exactly
+                # the n permutations in order, so open it as one slice.
+                g_views = recv_batch.views[: rlayout.total]
                 g_values = yield from session.open_program(pid, g_views)
                 g_perms = []
                 for i in range(n):
@@ -279,23 +325,14 @@ class AnonChan:
         payloads = []
         step4_views: list = []
         if pass_sorted:
-            for k in range(params.ell):
-                x_view = combine_views(
-                    [
-                        dealer_batches[i][layout.vec_x(g_perms[i](k))]
-                        for i in pass_sorted
-                    ]
-                )
-                a_view = combine_views(
-                    [
-                        dealer_batches[i][layout.vec_a(g_perms[i](k))]
-                        for i in pass_sorted
-                    ]
-                )
-                step4_views.append(x_view)
-                step4_views.append(a_view)
-                payloads.append(session.reveal_payload(pid, x_view))
-                payloads.append(session.reveal_payload(pid, a_view))
+            # The receiver sum over all l coordinates (both halves) in
+            # one batched cross-dealer combination: view k*2 is
+            # sum over PASS of vec_x(g_i(k)), view k*2+1 the tag half.
+            step4_views = session.sum_offsets_batch(
+                [dealer_batches[i] for i in pass_sorted],
+                [step4_offsets(layout, g_perms[i]) for i in pass_sorted],
+            )
+            payloads = session.reveal_payloads_batch(pid, step4_views)
 
         if pid == self.receiver:
             with tr.span("step 4b: private transfer"):

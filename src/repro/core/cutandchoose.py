@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.fields import FieldElement
 from repro.vss import ShareView
 
@@ -41,11 +43,23 @@ class Stage2Plan:
     views: list[ShareView]
 
 
+def stage1_slice(layout: DealerLayout, j: int, bit: int) -> tuple[int, int]:
+    """Contiguous batch range ``[lo, hi)`` opened first for check ``j``.
+
+    Both stage-1 openings (the permutation for bit 0, the index list
+    for bit 1) occupy contiguous offsets in the dealer layout, so the
+    protocol can slice the batch instead of gathering per-offset.
+    """
+    if bit == 0:
+        lo = layout.perm(j, 0)
+        return lo, lo + layout.ell
+    lo = layout.idx(j, 0)
+    return lo, lo + layout.d
+
+
 def stage1_offsets(layout: DealerLayout, j: int, bit: int) -> list[int]:
     """Batch offsets opened first for check ``j`` under challenge ``bit``."""
-    if bit == 0:
-        return [layout.perm(j, k) for k in range(layout.ell)]
-    return [layout.idx(j, m) for m in range(layout.d)]
+    return list(range(*stage1_slice(layout, j, bit)))
 
 
 def validate_permutation_opening(
@@ -137,6 +151,59 @@ def stage2_plan_bit1(
             + negate(batch_views[layout.w_a(j, prev)])
         )
     return Stage2Plan(views=views)
+
+
+def stage2_offsets_bit0(
+    layout: DealerLayout, j: int, perm: Permutation
+) -> tuple[np.ndarray, np.ndarray]:
+    """Offset arrays for the bit-0 differences ``u = pi_j(v) - w_j``.
+
+    Returns parallel ``(minuend, subtrahend)`` offset arrays of length
+    ``2 l``, interleaved exactly like :func:`stage2_plan_bit0`'s views:
+    ``(x half, tag half)`` per coordinate.  Feeding them to the VSS
+    layer's ``diff_offsets_batch`` yields view-for-view the same result
+    as the scalar plan (the differential harness asserts this).
+    """
+    ell = layout.ell
+    src = np.asarray(perm.mapping, dtype=np.int64)
+    ks = np.arange(ell, dtype=np.int64)
+    offs_a = np.empty(2 * ell, dtype=np.int64)
+    offs_b = np.empty(2 * ell, dtype=np.int64)
+    offs_a[0::2] = src  # vec_x(pi_j(k))
+    offs_a[1::2] = ell + src  # vec_a(pi_j(k))
+    w_x0 = layout.w_x(j, 0)
+    offs_b[0::2] = w_x0 + ks  # w_x(j, k)
+    offs_b[1::2] = w_x0 + ell + ks  # w_a(j, k)
+    return offs_a, offs_b
+
+
+def stage2_offsets_bit1(
+    layout: DealerLayout, j: int, index_list: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Offset arrays for the bit-1 openings of ``w_j``.
+
+    Returns ``(passthrough, minuend, subtrahend)``: ``passthrough``
+    holds the ``2 (l - d)`` offsets of the alleged-zero coordinates
+    (opened as-is), the other two the ``2 (d - 1)`` difference pairs of
+    consecutive listed entries — in :func:`stage2_plan_bit1`'s order.
+    """
+    ell = layout.ell
+    w_x0 = layout.w_x(j, 0)
+    idx = np.asarray(list(index_list), dtype=np.int64)
+    listed = np.zeros(ell, dtype=bool)
+    listed[idx] = True
+    ks = np.flatnonzero(~listed)
+    passthrough = np.empty(2 * ks.size, dtype=np.int64)
+    passthrough[0::2] = w_x0 + ks
+    passthrough[1::2] = w_x0 + ell + ks
+    cur, prev = idx[1:], idx[:-1]
+    offs_a = np.empty(2 * cur.size, dtype=np.int64)
+    offs_b = np.empty(2 * cur.size, dtype=np.int64)
+    offs_a[0::2] = w_x0 + cur
+    offs_a[1::2] = w_x0 + ell + cur
+    offs_b[0::2] = w_x0 + prev
+    offs_b[1::2] = w_x0 + ell + prev
+    return passthrough, offs_a, offs_b
 
 
 def stage2_passes(values: Sequence[FieldElement]) -> bool:

@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.fields import FieldElement
 
 from .darts import Permutation, SparseVector, fresh_tag, make_dart_vector
@@ -134,6 +136,21 @@ class DealerLayout:
                 out[self.idx(j, m)] = index
         out[self.challenge()] = material.challenge_share.value
         return [field(v) for v in out]
+
+
+def step4_offsets(layout: DealerLayout, perm: Permutation) -> np.ndarray:
+    """Offsets of one prover's permuted vector for the step-4 sum.
+
+    Interleaved ``(vec_x(g(k)), vec_a(g(k)))`` per coordinate ``k`` —
+    the per-prover offset column of the receiver sum
+    ``v = sum over PASS of g_i(v^(i))``, consumed by the VSS layer's
+    ``sum_offsets_batch``.
+    """
+    src = np.asarray(perm.mapping, dtype=np.int64)
+    out = np.empty(2 * src.size, dtype=np.int64)
+    out[0::2] = src  # vec_x(g(k))
+    out[1::2] = layout.ell + src  # vec_a(g(k))
+    return out
 
 
 class ReceiverLayout:

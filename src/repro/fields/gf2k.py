@@ -73,6 +73,16 @@ class GF2k(Field):
         if k <= self.TABLE_MAX_K:
             self._build_tables()
 
+    @property
+    def has_tables(self) -> bool:
+        """Whether log/exp tables exist (``k <= TABLE_MAX_K``).
+
+        Table-backed fields get gather-based vectorized multiplication;
+        tableless ones rely on the carryless kernel (see
+        :mod:`repro.fields.vectorized`).
+        """
+        return self._exp is not None
+
     # -- table construction --------------------------------------------
     def _build_tables(self) -> None:
         """Build discrete log/exp tables over a multiplicative generator."""

@@ -4,8 +4,8 @@ The experiments shuffle hundreds of thousands of field elements (every
 coordinate of every dart vector is VSS-shared), and at paper scale
 (``ell ~ n^6 kappa``) the simulator deals and reconstructs that many
 Shamir sharings per execution.  Scalar Python loops are the wall; the
-backends here turn the two hot kernels of the sharing stack into a
-handful of numpy operations:
+backends here turn the hot kernels of the sharing stack into a handful
+of numpy operations:
 
 - **batch polynomial evaluation** (dealing): evaluate ``m`` sharing
   polynomials at all party points at once, Vandermonde-style
@@ -14,19 +14,43 @@ handful of numpy operations:
   rows of shares against one set of cached Lagrange coefficients
   (:meth:`VectorBackend.interpolate_at_zero_batch`).
 
-Two substrates are supported: table-backed ``GF(2^k)``
-(:class:`VectorGF2k` — log/exp tables turn multiplication into integer
-gathers) and word-sized prime fields (:class:`VectorPrimeField` —
-``uint64`` modular arithmetic).  :func:`vector_backend` picks the right
-one for a given field, or raises ``ValueError`` when the field has no
-vectorized substrate (callers then fall back to the scalar reference
-path, which stays authoritative: property tests assert exact
-agreement).
+Two substrates are supported: binary fields ``GF(2^k)``
+(:class:`VectorGF2k`) and word-sized prime fields
+(:class:`VectorPrimeField` — ``uint64`` modular arithmetic).
+:class:`VectorGF2k` carries *two* multiplication kernels: log/exp table
+gathers (table-backed fields, small arrays) and a **carryless
+shift-and-XOR kernel** that needs no tables at all — it is the only
+kernel for tableless fields (``k > GF2k.TABLE_MAX_K``, up to
+``k <= CARRYLESS_MAX_K``) and takes over from the gathers above a size
+threshold, where streaming passes beat cache-missing random gathers.
+:func:`vector_backend` picks the right backend for a given field, or
+raises ``ValueError`` when the field has no vectorized substrate
+(callers then fall back to the scalar reference path, which stays
+authoritative: property tests assert exact agreement).
+
+The module also hosts :data:`TABLES`, the process-wide cache of
+Vandermonde and Lagrange-at-zero tables shared by the VSS sessions and
+sharing schemes, so the tables survive across protocol epochs (each
+``run_anonchan`` builds a fresh session).  Entries are keyed by the
+:class:`~repro.fields.base.Field` *object* — field equality hashes the
+concrete type plus its defining parameters — never by a lossy repr:
+``GF(2^4)`` exists for several reduction polynomials, and a ``GF2k``
+modulus can numerically equal a ``PrimeField`` modulus, so any
+repr/order-based key would leak tables across fields.
+
+Finally, :func:`force_scalar` reads the ``REPRO_FORCE_SCALAR``
+environment switch: when set, every ``"auto"``-mode batch policy in the
+stack resolves to the scalar reference path (explicit ``"vectorized"``
+or ``"scalar"`` requests are unaffected).  CI runs one matrix leg with
+it enabled so the scalar fallbacks keep full coverage.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Sequence
+import os
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -39,20 +63,56 @@ from .primefield import PrimeField
 if TYPE_CHECKING:
     from numpy.typing import ArrayLike
 
+#: Largest extension degree the carryless GF(2^k) kernel supports:
+#: intermediate products peak at bit ``2k - 2``, which must fit uint64.
+CARRYLESS_MAX_K = 32
+
+#: Default array size above which table-backed GF(2^k) multiplication
+#: switches from log/exp gathers to the carryless kernel.  Gathers into
+#: the 2^k-entry tables are random-access and lose to the kernel's
+#: ``O(3k)`` streaming passes only once the tables fall out of cache;
+#: measured on the reference container the k=16 tables stay
+#: cache-resident through 2^22-element batches, so the default engages
+#: the kernel only beyond that (override with the
+#: ``REPRO_TABLE_FREE_MIN`` environment variable to re-measure — see
+#: docs/PERFORMANCE.md).  Tableless fields (k > ``GF2k.TABLE_MAX_K``)
+#: always use the carryless kernel regardless of size.
+DEFAULT_TABLE_FREE_MIN = 1 << 22
+
+
+def default_table_free_min() -> int:
+    """The table-free crossover threshold (env-overridable)."""
+    raw = os.environ.get("REPRO_TABLE_FREE_MIN", "").strip()
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return DEFAULT_TABLE_FREE_MIN
+
+
+def force_scalar() -> bool:
+    """True when ``REPRO_FORCE_SCALAR`` requests the scalar path.
+
+    Consulted dynamically (not cached) so tests can monkeypatch the
+    environment; only ``"auto"`` backend modes honor it.
+    """
+    return os.environ.get("REPRO_FORCE_SCALAR", "").strip() not in ("", "0")
+
 
 class VectorBackend:
     """Shared batch kernels over element-wise field primitives.
 
     Subclasses fix the array ``dtype`` and implement ``add``, ``mul``,
-    ``scale``, ``neg`` and ``reduce_sum``; everything else (Horner
-    evaluation, Vandermonde tables, batched interpolation at zero) is
-    derived here and therefore identical across substrates.  All arrays
-    hold raw field encodings.
+    ``scale``, ``neg``, ``reduce_sum`` and ``reduceat``; everything else
+    (Horner evaluation, Vandermonde tables, batched interpolation at
+    zero) is derived here and therefore identical across substrates.
+    All arrays hold raw field encodings.
     """
 
     field: Field
     order: int
-    dtype: type
+    dtype: Any
 
     # -- conversions ------------------------------------------------------
     def array(self, values: "ArrayLike") -> np.ndarray:
@@ -87,6 +147,15 @@ class VectorBackend:
 
     def reduce_sum(self, a: np.ndarray, axis: int) -> np.ndarray:
         """Field sum along one axis."""
+        raise NotImplementedError
+
+    def reduceat(self, a: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Per-segment field sums (``ufunc.reduceat`` semantics).
+
+        ``indices`` are the segment start offsets into the 1-D array
+        ``a``; empty segments follow numpy's reduceat convention (the
+        caller must patch them — see the VSS layer's usage).
+        """
         raise NotImplementedError
 
     def scale(self, a: np.ndarray, scalar: int) -> np.ndarray:
@@ -132,7 +201,8 @@ class VectorBackend:
         """The Vandermonde table ``V[i, j] = xs[i]^j`` for ``j <= degree``.
 
         Computed once and cached by callers (the evaluation points of a
-        sharing scheme are fixed), it turns dealing into
+        sharing scheme are fixed — see :data:`TABLES` for the shared
+        cross-session cache), it turns dealing into
         :meth:`batch_eval`'s accumulate-of-products.
         """
         if degree < 0:
@@ -198,10 +268,7 @@ class VectorBackend:
         implementation; the batch work happens in
         :meth:`interpolate_at_zero_batch`.
         """
-        from .polynomial import lagrange_coefficients
-
-        coeffs = lagrange_coefficients(self.field, [int(x) for x in xs], 0)
-        return self.array([c.value for c in coeffs])
+        return self.array(TABLES.lagrange_at_zero(self.field, xs))
 
     def interpolate_at_zero_batch(
         self,
@@ -252,71 +319,164 @@ class VectorBackend:
 
 
 class VectorGF2k(VectorBackend):
-    """Array operations over a table-backed binary field.
+    """Array operations over a binary extension field.
 
-    All arrays hold raw encodings as ``uint32``; multiplication is a
-    pair of log-table gathers plus one exp-table gather.
+    Two multiplication kernels coexist:
+
+    - **table gathers**: a pair of log-table gathers plus one exp-table
+      gather, available only when the field carries log/exp tables
+      (``k <= GF2k.TABLE_MAX_K``), used for arrays smaller than
+      ``table_free_min``;
+    - **carryless shift-and-XOR**: bit-sliced over the ``k`` multiplier
+      bits, then a modular fold of bits ``2k-2 .. k`` by the reduction
+      polynomial — table-free, ``O(3k)`` streaming passes regardless of
+      array size, exact for every ``k <= CARRYLESS_MAX_K``.
+
+    Arrays hold raw encodings as ``uint32`` (``k <= 16``) or ``uint64``
+    (``k <= 32``); carryless intermediates peak at bit ``2k - 2``, so
+    both dtypes are overflow-safe.  Both kernels implement the same
+    polynomial multiplication modulo the same irreducible, so crossing
+    the threshold never changes a result (property-tested).
     """
 
-    dtype = np.uint32
-
-    def __init__(self, field: GF2k) -> None:
-        if field._exp is None:
+    def __init__(self, field: GF2k, table_free_min: int | None = None) -> None:
+        if field.k > CARRYLESS_MAX_K:
             raise ValueError(
-                f"{field.short_name} has no tables (k > {GF2k.TABLE_MAX_K}); "
-                "vectorized arithmetic needs a table-backed field"
+                f"{field.short_name} exceeds the carryless kernel width "
+                f"(k > {CARRYLESS_MAX_K}); no vectorized substrate"
             )
         self.field = field
+        self.k = field.k
+        self.modulus = field.modulus
         self.order = field.order
+        self.dtype = np.uint32 if field.k <= 16 else np.uint64
         self._group = field.order - 1
-        self._exp = np.asarray(field._exp, dtype=np.uint32)
-        self._log = np.asarray(field._log, dtype=np.uint32)
+        if field._exp is not None:
+            self._exp: np.ndarray | None = np.asarray(
+                field._exp, dtype=np.uint32
+            )
+            self._log: np.ndarray | None = np.asarray(
+                field._log, dtype=np.uint32
+            )
+        else:
+            self._exp = None
+            self._log = None
+        self.table_free_min = (
+            default_table_free_min()
+            if table_free_min is None
+            else int(table_free_min)
+        )
+
+    # -- carryless kernel -------------------------------------------------
+    def _fold(self, acc: np.ndarray) -> np.ndarray:
+        """Reduce carryless products modulo the irreducible polynomial.
+
+        Folds bits ``2k-2 .. k`` (highest first): whenever bit ``b`` is
+        set, XOR in ``modulus << (b - k)``, whose top bit is exactly
+        ``b`` (the modulus has degree ``k``).
+        """
+        dt = self.dtype
+        k = self.k
+        modulus = int(self.modulus)
+        for bit in range(2 * k - 2, k - 1, -1):
+            reducer = dt(modulus << (bit - k))
+            acc = acc ^ reducer * ((acc >> dt(bit)) & dt(1))
+        return acc
+
+    def _clmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Carryless multiply of equal-shape arrays, reduced mod field."""
+        prof = get_profiler()
+        if prof.enabled:
+            prof.observe("vec", "clmul", int(a.size))
+        dt = self.dtype
+        acc = np.zeros(a.shape, dtype=dt)
+        for bit in range(self.k):
+            acc ^= (a << dt(bit)) * ((b >> dt(bit)) & dt(1))
+        return self._fold(acc)
+
+    def _clmul_scalar(self, a: np.ndarray, scalar: int) -> np.ndarray:
+        """Carryless multiply by one scalar (iterates its set bits only)."""
+        prof = get_profiler()
+        if prof.enabled:
+            prof.observe("vec", "clmul", int(a.size))
+        dt = self.dtype
+        acc = np.zeros_like(a)
+        s = int(scalar)
+        bit = 0
+        while s:
+            if s & 1:
+                acc = acc ^ (a << dt(bit))
+            s >>= 1
+            bit += 1
+        return self._fold(acc)
 
     # -- arithmetic -------------------------------------------------------
-    @staticmethod
-    def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:  # type: ignore[override]
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Element-wise field addition (XOR)."""
         return np.bitwise_xor(a, b)
 
-    @staticmethod
-    def neg(a: np.ndarray) -> np.ndarray:  # type: ignore[override]
+    def neg(self, a: np.ndarray) -> np.ndarray:
         """Characteristic 2: negation is the identity."""
-        return np.asarray(a, dtype=np.uint32)
+        return np.asarray(a, dtype=self.dtype)
 
     def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Element-wise field multiplication via log/exp gathers."""
-        a = np.asarray(a, dtype=np.uint32)
-        b = np.asarray(b, dtype=np.uint32)
+        """Element-wise multiplication: table gathers or carryless."""
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
         a, b = np.broadcast_arrays(a, b)
-        out = np.zeros(a.shape, dtype=np.uint32)
-        nz = (a != 0) & (b != 0)
-        if nz.any():
-            idx = self._log[a[nz]].astype(np.int64) + self._log[b[nz]]
-            out[nz] = self._exp[idx]
-        return out
+        if self._exp is not None and a.size < self.table_free_min:
+            assert self._log is not None
+            out = np.zeros(a.shape, dtype=self.dtype)
+            nz = (a != 0) & (b != 0)
+            if nz.any():
+                idx = self._log[a[nz]].astype(np.int64) + self._log[b[nz]]
+                out[nz] = self._exp[idx]
+            return out
+        return self._clmul(a, b)
 
     def scale(self, a: np.ndarray, scalar: int) -> np.ndarray:
         """Multiply an array by one scalar encoding."""
         if scalar == 0:
-            return np.zeros_like(np.asarray(a, dtype=np.uint32))
-        a = np.asarray(a, dtype=np.uint32)
-        out = np.zeros_like(a)
-        nz = a != 0
-        if nz.any():
-            idx = self._log[a[nz]].astype(np.int64) + int(self._log[scalar])
-            out[nz] = self._exp[idx]
-        return out
+            return np.zeros_like(np.asarray(a, dtype=self.dtype))
+        a = np.asarray(a, dtype=self.dtype)
+        if self._exp is not None and a.size < self.table_free_min:
+            assert self._log is not None
+            out = np.zeros_like(a)
+            nz = a != 0
+            if nz.any():
+                idx = self._log[a[nz]].astype(np.int64) + int(
+                    self._log[scalar]
+                )
+                out[nz] = self._exp[idx]
+            return out
+        return self._clmul_scalar(a, scalar)
 
     def inv(self, a: np.ndarray) -> np.ndarray:
         """Element-wise inversion; raises on zeros."""
-        a = np.asarray(a, dtype=np.uint32)
+        a = np.asarray(a, dtype=self.dtype)
         if (a == 0).any():
             raise ZeroDivisionError("inverse of zero in vectorized field op")
-        return self._exp[self._group - self._log[a].astype(np.int64)]
+        if self._exp is not None:
+            assert self._log is not None
+            return self._exp[self._group - self._log[a].astype(np.int64)]
+        # Fermat: a^(2^k - 2) by carryless square-and-multiply.
+        out = np.full_like(a, 1)
+        base = a
+        e = self.order - 2
+        while e:
+            if e & 1:
+                out = self._clmul(out, base)
+            base = self._clmul(base, base)
+            e >>= 1
+        return out
 
     def reduce_sum(self, a: np.ndarray, axis: int) -> np.ndarray:
         """Field sum along one axis (XOR reduction)."""
         return np.bitwise_xor.reduce(a, axis=axis)
+
+    def reduceat(self, a: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Per-segment XOR sums."""
+        return np.bitwise_xor.reduceat(a, indices)
 
 
 class VectorPrimeField(VectorBackend):
@@ -375,18 +535,122 @@ class VectorPrimeField(VectorBackend):
         a = np.asarray(a, dtype=np.uint64)
         return a.sum(axis=axis, dtype=np.uint64) % self._p
 
+    def reduceat(self, a: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Per-segment modular sums (segments must fit uint64 headroom)."""
+        a = np.asarray(a, dtype=np.uint64)
+        return np.add.reduceat(a, indices) % self._p
 
-def vector_backend(field: Field) -> VectorBackend:
+
+def vector_backend(
+    field: Field, *, table_free_min: int | None = None
+) -> VectorBackend:
     """The vectorized backend for ``field``.
 
     Raises ``ValueError`` when the field has no vectorized substrate
-    (tableless ``GF(2^k)``, huge primes, exotic fields); callers treat
-    that as "use the scalar reference path".
+    (``GF(2^k)`` beyond the carryless kernel width, huge primes, exotic
+    fields); callers treat that as "use the scalar reference path".
+    ``table_free_min`` overrides the GF(2^k) gather-to-carryless
+    crossover threshold (testing/measurement hook).
     """
     if isinstance(field, GF2k):
-        return VectorGF2k(field)
+        return VectorGF2k(field, table_free_min=table_free_min)
     if isinstance(field, PrimeField):
         return VectorPrimeField(field)
     raise ValueError(
         f"no vectorized backend for {getattr(field, 'short_name', field)!r}"
     )
+
+
+class TableCache:
+    """Cross-epoch cache of Vandermonde / Lagrange-at-zero tables.
+
+    Every protocol execution builds a fresh VSS session, but the tables
+    only depend on ``(field, evaluation points, degree)`` — caching them
+    process-wide means epoch 2 deals at full speed immediately.
+
+    Keys embed the :class:`Field` *object* (its ``__hash__``/``__eq__``
+    cover the concrete type and every defining parameter, e.g.
+    ``(k, modulus)`` for ``GF2k``), never a name/order repr: two
+    ``GF(2^4)`` instances over different irreducibles, or a
+    ``PrimeField(19)`` next to a ``GF2k`` whose modulus encodes as 19,
+    must not share entries (regression-tested).
+
+    Entries are immutable once inserted (numpy tables are marked
+    read-only) and lookups are lock-guarded, so concurrent sessions on
+    the asyncio runtime can share the cache; eviction is LRU with a
+    generous bound — point sets are per-scheme, not per-execution.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def _get(self, key: tuple, build: Callable[[], Any]) -> Any:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return value
+        value = build()
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def vandermonde(
+        self, backend: VectorBackend, points: Sequence[int], degree: int
+    ) -> np.ndarray:
+        """Cached read-only Vandermonde table for one scheme geometry."""
+        key = (
+            backend.field,
+            "vandermonde",
+            tuple(int(p) for p in points),
+            int(degree),
+        )
+
+        def build() -> np.ndarray:
+            table = backend.vandermonde(list(points), degree)
+            table.setflags(write=False)
+            return table
+
+        return self._get(key, build)
+
+    def lagrange_at_zero(
+        self, field: Field, xs: Sequence[int]
+    ) -> list[int]:
+        """Cached Lagrange-at-zero coefficients (raw encodings)."""
+        key = (field, "lagrange0", tuple(int(x) for x in xs))
+
+        def build() -> list[int]:
+            from .polynomial import lagrange_coefficients
+
+            return [
+                c.value
+                for c in lagrange_coefficients(
+                    field, [int(x) for x in xs], 0
+                )
+            ]
+
+        return self._get(key, build)
+
+
+#: Process-wide table cache (see [concurrency] allowed_globals in
+#: taint-spec.toml: entries are immutable after insertion, lookups are
+#: lock-guarded, and a lost race only recomputes an equal value).
+TABLES = TableCache()

@@ -22,7 +22,7 @@ from .faults import (
     garble_everything,
     only_in_rounds,
 )
-from .messages import RoundInput, RoundOutput, payload_size
+from .messages import RoundInput, RoundOutput, SizedPayload, payload_size
 from .metrics import ProtocolMetrics
 from .program import Program, map_result, parallel, sequence, silent_rounds
 from .runtime import (
@@ -37,6 +37,7 @@ from .simulator import ExecutionResult, ProtocolViolation, run_protocol
 __all__ = [
     "RoundInput",
     "RoundOutput",
+    "SizedPayload",
     "payload_size",
     "Program",
     "parallel",

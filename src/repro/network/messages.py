@@ -61,6 +61,31 @@ _ATOMS = (int, str, bool, float)
 _CONTAINERS = (list, tuple, set, frozenset)
 
 
+class SizedPayload(list):
+    """A payload list whose accounting size was precomputed by its builder.
+
+    Layers that assemble large, regularly-shaped payloads (the VSS
+    reveal columns) know their :func:`payload_size` in O(1) per item at
+    construction time; carrying it here lets the accounting skip the
+    per-atom walk.  The precomputed value must equal what the generic
+    walk would return — sizes are protocol-visible (traces, comm
+    bounds), not advisory.  Any transformation (fault tampering,
+    slicing) yields a plain ``list`` and falls back to generic sizing,
+    so a stale size cannot survive content changes.
+    """
+
+    __slots__ = ("payload_elements",)
+
+    def __init__(self, items: Any, payload_elements: int):
+        super().__init__(items)
+        self.payload_elements = payload_elements
+
+    def __reduce__(self):
+        # Serialized copies (wire transports) degrade to a plain list:
+        # correct sizing beats carrying a size the receiver can't trust.
+        return (list, (list(self),))
+
+
 def payload_size(payload: Any) -> int:
     """Approximate payload size in field elements / atoms.
 
@@ -77,17 +102,33 @@ def payload_size(payload: Any) -> int:
     if payload is None:
         return 0
     tp = type(payload)
+    if tp is SizedPayload:
+        return payload.payload_elements
     if tp in _ATOMS or tp.__name__ == "FieldElement":
         return 1
     if tp is dict:
         total = 0
         for k, v in payload.items():
-            total += payload_size(k) + payload_size(v)
+            total += (1 if type(k) is int else payload_size(k)) + (
+                1 if type(v) is int else payload_size(v)
+            )
         return total
     if tp in _CONTAINERS:
+        # Ints are by far the dominant leaves (share values, serials,
+        # coefficients) and nested lists/tuples the dominant structure
+        # (reveal payloads); an explicit stack walks them without
+        # re-entering the full dispatch above per node.
         total = 0
-        for v in payload:
-            total += payload_size(v)
+        stack = [payload]
+        while stack:
+            for v in stack.pop():
+                tv = type(v)
+                if tv is int:
+                    total += 1
+                elif tv is tuple or tv is list:
+                    stack.append(v)
+                else:
+                    total += payload_size(v)
         return total
     if isinstance(payload, _ATOMS):
         return 1

@@ -111,8 +111,13 @@ class ShamirScheme:
 
     def _vector_backend(self):
         """Lazily construct the numpy backend per the ``backend`` mode."""
-        if self.backend == "scalar":
-            return None
+        if self.backend != "vectorized":
+            # "auto" honors the scalar-coverage escape hatch; an explicit
+            # "vectorized" request still wins so tests can force kernels.
+            from repro.fields.vectorized import force_scalar
+
+            if self.backend == "scalar" or force_scalar():
+                return None
         if not self._vector_checked:
             self._vector_checked = True
             try:
@@ -205,8 +210,10 @@ class ShamirScheme:
         if prof.enabled:
             prof.count("shamir", "batch_eval", len(coeff_rows))
         if self._vandermonde is None:
-            self._vandermonde = vec.vandermonde(
-                [p.value for p in self.points], self.t
+            from repro.fields.vectorized import TABLES
+
+            self._vandermonde = TABLES.vandermonde(
+                vec, [p.value for p in self.points], self.t
             )
         out = vec.batch_eval(
             np.asarray(coeff_rows, dtype=vec.dtype),
@@ -309,9 +316,9 @@ class ShamirScheme:
         """Cached Lagrange-at-zero coefficients for one point set."""
         coeffs = self._lagrange_cache.get(xs)
         if coeffs is None:
-            coeffs = [
-                c.value for c in lagrange_coefficients(self.field, xs, 0)
-            ]
+            from repro.fields.vectorized import TABLES
+
+            coeffs = TABLES.lagrange_at_zero(self.field, xs)
             self._lagrange_cache[xs] = coeffs
         return coeffs
 

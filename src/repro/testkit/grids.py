@@ -117,6 +117,19 @@ def _smoke() -> list[CampaignConfig]:
                 corrupt_count=1, trials=4,
             )
         )
+    # Batched hot path: one cell big enough that the protocol-level
+    # batch kernels (stage-2 diffs, step-4 sums — VECTOR_COMBINE_MIN)
+    # actually engage instead of deferring to the scalar fallbacks, so
+    # the conformance campaign exercises the vectorized code the
+    # benchmarks measure.
+    configs.append(
+        CampaignConfig(
+            name="smoke/substrate-vectorized-batched-hotpath",
+            n=4, t=1, d=4, ell=64, kappa=16, num_checks=2,
+            substrate="vectorized", strategy="jamming", corrupt_count=1,
+            trials=2,
+        )
+    )
     # Transport axis: the asyncio runtime must reproduce the lockstep
     # semantics on representative honest/adversarial/faulted cells.
     # Shapes deliberately mirror lockstep cells — transport is excluded

@@ -90,10 +90,19 @@ class ShareView(ABC):
 
 @dataclass
 class SharedBatch:
-    """A party's result of one batched VSS-Share: one view per secret."""
+    """A party's result of one batched VSS-Share: one view per secret.
+
+    ``handle`` is backend-private fast-path metadata (e.g. the ideal
+    backend stamps the contiguous serial range of the batch so offset
+    arithmetic can run as numpy gathers).  It is ``None`` for
+    hand-built batches and for backends without a batched fast path;
+    consumers must treat it as opaque and fall back to the generic
+    view-by-view path when absent.
+    """
 
     dealer: int
-    views: list[ShareView]
+    views: Sequence[ShareView]
+    handle: Any = None
 
     def __len__(self) -> int:
         return len(self.views)
@@ -187,6 +196,88 @@ class VSSSession(ABC):
                 results.append(None)
         return results
 
+    # -- batched linear algebra ---------------------------------------------
+    # Generic implementations: correct for every backend, view-by-view.
+    # Backends with a vectorized substrate override these with numpy
+    # fast paths that produce *identical* view objects (the differential
+    # harness pins this down); callers must not depend on timing.
+
+    def reveal_payloads_batch(
+        self, pid: int, views: Sequence[ShareView]
+    ) -> list[Any]:
+        """Reveal payloads for many views at once."""
+        return [self.reveal_payload(pid, v) for v in views]
+
+    def diff_views_batch(
+        self,
+        minuends: Sequence[ShareView],
+        subtrahends: Sequence[ShareView],
+    ) -> list[ShareView]:
+        """Element-wise view differences ``minuends[k] - subtrahends[k]``."""
+        from repro.obs.profiler import get_profiler
+
+        field = self.scheme.field
+        one = field(field.encode(1))
+        minus_one = field(field.neg(one.value))
+        prof = get_profiler()
+        if prof.enabled and minuends:
+            prof.count("vss", "combine_scalar_fallback", len(minuends))
+        if minus_one.value == one.value:  # char 2: subtraction is addition
+            return [
+                a + b for a, b in zip(minuends, subtrahends, strict=True)
+            ]
+        return [
+            a + b.scale(minus_one)
+            for a, b in zip(minuends, subtrahends, strict=True)
+        ]
+
+    def diff_offsets_batch(
+        self,
+        batch: SharedBatch,
+        offsets_a: Sequence[int],
+        offsets_b: Sequence[int],
+    ) -> list[ShareView]:
+        """Differences ``batch[a_k] - batch[b_k]`` over offset arrays."""
+        views = batch.views
+        return self.diff_views_batch(
+            [views[int(o)] for o in offsets_a],
+            [views[int(o)] for o in offsets_b],
+        )
+
+    def sum_views_rows(
+        self, rows: Sequence[Sequence[ShareView]]
+    ) -> list[ShareView]:
+        """Per-row linear-combination sums (one ``combine_views`` each)."""
+        from repro.obs.profiler import get_profiler
+
+        prof = get_profiler()
+        if prof.enabled and rows:
+            prof.count("vss", "combine_scalar_fallback", len(rows))
+        return [combine_views(row) for row in rows]
+
+    def sum_offsets_batch(
+        self,
+        batches: Sequence[SharedBatch],
+        offset_columns: Sequence[Sequence[int]],
+    ) -> list[ShareView]:
+        """Cross-batch sums ``out[k] = sum_i batches[i][columns[i][k]]``.
+
+        One offset column per batch, all of equal length ``m``; this is
+        the shape of the paper's step-4 receiver sum (one batch per
+        passing prover, one offset column per prover permutation).
+        """
+        if len(batches) != len(offset_columns):
+            raise ValueError("one offset column per batch required")
+        m = len(offset_columns[0]) if offset_columns else 0
+        rows = [
+            [
+                batch.views[int(col[k])]
+                for batch, col in zip(batches, offset_columns)
+            ]
+            for k in range(m)
+        ]
+        return self.sum_views_rows(rows)
+
     # -- canonical public opening -------------------------------------------
     def open_program(self, pid: int, views: Sequence[ShareView]) -> Program:
         """Publicly reconstruct several values in one round.
@@ -197,7 +288,7 @@ class VSSSession(ABC):
         locally combines.  Returns the list of reconstructed values.
         """
         n = self.scheme.n
-        payloads = [self.reveal_payload(pid, v) for v in views]
+        payloads = self.reveal_payloads_batch(pid, views)
         inbox = yield RoundOutput(
             private={j: payloads for j in range(n) if j != pid}
         )

@@ -1,0 +1,144 @@
+"""Cross-field isolation of the Vandermonde/Lagrange table cache.
+
+The satellite fix of PR 10: :class:`TableCache` keys embed the
+:class:`Field` object itself — whose equality covers the concrete type
+plus every defining parameter — never a lossy repr.  The collision
+vectors pinned down here actually exist in the wild:
+
+- ``GF(2^4)`` has several irreducible reduction polynomials
+  (``x^4 + x + 1`` = 19 and ``x^4 + x^3 + 1`` = 25): same ``k``, same
+  order, different multiplication — their power tables must not mix;
+- ``PrimeField(19)`` and a ``GF2k`` whose modulus encodes as 19 have
+  equal-looking moduli reprs in entirely different rings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fields import PrimeField, gf2k
+from repro.fields.gf2k import GF2k
+from repro.fields.polynomial import lagrange_coefficients
+from repro.fields.vectorized import TABLES, TableCache, vector_backend
+
+POINTS = [1, 2, 3, 4]
+DEGREE = 2
+
+
+def _scalar_vandermonde(field, points, degree):
+    return [
+        [field.pow(x, j) if hasattr(field, "pow") else _pow(field, x, j)
+         for j in range(degree + 1)]
+        for x in points
+    ]
+
+
+def _pow(field, x, j):
+    acc = field.encode(1)
+    for _ in range(j):
+        acc = field.mul(acc, x)
+    return acc
+
+
+class TestCrossFieldIsolation:
+    def test_gf16_different_moduli_get_distinct_vandermonde(self):
+        f19 = GF2k(4, modulus=19)  # x^4 + x + 1
+        f25 = GF2k(4, modulus=25)  # x^4 + x^3 + 1
+        assert f19 != f25
+        cache = TableCache()
+        t19 = cache.vandermonde(vector_backend(f19), POINTS, DEGREE)
+        t25 = cache.vandermonde(vector_backend(f25), POINTS, DEGREE)
+        assert cache.misses == 2 and cache.hits == 0
+        assert not np.array_equal(t19, t25)
+        # Each table is correct against its *own* field's scalar powers.
+        for field, table in ((f19, t19), (f25, t25)):
+            assert table.tolist() == _scalar_vandermonde(field, POINTS, DEGREE)
+
+    def test_prime_vs_gf2k_equal_modulus_reprs(self):
+        """PrimeField(19) and GF2k(4, modulus=19): modulus 19 both, but
+        Lagrange coefficients live in different rings."""
+        prime = PrimeField(19)
+        binary = GF2k(4, modulus=19)
+        cache = TableCache()
+        xs = (1, 2, 3)
+        lp = cache.lagrange_at_zero(prime, xs)
+        lb = cache.lagrange_at_zero(binary, xs)
+        assert cache.misses == 2 and cache.hits == 0
+        assert lp != lb
+        for field, coeffs in ((prime, lp), (binary, lb)):
+            expected = [
+                c.value for c in lagrange_coefficients(field, list(xs), 0)
+            ]
+            assert coeffs == expected
+
+    def test_same_field_fresh_instance_hits(self):
+        """Field equality is by value: a reconstructed field object with
+        the same parameters reuses the cached entry."""
+        cache = TableCache()
+        t1 = cache.vandermonde(vector_backend(gf2k(12)), POINTS, DEGREE)
+        t2 = cache.vandermonde(
+            vector_backend(GF2k(12, modulus=gf2k(12).modulus)), POINTS, DEGREE
+        )
+        assert t1 is t2
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_points_and_degrees_are_distinct_entries(self):
+        cache = TableCache()
+        vec = vector_backend(gf2k(12))
+        cache.vandermonde(vec, [1, 2, 3], 2)
+        cache.vandermonde(vec, [1, 2, 3], 3)
+        cache.vandermonde(vec, [1, 2, 4], 2)
+        assert len(cache) == 3 and cache.misses == 3
+
+
+class TestCacheMechanics:
+    def test_global_cache_identity_hit(self):
+        vec = vector_backend(gf2k(16))
+        points = [11, 22, 33, 44, 55]
+        hits0, misses0 = TABLES.hits, TABLES.misses
+        t1 = TABLES.vandermonde(vec, points, 3)
+        t2 = TABLES.vandermonde(vec, points, 3)
+        assert t1 is t2
+        assert TABLES.hits >= hits0 + 1 and TABLES.misses >= misses0
+
+    def test_tables_are_read_only(self):
+        table = TABLES.vandermonde(vector_backend(gf2k(16)), [9, 8, 7], 2)
+        with pytest.raises(ValueError):
+            table[0, 0] = 1
+
+    def test_lru_eviction(self):
+        cache = TableCache(max_entries=2)
+        vec = vector_backend(gf2k(12))
+        cache.vandermonde(vec, [1, 2], 1)
+        cache.vandermonde(vec, [3, 4], 1)
+        cache.vandermonde(vec, [5, 6], 1)  # evicts [1, 2]
+        assert len(cache) == 2
+        cache.vandermonde(vec, [1, 2], 1)  # rebuilt
+        assert cache.misses == 4
+
+    def test_lru_touch_on_hit(self):
+        cache = TableCache(max_entries=2)
+        vec = vector_backend(gf2k(12))
+        cache.vandermonde(vec, [1, 2], 1)
+        cache.vandermonde(vec, [3, 4], 1)
+        cache.vandermonde(vec, [1, 2], 1)  # touch -> [3, 4] is now LRU
+        cache.vandermonde(vec, [5, 6], 1)  # evicts [3, 4]
+        cache.vandermonde(vec, [1, 2], 1)  # survived the eviction: hit
+        assert cache.hits == 2 and cache.misses == 3
+
+    def test_clear(self):
+        cache = TableCache()
+        cache.vandermonde(vector_backend(gf2k(12)), [1, 2], 1)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_lagrange_cached_as_plain_list(self):
+        cache = TableCache()
+        field = gf2k(12)
+        l1 = cache.lagrange_at_zero(field, (1, 2, 3))
+        l2 = cache.lagrange_at_zero(field, (1, 2, 3))
+        assert l1 is l2
+        assert isinstance(l1, list)
+        assert all(isinstance(c, int) for c in l1)

@@ -28,9 +28,16 @@ def backend(request):
 
 
 class TestConstruction:
-    def test_tableless_field_rejected(self):
+    def test_beyond_carryless_width_rejected(self):
+        # k > 32 exceeds the carryless kernel (bit 2k-2 would overflow
+        # uint64); tableless fields up to k = 32 are now supported.
         with pytest.raises(ValueError):
-            VectorGF2k(gf2k(32))
+            VectorGF2k(gf2k(33))
+
+    def test_tableless_field_accepted(self):
+        vec = VectorGF2k(gf2k(32))
+        assert vec._exp is None
+        assert vec.dtype is np.uint64
 
     def test_array_range_check(self, vec):
         with pytest.raises(ValueError):
@@ -54,7 +61,7 @@ class TestAgreementWithScalar:
         assert out.tolist() == [0, 0, vec.field.mul(5, 3), 0]
 
     def test_add(self, vec):
-        out = VectorGF2k.add(vec.array([1, 2, 3]), vec.array([3, 2, 1]))
+        out = vec.add(vec.array([1, 2, 3]), vec.array([3, 2, 1]))
         assert out.tolist() == [2, 0, 2]
 
     def test_scale(self, vec):
@@ -122,9 +129,12 @@ class TestFactory:
     def test_prime_backend(self):
         assert isinstance(vector_backend(PrimeField(97)), VectorPrimeField)
 
-    def test_tableless_gf2k_rejected(self):
+    def test_tableless_gf2k_accepted(self):
+        assert isinstance(vector_backend(gf2k(32)), VectorGF2k)
+
+    def test_beyond_carryless_width_rejected(self):
         with pytest.raises(ValueError):
-            vector_backend(gf2k(32))
+            vector_backend(gf2k(33))
 
     def test_huge_prime_rejected(self):
         with pytest.raises(ValueError):

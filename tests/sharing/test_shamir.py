@@ -158,12 +158,12 @@ class TestBackendSelection:
             ShamirScheme(gf2k(16), n=5, t=2, backend="numpy")
 
     def test_vectorized_requires_supported_field(self):
-        # gf2k(32) is tableless: no vectorized substrate.
+        # gf2k(33) exceeds the carryless kernel width: no substrate.
         with pytest.raises(ValueError):
-            ShamirScheme(gf2k(32), n=5, t=2, backend="vectorized")
+            ShamirScheme(gf2k(33), n=5, t=2, backend="vectorized")
 
     def test_auto_falls_back_to_scalar(self):
-        scheme = ShamirScheme(gf2k(32), n=5, t=2, backend="auto")
+        scheme = ShamirScheme(gf2k(33), n=5, t=2, backend="auto")
         rng = random.Random(28)
         secret = scheme.field(1 << 20)
         assert scheme.reconstruct_all(scheme.share(secret, rng)) == secret

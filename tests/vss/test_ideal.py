@@ -138,18 +138,18 @@ class TestBackends:
             session.configure_backend("gpu")
 
     def test_configure_vectorized_on_unsupported_field(self):
-        # gf2k(32) is tableless: no vectorized substrate.
-        session = IdealVSS(gf2k(32), n=5, t=2).new_session(random.Random(0))
+        # gf2k(33) exceeds the carryless kernel width: no substrate.
+        session = IdealVSS(gf2k(33), n=5, t=2).new_session(random.Random(0))
         with pytest.raises(ValueError):
             session.configure_backend("vectorized")
 
     def test_vectorized_scheme_on_unsupported_field(self):
-        scheme = IdealVSS(gf2k(32), n=5, t=2, backend="vectorized")
+        scheme = IdealVSS(gf2k(33), n=5, t=2, backend="vectorized")
         with pytest.raises(ValueError):
             scheme.new_session(random.Random(0))
 
     def test_auto_on_unsupported_field_falls_back(self):
-        f = gf2k(32)
+        f = gf2k(33)
         scheme = IdealVSS(f, n=5, t=2)  # auto: silently scalar
         result, _ = share_and_open(scheme, {0: [f(v) for v in range(40)]})
         for out in result.outputs.values():
